@@ -1,0 +1,128 @@
+"""Ablation 3 — placement policy across CPE and data center (paper §1).
+
+Compares three policies for a subscriber service of five NFs:
+
+* ``nnf-first`` (the paper's): pin user-proximate NFs to the CPE as
+  NNFs, overflow to the DC;
+* ``vm-only``: classic NFV — everything is a VM in the DC;
+* ``cpe-only-vnf``: VNFs on the CPE without the native option.
+
+Reported per policy: CPE RAM consumed, NFs placeable at the edge, and
+aggregate image bytes to transfer.  Expected shape: nnf-first keeps the
+user-proximate NFs at the edge for ~an order of magnitude less CPE RAM
+than VM packaging, and vm-only cannot place anything on a KVM-less CPE.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.catalog.repository import VnfRepository
+from repro.catalog.resolver import ResolutionPolicy, VnfResolver
+from repro.catalog.scheduler import NodeDescriptor, PlacementError, VnfScheduler
+from repro.catalog.templates import Technology
+from repro.nnf.plugins import stock_registry
+from repro.resources.capabilities import NodeCapabilities
+from repro.resources.images import ImageRegistry
+
+SERVICE = ("ipsec-endpoint", "nat", "firewall", "dhcp-server", "dpi")
+
+
+def schedule(policy: str):
+    repository = VnfRepository.stock()
+    cpe_caps = NodeCapabilities.residential_cpe()
+    dc_caps = NodeCapabilities.datacenter_server()
+    nnfs = stock_registry()
+    if policy == "nnf-first":
+        cpe_resolver = VnfResolver(cpe_caps, nnf_status=nnfs.availability,
+                                   policy=ResolutionPolicy.PREFER_NATIVE)
+    elif policy == "vm-only":
+        # Classic NFV: the only packaging is a full VM.  The home CPE
+        # has no KVM, so nothing can run at the edge.
+        vm_only_caps = NodeCapabilities(
+            node_class=cpe_caps.node_class,
+            cpu_cores=cpe_caps.cpu_cores, cpu_mhz=cpe_caps.cpu_mhz,
+            ram_mb=cpe_caps.ram_mb, disk_mb=cpe_caps.disk_mb,
+            features=frozenset({"linux"}))
+        cpe_caps = vm_only_caps
+        cpe_resolver = VnfResolver(cpe_caps,
+                                   policy=ResolutionPolicy.PREFER_VM)
+    else:
+        # Resolver that never sees native plugins as installed.
+        from repro.catalog.resolver import NnfAvailability
+        cpe_resolver = VnfResolver(
+            cpe_caps, nnf_status=lambda name: NnfAvailability(
+                installed=False),
+            policy=ResolutionPolicy.MIN_RAM)
+    nodes = [NodeDescriptor("cpe", cpe_caps, cpe_resolver)]
+    if policy != "cpe-only-vnf":
+        nodes.append(NodeDescriptor(
+            "dc", dc_caps, VnfResolver(
+                dc_caps, policy=ResolutionPolicy.PREFER_VM)))
+    scheduler = VnfScheduler(nodes)
+    templates = [repository.get(name) for name in SERVICE]
+    return scheduler.schedule(templates)
+
+
+def summarise(placements):
+    images = ImageRegistry.stock()
+    cpe_ram = sum(p.implementation.ram_mb for p in placements
+                  if p.node == "cpe")
+    on_cpe = sum(1 for p in placements if p.node == "cpe")
+    native = sum(1 for p in placements if p.is_native)
+    transfer = sum(images.get(p.implementation.image).size_mb
+                   for p in placements)
+    return {"cpe_ram_mb": cpe_ram, "nfs_on_cpe": on_cpe,
+            "native_nfs": native, "image_transfer_mb": transfer}
+
+
+@pytest.fixture(scope="module")
+def report():
+    rows = {}
+    for policy in ("nnf-first", "vm-only"):
+        rows[policy] = summarise(schedule(policy))
+    try:
+        rows["cpe-only-vnf"] = summarise(schedule("cpe-only-vnf"))
+    except PlacementError as exc:
+        rows["cpe-only-vnf"] = {"error": str(exc)}
+    lines = [f"service: {', '.join(SERVICE)}"]
+    for policy, stats in rows.items():
+        lines.append(f"  {policy:<14} {stats}")
+    print_block("Ablation 3: placement policies", "\n".join(lines))
+    return rows
+
+
+def test_placement_benchmark(benchmark, report):
+    placements = benchmark(schedule, "nnf-first")
+    by_name = {p.nf_name: p for p in placements}
+    # Proximity-pinned NFs stay at the edge, natively.
+    assert by_name["ipsec-endpoint"].node == "cpe"
+    assert by_name["ipsec-endpoint"].is_native
+    assert by_name["nat"].is_native
+    # The heavy DPI overflows to the data center.
+    assert by_name["dpi"].node == "dc"
+    assert by_name["dpi"].implementation.technology in (
+        Technology.VM, Technology.DOCKER)
+
+
+def test_nnf_first_uses_far_less_cpe_ram(report):
+    nnf_first = report["nnf-first"]["cpe_ram_mb"]
+    vm_only = report["vm-only"]["cpe_ram_mb"]
+    # vm-only cannot run VMs on the KVM-less CPE at all, or pays dearly.
+    assert nnf_first < 60
+    assert report["nnf-first"]["nfs_on_cpe"] >= 4
+
+
+def test_vm_only_cannot_use_the_cpe(report):
+    # Without native plugins and KVM the CPE hosts nothing; everything
+    # hairpins through the data center.
+    assert report["vm-only"]["nfs_on_cpe"] == 0
+
+
+def test_cpe_only_vnf_fails_for_full_service(report):
+    # A CPE-only deployment without NNFs cannot place the service.
+    assert "error" in report["cpe-only-vnf"]
+
+
+def test_image_transfer_favours_nnf(report):
+    assert (report["nnf-first"]["image_transfer_mb"]
+            < report["vm-only"]["image_transfer_mb"])

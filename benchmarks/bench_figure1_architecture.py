@@ -1,0 +1,143 @@
+"""Figure 1 — the compute-node architecture, instantiated and measured.
+
+Figure 1 is an architecture diagram, not a data plot; the reproducible
+artefact is the *structure*: one REST front-end, a base LSI classifying
+node traffic, one LSI + OpenFlow controller per deployed NF-FG,
+virtual links between LSIs, and per-technology management drivers
+coexisting under one compute manager.  The bench deploys N
+mixed-technology graphs through the REST API, verifies every
+architectural invariant, and times the full deploy path (the
+orchestration-plane cost the architecture implies).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro import ComputeNode, Nffg, RestApp, RestClient
+
+N_GRAPHS = 4
+
+
+def service_graph(index: int) -> Nffg:
+    """Firewall (native) + DPI (docker) chain, one per subscriber."""
+    graph = Nffg(graph_id=f"g{index}", name=f"subscriber {index}")
+    graph.add_nf("fw", "firewall", config={
+        "lan.address": f"10.{index}.0.1/24",
+        "wan.address": f"10.{index}.1.1/24",
+        "gateway": f"10.{index}.1.2",
+    })
+    graph.add_nf("dpi1", "dpi")
+    graph.add_endpoint("lan", f"lan{index}")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:fw:lan")
+    graph.add_flow_rule("r2", "vnf:fw:lan", "endpoint:lan")
+    graph.add_flow_rule("r3", "vnf:fw:wan", "vnf:dpi1:in")
+    graph.add_flow_rule("r4", "vnf:dpi1:in", "vnf:fw:wan")
+    graph.add_flow_rule("r5", "vnf:dpi1:out", "endpoint:wan")
+    graph.add_flow_rule("r6", "endpoint:wan", "vnf:dpi1:out",
+                        ip_dst=f"10.{index}.0.0/24")
+    return graph
+
+
+def deploy_node(n_graphs: int = N_GRAPHS):
+    # A branch-office x86 node: enough cores for N DPI containers
+    # (the residential profile would refuse the third DPI on CPU).
+    from repro.resources.capabilities import NodeCapabilities, NodeClass
+    capabilities = NodeCapabilities(
+        node_class=NodeClass.CPE, cpu_cores=16, cpu_mhz=2400,
+        ram_mb=16384, disk_mb=65536,
+        features=frozenset({"native", "docker", "kvm", "linux",
+                            "netns", "iptables", "xfrm"}))
+    node = ComputeNode("figure1-node", capabilities=capabilities)
+    node.add_physical_interface("wan0")
+    client = RestClient(RestApp(node))
+    for index in range(1, n_graphs + 1):
+        node.add_physical_interface(f"lan{index}")
+        client.deploy_graph(service_graph(index))
+    return node, client
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    node, client = deploy_node()
+    lines = [
+        f"graphs deployed via REST: {client.list_graphs()}",
+        f"LSIs: LSI-0 + {len(node.steering.graphs)} graph LSIs",
+        f"flow entries per LSI: {node.steering.flow_counts()}",
+        f"driver technologies registered: "
+        f"{[t.value for t in node.compute.technologies]}",
+        f"REST requests served: {client.app.requests_served}",
+    ]
+    print_block("Figure 1: compute node architecture", "\n".join(lines))
+    return node, client
+
+
+def test_figure1_deploy_benchmark(benchmark):
+    """Times bringing up the whole node with N graphs via REST,
+    asserting the architectural invariants on the result."""
+    node, client = benchmark(deploy_node)
+    # One LSI per NF-FG plus the base LSI.
+    assert len(node.steering.graphs) == N_GRAPHS
+    assert node.steering.base.is_base
+    for network in node.steering.graphs.values():
+        # Each graph LSI has its own connected OpenFlow controller...
+        assert network.controller.connected
+        assert network.controller.dpid == network.lsi.datapath.dpid
+        # ...and a virtual link to LSI-0.
+        assert network.link.far_port(node.steering.base.datapath)
+        assert network.link.far_port(network.lsi.datapath)
+    # Multiple driver technologies coexist under the compute manager.
+    technologies = {i.technology.value
+                    for i in node.compute.instances()}
+    assert {"native", "docker"} <= technologies
+    # The REST front-end reports description, capabilities, resources.
+    description = client.node_description()
+    assert description["deployed-graphs"] == [
+        f"g{i}" for i in range(1, N_GRAPHS + 1)]
+    assert description["utilisation"]["ram"] > 0
+
+
+def test_every_flow_mod_crossed_the_control_channel(deployed):
+    node, _client = deployed
+    # Rules are installed exclusively through the per-LSI controllers.
+    total_sent = node.steering.base_controller.flow_mods_sent + sum(
+        network.controller.flow_mods_sent
+        for network in node.steering.graphs.values())
+    total_installed = sum(node.steering.flow_counts().values())
+    assert total_installed > 0
+    assert total_sent >= total_installed
+
+
+def test_lsi0_classifies_per_graph(deployed):
+    node, _client = deployed
+    # Every graph's LAN ingress rule lives in LSI-0 and forwards over
+    # that graph's virtual link (the classification role).
+    base_table = node.steering.base.datapath.table
+    vlink_ports = {network.base_link_port.port_no
+                   for network in node.steering.graphs.values()}
+    forwarded = set()
+    for entry in base_table:
+        for action in entry.actions:
+            port = getattr(action, "port", None)
+            if port in vlink_ports:
+                forwarded.add(port)
+    assert forwarded == vlink_ports
+
+
+def test_rest_status_reports_placements(deployed):
+    _node, client = deployed
+    status = client.graph_status("g1")
+    assert status["nfs"]["fw"]["technology"] == "native"
+    assert status["nfs"]["dpi1"]["technology"] == "docker"
+    assert status["nfs"]["fw"]["state"] == "running"
+
+
+def test_undeploy_via_rest_removes_lsi(deployed):
+    node, client = deployed
+    before = len(node.steering.graphs)
+    extra = service_graph(99)
+    node.add_physical_interface("lan99")
+    client.deploy_graph(extra)
+    assert len(node.steering.graphs) == before + 1
+    client.undeploy_graph("g99")
+    assert len(node.steering.graphs) == before

@@ -1,0 +1,93 @@
+"""Scale-1 — orchestration scalability in the number of NF-FGs.
+
+Figure 1 shows "LSI - graph 1 ... LSI - graph N": the architecture
+creates per-graph state (an LSI, a controller channel, flow entries,
+namespaces).  This bench sweeps N and reports deploy time, flow-entry
+counts, control-channel traffic and node RAM — the orchestration-plane
+cost curve of the architecture.  Expected shape: all linear in N
+(no superlinear blow-up), with native placement keeping RAM flat-ish.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro import ComputeNode, Nffg
+
+SWEEP = (1, 2, 4, 8)
+
+
+def subscriber_graph(index: int) -> Nffg:
+    graph = Nffg(graph_id=f"s{index}")
+    graph.add_nf("nat", "nat", config={
+        "lan.address": f"10.{index}.0.1/24",
+        "wan.address": f"100.64.{index}.2/24",
+        "gateway": f"100.64.{index}.1",
+    })
+    graph.add_endpoint("lan", f"lan{index}")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat:lan")
+    graph.add_flow_rule("r2", "vnf:nat:lan", "endpoint:lan")
+    graph.add_flow_rule("r3", "vnf:nat:wan", "endpoint:wan")
+    graph.add_flow_rule("r4", "endpoint:wan", "vnf:nat:wan",
+                        ip_dst=f"100.64.{index}.0/24")
+    return graph
+
+
+def deploy_n(n: int) -> ComputeNode:
+    node = ComputeNode("scaling-node")
+    node.add_physical_interface("wan0")
+    for index in range(1, n + 1):
+        node.add_physical_interface(f"lan{index}")
+        node.deploy(subscriber_graph(index))
+    return node
+
+
+def stats_for(n: int) -> dict:
+    node = deploy_n(n)
+    flow_entries = sum(node.steering.flow_counts().values())
+    control_messages = (
+        node.steering.base_controller.channel.messages_exchanged
+        + sum(net.controller.channel.messages_exchanged
+              for net in node.steering.graphs.values()))
+    ram = sum(i.runtime_ram_mb for i in node.compute.instances())
+    namespaces = len(node.host.namespaces)
+    return {"flows": flow_entries, "control_msgs": control_messages,
+            "ram_mb": ram, "netns": namespaces,
+            "lsis": 1 + len(node.steering.graphs)}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    data = {n: stats_for(n) for n in SWEEP}
+    lines = [f"{'N':>3} {'LSIs':>5} {'flows':>6} {'ctrl-msgs':>10} "
+             f"{'netns':>6} {'RAM MB':>8}"]
+    for n, row in data.items():
+        lines.append(f"{n:>3} {row['lsis']:>5} {row['flows']:>6} "
+                     f"{row['control_msgs']:>10} {row['netns']:>6} "
+                     f"{row['ram_mb']:>8.1f}")
+    print_block("Scale-1: N concurrent NF-FGs", "\n".join(lines))
+    return data
+
+
+def test_scaling_deploy_benchmark(benchmark, sweep):
+    node = benchmark(deploy_n, 4)
+    assert len(node.steering.graphs) == 4
+    # Linear flow growth: flows(8)/flows(2) ~ 4, well under quadratic.
+    assert sweep[8]["flows"] <= 4.5 * sweep[2]["flows"]
+    assert sweep[8]["lsis"] == 9
+
+
+def test_control_channel_traffic_linear(sweep):
+    growth = sweep[8]["control_msgs"] / sweep[1]["control_msgs"]
+    assert growth < 10  # ~linear; 8x graphs => <10x messages
+
+
+def test_shared_nnf_keeps_ram_flat(sweep):
+    # All subscribers share the native NAT: RAM independent of N.
+    assert sweep[8]["ram_mb"] == pytest.approx(sweep[1]["ram_mb"],
+                                               abs=1.0)
+
+
+def test_one_shared_namespace_not_n(sweep):
+    # root + 1 shared NNF namespace, regardless of N.
+    assert sweep[8]["netns"] == sweep[1]["netns"] == 2

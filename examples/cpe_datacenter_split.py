@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Scheduling a service across CPE and data center.
+
+Paper §1: the goal is an infrastructure where "while resource-hungry
+VNFs are run in the NSP data center, simpler ones are run in the CPE,
+possibly as Native Network Functions".
+
+A subscriber orders a service with four NFs:
+
+* ``vpn``  — IPsec endpoint, pinned near the user (proximity=cpe);
+* ``nat``  — cheap, runs anywhere;
+* ``dpi``  — 2 GB of RAM: hopeless on a 512 MB CPE;
+* ``fw``   — cheap firewall.
+
+The multi-node scheduler places them across a residential CPE (no KVM!)
+and a data-center server, then the per-node resolvers pick packaging:
+native on the CPE, VM/Docker in the DC.
+"""
+
+from repro.catalog.repository import VnfRepository
+from repro.catalog.resolver import ResolutionPolicy, VnfResolver
+from repro.catalog.scheduler import NodeDescriptor, VnfScheduler
+from repro.nnf.plugins import stock_registry
+from repro.resources.capabilities import NodeCapabilities
+
+
+def main() -> None:
+    repository = VnfRepository.stock()
+    cpe_caps = NodeCapabilities.residential_cpe()       # no KVM on board
+    dc_caps = NodeCapabilities.datacenter_server()
+
+    cpe_nnfs = stock_registry()
+    cpe = NodeDescriptor(
+        name="cpe-home", capabilities=cpe_caps,
+        resolver=VnfResolver(cpe_caps, nnf_status=cpe_nnfs.availability,
+                             policy=ResolutionPolicy.PREFER_NATIVE))
+    dc = NodeDescriptor(
+        name="dc-server", capabilities=dc_caps,
+        resolver=VnfResolver(dc_caps,
+                             policy=ResolutionPolicy.PREFER_VM))
+    scheduler = VnfScheduler([cpe, dc])
+
+    service = [repository.get(name)
+               for name in ("ipsec-endpoint", "nat", "dpi", "firewall")]
+    placements = scheduler.schedule(service)
+
+    print(f"{'NF':<16} {'node':<10} {'technology':<10} "
+          f"{'RAM(MB)':>8} {'image':>22}")
+    print("-" * 70)
+    for placement in placements:
+        impl = placement.implementation
+        print(f"{placement.nf_name:<16} {placement.node:<10} "
+              f"{impl.technology.value:<10} {impl.ram_mb:>8.1f} "
+              f"{impl.image:>22}")
+
+    by_name = {p.nf_name: p for p in placements}
+    assert by_name["ipsec-endpoint"].node == "cpe-home"   # proximity pin
+    assert by_name["ipsec-endpoint"].is_native            # NNF on the CPE
+    assert by_name["dpi"].node == "dc-server"             # too big for CPE
+
+    print("\nremaining headroom:")
+    for node in (cpe, dc):
+        print(f"  {node.name}: {node.cpu_free:.1f} cores, "
+              f"{node.ram_free_mb:.0f} MB RAM")
+    print("\nthe heavy DPI went to the data center; everything the CPE "
+          "could run natively stayed at the edge.")
+
+
+if __name__ == "__main__":
+    main()

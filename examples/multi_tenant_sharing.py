@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Sharable NNFs: several service graphs through one native component.
+
+Paper §2: "Such NNFs must be 'sharable' to have multiple service graphs
+traversing the same NF.  A NNF is 'sharable' only if (i) it can use an
+ad-hoc marking mechanism to distinguish between traffic belonging to
+different service graphs [...] and (ii) the NNF can create multiple
+internal paths [...] to process the above multiple traffic streams in
+isolation."
+
+Three tenants deploy three NAT graphs on one CPE.  All three are served
+by a *single* iptables instance in a single namespace; the adaptation
+layer multiplexes them over one trunk port using per-graph VLANs, and
+fwmark-keyed rules + policy routing keep the paths isolated.  The
+script prints the shared namespace's state so the marking machinery is
+visible, then proves isolation with live traffic.
+"""
+
+from repro import ComputeNode, Nffg
+from repro.net import MacAddress, make_udp_frame, parse_frame
+
+CLIENT = MacAddress("02:aa:00:00:00:01")
+REMOTE = MacAddress("02:aa:00:00:00:02")
+
+
+def tenant_graph(index: int) -> Nffg:
+    graph = Nffg(graph_id=f"tenant{index}", name=f"tenant {index} NAT")
+    graph.add_nf("nat", "nat", config={
+        "lan.address": f"10.{index}.0.1/24",
+        "wan.address": f"100.64.{index}.2/24",
+        "gateway": f"100.64.{index}.1",
+    })
+    graph.add_endpoint("lan", f"lan{index}")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat:lan")
+    graph.add_flow_rule("r2", "vnf:nat:lan", "endpoint:lan")
+    graph.add_flow_rule("r3", "vnf:nat:wan", "endpoint:wan")
+    graph.add_flow_rule("r4", "endpoint:wan", "vnf:nat:wan",
+                        ip_dst=f"100.64.{index}.0/24")
+    return graph
+
+
+def main() -> None:
+    node = ComputeNode("cpe")
+    node.add_physical_interface("wan0")
+    records = []
+    for index in (1, 2, 3):
+        node.add_physical_interface(f"lan{index}")
+        records.append(node.deploy(tenant_graph(index)))
+
+    instances = [record.instances["nat"] for record in records]
+    print("three tenants, one native component:")
+    for record, instance in zip(records, instances):
+        print(f"  {record.graph_id}: netns={instance.netns} "
+              f"mark={instance.mark} "
+              f"vlans={instance.port_vlans}")
+    assert len({i.netns for i in instances}) == 1, "must share one netns"
+    assert len({i.mark for i in instances}) == 3, "marks must differ"
+
+    shared_ns = node.host.namespace(instances[0].netns)
+    print(f"\nshared namespace {shared_ns.name!r}:")
+    print(f"  devices: {sorted(shared_ns.devices)}")
+    print("  mangle rules (the marking mechanism):")
+    for line in shared_ns.iptables.list_rules("mangle"):
+        if "MARK" in line:
+            print(f"    {line}")
+    print("  policy-routing rules (the isolated internal paths):")
+    for mark, mask, table in shared_ns.policy_rules:
+        print(f"    fwmark {mark} -> table {table}")
+
+    # Live proof: each tenant's traffic leaves from its own NAT pool.
+    egress = []
+    node.wire("wan0").attach_handler(
+        lambda dev, frame: egress.append(parse_frame(frame)))
+    for index in (1, 2, 3):
+        node.wire(f"lan{index}").transmit(make_udp_frame(
+            CLIENT, REMOTE, f"10.{index}.0.77", "8.8.8.8",
+            1000 + index, 53, f"tenant{index}".encode()))
+    print(f"\n{len(egress)} frames on the WAN wire:")
+    for parsed in egress:
+        print(f"  {parsed.ipv4.src} -> {parsed.ipv4.dst} "
+              f"payload={parsed.udp.payload.decode()}")
+    sources = {parsed.ipv4.src for parsed in egress}
+    assert sources == {"100.64.1.2", "100.64.2.2", "100.64.3.2"}
+    print("\neach tenant exited via its own masquerade address: "
+          "paths are isolated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: the offline environment lacks the `wheel` package, so
+`pip install -e .` must go through `setup.py develop` (see README)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro — reproduction of *Modeling Native Software Components as
+Virtual Network Functions* (Baldi, Bonafiglia, Risso, Sapio — SIGCOMM
+2016).
+
+The package implements the paper's NFV compute node end to end: a
+simulated Linux networking substrate, OpenFlow-programmed Logical
+Switch Instances, management drivers for VM/Docker/DPDK packaging, the
+Native-Network-Function driver with its sharability and adaptation
+machinery, the local orchestrator, a REST front-end and the performance
+harness that regenerates the paper's evaluation.
+
+Quickstart::
+
+    from repro import ComputeNode, Nffg
+
+    node = ComputeNode("cpe")
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+
+    graph = Nffg(graph_id="home")
+    graph.add_nf("nat1", "nat", config={"lan.address": "192.168.1.1/24",
+                                        "wan.address": "203.0.113.2/24",
+                                        "gateway": "203.0.113.1"})
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat1:lan")
+    graph.add_flow_rule("r2", "vnf:nat1:lan", "endpoint:lan")
+    graph.add_flow_rule("r3", "vnf:nat1:wan", "endpoint:wan")
+    graph.add_flow_rule("r4", "endpoint:wan", "vnf:nat1:wan",
+                        ip_dst="203.0.113.0/24")
+
+    record = node.deploy(graph)           # nat1 becomes a native NF
+    print(record.technologies())
+"""
+
+from repro.core.node import ComputeNode
+from repro.core.orchestrator import DeployedGraph, OrchestrationError
+from repro.nffg.model import Nffg
+from repro.nffg.json_codec import nffg_from_json, nffg_to_json
+from repro.rest.app import RestApp
+from repro.rest.client import RestClient
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComputeNode",
+    "DeployedGraph",
+    "Nffg",
+    "OrchestrationError",
+    "RestApp",
+    "RestClient",
+    "__version__",
+    "nffg_from_json",
+    "nffg_to_json",
+]

@@ -1,0 +1,31 @@
+"""NF catalogue: templates, repository, resolver and multi-node scheduler.
+
+Figure 1's "VNF repository" + "VNF resolver" + "VNF scheduler".  A
+*template* describes one network function abstractly (its functional
+type and ports); each template carries one *implementation* per
+packaging technology (VM / Docker / DPDK / native), with its image,
+resource demand and requirements.  The resolver picks an implementation
+for a specific node; the scheduler places the NFs of a graph across a
+multi-node infrastructure (CPE + data center).
+"""
+
+from repro.catalog.repository import VnfRepository
+from repro.catalog.resolver import ResolutionError, ResolutionPolicy, VnfResolver
+from repro.catalog.scheduler import PlacementError, VnfScheduler
+from repro.catalog.templates import (
+    NfImplementation,
+    NfTemplate,
+    Technology,
+)
+
+__all__ = [
+    "NfImplementation",
+    "NfTemplate",
+    "PlacementError",
+    "ResolutionError",
+    "ResolutionPolicy",
+    "Technology",
+    "VnfRepository",
+    "VnfResolver",
+    "VnfScheduler",
+]

@@ -1,0 +1,162 @@
+"""The VNF repository: template catalogue keyed by functional type."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.templates import (
+    NfImplementation,
+    NfTemplate,
+    Technology,
+)
+
+__all__ = ["VnfRepository"]
+
+
+class VnfRepository:
+    """Template store with a pre-populated ``stock()`` variant."""
+
+    def __init__(self) -> None:
+        self._templates: dict[str, NfTemplate] = {}
+
+    def register(self, template: NfTemplate) -> None:
+        if template.name in self._templates:
+            raise ValueError(f"template {template.name!r} already registered")
+        self._templates[template.name] = template
+
+    def get(self, name: str) -> NfTemplate:
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise KeyError(f"no template {name!r} in repository") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._templates
+
+    def names(self) -> list[str]:
+        return sorted(self._templates)
+
+    def by_functional_type(self, functional_type: str) -> list[NfTemplate]:
+        return [template for template in self._templates.values()
+                if template.functional_type == functional_type]
+
+    @staticmethod
+    def stock() -> "VnfRepository":
+        """Templates for the NFs the paper's scenarios use.
+
+        Resource figures mirror Table 1 where the paper reports them
+        (strongSwan RAM per flavor) and typical 2016 values elsewhere.
+        """
+        repo = VnfRepository()
+        repo.register(NfTemplate(
+            name="ipsec-endpoint",
+            functional_type="ipsec-endpoint",
+            ports=("lan", "wan"),
+            proximity="cpe",
+            implementations=(
+                NfImplementation(
+                    technology=Technology.VM, image="strongswan-vm",
+                    cpu_cores=1.0, ram_mb=390.6, disk_mb=522.0,
+                    # The paper: IPsec "executing in user space (i.e., in
+                    # the process, within the hypervisor, running the VM)".
+                    uses_kernel_datapath=False),
+                NfImplementation(
+                    technology=Technology.DOCKER, image="strongswan-docker",
+                    cpu_cores=0.5, ram_mb=24.2, disk_mb=240.0),
+                NfImplementation(
+                    technology=Technology.NATIVE, image="strongswan-native",
+                    cpu_cores=0.3, ram_mb=19.4, disk_mb=5.0,
+                    plugin="strongswan"),
+            )))
+        repo.register(NfTemplate(
+            name="nat",
+            functional_type="nat",
+            ports=("lan", "wan"),
+            proximity="cpe",
+            implementations=(
+                NfImplementation(
+                    technology=Technology.VM, image="generic-nf-vm",
+                    cpu_cores=1.0, ram_mb=320.0, disk_mb=510.0,
+                    uses_kernel_datapath=False),
+                NfImplementation(
+                    technology=Technology.DOCKER, image="generic-nf-docker",
+                    cpu_cores=0.4, ram_mb=18.0, disk_mb=253.0),
+                NfImplementation(
+                    technology=Technology.NATIVE, image="iptables-native",
+                    cpu_cores=0.1, ram_mb=2.5, disk_mb=0.3,
+                    plugin="iptables-nat"),
+            )))
+        repo.register(NfTemplate(
+            name="firewall",
+            functional_type="firewall",
+            ports=("lan", "wan"),
+            implementations=(
+                NfImplementation(
+                    technology=Technology.VM, image="generic-nf-vm",
+                    cpu_cores=1.0, ram_mb=320.0, disk_mb=510.0,
+                    uses_kernel_datapath=False),
+                NfImplementation(
+                    technology=Technology.DOCKER, image="generic-nf-docker",
+                    cpu_cores=0.4, ram_mb=16.0, disk_mb=253.0),
+                NfImplementation(
+                    technology=Technology.NATIVE, image="iptables-native",
+                    cpu_cores=0.1, ram_mb=2.5, disk_mb=0.3,
+                    plugin="iptables-firewall"),
+            )))
+        repo.register(NfTemplate(
+            name="bridge",
+            functional_type="bridge",
+            ports=("p0", "p1"),
+            implementations=(
+                NfImplementation(
+                    technology=Technology.DOCKER, image="generic-nf-docker",
+                    cpu_cores=0.3, ram_mb=14.0, disk_mb=253.0),
+                NfImplementation(
+                    technology=Technology.NATIVE,
+                    image="linuxbridge-native",
+                    cpu_cores=0.05, ram_mb=1.0, disk_mb=0.1,
+                    plugin="linuxbridge"),
+            )))
+        repo.register(NfTemplate(
+            name="dhcp-server",
+            functional_type="dhcp-server",
+            ports=("lan",),
+            proximity="cpe",
+            implementations=(
+                NfImplementation(
+                    technology=Technology.DOCKER, image="generic-nf-docker",
+                    cpu_cores=0.2, ram_mb=12.0, disk_mb=253.0),
+                NfImplementation(
+                    technology=Technology.NATIVE, image="dnsmasq-native",
+                    cpu_cores=0.05, ram_mb=1.8, disk_mb=0.4,
+                    plugin="dnsmasq"),
+            )))
+        repo.register(NfTemplate(
+            name="dpi",
+            functional_type="dpi",
+            ports=("in", "out"),
+            implementations=(
+                NfImplementation(
+                    technology=Technology.VM, image="generic-nf-vm",
+                    cpu_cores=4.0, ram_mb=2048.0, disk_mb=530.0,
+                    uses_kernel_datapath=False),
+                NfImplementation(
+                    technology=Technology.DOCKER, image="dpi-docker",
+                    cpu_cores=2.0, ram_mb=512.0, disk_mb=285.0,
+                    uses_kernel_datapath=False),
+            )))
+        repo.register(NfTemplate(
+            name="l2-forwarder-dpdk",
+            functional_type="l2-forwarder",
+            ports=("in", "out"),
+            implementations=(
+                NfImplementation(
+                    technology=Technology.DPDK, image="dpdk-fwd-vm",
+                    cpu_cores=1.0, ram_mb=1024.0, disk_mb=568.0,
+                    extra_features=frozenset({"hugepages"}),
+                    uses_kernel_datapath=False),
+                NfImplementation(
+                    technology=Technology.DOCKER, image="generic-nf-docker",
+                    cpu_cores=0.5, ram_mb=64.0, disk_mb=253.0),
+            )))
+        return repo

@@ -1,0 +1,124 @@
+"""The VNF resolver: pick an implementation for a node.
+
+This encodes the paper's core orchestration decision: "For each NF in a
+NF-FG, the orchestrator decides whether to deploy it as VNF or NNF
+based on its knowledge of the node capability set, the available NNFs
+and their characteristics (e.g., whether they are sharable), and their
+status (e.g., already used in another chain)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.catalog.templates import NfImplementation, NfTemplate, Technology
+from repro.resources.capabilities import NodeCapabilities
+
+__all__ = ["NnfAvailability", "ResolutionError", "ResolutionPolicy",
+           "VnfResolver"]
+
+
+class ResolutionError(Exception):
+    """No implementation of the template can run on this node."""
+
+
+class ResolutionPolicy(Enum):
+    """Tie-breaking preference among feasible implementations."""
+
+    PREFER_NATIVE = "prefer-native"    # paper default on the CPE
+    PREFER_VM = "prefer-vm"            # classic data-center NFV
+    MIN_RAM = "min-ram"
+    MIN_IMAGE = "min-image"
+
+    def sort_key(self) -> Callable[[NfImplementation], tuple]:
+        tech_rank_native_first = {
+            Technology.NATIVE: 0, Technology.DOCKER: 1,
+            Technology.DPDK: 2, Technology.VM: 3,
+        }
+        tech_rank_vm_first = {
+            Technology.VM: 0, Technology.DPDK: 1,
+            Technology.DOCKER: 2, Technology.NATIVE: 3,
+        }
+        if self is ResolutionPolicy.PREFER_NATIVE:
+            return lambda impl: (tech_rank_native_first[impl.technology],
+                                 impl.ram_mb)
+        if self is ResolutionPolicy.PREFER_VM:
+            return lambda impl: (tech_rank_vm_first[impl.technology],
+                                 impl.ram_mb)
+        if self is ResolutionPolicy.MIN_RAM:
+            return lambda impl: (impl.ram_mb, impl.disk_mb)
+        return lambda impl: (impl.disk_mb, impl.ram_mb)
+
+
+@dataclass
+class NnfAvailability:
+    """Status the resolver needs about one NNF plugin on this node.
+
+    ``installed`` — the host component exists (e.g. iptables binary);
+    ``sharable`` — supports the marking mechanism of paper §2;
+    ``busy`` — a non-sharable NNF already claimed by another graph.
+    """
+
+    installed: bool = True
+    sharable: bool = False
+    busy: bool = False
+
+    @property
+    def usable(self) -> bool:
+        return self.installed and (self.sharable or not self.busy)
+
+
+NnfStatusFn = Callable[[str], NnfAvailability]
+
+
+class VnfResolver:
+    """Chooses an :class:`NfImplementation` for one node."""
+
+    def __init__(self, capabilities: NodeCapabilities,
+                 nnf_status: Optional[NnfStatusFn] = None,
+                 policy: ResolutionPolicy = ResolutionPolicy.PREFER_NATIVE):
+        self.capabilities = capabilities
+        self.nnf_status = nnf_status or (lambda plugin: NnfAvailability())
+        self.policy = policy
+        self.resolutions = 0
+        self.fallbacks = 0  # native wanted but unusable -> other technology
+
+    def feasible(self, impl: NfImplementation) -> bool:
+        """Capability + NNF-status feasibility (not resource admission —
+        that is the resource manager's call at deploy time)."""
+        if not self.capabilities.supports_all(impl.required_features):
+            return False
+        if impl.technology is Technology.NATIVE:
+            status = self.nnf_status(impl.plugin)
+            return status.usable
+        return True
+
+    def resolve(self, template: NfTemplate,
+                forced: Optional[Technology] = None) -> NfImplementation:
+        """Pick the implementation; honours an explicit technology pin."""
+        self.resolutions += 1
+        if forced is not None:
+            impl = template.implementation_for(forced)
+            if impl is None:
+                raise ResolutionError(
+                    f"{template.name}: no {forced.value} implementation")
+            if not self.feasible(impl):
+                raise ResolutionError(
+                    f"{template.name}: {forced.value} implementation not "
+                    f"runnable on this node")
+            return impl
+        candidates = [impl for impl in template.implementations
+                      if self.feasible(impl)]
+        if not candidates:
+            raise ResolutionError(
+                f"{template.name}: no feasible implementation on node "
+                f"(features={sorted(self.capabilities.features)})")
+        choice = sorted(candidates, key=self.policy.sort_key())[0]
+        native = template.implementation_for(Technology.NATIVE)
+        if (self.policy is ResolutionPolicy.PREFER_NATIVE
+                and native is not None
+                and choice.technology is not Technology.NATIVE):
+            self.fallbacks += 1
+        return choice

@@ -1,0 +1,131 @@
+"""Multi-node VNF scheduler: split an NF-FG across CPE and data center.
+
+The paper's introduction motivates exactly this: "while resource-hungry
+VNFs are run in the NSP data center, simpler ones are run in the CPE,
+possibly as NNFs".  The scheduler assigns each NF of a graph to a node,
+respecting proximity pins (NFs that must sit near the user), feature
+requirements and resource fit, and preferring the cheapest feasible
+placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.catalog.resolver import ResolutionError, VnfResolver
+from repro.catalog.templates import NfImplementation, NfTemplate, Technology
+from repro.resources.capabilities import NodeCapabilities, NodeClass
+
+__all__ = ["NodeDescriptor", "Placement", "PlacementError", "VnfScheduler"]
+
+
+class PlacementError(Exception):
+    """The graph cannot be mapped onto the available nodes."""
+
+
+@dataclass
+class NodeDescriptor:
+    """One schedulable node: capabilities, resolver and live headroom."""
+
+    name: str
+    capabilities: NodeCapabilities
+    resolver: VnfResolver
+    cpu_free: float = field(init=False)
+    ram_free_mb: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cpu_free = float(self.capabilities.cpu_cores)
+        self.ram_free_mb = float(self.capabilities.ram_mb)
+
+    def can_host(self, impl: NfImplementation) -> bool:
+        return (self.cpu_free >= impl.cpu_cores
+                and self.ram_free_mb >= impl.ram_mb)
+
+    def reserve(self, impl: NfImplementation) -> None:
+        self.cpu_free -= impl.cpu_cores
+        self.ram_free_mb -= impl.ram_mb
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Final decision for one NF."""
+
+    nf_name: str
+    node: str
+    implementation: NfImplementation
+
+    @property
+    def is_native(self) -> bool:
+        return self.implementation.technology is Technology.NATIVE
+
+
+class VnfScheduler:
+    """Greedy scheduler with proximity and latency-cost preferences.
+
+    Cost model: placing an NF on the CPE is free in WAN bandwidth but
+    consumes scarce CPE resources; placement in the data center incurs a
+    hairpin penalty.  The greedy order places pinned NFs first, then the
+    most resource-hungry ones, which keeps the CPE available for the NFs
+    that *must* live there.
+    """
+
+    def __init__(self, nodes: list[NodeDescriptor]) -> None:
+        if not nodes:
+            raise ValueError("scheduler needs at least one node")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate node names")
+        self.nodes = {node.name: node for node in nodes}
+
+    def _candidates(self, template: NfTemplate) -> list[NodeDescriptor]:
+        # Proximity is a soft pin: CPE nodes are tried first for
+        # user-proximate NFs, but an edge that cannot host the NF at
+        # all (e.g. no KVM, no native component) falls back to the data
+        # center rather than failing the whole service.  Unpinned NFs
+        # also prefer the CPE (no WAN hairpin) when they fit.
+        return sorted(
+            self.nodes.values(),
+            key=lambda node: 0
+            if node.capabilities.node_class is NodeClass.CPE else 1)
+
+    def schedule(self, templates: list[NfTemplate]) -> list[Placement]:
+        """Place every template; raises :class:`PlacementError` if any
+        NF cannot be hosted anywhere."""
+        placements: list[Placement] = []
+        # Pinned NFs first; then big ones (best-fit-decreasing flavour).
+        def order(template: NfTemplate) -> tuple:
+            pinned = 0 if template.proximity == "cpe" else 1
+            smallest = min(impl.ram_mb for impl in template.implementations)
+            return (pinned, -smallest)
+
+        for template in sorted(templates, key=order):
+            placed = self._place_one(template)
+            if placed is None:
+                raise PlacementError(
+                    f"NF {template.name!r} cannot be placed on any node")
+            placements.append(placed)
+        by_name = {template.name: index
+                   for index, template in enumerate(templates)}
+        placements.sort(key=lambda p: by_name[p.nf_name])
+        return placements
+
+    def _place_one(self, template: NfTemplate) -> Optional[Placement]:
+        for node in self._candidates(template):
+            try:
+                impl = node.resolver.resolve(template)
+            except ResolutionError:
+                continue
+            if not node.can_host(impl):
+                # The preferred implementation does not fit; try the
+                # smallest feasible one before giving up on the node.
+                feasible = [i for i in template.implementations
+                            if node.resolver.feasible(i)
+                            and node.can_host(i)]
+                if not feasible:
+                    continue
+                impl = sorted(feasible, key=lambda i: i.ram_mb)[0]
+            node.reserve(impl)
+            return Placement(nf_name=template.name, node=node.name,
+                             implementation=impl)
+        return None

@@ -1,0 +1,91 @@
+"""NF templates and per-technology implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = ["NfImplementation", "NfTemplate", "Technology"]
+
+
+class Technology(Enum):
+    """Packaging/execution technology of one NF implementation."""
+
+    VM = "vm"
+    DOCKER = "docker"
+    DPDK = "dpdk"
+    NATIVE = "native"
+
+    @property
+    def required_feature(self) -> str:
+        """Node feature the technology needs (cf. NodeCapabilities)."""
+        return {
+            Technology.VM: "kvm",
+            Technology.DOCKER: "docker",
+            Technology.DPDK: "dpdk",
+            Technology.NATIVE: "native",
+        }[self]
+
+
+@dataclass(frozen=True)
+class NfImplementation:
+    """One way to run an NF.
+
+    ``image`` names an entry in the :class:`ImageRegistry`.  For native
+    implementations ``plugin`` names the NNF plugin that drives the
+    host component.  ``uses_kernel_datapath`` records whether per-packet
+    work happens in the (host or guest) kernel — the property Table 1's
+    throughput column turns on.
+    """
+
+    technology: Technology
+    image: str
+    cpu_cores: float
+    ram_mb: float
+    disk_mb: float
+    plugin: Optional[str] = None
+    uses_kernel_datapath: bool = True
+    extra_features: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.technology is Technology.NATIVE and self.plugin is None:
+            raise ValueError("native implementations must name a plugin")
+        if self.cpu_cores < 0 or self.ram_mb < 0 or self.disk_mb < 0:
+            raise ValueError("resource demands cannot be negative")
+
+    @property
+    def required_features(self) -> frozenset[str]:
+        return self.extra_features | {self.technology.required_feature}
+
+
+@dataclass
+class NfTemplate:
+    """Abstract network function: functional type, ports, implementations."""
+
+    name: str
+    functional_type: str          # e.g. "ipsec-endpoint", "nat", "firewall"
+    ports: tuple[str, ...]        # logical port names, e.g. ("lan", "wan")
+    implementations: tuple[NfImplementation, ...]
+    proximity: Optional[str] = None   # "cpe" pins the NF near the user
+
+    def __post_init__(self) -> None:
+        if not self.ports:
+            raise ValueError(f"template {self.name} declares no ports")
+        if not self.implementations:
+            raise ValueError(f"template {self.name} has no implementations")
+        techs = [impl.technology for impl in self.implementations]
+        if len(set(techs)) != len(techs):
+            raise ValueError(
+                f"template {self.name} has duplicate technologies")
+
+    def implementation_for(
+            self, technology: Technology) -> Optional[NfImplementation]:
+        for impl in self.implementations:
+            if impl.technology is technology:
+                return impl
+        return None
+
+    @property
+    def technologies(self) -> set[Technology]:
+        return {impl.technology for impl in self.implementations}

@@ -1,0 +1,153 @@
+"""The ``repro`` command.
+
+Subcommands::
+
+    repro table1 [--frame-bytes N] [--duration S]
+        Reproduce the paper's Table 1 and print paper-vs-measured.
+
+    repro deploy GRAPH.json [--show-flows]
+        Deploy an NF-FG JSON document on a fresh CPE node and print
+        the placement (VNF vs NNF per NF) and node state.
+
+    repro node
+        Print the node description a fresh CPE answers on GET /.
+
+    repro serve [--port P]
+        Start a CPE node and expose its REST API on localhost.
+
+    repro validate GRAPH.json
+        Validate an NF-FG document without deploying it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.core.node import ComputeNode
+from repro.nffg.json_codec import nffg_from_json
+from repro.nffg.validate import NffgValidationError, validate_nffg
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Native Network Functions NFV node (SIGCOMM'16 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    table1.add_argument("--frame-bytes", type=int, default=1500)
+    table1.add_argument("--duration", type=float, default=0.2,
+                        help="simulated seconds per measurement")
+
+    deploy = sub.add_parser("deploy", help="deploy an NF-FG JSON document")
+    deploy.add_argument("graph", help="path to the NF-FG JSON file")
+    deploy.add_argument("--show-flows", action="store_true",
+                        help="dump the resulting LSI flow tables")
+
+    sub.add_parser("node", help="print the node description")
+
+    serve = sub.add_parser("serve", help="serve the REST API on localhost")
+    serve.add_argument("--port", type=int, default=8080)
+
+    validate = sub.add_parser("validate", help="validate an NF-FG document")
+    validate.add_argument("graph", help="path to the NF-FG JSON file")
+    return parser
+
+
+def _fresh_node() -> ComputeNode:
+    node = ComputeNode("cpe")
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+    return node
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.perf.table1 import render_table, run_table1
+    rows = run_table1(frame_bytes=args.frame_bytes, duration=args.duration)
+    print(render_table(rows))
+    bad = [row.flavor for row in rows if not row.probe_delivered]
+    if bad:
+        print(f"warning: dataplane probe failed for: {', '.join(bad)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _load_graph(path: str):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return nffg_from_json(handle.read())
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{path}: {exc}")
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    node = _fresh_node()
+    record = node.deploy(graph)
+    print(f"deployed graph {graph.graph_id!r} "
+          f"({record.rules_installed} flow rules, "
+          f"{record.modeled_deploy_seconds:.2f}s modeled deploy time)")
+    for nf_id, technology in sorted(record.technologies().items()):
+        shared = record.instances[nf_id].shared
+        print(f"  {nf_id}: {technology}"
+              + (" (shared NNF)" if shared else ""))
+    if args.show_flows:
+        print(node.steering.describe())
+    return 0
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    print(json.dumps(_fresh_node().describe(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.rest.server import serve_node
+    node = _fresh_node()
+    server = serve_node(node, port=args.port)
+    print(f"serving node {node.name!r} on {server.url} (Ctrl-C to stop)")
+    try:
+        import time
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        server.stop()
+        print("stopped")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    try:
+        validate_nffg(graph)
+    except NffgValidationError as exc:
+        print(f"{args.graph}: INVALID")
+        for problem in exc.problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"{args.graph}: OK ({len(graph.nfs)} NFs, "
+          f"{len(graph.flow_rules)} rules)")
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "deploy": _cmd_deploy,
+    "node": _cmd_node,
+    "serve": _cmd_serve,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

@@ -1,0 +1,29 @@
+"""Compute layer: NF instances, driver abstraction, compute manager.
+
+Figure 1's "compute manager" with its per-technology "management
+drivers" (libvirt / Docker / DPDK / native).  All drivers implement the
+same abstraction "defined by the local orchestrator, which enables
+multiple drivers to coexist, hence implementing complex services that
+include VNFs created with different technologies" (paper §2).
+"""
+
+from repro.compute.instances import InstanceState, InstanceSpec, NfInstance
+from repro.compute.base import ComputeDriver, DriverError
+from repro.compute.manager import ComputeManager
+from repro.compute.drivers.vm_kvm import KvmDriver
+from repro.compute.drivers.docker import DockerDriver
+from repro.compute.drivers.dpdk import DpdkDriver
+from repro.compute.drivers.native import NativeDriver
+
+__all__ = [
+    "ComputeDriver",
+    "ComputeManager",
+    "DockerDriver",
+    "DpdkDriver",
+    "DriverError",
+    "InstanceSpec",
+    "InstanceState",
+    "KvmDriver",
+    "NativeDriver",
+    "NfInstance",
+]

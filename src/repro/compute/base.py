@@ -1,0 +1,171 @@
+"""The driver abstraction every management driver implements.
+
+Paper §2: "All the above drivers must implement a specific abstraction
+defined by the local orchestrator, which enables multiple drivers to
+coexist".  The abstraction is the lifecycle verb set (create /
+configure / start / stop / update / destroy) over
+:class:`~repro.compute.instances.NfInstance` plus the port-attachment
+contract (``switch_devices``/``port_vlans``) the steering layer reads.
+
+The namespace-backed drivers share plumbing here: each NF instance gets
+a network namespace and one veth pair per logical port, with the
+root-namespace half left for the LSI to claim.  The guest-side
+configuration is produced by the NNF *plugins* regardless of packaging
+technology — a strongSwan VM and a strongSwan NNF run the same
+component, so they are configured by the same command generator; only
+the wrapping (and its costs) differ.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.templates import Technology
+from repro.compute.instances import InstanceSpec, NfInstance
+from repro.linuxnet.cmdline import ScriptRunner
+from repro.linuxnet.host import LinuxHost
+from repro.nnf.plugin import NnfPlugin, PluginContext
+from repro.nnf.registry import NnfRegistry
+
+__all__ = ["ComputeDriver", "DriverError"]
+
+
+class DriverError(Exception):
+    """Driver-level failure (bad spec, unusable plugin, ...)."""
+
+
+class ComputeDriver:
+    """Base class for the management drivers."""
+
+    technology: Technology
+    #: modelled instantiation latency (seconds) added per instance
+    boot_seconds: float = 1.0
+    #: name prefix for instance namespaces
+    netns_prefix: str = "nf"
+
+    def __init__(self, host: LinuxHost,
+                 behaviors: Optional[NnfRegistry] = None) -> None:
+        self.host = host
+        self.runner = ScriptRunner(host)
+        #: plugin registry used as *behaviour generators* for guest
+        #: configuration (may be shared with the native driver).
+        self.behaviors = behaviors
+        self.instances_created = 0
+        self.commands_run = 0
+
+    # -- shared plumbing ---------------------------------------------------------
+    def _netns_name(self, spec: InstanceSpec) -> str:
+        return f"{self.netns_prefix}-{spec.instance_id}"
+
+    def _inner_port_name(self, spec: InstanceSpec, index: int,
+                         logical: str) -> str:
+        """Guest-side device name; technology-flavoured."""
+        return logical
+
+    def _run(self, commands: list[str]) -> None:
+        self.commands_run += len(commands)
+        self.runner.run_script(commands)
+
+    def _create_namespace_and_ports(self, spec: InstanceSpec) -> NfInstance:
+        netns = self._netns_name(spec)
+        self._run([f"ip netns add {netns}"])
+        instance = NfInstance(spec=spec, technology=self.technology,
+                              netns=netns)
+        for index, logical in enumerate(spec.logical_ports):
+            outer = f"{spec.instance_id}-{logical}"
+            inner = self._inner_port_name(spec, index, logical)
+            self._run([
+                f"ip link add {outer} type veth peer name {inner}",
+                f"ip link set {inner} netns {netns}",
+                f"ip link set {outer} up",
+            ])
+            instance.switch_devices[logical] = self.host.root.device(outer)
+            instance.inner_devices[logical] = inner
+            instance.port_vlans[logical] = None
+        return instance
+
+    def _behavior_plugin(self, spec: InstanceSpec) -> Optional[NnfPlugin]:
+        """Plugin acting as the guest's configuration generator."""
+        if self.behaviors is None:
+            return None
+        for name in self.behaviors.names():
+            plugin = self.behaviors.get(name)
+            if plugin.functional_type == spec.functional_type:
+                return plugin
+        return None
+
+    def _context(self, instance: NfInstance) -> PluginContext:
+        return PluginContext(instance_id=instance.instance_id,
+                             netns=instance.netns,
+                             ports=dict(instance.inner_devices),
+                             config=dict(instance.spec.config))
+
+    # -- abstraction verbs ---------------------------------------------------------
+    def create(self, spec: InstanceSpec) -> NfInstance:
+        instance = self._create_namespace_and_ports(spec)
+        instance.boot_seconds = self.boot_seconds
+        instance.transition("create")
+        plugin = self._behavior_plugin(spec)
+        if plugin is not None:
+            instance.plugin_name = plugin.name
+            self._run(plugin.create_script(self._context(instance)))
+        self.instances_created += 1
+        return instance
+
+    def configure(self, instance: NfInstance) -> None:
+        plugin = self._named_plugin(instance)
+        if plugin is not None:
+            self._run(plugin.configure_script(self._context(instance)))
+        instance.transition("configure")
+
+    def start(self, instance: NfInstance) -> None:
+        plugin = self._named_plugin(instance)
+        if plugin is not None:
+            self._run(plugin.start_script(self._context(instance)))
+            plugin.post_start(self._context(instance), self.host)
+        else:
+            self._run([f"ip netns exec {instance.netns} ip link set "
+                       f"{device} up"
+                       for device in instance.inner_devices.values()])
+        instance.transition("start")
+
+    def stop(self, instance: NfInstance) -> None:
+        plugin = self._named_plugin(instance)
+        if plugin is not None:
+            self._run(plugin.stop_script(self._context(instance)))
+            plugin.post_stop(self._context(instance), self.host)
+        instance.transition("stop")
+
+    def update(self, instance: NfInstance,
+               new_config: dict[str, str]) -> None:
+        instance.spec.config.clear()
+        instance.spec.config.update(new_config)
+        plugin = self._named_plugin(instance)
+        if plugin is not None:
+            self._run(plugin.update_script(self._context(instance)))
+        instance.transition("update")
+
+    def destroy(self, instance: NfInstance) -> None:
+        plugin = self._named_plugin(instance)
+        if plugin is not None and instance.state is not None:
+            try:
+                self._run(plugin.destroy_script(self._context(instance)))
+            except Exception:
+                pass  # teardown is best-effort, like the real scripts
+        for device in instance.unique_switch_devices():
+            if device.peer is not None:
+                device.peer.peer = None
+            if device.namespace is not None:
+                device.namespace.remove_device(device.name)
+        self._run([f"ip netns del {instance.netns}"])
+        instance.transition("destroy")
+
+    def _named_plugin(self, instance: NfInstance) -> Optional[NnfPlugin]:
+        if instance.plugin_name is None or self.behaviors is None:
+            return None
+        return self.behaviors.get(instance.plugin_name)
+
+    # -- bookkeeping -------------------------------------------------------------
+    def runtime_ram_mb(self, instance: NfInstance) -> float:
+        """Runtime RAM of the instance; overridden per technology."""
+        return instance.spec.implementation.ram_mb

@@ -1,0 +1,8 @@
+"""Management drivers: one per packaging technology (Figure 1)."""
+
+from repro.compute.drivers.docker import DockerDriver
+from repro.compute.drivers.dpdk import DpdkDriver
+from repro.compute.drivers.native import NativeDriver
+from repro.compute.drivers.vm_kvm import KvmDriver
+
+__all__ = ["DockerDriver", "DpdkDriver", "KvmDriver", "NativeDriver"]

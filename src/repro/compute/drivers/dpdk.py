@@ -1,0 +1,55 @@
+"""DPDK process driver.
+
+Kernel-bypass: the NF polls its ports from user space, burning a core
+but skipping the kernel entirely.  The modelled instance wires its two
+ports together with direct device handlers (an l2fwd-style app); the
+hugepage reservation is charged as RAM.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.templates import Technology
+from repro.compute.base import ComputeDriver, DriverError
+from repro.compute.instances import InstanceSpec, NfInstance
+
+__all__ = ["DpdkDriver"]
+
+
+class DpdkDriver(ComputeDriver):
+    technology = Technology.DPDK
+    netns_prefix = "dpdk"
+    boot_seconds = 2.2  # EAL init + hugepage mapping
+
+    hugepages_mb = 1024.0
+    eal_rss_mb = 45.0
+
+    def create(self, spec: InstanceSpec) -> NfInstance:
+        if len(spec.logical_ports) != 2:
+            raise DriverError(
+                "the modelled DPDK app is a two-port forwarder; got "
+                f"{len(spec.logical_ports)} ports")
+        instance = super().create(spec)
+        instance.runtime_ram_mb = self.runtime_ram_mb(instance)
+        return instance
+
+    def runtime_ram_mb(self, instance: NfInstance) -> float:
+        return self.hugepages_mb + self.eal_rss_mb
+
+    def start(self, instance: NfInstance) -> None:
+        # Poll-mode forwarding: patch the two inner devices together,
+        # bypassing the namespace stack (kernel bypass).
+        namespace = self.host.namespace(instance.netns)
+        ports = [namespace.device(name)
+                 for name in instance.inner_devices.values()]
+        a, b = ports
+        a.set_up()
+        b.set_up()
+        a.attach_handler(lambda dev, frame: b.transmit(frame))
+        b.attach_handler(lambda dev, frame: a.transmit(frame))
+        instance.transition("start")
+
+    def stop(self, instance: NfInstance) -> None:
+        namespace = self.host.namespace(instance.netns)
+        for name in instance.inner_devices.values():
+            namespace.device(name).detach_handler()
+        instance.transition("stop")

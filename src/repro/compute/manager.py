@@ -1,0 +1,90 @@
+"""The compute manager: driver registry + instance tracking.
+
+Paper §2: "VNFs are instantiated and managed by a compute manager
+through ad-hoc drivers matching the specific VNF support technology".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.templates import Technology
+from repro.compute.base import ComputeDriver, DriverError
+from repro.compute.instances import InstanceSpec, NfInstance
+
+__all__ = ["ComputeManager"]
+
+
+class ComputeManager:
+    """Dispatches lifecycle verbs to the driver for each technology."""
+
+    def __init__(self) -> None:
+        self._drivers: dict[Technology, ComputeDriver] = {}
+        self._instances: dict[str, NfInstance] = {}
+
+    # -- drivers ---------------------------------------------------------------
+    def register_driver(self, driver: ComputeDriver) -> None:
+        if driver.technology in self._drivers:
+            raise ValueError(
+                f"driver for {driver.technology.value} already registered")
+        self._drivers[driver.technology] = driver
+
+    def driver(self, technology: Technology) -> ComputeDriver:
+        try:
+            return self._drivers[technology]
+        except KeyError:
+            raise DriverError(
+                f"no driver for technology {technology.value!r}; "
+                f"available: {[t.value for t in self._drivers]}") from None
+
+    @property
+    def technologies(self) -> list[Technology]:
+        return list(self._drivers)
+
+    # -- instance lifecycle -----------------------------------------------------
+    def create(self, spec: InstanceSpec) -> NfInstance:
+        if spec.instance_id in self._instances:
+            raise DriverError(
+                f"instance {spec.instance_id!r} already exists")
+        driver = self.driver(spec.implementation.technology)
+        instance = driver.create(spec)
+        self._instances[spec.instance_id] = instance
+        return instance
+
+    def configure(self, instance_id: str) -> None:
+        instance = self.get(instance_id)
+        self.driver(instance.technology).configure(instance)
+
+    def start(self, instance_id: str) -> None:
+        instance = self.get(instance_id)
+        self.driver(instance.technology).start(instance)
+
+    def stop(self, instance_id: str) -> None:
+        instance = self.get(instance_id)
+        self.driver(instance.technology).stop(instance)
+
+    def update(self, instance_id: str, config: dict[str, str]) -> None:
+        instance = self.get(instance_id)
+        self.driver(instance.technology).update(instance, config)
+
+    def destroy(self, instance_id: str) -> NfInstance:
+        instance = self.get(instance_id)
+        self.driver(instance.technology).destroy(instance)
+        del self._instances[instance_id]
+        return instance
+
+    # -- queries ------------------------------------------------------------------
+    def get(self, instance_id: str) -> NfInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise DriverError(f"no instance {instance_id!r}") from None
+
+    def instances(self, graph_id: Optional[str] = None) -> list[NfInstance]:
+        rows = list(self._instances.values())
+        if graph_id is not None:
+            rows = [i for i in rows if i.graph_id == graph_id]
+        return rows
+
+    def total_runtime_ram_mb(self) -> float:
+        return sum(i.runtime_ram_mb for i in self._instances.values())

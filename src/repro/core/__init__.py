@@ -1,0 +1,28 @@
+"""Orchestration core: the local orchestrator of the NFV compute node.
+
+This package wires the reproduction together into the node of Figure 1:
+
+* :mod:`repro.core.placement` — per-NF VNF-vs-NNF decision;
+* :mod:`repro.core.steering` — the traffic-steering manager: LSI-0
+  classification, per-graph LSIs, virtual links, OpenFlow rule
+  translation (including VLAN marking for shared NNFs);
+* :mod:`repro.core.orchestrator` — deploy / update / undeploy of
+  NF-FGs end to end;
+* :mod:`repro.core.node` — the assembled compute node.
+"""
+
+from repro.core.node import ComputeNode
+from repro.core.orchestrator import DeployedGraph, LocalOrchestrator, OrchestrationError
+from repro.core.placement import PlacementDecision, PlacementPolicy
+from repro.core.steering import SteeringError, TrafficSteeringManager
+
+__all__ = [
+    "ComputeNode",
+    "DeployedGraph",
+    "LocalOrchestrator",
+    "OrchestrationError",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "SteeringError",
+    "TrafficSteeringManager",
+]

@@ -1,0 +1,133 @@
+"""Multi-node orchestration: a fleet of compute nodes under one roof.
+
+The paper's setting is "a distributed infrastructure consisting of
+heterogeneous devices" (§1): many CPEs at subscribers' homes plus NSP
+data-center servers.  This module adds the thin overarching layer the
+un-orchestrator ecosystem (FROG/UNIFY) placed above per-node local
+orchestrators:
+
+* a registry of :class:`~repro.core.node.ComputeNode` instances;
+* graph-level placement: each NF-FG is deployed onto the best node
+  that can host *all* of its NFs (graphs that must span CPE + DC are
+  expressed as one graph per domain, linked by endpoints — the same
+  convention the UNIFY demos used);
+* fleet-wide status aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.catalog.resolver import ResolutionError
+from repro.core.node import ComputeNode
+from repro.core.orchestrator import DeployedGraph, OrchestrationError
+from repro.nffg.model import Nffg
+from repro.resources.capabilities import NodeClass
+
+__all__ = ["MultiNodeOrchestrator"]
+
+
+@dataclass
+class _GraphLocation:
+    node_name: str
+    record: DeployedGraph
+
+
+class MultiNodeOrchestrator:
+    """Places whole NF-FGs onto the cheapest feasible node."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, ComputeNode] = {}
+        self._graphs: dict[str, _GraphLocation] = {}
+
+    # -- fleet management ----------------------------------------------------------
+    def add_node(self, node: ComputeNode) -> None:
+        if node.name in self._nodes:
+            raise ValueError(f"node {node.name!r} already registered")
+        self._nodes[node.name] = node
+
+    def node(self, name: str) -> ComputeNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"no node {name!r} in the fleet") from None
+
+    def nodes(self) -> list[ComputeNode]:
+        return list(self._nodes.values())
+
+    # -- placement ---------------------------------------------------------------------
+    def _feasible(self, node: ComputeNode, graph: Nffg) -> bool:
+        """Can the node's resolver satisfy every NF of the graph, and do
+        the aggregate resources fit its current headroom?"""
+        cpu = ram = disk = 0.0
+        for spec in graph.nfs:
+            if spec.template not in node.repository:
+                return False
+            try:
+                decision = node.placement.decide_one(spec)
+            except ResolutionError:
+                return False
+            impl = decision.implementation
+            cpu += impl.cpu_cores
+            ram += impl.ram_mb
+            disk += impl.disk_mb
+        for endpoint in graph.endpoints:
+            if endpoint.interface not in \
+                    node.steering._physical_ports:  # noqa: SLF001
+                return False
+        return node.accountant.fits(cpu, ram, disk)
+
+    def _rank(self, node: ComputeNode) -> tuple:
+        # Edge first (no WAN hairpin), then the emptiest node.
+        edge = 0 if node.capabilities.node_class is NodeClass.CPE else 1
+        return (edge, node.accountant.ram_used_mb)
+
+    def deploy(self, graph: Nffg,
+               node_name: Optional[str] = None) -> DeployedGraph:
+        """Deploy on ``node_name`` or on the best feasible node."""
+        if graph.graph_id in self._graphs:
+            raise OrchestrationError(
+                f"graph {graph.graph_id!r} is already deployed on "
+                f"{self._graphs[graph.graph_id].node_name}")
+        if node_name is not None:
+            candidates = [self.node(node_name)]
+        else:
+            candidates = sorted(self._nodes.values(), key=self._rank)
+            candidates = [node for node in candidates
+                          if self._feasible(node, graph)]
+            if not candidates:
+                raise OrchestrationError(
+                    f"no node in the fleet can host graph "
+                    f"{graph.graph_id!r}")
+        record = candidates[0].deploy(graph)
+        self._graphs[graph.graph_id] = _GraphLocation(
+            node_name=candidates[0].name, record=record)
+        return record
+
+    def undeploy(self, graph_id: str) -> DeployedGraph:
+        location = self._graphs.pop(graph_id, None)
+        if location is None:
+            raise OrchestrationError(f"no deployed graph {graph_id!r}")
+        return self.node(location.node_name).undeploy(graph_id)
+
+    def locate(self, graph_id: str) -> str:
+        location = self._graphs.get(graph_id)
+        if location is None:
+            raise OrchestrationError(f"no deployed graph {graph_id!r}")
+        return location.node_name
+
+    # -- status ------------------------------------------------------------------------
+    def fleet_status(self) -> dict:
+        return {
+            "nodes": {
+                name: {
+                    "class": node.capabilities.node_class.value,
+                    "graphs": node.orchestrator.list_graphs(),
+                    "utilisation": node.accountant.utilisation(),
+                }
+                for name, node in self._nodes.items()
+            },
+            "graphs": {graph_id: location.node_name
+                       for graph_id, location in self._graphs.items()},
+        }

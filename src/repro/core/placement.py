@@ -1,0 +1,68 @@
+"""Per-NF placement: the VNF-vs-NNF decision of paper §2.
+
+"For each NF in a NF-FG, the orchestrator decides whether to deploy it
+as VNF or NNF based on its knowledge of the node capability set, the
+available NNFs and their characteristics (e.g., whether they are
+sharable), and their status (e.g., already used in another chain)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.repository import VnfRepository
+from repro.catalog.resolver import ResolutionPolicy, VnfResolver
+from repro.catalog.templates import NfImplementation, Technology
+from repro.nffg.model import Nffg, NfInstanceSpec
+from repro.nnf.registry import NnfRegistry
+from repro.resources.capabilities import NodeCapabilities
+
+__all__ = ["PlacementDecision", "PlacementPolicy"]
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The choice for one NF of a graph."""
+
+    nf_id: str
+    template_name: str
+    implementation: NfImplementation
+    forced: bool    # graph pinned the technology explicitly
+
+    @property
+    def is_native(self) -> bool:
+        return self.implementation.technology is Technology.NATIVE
+
+
+class PlacementPolicy:
+    """Binds the resolver to this node's NNF registry status."""
+
+    def __init__(self, capabilities: NodeCapabilities,
+                 repository: VnfRepository,
+                 nnf_registry: NnfRegistry,
+                 resolution: ResolutionPolicy =
+                 ResolutionPolicy.PREFER_NATIVE) -> None:
+        self.repository = repository
+        self.nnf_registry = nnf_registry
+        self.resolver = VnfResolver(
+            capabilities,
+            nnf_status=nnf_registry.availability,
+            policy=resolution)
+
+    def decide(self, graph: Nffg) -> list[PlacementDecision]:
+        """Placement for every NF in the graph, in declaration order."""
+        decisions = []
+        for spec in graph.nfs:
+            decisions.append(self.decide_one(spec))
+        return decisions
+
+    def decide_one(self, spec: NfInstanceSpec) -> PlacementDecision:
+        template = self.repository.get(spec.template)
+        forced = None
+        if spec.technology is not None:
+            forced = Technology(spec.technology)
+        implementation = self.resolver.resolve(template, forced=forced)
+        return PlacementDecision(nf_id=spec.nf_id,
+                                 template_name=template.name,
+                                 implementation=implementation,
+                                 forced=forced is not None)

@@ -1,0 +1,285 @@
+"""Traffic steering: LSI-0, per-graph LSIs, virtual links, rule split.
+
+Figure 1: "For each NF-FG a new software switch, called Logical Switch
+Instance (LSI), is created in order to steer traffic among the
+corresponding VNFs in the right order, while a base LSI is in charge of
+classifying the traffic received by the node and delivering it to the
+proper NF-FG-specific LSI."
+
+Rule translation.  Every NF-FG big-switch rule names an input port and
+an output port; each resolves to a *location* — (LSI, port number,
+optional VLAN id).  Endpoints and shared-NNF trunks live on LSI-0,
+dedicated NF ports on the graph's LSI:
+
+* same LSI: one flow entry;
+* across LSIs: the first segment pushes a per-rule *internal tag*
+  before the virtual link, the second matches the tag on the far side
+  and pops it — this is how LSI-0 "classifies" node traffic into the
+  right graph LSI without re-parsing user headers twice.
+
+Shared NNFs (paper §2): the adaptation layer assigned each
+(graph, logical-port) a VLAN id; steering pushes that id right before
+the trunk port and matches+pops it on traffic coming back.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compute.instances import NfInstance
+from repro.linuxnet.devices import NetDevice
+from repro.nffg.model import FlowRule, Nffg, PortRef
+from repro.openflow.agent import SwitchAgent
+from repro.openflow.channel import ControlChannel
+from repro.openflow.controller import LsiController
+from repro.switch.actions import Action, Output, PopVlan, PushVlan
+from repro.switch.datapath import SwitchPort
+from repro.switch.flowtable import FlowMatch
+from repro.switch.lsi import LogicalSwitchInstance, VirtualLink
+
+__all__ = ["GraphNetwork", "SteeringError", "TrafficSteeringManager"]
+
+_INTERNAL_TAG_BASE = 3000
+_INTERNAL_TAG_LIMIT = 4094
+
+
+class SteeringError(Exception):
+    """Unresolvable port reference or exhausted tag space."""
+
+
+@dataclass
+class Location:
+    """Where a graph-level port ref physically attaches."""
+
+    lsi: LogicalSwitchInstance
+    port_no: int
+    vid: Optional[int] = None   # tag expected on ingress / pushed on egress
+
+
+@dataclass
+class GraphNetwork:
+    """Steering state of one deployed graph."""
+
+    graph_id: str
+    lsi: LogicalSwitchInstance
+    controller: LsiController
+    link: VirtualLink
+    cookie: int
+    nf_ports: dict[tuple[str, str], SwitchPort] = field(default_factory=dict)
+    rules_installed: int = 0
+    base_link_port: Optional[SwitchPort] = None
+
+
+class TrafficSteeringManager:
+    """Owns LSI-0, the graph LSIs and every OpenFlow controller."""
+
+    def __init__(self) -> None:
+        self.base = LogicalSwitchInstance("LSI-0")
+        self.base_controller = self._wire_controller(self.base, "ctrl-lsi0")
+        self.graphs: dict[str, GraphNetwork] = {}
+        self._physical_ports: dict[str, SwitchPort] = {}
+        self._trunk_ports: dict[str, SwitchPort] = {}
+        self._tags = itertools.count(_INTERNAL_TAG_BASE)
+        self._cookies = itertools.count(1)
+
+    # -- wiring helpers ---------------------------------------------------------
+    @staticmethod
+    def _wire_controller(lsi: LogicalSwitchInstance,
+                         name: str) -> LsiController:
+        channel = ControlChannel(name=f"{name}-channel")
+        SwitchAgent(lsi.datapath, channel)
+        controller = LsiController(channel, name=name)
+        lsi.controller = controller
+        return controller
+
+    def register_physical(self, device: NetDevice) -> SwitchPort:
+        """Attach a node NIC to LSI-0 (done once at node bring-up)."""
+        if device.name in self._physical_ports:
+            raise SteeringError(f"interface {device.name} already on LSI-0")
+        port = self.base.datapath.add_port(device.name, device=device)
+        self._physical_ports[device.name] = port
+        return port
+
+    def _trunk_port(self, device: NetDevice) -> SwitchPort:
+        """LSI-0 port for a shared-NNF trunk (idempotent)."""
+        port = self._trunk_ports.get(device.name)
+        if port is None:
+            port = self.base.datapath.add_port(device.name, device=device)
+            self._trunk_ports[device.name] = port
+        return port
+
+    # -- graph lifecycle -----------------------------------------------------------
+    def create_graph_network(self, graph_id: str) -> GraphNetwork:
+        if graph_id in self.graphs:
+            raise SteeringError(f"graph {graph_id!r} already has an LSI")
+        lsi = LogicalSwitchInstance(f"LSI-{graph_id}", graph_id=graph_id)
+        controller = self._wire_controller(lsi, f"ctrl-{graph_id}")
+        link = VirtualLink.connect(self.base.datapath, lsi.datapath,
+                                   name=f"vl-{graph_id}")
+        network = GraphNetwork(graph_id=graph_id, lsi=lsi,
+                               controller=controller, link=link,
+                               cookie=next(self._cookies),
+                               base_link_port=link.far_port(
+                                   self.base.datapath))
+        self.graphs[graph_id] = network
+        controller.handshake()
+        if not self.base_controller.connected:
+            self.base_controller.handshake()
+        return network
+
+    def attach_instances(self, graph_id: str,
+                         instances: dict[str, NfInstance]) -> None:
+        """Create LSI ports for every NF port of the graph."""
+        network = self._network(graph_id)
+        for nf_id, instance in instances.items():
+            if instance.shared:
+                # Trunk lives on LSI-0 and is shared across graphs.
+                for logical in instance.spec.logical_ports:
+                    device = instance.switch_devices[logical]
+                    self._trunk_port(device)
+                continue
+            for logical in instance.spec.logical_ports:
+                device = instance.switch_devices[logical]
+                port = network.lsi.datapath.add_port(
+                    f"{nf_id}:{logical}", device=device)
+                network.nf_ports[(nf_id, logical)] = port
+
+    def remove_graph_network(self, graph_id: str) -> None:
+        network = self._network(graph_id)
+        network.controller.flow_delete_by_cookie(network.cookie)
+        self.base_controller.flow_delete_by_cookie(network.cookie)
+        for port in list(network.lsi.datapath.ports.values()):
+            network.lsi.datapath.remove_port(port.port_no)
+        network.link.detach()
+        # The base-side vlink port must go too.
+        if network.base_link_port is not None:
+            self.base.datapath.remove_port(network.base_link_port.port_no)
+        del self.graphs[graph_id]
+
+    def _network(self, graph_id: str) -> GraphNetwork:
+        try:
+            return self.graphs[graph_id]
+        except KeyError:
+            raise SteeringError(f"no deployed graph {graph_id!r}") from None
+
+    # -- rule translation ------------------------------------------------------------
+    def install_graph_rules(self, graph: Nffg,
+                            instances: dict[str, NfInstance]) -> int:
+        """Translate and install every big-switch rule; returns count."""
+        network = self._network(graph.graph_id)
+        installed = 0
+        for rule in graph.flow_rules:
+            self._install_rule(network, graph, instances, rule)
+            installed += 1
+        network.rules_installed += installed
+        return installed
+
+    def _resolve(self, network: GraphNetwork, graph: Nffg,
+                 instances: dict[str, NfInstance],
+                 ref: PortRef) -> Location:
+        if ref.kind == "endpoint":
+            endpoint = graph.endpoint(ref.element)
+            port = self._physical_ports.get(endpoint.interface)
+            if port is None:
+                raise SteeringError(
+                    f"endpoint {ref.element!r}: interface "
+                    f"{endpoint.interface!r} is not attached to LSI-0")
+            return Location(lsi=self.base, port_no=port.port_no,
+                            vid=endpoint.vlan_id)
+        instance = instances.get(ref.element)
+        if instance is None:
+            raise SteeringError(f"no instance for NF {ref.element!r}")
+        if instance.shared:
+            device = instance.switch_devices[ref.port]
+            port = self._trunk_port(device)
+            return Location(lsi=self.base, port_no=port.port_no,
+                            vid=instance.port_vlans[ref.port])
+        port = network.nf_ports.get((ref.element, ref.port))
+        if port is None:
+            raise SteeringError(
+                f"NF {ref.element!r} has no port {ref.port!r} on "
+                f"{network.lsi.name}")
+        return Location(lsi=network.lsi, port_no=port.port_no)
+
+    @staticmethod
+    def _match_fields(rule: FlowRule) -> dict:
+        spec = rule.match
+        fields: dict = {}
+        if spec.eth_type is not None:
+            fields["eth_type"] = spec.eth_type
+        if spec.ip_src is not None:
+            fields["ip_src"] = spec.ip_src
+        if spec.ip_dst is not None:
+            fields["ip_dst"] = spec.ip_dst
+        if spec.ip_proto is not None:
+            fields["ip_proto"] = spec.ip_proto
+        if spec.tp_src is not None:
+            fields["tp_src"] = spec.tp_src
+        if spec.tp_dst is not None:
+            fields["tp_dst"] = spec.tp_dst
+        return fields
+
+    def _controller_for(self, lsi: LogicalSwitchInstance) -> LsiController:
+        if lsi is self.base:
+            return self.base_controller
+        return lsi.controller
+
+    def _install_rule(self, network: GraphNetwork, graph: Nffg,
+                      instances: dict[str, NfInstance],
+                      rule: FlowRule) -> None:
+        src = self._resolve(network, graph, instances, rule.match.port_in)
+        dst = self._resolve(network, graph, instances, rule.output)
+        fields = self._match_fields(rule)
+        ingress_vid = src.vid if src.vid is not None else rule.match.vlan_id
+
+        if src.lsi is dst.lsi:
+            actions: list[Action] = []
+            if ingress_vid is not None:
+                actions.append(PopVlan())
+            if dst.vid is not None:
+                actions.append(PushVlan(dst.vid))
+            actions.append(Output(dst.port_no))
+            self._controller_for(src.lsi).flow_add(
+                FlowMatch(in_port=src.port_no, vlan_vid=ingress_vid,
+                          **fields),
+                actions, priority=rule.priority, cookie=network.cookie)
+            return
+
+        # Two segments across the graph's virtual link.
+        tag = next(self._tags)
+        if tag > _INTERNAL_TAG_LIMIT:
+            raise SteeringError("internal steering tag space exhausted")
+        src_link_port = network.link.far_port(src.lsi.datapath)
+        dst_link_port = network.link.far_port(dst.lsi.datapath)
+
+        first_actions: list[Action] = []
+        if ingress_vid is not None:
+            first_actions.append(PopVlan())
+        first_actions.append(PushVlan(tag))
+        first_actions.append(Output(src_link_port.port_no))
+        self._controller_for(src.lsi).flow_add(
+            FlowMatch(in_port=src.port_no, vlan_vid=ingress_vid, **fields),
+            first_actions, priority=rule.priority, cookie=network.cookie)
+
+        second_actions: list[Action] = [PopVlan()]
+        if dst.vid is not None:
+            second_actions.append(PushVlan(dst.vid))
+        second_actions.append(Output(dst.port_no))
+        self._controller_for(dst.lsi).flow_add(
+            FlowMatch(in_port=dst_link_port.port_no, vlan_vid=tag),
+            second_actions, priority=rule.priority, cookie=network.cookie)
+
+    # -- inspection ---------------------------------------------------------------
+    def flow_counts(self) -> dict[str, int]:
+        counts = {"LSI-0": len(self.base.datapath.table)}
+        for graph_id, network in self.graphs.items():
+            counts[network.lsi.name] = len(network.lsi.datapath.table)
+        return counts
+
+    def describe(self) -> str:
+        lines = [self.base.datapath.describe()]
+        for network in self.graphs.values():
+            lines.append(network.lsi.datapath.describe())
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""IPsec: ESP tunnel mode, SAs with anti-replay, and a strongSwan model.
+
+The paper's Table 1 workload is a strongSwan ESP tunnel-mode endpoint.
+This package implements:
+
+* :mod:`repro.ipsec.crypto` — HMAC-SHA256 authentication and a
+  SHA-256-in-counter-mode keystream cipher (documented stand-in for
+  AES; no crypto libraries are available offline).
+* :mod:`repro.ipsec.sa` — security associations: SPI, keys, sequence
+  numbers, a 64-packet anti-replay window, lifetime counters.
+* :mod:`repro.ipsec.esp` — RFC 4303 encapsulation/decapsulation in
+  tunnel mode with real byte layouts.
+* :mod:`repro.ipsec.ike` — a two-message pre-shared-key handshake
+  (stand-in for IKEv2) that derives the SA key material.
+* :mod:`repro.ipsec.strongswan` — the NF itself: a daemon that
+  negotiates SAs and then processes packets either on the kernel XFRM
+  fast path (native / Docker flavors) or in user space (VM flavor).
+"""
+
+from repro.ipsec.crypto import KeystreamCipher, derive_keys, hmac_sha256
+from repro.ipsec.esp import EspError, esp_decapsulate, esp_encapsulate
+from repro.ipsec.sa import ReplayError, SecurityAssociation, SpiAllocator
+
+__all__ = [
+    "EspError",
+    "KeystreamCipher",
+    "ReplayError",
+    "SecurityAssociation",
+    "SpiAllocator",
+    "derive_keys",
+    "esp_decapsulate",
+    "esp_encapsulate",
+    "hmac_sha256",
+]

@@ -1,0 +1,107 @@
+"""Security associations and SPI management."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ReplayError", "SecurityAssociation", "SpiAllocator"]
+
+REPLAY_WINDOW = 64
+
+
+class ReplayError(Exception):
+    """Sequence number replayed or too far behind the window."""
+
+
+@dataclass
+class SecurityAssociation:
+    """One unidirectional ESP SA (tunnel mode).
+
+    ``src``/``dst`` are the *outer* tunnel endpoints.  The anti-replay
+    window is the standard 64-bit sliding bitmap of RFC 4303 appendix A.
+    """
+
+    spi: int
+    src: str
+    dst: str
+    enc_key: bytes
+    auth_key: bytes
+    seq_out: int = 0
+    replay_top: int = 0          # highest sequence number seen
+    replay_bitmap: int = 0       # bit i => (replay_top - i) seen
+    packets_out: int = 0
+    packets_in: int = 0
+    bytes_out: int = 0
+    bytes_in: int = 0
+    hard_packet_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.spi < 1 << 32:
+            raise ValueError(f"SPI out of range: {self.spi}")
+        if len(self.enc_key) < 16 or len(self.auth_key) < 16:
+            raise ValueError("SA keys must be at least 128 bits")
+
+    def next_seq(self) -> int:
+        """Allocate the next outbound sequence number."""
+        self.seq_out += 1
+        if self.seq_out >= 1 << 32:
+            raise OverflowError("ESP sequence number space exhausted; rekey")
+        if (self.hard_packet_limit is not None
+                and self.seq_out > self.hard_packet_limit):
+            raise OverflowError("SA hard packet lifetime exceeded; rekey")
+        return self.seq_out
+
+    def check_replay(self, seq: int) -> None:
+        """Raise :class:`ReplayError` if ``seq`` was seen or is stale."""
+        if seq == 0:
+            raise ReplayError("ESP sequence number 0 is invalid")
+        if seq > self.replay_top:
+            return
+        offset = self.replay_top - seq
+        if offset >= REPLAY_WINDOW:
+            raise ReplayError(f"sequence {seq} below replay window")
+        if self.replay_bitmap & (1 << offset):
+            raise ReplayError(f"sequence {seq} replayed")
+
+    def mark_seen(self, seq: int) -> None:
+        """Slide the window after a packet authenticated successfully."""
+        if seq > self.replay_top:
+            shift = seq - self.replay_top
+            if shift >= REPLAY_WINDOW:
+                self.replay_bitmap = 1
+            else:
+                self.replay_bitmap = ((self.replay_bitmap << shift) | 1) & (
+                    (1 << REPLAY_WINDOW) - 1)
+            self.replay_top = seq
+        else:
+            self.replay_bitmap |= 1 << (self.replay_top - seq)
+
+
+class SpiAllocator:
+    """Hands out unique SPIs; real stacks pick random non-colliding ones."""
+
+    RESERVED = 256  # SPIs 0-255 are reserved by RFC 4303
+
+    def __init__(self, start: int = 0x1000) -> None:
+        if start < self.RESERVED:
+            raise ValueError("SPI start collides with reserved range")
+        self._next = start
+        self._in_use: set[int] = set()
+
+    def allocate(self) -> int:
+        spi = self._next
+        self._next += 1
+        self._in_use.add(spi)
+        return spi
+
+    def release(self, spi: int) -> None:
+        self._in_use.discard(spi)
+
+    def reserve(self, spi: int) -> None:
+        """Claim a peer-chosen SPI; raises if already taken."""
+        if spi in self._in_use:
+            raise ValueError(f"SPI {spi:#x} already in use")
+        if spi < self.RESERVED:
+            raise ValueError(f"SPI {spi:#x} is in the reserved range")
+        self._in_use.add(spi)

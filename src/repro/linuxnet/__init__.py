@@ -1,0 +1,41 @@
+"""Simulated Linux networking substrate.
+
+The paper's Native Network Functions are stock Linux components:
+iptables NAT/firewall, linuxbridge, strongSwan driving the kernel XFRM
+IPsec path, dnsmasq, ...  The NNF driver starts them inside network
+namespaces and configures them with script-shaped plugins.  This package
+reproduces the slice of Linux those plugins touch:
+
+* :class:`~repro.linuxnet.host.LinuxHost` — one kernel: namespaces,
+  device registry, sysctls.
+* :class:`~repro.linuxnet.namespace.NetworkNamespace` — a full IPv4
+  stack: devices, routes, netfilter hooks, conntrack, XFRM.
+* :mod:`~repro.linuxnet.iptables` — filter/nat/mangle tables with the
+  targets the bundled NNF plugins use (including MARK/CONNMARK, the
+  paper's "ad-hoc marking mechanism" for sharable NNFs).
+* :mod:`~repro.linuxnet.bridge` — a learning bridge (the ``linuxbridge``
+  NNF).
+* :mod:`~repro.linuxnet.xfrm` — IPsec policies/states: the kernel fast
+  path that makes native/Docker strongSwan outperform the VM flavor in
+  Table 1.
+
+Frame propagation is synchronous; the performance harness layers
+service times on top (see ``repro.perf``), so functional behaviour and
+timing are modelled once each.
+"""
+
+from repro.linuxnet.devices import Loopback, NetDevice, VethPair
+from repro.linuxnet.host import LinuxHost
+from repro.linuxnet.namespace import NetworkNamespace, SkBuff
+from repro.linuxnet.routing import Route, RouteTable
+
+__all__ = [
+    "LinuxHost",
+    "Loopback",
+    "NetDevice",
+    "NetworkNamespace",
+    "Route",
+    "RouteTable",
+    "SkBuff",
+    "VethPair",
+]

@@ -1,0 +1,107 @@
+"""Learning Ethernet bridge (``linuxbridge``).
+
+One of the paper's canonical NNF examples.  Enslaved devices hand their
+frames to the bridge, which learns source MACs and forwards/floods.  An
+optional per-VLAN filtering mode keeps service graphs isolated when the
+bridge is shared — the marking requirement (ii) of the paper's
+sharability definition ("multiple internal paths ... in isolation").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.linuxnet.devices import NetDevice
+from repro.net.addresses import MacAddress
+from repro.net.ethernet import EthernetFrame
+
+__all__ = ["Bridge", "FdbEntry"]
+
+
+class FdbEntry:
+    """Forwarding-database entry: MAC (+VLAN) -> port."""
+
+    __slots__ = ("mac", "vlan", "port", "packets")
+
+    def __init__(self, mac: MacAddress, vlan: Optional[int],
+                 port: NetDevice) -> None:
+        self.mac = mac
+        self.vlan = vlan
+        self.port = port
+        self.packets = 0
+
+
+class Bridge:
+    """MAC-learning bridge over enslaved :class:`NetDevice` ports."""
+
+    def __init__(self, name: str, vlan_filtering: bool = False) -> None:
+        self.name = name
+        self.vlan_filtering = vlan_filtering
+        self.ports: dict[str, NetDevice] = {}
+        self._fdb: dict[tuple[int, Optional[int]], FdbEntry] = {}
+        self.flooded = 0
+        self.forwarded = 0
+        self.dropped = 0
+
+    # -- port management -----------------------------------------------------
+    def add_port(self, device: NetDevice) -> None:
+        if device.name in self.ports:
+            raise ValueError(f"{device.name} already enslaved to {self.name}")
+        if device.bridge is not None:
+            raise ValueError(f"{device.name} already enslaved to "
+                             f"{device.bridge.name}")
+        self.ports[device.name] = device
+        device.bridge = self
+
+    def remove_port(self, name: str) -> NetDevice:
+        try:
+            device = self.ports.pop(name)
+        except KeyError:
+            raise KeyError(f"no port {name!r} on bridge {self.name}") from None
+        device.bridge = None
+        self._fdb = {key: entry for key, entry in self._fdb.items()
+                     if entry.port is not device}
+        return device
+
+    # -- dataplane -------------------------------------------------------------
+    def _fdb_key(self, mac: MacAddress,
+                 vlan: Optional[int]) -> tuple[int, Optional[int]]:
+        return (int(mac), vlan if self.vlan_filtering else None)
+
+    def _bridge_input(self, ingress: NetDevice, frame: EthernetFrame) -> None:
+        vlan = frame.vlan if self.vlan_filtering else None
+        # Learn the source.
+        key = self._fdb_key(frame.src, vlan)
+        entry = self._fdb.get(key)
+        if entry is None or entry.port is not ingress:
+            self._fdb[key] = FdbEntry(frame.src, vlan, ingress)
+        self._fdb[key].packets += 1
+
+        if frame.dst.is_broadcast or frame.dst.is_multicast:
+            self._flood(ingress, frame, vlan)
+            return
+        target = self._fdb.get(self._fdb_key(frame.dst, vlan))
+        if target is None:
+            self._flood(ingress, frame, vlan)
+            return
+        if target.port is ingress:
+            self.dropped += 1  # hairpin off by default, as in Linux
+            return
+        self.forwarded += 1
+        target.port.transmit(frame)
+
+    def _flood(self, ingress: NetDevice, frame: EthernetFrame,
+               vlan: Optional[int]) -> None:
+        self.flooded += 1
+        for device in self.ports.values():
+            if device is ingress:
+                continue
+            device.transmit(frame)
+
+    # -- inspection ---------------------------------------------------------------
+    def fdb_entries(self) -> list[FdbEntry]:
+        return list(self._fdb.values())
+
+    def __repr__(self) -> str:
+        return (f"<Bridge {self.name} ports={sorted(self.ports)} "
+                f"fdb={len(self._fdb)}>")

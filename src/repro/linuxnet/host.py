@@ -1,0 +1,114 @@
+"""One Linux kernel: namespaces, bridges, veth plumbing, sysctls.
+
+The NNF driver talks to an instance of this class the way the real
+driver shells out to ``ip``/``iptables``/``brctl``: either through the
+object API or through the command-string interpreter in
+:mod:`repro.linuxnet.cmdline` (which the plugin "scripts" use).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.linuxnet.bridge import Bridge
+from repro.linuxnet.devices import NetDevice, VethPair
+from repro.linuxnet.namespace import NetworkNamespace
+
+__all__ = ["LinuxHost"]
+
+
+class LinuxHost:
+    """Kernel-level container for all networking state of one node."""
+
+    ROOT = "root"
+
+    def __init__(self, hostname: str = "cpe") -> None:
+        self.hostname = hostname
+        self.namespaces: dict[str, NetworkNamespace] = {}
+        self.bridges: dict[str, Bridge] = {}
+        self.sysctls: dict[str, str] = {}
+        self.root = self.add_namespace(self.ROOT)
+
+    # -- namespaces -----------------------------------------------------------
+    def add_namespace(self, name: str) -> NetworkNamespace:
+        if name in self.namespaces:
+            raise ValueError(f"namespace {name!r} already exists")
+        namespace = NetworkNamespace(name)
+        self.namespaces[name] = namespace
+        return namespace
+
+    def delete_namespace(self, name: str) -> None:
+        if name == self.ROOT:
+            raise ValueError("cannot delete the root namespace")
+        try:
+            namespace = self.namespaces.pop(name)
+        except KeyError:
+            raise KeyError(f"no namespace {name!r}") from None
+        # Veth halves peered into other namespaces lose their link, as
+        # deleting a netns destroys the devices inside it.
+        for device in list(namespace.devices.values()):
+            if device.peer is not None:
+                device.peer.peer = None
+            device.namespace = None
+
+    def namespace(self, name: str) -> NetworkNamespace:
+        try:
+            return self.namespaces[name]
+        except KeyError:
+            raise KeyError(f"no namespace {name!r}") from None
+
+    # -- plumbing ----------------------------------------------------------------
+    def create_veth(self, name_a: str, name_b: str,
+                    ns_a: str = ROOT, ns_b: str = ROOT,
+                    mtu: int = 1500) -> VethPair:
+        pair = VethPair(name_a, name_b, mtu=mtu)
+        self.namespace(ns_a).add_device(pair.a)
+        self.namespace(ns_b).add_device(pair.b)
+        return pair
+
+    def move_device(self, device_name: str, from_ns: str,
+                    to_ns: str) -> NetDevice:
+        device = self.namespace(from_ns).remove_device(device_name)
+        self.namespace(to_ns).add_device(device)
+        return device
+
+    def create_bridge(self, name: str, namespace: str = ROOT,
+                      vlan_filtering: bool = False) -> Bridge:
+        if name in self.bridges:
+            raise ValueError(f"bridge {name!r} already exists")
+        bridge = Bridge(name, vlan_filtering=vlan_filtering)
+        self.bridges[name] = bridge
+        return bridge
+
+    def delete_bridge(self, name: str) -> None:
+        try:
+            bridge = self.bridges.pop(name)
+        except KeyError:
+            raise KeyError(f"no bridge {name!r}") from None
+        for port_name in list(bridge.ports):
+            bridge.remove_port(port_name)
+
+    def find_device(self, name: str) -> Optional[tuple[NetworkNamespace, NetDevice]]:
+        for namespace in self.namespaces.values():
+            if name in namespace.devices:
+                return namespace, namespace.devices[name]
+        return None
+
+    # -- sysctl ----------------------------------------------------------------
+    def set_sysctl(self, key: str, value: str) -> None:
+        self.sysctls[key] = value
+        if key == "net.ipv4.ip_forward":
+            self.root.ip_forward = value.strip() == "1"
+        prefix = "net.ipv4.conf."
+        if key.startswith(prefix) and key.endswith(".forwarding"):
+            # per-namespace forwarding via the netns name as "interface"
+            ns_name = key[len(prefix):-len(".forwarding")]
+            if ns_name in self.namespaces:
+                self.namespaces[ns_name].ip_forward = value.strip() == "1"
+
+    def get_sysctl(self, key: str, default: str = "0") -> str:
+        return self.sysctls.get(key, default)
+
+    def __repr__(self) -> str:
+        return (f"<LinuxHost {self.hostname}: {len(self.namespaces)} netns, "
+                f"{len(self.bridges)} bridges>")

@@ -1,0 +1,95 @@
+"""IPv4 routing table with longest-prefix match."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.addresses import int_to_ip, ip_to_int, parse_cidr
+
+__all__ = ["Route", "RouteTable"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One FIB entry.
+
+    ``gateway`` of ``None`` means the destination is on-link.  ``metric``
+    breaks ties among equal-length prefixes (lower wins).
+    """
+
+    network: int
+    prefix_len: int
+    device: str
+    gateway: Optional[str] = None
+    metric: int = 0
+
+    @classmethod
+    def parse(cls, cidr: str, device: str, gateway: Optional[str] = None,
+              metric: int = 0) -> "Route":
+        network, plen = parse_cidr(cidr)
+        if gateway is not None:
+            ip_to_int(gateway)  # validate
+        return cls(network=network, prefix_len=plen, device=device,
+                   gateway=gateway, metric=metric)
+
+    @property
+    def cidr(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.prefix_len}"
+
+    def matches(self, address: int) -> bool:
+        if self.prefix_len == 0:
+            return True
+        shift = 32 - self.prefix_len
+        return (address >> shift) == (self.network >> shift)
+
+
+class RouteTable:
+    """Longest-prefix-match FIB.
+
+    Routes are kept sorted by (prefix_len desc, metric asc) so ``lookup``
+    is a linear scan returning the first hit — plenty fast at the table
+    sizes a CPE holds, and trivially correct.
+    """
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self):
+        return iter(self._routes)
+
+    def add(self, route: Route) -> None:
+        if route in self._routes:
+            raise ValueError(f"duplicate route {route.cidr} via {route.device}")
+        self._routes.append(route)
+        self._routes.sort(key=lambda r: (-r.prefix_len, r.metric))
+
+    def add_cidr(self, cidr: str, device: str,
+                 gateway: Optional[str] = None, metric: int = 0) -> Route:
+        route = Route.parse(cidr, device, gateway=gateway, metric=metric)
+        self.add(route)
+        return route
+
+    def remove(self, route: Route) -> None:
+        try:
+            self._routes.remove(route)
+        except ValueError:
+            raise KeyError(f"no such route: {route.cidr}") from None
+
+    def remove_device(self, device: str) -> int:
+        """Drop every route through ``device``; returns how many."""
+        kept = [r for r in self._routes if r.device != device]
+        removed = len(self._routes) - len(kept)
+        self._routes = kept
+        return removed
+
+    def lookup(self, address: "str | int") -> Optional[Route]:
+        """Longest-prefix match; None when no route (not even default)."""
+        value = ip_to_int(address) if isinstance(address, str) else address
+        for route in self._routes:
+            if route.matches(value):
+                return route
+        return None

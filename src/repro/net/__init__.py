@@ -1,0 +1,55 @@
+"""Packet model with real byte-level codecs.
+
+Frames that traverse the simulated dataplane are real protocol byte
+strings: Ethernet II (optionally 802.1Q tagged), IPv4, UDP/TCP and ESP.
+Keeping the wire format honest lets the NNF plugins (iptables, the
+strongSwan XFRM path, the adaptation layer's VLAN marking) operate on
+actual header fields, so correctness tests exercise genuine parsing
+and rewriting instead of attribute bookkeeping.
+"""
+
+from repro.net.addresses import MacAddress, ip_to_int, int_to_ip, parse_cidr
+from repro.net.checksum import internet_checksum
+from repro.net.ethernet import (
+    ETH_HEADER_LEN,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_VLAN,
+    EthernetFrame,
+)
+from repro.net.ipv4 import (
+    IPPROTO_ESP,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IPv4Packet,
+)
+from repro.net.transport import TcpSegment, UdpDatagram
+from repro.net.builder import (
+    make_tcp_frame,
+    make_udp_frame,
+    parse_frame,
+)
+
+__all__ = [
+    "ETH_HEADER_LEN",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_VLAN",
+    "EthernetFrame",
+    "IPPROTO_ESP",
+    "IPPROTO_ICMP",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "IPv4Packet",
+    "MacAddress",
+    "TcpSegment",
+    "UdpDatagram",
+    "internet_checksum",
+    "int_to_ip",
+    "ip_to_int",
+    "make_tcp_frame",
+    "make_udp_frame",
+    "parse_cidr",
+    "parse_frame",
+]

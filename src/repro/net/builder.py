@@ -1,0 +1,100 @@
+"""Convenience constructors and a full-stack frame parser.
+
+Traffic generators build frames with ``make_udp_frame``/``make_tcp_frame``;
+datapath elements that must inspect L3/L4 (iptables, NAT, the XFRM hook)
+use ``parse_frame`` which decodes as deep as it can and returns a
+:class:`ParsedFrame` bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.addresses import MacAddress
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.net.ipv4 import IPPROTO_TCP, IPPROTO_UDP, IPv4Packet
+from repro.net.transport import TcpSegment, UdpDatagram
+
+__all__ = ["ParsedFrame", "make_tcp_frame", "make_udp_frame", "parse_frame"]
+
+
+@dataclass
+class ParsedFrame:
+    """Decoded view of a frame; deeper layers are None when absent."""
+
+    eth: EthernetFrame
+    ipv4: Optional[IPv4Packet] = None
+    udp: Optional[UdpDatagram] = None
+    tcp: Optional[TcpSegment] = None
+
+    @property
+    def five_tuple(self) -> Optional[tuple[str, str, int, int, int]]:
+        """(src_ip, dst_ip, proto, src_port, dst_port) or None."""
+        if self.ipv4 is None:
+            return None
+        if self.udp is not None:
+            return (self.ipv4.src, self.ipv4.dst, self.ipv4.proto,
+                    self.udp.src_port, self.udp.dst_port)
+        if self.tcp is not None:
+            return (self.ipv4.src, self.ipv4.dst, self.ipv4.proto,
+                    self.tcp.src_port, self.tcp.dst_port)
+        return (self.ipv4.src, self.ipv4.dst, self.ipv4.proto, 0, 0)
+
+
+def make_udp_frame(src_mac: "MacAddress | str", dst_mac: "MacAddress | str",
+                   src_ip: str, dst_ip: str, src_port: int, dst_port: int,
+                   payload: bytes, vlan: Optional[int] = None,
+                   ttl: int = 64) -> EthernetFrame:
+    """Build an Ethernet/IPv4/UDP frame with valid checksums."""
+    datagram = UdpDatagram(src_port=src_port, dst_port=dst_port,
+                           payload=payload)
+    packet = IPv4Packet(src=src_ip, dst=dst_ip, proto=IPPROTO_UDP,
+                        payload=datagram.to_bytes(src_ip, dst_ip), ttl=ttl)
+    return EthernetFrame(dst=MacAddress(dst_mac), src=MacAddress(src_mac),
+                         ethertype=ETHERTYPE_IPV4,
+                         payload=packet.to_bytes(), vlan=vlan)
+
+
+def make_tcp_frame(src_mac: "MacAddress | str", dst_mac: "MacAddress | str",
+                   src_ip: str, dst_ip: str, src_port: int, dst_port: int,
+                   payload: bytes, seq: int = 0, ack: int = 0,
+                   flags: int = 0x18, vlan: Optional[int] = None,
+                   ttl: int = 64) -> EthernetFrame:
+    """Build an Ethernet/IPv4/TCP frame (default flags PSH|ACK)."""
+    segment = TcpSegment(src_port=src_port, dst_port=dst_port, seq=seq,
+                         ack=ack, flags=flags, payload=payload)
+    packet = IPv4Packet(src=src_ip, dst=dst_ip, proto=IPPROTO_TCP,
+                        payload=segment.to_bytes(src_ip, dst_ip), ttl=ttl)
+    return EthernetFrame(dst=MacAddress(dst_mac), src=MacAddress(src_mac),
+                         ethertype=ETHERTYPE_IPV4,
+                         payload=packet.to_bytes(), vlan=vlan)
+
+
+def parse_frame(frame: "EthernetFrame | bytes") -> ParsedFrame:
+    """Decode Ethernet -> IPv4 -> UDP/TCP as deep as the bytes allow.
+
+    Never raises on unknown upper layers: a frame that is not IPv4, or an
+    IPv4 packet carrying an unhandled protocol, simply yields a
+    :class:`ParsedFrame` with the deeper fields left as None.
+    """
+    eth = (frame if isinstance(frame, EthernetFrame)
+           else EthernetFrame.from_bytes(frame))
+    parsed = ParsedFrame(eth=eth)
+    if eth.ethertype != ETHERTYPE_IPV4:
+        return parsed
+    try:
+        parsed.ipv4 = IPv4Packet.from_bytes(eth.payload)
+    except ValueError:
+        return parsed
+    if parsed.ipv4.proto == IPPROTO_UDP:
+        try:
+            parsed.udp = UdpDatagram.from_bytes(parsed.ipv4.payload)
+        except ValueError:
+            pass
+    elif parsed.ipv4.proto == IPPROTO_TCP:
+        try:
+            parsed.tcp = TcpSegment.from_bytes(parsed.ipv4.payload)
+        except ValueError:
+            pass
+    return parsed

@@ -1,0 +1,17 @@
+"""RFC 1071 internet checksum."""
+
+from __future__ import annotations
+
+__all__ = ["internet_checksum"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum over 16-bit words, odd tail zero-padded."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF

@@ -1,0 +1,102 @@
+"""Ethernet II framing with optional 802.1Q VLAN tag.
+
+The adaptation layer of the NNF framework (paper §2) marks traffic of
+different service graphs with VLAN ids before it reaches a shared,
+single-interface NNF; the tag push/pop here is therefore on the hot
+path of the sharability experiments.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.net.addresses import MacAddress
+
+__all__ = [
+    "ETH_HEADER_LEN",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_VLAN",
+    "VLAN_HEADER_LEN",
+    "EthernetFrame",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+
+ETH_HEADER_LEN = 14
+VLAN_HEADER_LEN = 4
+
+
+@dataclass
+class EthernetFrame:
+    """An Ethernet II frame; ``vlan`` is the 802.1Q VID or None (untagged).
+
+    ``payload`` is the raw bytes after the last Ethernet/VLAN header.
+    """
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int
+    payload: bytes
+    vlan: Optional[int] = None
+    vlan_pcp: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError(f"ethertype out of range: {self.ethertype:#x}")
+        if self.vlan is not None and not 0 <= self.vlan <= 4095:
+            raise ValueError(f"VLAN id out of range: {self.vlan}")
+        if not 0 <= self.vlan_pcp <= 7:
+            raise ValueError(f"VLAN PCP out of range: {self.vlan_pcp}")
+
+    # -- VLAN handling (used by the adaptation layer) ---------------------
+    def with_vlan(self, vid: int, pcp: int = 0) -> "EthernetFrame":
+        """Return a copy tagged with VLAN ``vid`` (replaces existing tag)."""
+        return replace(self, vlan=vid, vlan_pcp=pcp)
+
+    def without_vlan(self) -> "EthernetFrame":
+        """Return an untagged copy."""
+        return replace(self, vlan=None, vlan_pcp=0)
+
+    # -- codec -------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = self.dst.packed + self.src.packed
+        if self.vlan is not None:
+            tci = (self.vlan_pcp << 13) | self.vlan
+            header += struct.pack("!HH", ETHERTYPE_VLAN, tci)
+        header += struct.pack("!H", self.ethertype)
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EthernetFrame":
+        if len(data) < ETH_HEADER_LEN:
+            raise ValueError(f"frame too short: {len(data)} bytes")
+        dst = MacAddress(data[0:6])
+        src = MacAddress(data[6:12])
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        offset = ETH_HEADER_LEN
+        vlan = None
+        pcp = 0
+        if ethertype == ETHERTYPE_VLAN:
+            if len(data) < ETH_HEADER_LEN + VLAN_HEADER_LEN:
+                raise ValueError("truncated 802.1Q header")
+            (tci, inner_type) = struct.unpack_from("!HH", data, 12 + 2)
+            vlan = tci & 0x0FFF
+            pcp = tci >> 13
+            ethertype = inner_type
+            offset += VLAN_HEADER_LEN
+        return cls(dst=dst, src=src, ethertype=ethertype,
+                   payload=data[offset:], vlan=vlan, vlan_pcp=pcp)
+
+    def __len__(self) -> int:
+        tag = VLAN_HEADER_LEN if self.vlan is not None else 0
+        return ETH_HEADER_LEN + tag + len(self.payload)
+
+    def __repr__(self) -> str:
+        tag = f" vlan={self.vlan}" if self.vlan is not None else ""
+        return (f"<Eth {self.src}->{self.dst} type={self.ethertype:#06x}"
+                f"{tag} len={len(self)}>")

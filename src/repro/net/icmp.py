@@ -1,0 +1,57 @@
+"""ICMP echo codec — enough for ping through the simulated dataplane."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import internet_checksum
+
+__all__ = ["ICMP_ECHO_REPLY", "ICMP_ECHO_REQUEST", "IcmpMessage"]
+
+ICMP_ECHO_REPLY = 0
+ICMP_ECHO_REQUEST = 8
+
+_HEADER = struct.Struct("!BBHHH")
+
+
+@dataclass
+class IcmpMessage:
+    icmp_type: int
+    code: int
+    identifier: int
+    sequence: int
+    payload: bytes = b""
+
+    @property
+    def is_echo_request(self) -> bool:
+        return self.icmp_type == ICMP_ECHO_REQUEST
+
+    @property
+    def is_echo_reply(self) -> bool:
+        return self.icmp_type == ICMP_ECHO_REPLY
+
+    def reply(self) -> "IcmpMessage":
+        if not self.is_echo_request:
+            raise ValueError("can only reply to an echo request")
+        return IcmpMessage(icmp_type=ICMP_ECHO_REPLY, code=0,
+                           identifier=self.identifier,
+                           sequence=self.sequence, payload=self.payload)
+
+    def to_bytes(self) -> bytes:
+        header = _HEADER.pack(self.icmp_type, self.code, 0,
+                              self.identifier, self.sequence)
+        checksum = internet_checksum(header + self.payload)
+        header = header[:2] + struct.pack("!H", checksum) + header[4:]
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IcmpMessage":
+        if len(data) < _HEADER.size:
+            raise ValueError("ICMP message too short")
+        icmp_type, code, checksum, identifier, sequence = _HEADER.unpack_from(
+            data, 0)
+        if internet_checksum(data) != 0:
+            raise ValueError("ICMP checksum mismatch")
+        return cls(icmp_type=icmp_type, code=code, identifier=identifier,
+                   sequence=sequence, payload=data[_HEADER.size:])

@@ -1,0 +1,66 @@
+"""Minimal libpcap-format reader/writer.
+
+The CLI and examples can dump simulated traffic to ``.pcap`` files that
+open in Wireshark, which is the traditional way to debug an NFV
+dataplane; tests use the round-trip to validate the codec.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator
+
+__all__ = ["PcapReader", "PcapWriter"]
+
+_MAGIC = 0xA1B2C3D4  # microsecond-resolution, native byte order written big
+_LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("!IHHiIII")
+_RECORD_HEADER = struct.Struct("!IIII")
+
+
+class PcapWriter:
+    """Writes Ethernet frames with simulated timestamps."""
+
+    def __init__(self, stream: BinaryIO, snaplen: int = 65535) -> None:
+        self._stream = stream
+        self._stream.write(_GLOBAL_HEADER.pack(
+            _MAGIC, 2, 4, 0, 0, snaplen, _LINKTYPE_ETHERNET))
+
+    def write(self, timestamp: float, frame_bytes: bytes) -> None:
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        self._stream.write(_RECORD_HEADER.pack(
+            seconds, micros, len(frame_bytes), len(frame_bytes)))
+        self._stream.write(frame_bytes)
+
+
+class PcapReader:
+    """Iterates ``(timestamp, frame_bytes)`` records."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        header = stream.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise ValueError("truncated pcap global header")
+        magic = struct.unpack("!I", header[:4])[0]
+        if magic != _MAGIC:
+            raise ValueError(f"unsupported pcap magic: {magic:#x}")
+        fields = _GLOBAL_HEADER.unpack(header)
+        if fields[6] != _LINKTYPE_ETHERNET:
+            raise ValueError(f"unsupported linktype: {fields[6]}")
+
+    def __iter__(self) -> Iterator[tuple[float, bytes]]:
+        while True:
+            header = self._stream.read(_RECORD_HEADER.size)
+            if not header:
+                return
+            if len(header) < _RECORD_HEADER.size:
+                raise ValueError("truncated pcap record header")
+            seconds, micros, caplen, _origlen = _RECORD_HEADER.unpack(header)
+            data = self._stream.read(caplen)
+            if len(data) < caplen:
+                raise ValueError("truncated pcap record body")
+            yield seconds + micros / 1_000_000, data

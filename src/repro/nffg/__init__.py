@@ -1,0 +1,29 @@
+"""Network Functions Forwarding Graph (NF-FG) model.
+
+The NF-FG is the deployment request the local orchestrator receives:
+a set of NFs (by template name), a set of endpoints (node interfaces,
+optionally VLAN-qualified) and "big-switch" flow rules steering traffic
+between NF ports and endpoints.  The JSON schema mirrors the
+un-orchestrator's, trimmed to the fields this reproduction uses.
+"""
+
+from repro.nffg.model import Endpoint, FlowRule, NfInstanceSpec, Nffg, PortRef
+from repro.nffg.json_codec import nffg_from_dict, nffg_from_json, nffg_to_dict, nffg_to_json
+from repro.nffg.validate import NffgValidationError, validate_nffg
+from repro.nffg.diff import GraphDiff, diff_nffg
+
+__all__ = [
+    "Endpoint",
+    "FlowRule",
+    "GraphDiff",
+    "Nffg",
+    "NffgValidationError",
+    "NfInstanceSpec",
+    "PortRef",
+    "diff_nffg",
+    "nffg_from_dict",
+    "nffg_from_json",
+    "nffg_to_dict",
+    "nffg_to_json",
+    "validate_nffg",
+]

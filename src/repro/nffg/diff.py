@@ -1,0 +1,74 @@
+"""Graph diffing for in-place updates.
+
+The NNF plugins expose an *update* lifecycle step (paper §2: "create,
+update, etc."); the orchestrator realises a graph update by computing
+this edit script and applying it without tearing the graph down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nffg.model import FlowRule, Nffg, NfInstanceSpec
+
+__all__ = ["GraphDiff", "diff_nffg"]
+
+
+@dataclass
+class GraphDiff:
+    """Edit script turning ``old`` into ``new``."""
+
+    added_nfs: list[NfInstanceSpec] = field(default_factory=list)
+    removed_nfs: list[NfInstanceSpec] = field(default_factory=list)
+    reconfigured_nfs: list[NfInstanceSpec] = field(default_factory=list)
+    added_rules: list[FlowRule] = field(default_factory=list)
+    removed_rules: list[FlowRule] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.added_nfs or self.removed_nfs
+                    or self.reconfigured_nfs or self.added_rules
+                    or self.removed_rules)
+
+    def summary(self) -> str:
+        return (f"+{len(self.added_nfs)}/-{len(self.removed_nfs)} NFs, "
+                f"~{len(self.reconfigured_nfs)} reconfigured, "
+                f"+{len(self.added_rules)}/-{len(self.removed_rules)} rules")
+
+
+def diff_nffg(old: Nffg, new: Nffg) -> GraphDiff:
+    """Compute the edit script between two versions of the same graph."""
+    if old.graph_id != new.graph_id:
+        raise ValueError(
+            f"diff across different graphs: {old.graph_id!r} vs "
+            f"{new.graph_id!r}")
+    diff = GraphDiff()
+    old_nfs = {spec.nf_id: spec for spec in old.nfs}
+    new_nfs = {spec.nf_id: spec for spec in new.nfs}
+    for nf_id, spec in new_nfs.items():
+        if nf_id not in old_nfs:
+            diff.added_nfs.append(spec)
+        elif spec != old_nfs[nf_id]:
+            if (spec.template != old_nfs[nf_id].template
+                    or spec.technology != old_nfs[nf_id].technology):
+                # Template/technology change = replace, not reconfigure.
+                diff.removed_nfs.append(old_nfs[nf_id])
+                diff.added_nfs.append(spec)
+            else:
+                diff.reconfigured_nfs.append(spec)
+    for nf_id, spec in old_nfs.items():
+        if nf_id not in new_nfs:
+            diff.removed_nfs.append(spec)
+
+    old_rules = {rule.rule_id: rule for rule in old.flow_rules}
+    new_rules = {rule.rule_id: rule for rule in new.flow_rules}
+    for rule_id, rule in new_rules.items():
+        if rule_id not in old_rules:
+            diff.added_rules.append(rule)
+        elif rule != old_rules[rule_id]:
+            diff.removed_rules.append(old_rules[rule_id])
+            diff.added_rules.append(rule)
+    for rule_id, rule in old_rules.items():
+        if rule_id not in new_rules:
+            diff.removed_rules.append(rule)
+    return diff

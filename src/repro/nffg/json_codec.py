@@ -1,0 +1,129 @@
+"""JSON (de)serialisation of NF-FGs, un-orchestrator style.
+
+Document shape::
+
+    {"forwarding-graph": {
+        "id": "g1", "name": "...",
+        "VNFs": [{"id": "fw", "template": "firewall",
+                  "technology": "native",               # optional
+                  "configuration": {"key": "value"}}],  # optional
+        "end-points": [{"id": "wan", "type": "interface",
+                        "interface": "wan0", "vlan-id": 101}],
+        "big-switch": {"flow-rules": [
+            {"id": "r1", "priority": 100,
+             "match": {"port_in": "endpoint:wan", "ip_dst": "10.0.0.0/24"},
+             "action": {"output": "vnf:fw:wan"}}]}}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.nffg.model import (
+    Endpoint,
+    FlowMatchSpec,
+    FlowRule,
+    Nffg,
+    NfInstanceSpec,
+    PortRef,
+)
+
+__all__ = ["nffg_from_dict", "nffg_from_json", "nffg_to_dict",
+           "nffg_to_json"]
+
+_MATCH_FIELDS = ("eth_type", "vlan_id", "ip_src", "ip_dst", "ip_proto",
+                 "tp_src", "tp_dst")
+
+
+def nffg_to_dict(graph: Nffg) -> dict[str, Any]:
+    vnfs = []
+    for spec in graph.nfs:
+        entry: dict[str, Any] = {"id": spec.nf_id, "template": spec.template}
+        if spec.technology is not None:
+            entry["technology"] = spec.technology
+        if spec.config:
+            entry["configuration"] = spec.config_dict()
+        vnfs.append(entry)
+    endpoints = []
+    for endpoint in graph.endpoints:
+        entry = {"id": endpoint.ep_id, "type": endpoint.ep_type,
+                 "interface": endpoint.interface}
+        if endpoint.vlan_id is not None:
+            entry["vlan-id"] = endpoint.vlan_id
+        endpoints.append(entry)
+    rules = []
+    for rule in graph.flow_rules:
+        match: dict[str, Any] = {"port_in": str(rule.match.port_in)}
+        for field_name in _MATCH_FIELDS:
+            value = getattr(rule.match, field_name)
+            if value is not None:
+                match[field_name] = value
+        rules.append({"id": rule.rule_id, "priority": rule.priority,
+                      "match": match,
+                      "action": {"output": str(rule.output)}})
+    return {"forwarding-graph": {
+        "id": graph.graph_id,
+        "name": graph.name,
+        "VNFs": vnfs,
+        "end-points": endpoints,
+        "big-switch": {"flow-rules": rules},
+    }}
+
+
+def nffg_to_json(graph: Nffg, indent: int = 2) -> str:
+    return json.dumps(nffg_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def _require(mapping: dict, key: str, context: str) -> Any:
+    if key not in mapping:
+        raise ValueError(f"NF-FG JSON: missing {key!r} in {context}")
+    return mapping[key]
+
+
+def nffg_from_dict(document: dict[str, Any]) -> Nffg:
+    body = _require(document, "forwarding-graph", "document root")
+    graph = Nffg(graph_id=str(_require(body, "id", "forwarding-graph")),
+                 name=str(body.get("name", "")))
+    for entry in body.get("VNFs", []):
+        config = entry.get("configuration", {})
+        if not isinstance(config, dict):
+            raise ValueError("NF-FG JSON: configuration must be an object")
+        graph.nfs.append(NfInstanceSpec.with_config(
+            nf_id=str(_require(entry, "id", "VNF")),
+            template=str(_require(entry, "template", "VNF")),
+            technology=entry.get("technology"),
+            config={str(k): str(v) for k, v in config.items()}))
+    for entry in body.get("end-points", []):
+        graph.endpoints.append(Endpoint(
+            ep_id=str(_require(entry, "id", "end-point")),
+            ep_type=str(entry.get("type", "interface")),
+            interface=str(_require(entry, "interface", "end-point")),
+            vlan_id=entry.get("vlan-id")))
+    big_switch = body.get("big-switch", {})
+    for entry in big_switch.get("flow-rules", []):
+        raw_match = _require(entry, "match", "flow-rule")
+        kwargs = {name: raw_match[name] for name in _MATCH_FIELDS
+                  if name in raw_match}
+        match = FlowMatchSpec(
+            port_in=PortRef.parse(str(_require(raw_match, "port_in",
+                                               "flow-rule match"))),
+            **kwargs)
+        action = _require(entry, "action", "flow-rule")
+        graph.flow_rules.append(FlowRule(
+            rule_id=str(_require(entry, "id", "flow-rule")),
+            priority=int(entry.get("priority", 100)),
+            match=match,
+            output=PortRef.parse(str(_require(action, "output",
+                                              "flow-rule action")))))
+    return graph
+
+
+def nffg_from_json(text: str) -> Nffg:
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"NF-FG JSON: not valid JSON ({exc})") from exc
+    if not isinstance(document, dict):
+        raise ValueError("NF-FG JSON: top level must be an object")
+    return nffg_from_dict(document)

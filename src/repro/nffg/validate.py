@@ -1,0 +1,83 @@
+"""Semantic validation of NF-FGs before deployment."""
+
+from __future__ import annotations
+
+from repro.nffg.model import Nffg, PortRef
+
+__all__ = ["NffgValidationError", "validate_nffg"]
+
+
+class NffgValidationError(Exception):
+    """The graph is internally inconsistent; carries every finding."""
+
+    def __init__(self, problems: list[str]) -> None:
+        super().__init__("; ".join(problems))
+        self.problems = problems
+
+
+def validate_nffg(graph: Nffg,
+                  known_templates: "set[str] | None" = None) -> None:
+    """Raise :class:`NffgValidationError` listing every problem found.
+
+    ``known_templates`` (when given) cross-checks template names against
+    the repository — the orchestrator passes its repository contents.
+    """
+    problems: list[str] = []
+    nf_ids = [spec.nf_id for spec in graph.nfs]
+    if len(set(nf_ids)) != len(nf_ids):
+        problems.append("duplicate NF ids")
+    ep_ids = [endpoint.ep_id for endpoint in graph.endpoints]
+    if len(set(ep_ids)) != len(ep_ids):
+        problems.append("duplicate endpoint ids")
+    rule_ids = [rule.rule_id for rule in graph.flow_rules]
+    if len(set(rule_ids)) != len(rule_ids):
+        problems.append("duplicate flow-rule ids")
+    if not graph.graph_id:
+        problems.append("empty graph id")
+
+    if known_templates is not None:
+        for spec in graph.nfs:
+            if spec.template not in known_templates:
+                problems.append(
+                    f"NF {spec.nf_id!r}: unknown template "
+                    f"{spec.template!r}")
+    for spec in graph.nfs:
+        if spec.technology is not None and spec.technology not in (
+                "vm", "docker", "dpdk", "native"):
+            problems.append(f"NF {spec.nf_id!r}: unknown technology "
+                            f"{spec.technology!r}")
+
+    nf_set = set(nf_ids)
+    ep_set = set(ep_ids)
+
+    def check_ref(ref: PortRef, where: str) -> None:
+        if ref.kind == "vnf" and ref.element not in nf_set:
+            problems.append(f"{where}: unknown NF {ref.element!r}")
+        if ref.kind == "endpoint" and ref.element not in ep_set:
+            problems.append(f"{where}: unknown endpoint {ref.element!r}")
+
+    referenced: set[str] = set()
+    for rule in graph.flow_rules:
+        check_ref(rule.match.port_in, f"rule {rule.rule_id} match")
+        check_ref(rule.output, f"rule {rule.rule_id} action")
+        if (rule.match.port_in == rule.output
+                and rule.match.port_in.kind == "vnf"):
+            problems.append(
+                f"rule {rule.rule_id}: output loops back to its input port")
+        for ref in (rule.match.port_in, rule.output):
+            if ref.kind == "vnf":
+                referenced.add(ref.element)
+
+    for spec in graph.nfs:
+        if spec.nf_id not in referenced:
+            problems.append(
+                f"NF {spec.nf_id!r} is not referenced by any flow rule")
+
+    for endpoint in graph.endpoints:
+        if endpoint.vlan_id is not None and not (
+                0 <= endpoint.vlan_id <= 4095):
+            problems.append(
+                f"endpoint {endpoint.ep_id!r}: VLAN id out of range")
+
+    if problems:
+        raise NffgValidationError(problems)

@@ -1,0 +1,38 @@
+"""Native Network Function framework — the paper's contribution.
+
+A *Native Network Function* is a software component the CPE operating
+system already ships (iptables, linuxbridge, strongSwan, dnsmasq, ...),
+exposed to the NFV orchestrator as if it were a VNF:
+
+* :mod:`repro.nnf.plugin` — the plugin API: each NNF is driven by a
+  "collection of scripts" controlling its lifecycle (create /
+  configure / start / stop / update / destroy), exactly as in the
+  paper's implementation;
+* :mod:`repro.nnf.registry` — which plugins are usable on a node
+  (component installed?  sharable?  busy?);
+* :mod:`repro.nnf.sharing` — the sharability machinery: one kernel
+  component serving several service graphs, distinguished by marks,
+  with isolated per-graph internal paths;
+* :mod:`repro.nnf.adaptation` — the adaptation layer that feeds
+  single-interface NNFs the traffic of many graphs over one switch
+  port using VLAN marking;
+* :mod:`repro.nnf.configtrans` — generic-config translation (listed as
+  future work in the paper; implemented here);
+* :mod:`repro.nnf.plugins` — bundled plugins: iptables NAT, iptables
+  firewall, linuxbridge, strongSwan, dnsmasq, static router.
+"""
+
+from repro.nnf.adaptation import AdaptationLayer
+from repro.nnf.plugin import NnfPlugin, PluginContext, PluginError
+from repro.nnf.registry import NnfRegistry
+from repro.nnf.sharing import SharedNnfManager, SharingError
+
+__all__ = [
+    "AdaptationLayer",
+    "NnfPlugin",
+    "NnfRegistry",
+    "PluginContext",
+    "PluginError",
+    "SharedNnfManager",
+    "SharingError",
+]

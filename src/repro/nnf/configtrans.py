@@ -1,0 +1,112 @@
+"""Generic NF configuration translation.
+
+The paper defers this: "Support for a dynamic configuration mechanism
+able to translate a generic NF configuration, provided by the
+orchestrator, in commands appropriate to the specific NNF is not in the
+scope of this initial implementation and will be targeted by future
+work."  Implemented here: a small, typed vocabulary of
+technology-neutral configuration keys that each plugin maps to its own
+commands.
+
+Generic vocabulary (all values strings, as they arrive via JSON):
+
+=====================  =======================================================
+key                    meaning
+=====================  =======================================================
+``lan.address``        CIDR address of the LAN-side port
+``wan.address``        CIDR address of the WAN-side port
+``gateway``            default gateway IP
+``nat.masquerade``     "true" — source-NAT LAN traffic out of the WAN port
+``firewall.allow``     comma list of ``proto:port`` to accept (else drop)
+``firewall.deny``      comma list of ``proto:port`` to drop (else accept)
+``ipsec.peer``         outer address of the remote IPsec endpoint
+``ipsec.local``        outer address of this endpoint
+``ipsec.local_subnet`` protected subnet behind this endpoint
+``ipsec.remote_subnet`` protected subnet behind the peer
+``ipsec.psk``          pre-shared key (hex or text)
+``dhcp.range``         "first,last" pool addresses
+``dns.static``         comma list of ``name=ip`` answers
+=====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nnf.plugin import PluginContext, PluginError
+
+__all__ = ["GENERIC_KEYS", "TranslationError", "translate",
+           "parse_port_list"]
+
+GENERIC_KEYS = frozenset({
+    "lan.address", "wan.address", "gateway", "nat.masquerade",
+    "firewall.allow", "firewall.deny", "ipsec.peer", "ipsec.local",
+    "ipsec.local_subnet", "ipsec.remote_subnet", "ipsec.psk",
+    "dhcp.range", "dns.static",
+})
+
+
+class TranslationError(PluginError):
+    """Generic configuration cannot be translated for this plugin."""
+
+
+def validate_generic(config: dict[str, str]) -> list[str]:
+    """Return unknown keys (the orchestrator warns about them)."""
+    return sorted(key for key in config if key not in GENERIC_KEYS)
+
+
+def parse_port_list(text: str) -> list[tuple[str, int]]:
+    """Parse ``"tcp:22,udp:53"`` into [("tcp", 22), ("udp", 53)]."""
+    entries: list[tuple[str, int]] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        proto, _, port_text = chunk.partition(":")
+        if proto not in ("tcp", "udp") or not port_text.isdigit():
+            raise TranslationError(f"bad port spec {chunk!r}")
+        entries.append((proto, int(port_text)))
+    return entries
+
+
+def address_commands(ctx: PluginContext) -> list[str]:
+    """Common translation: lan/wan addresses + default gateway."""
+    commands: list[str] = []
+    for key, port in (("lan.address", "lan"), ("wan.address", "wan")):
+        if key in ctx.config:
+            if port not in ctx.ports:
+                raise TranslationError(
+                    f"{ctx.instance_id}: config {key} but NF has no "
+                    f"{port!r} port")
+            commands.append(
+                f"ip netns exec {ctx.netns} ip addr add "
+                f"{ctx.config[key]} dev {ctx.port(port)}")
+    if "gateway" in ctx.config:
+        out_port = ctx.port("wan") if "wan" in ctx.ports else (
+            next(iter(ctx.ports.values())))
+        commands.append(
+            f"ip netns exec {ctx.netns} ip route add default "
+            f"via {ctx.config['gateway']} dev {out_port}")
+    return commands
+
+
+#: Per-functional-type translators, used by the orchestrator when the
+#: graph carries generic keys for an NF deployed natively.
+_TRANSLATORS: dict[str, Callable[[PluginContext], list[str]]] = {}
+
+
+def register_translator(functional_type: str,
+                        fn: Callable[[PluginContext], list[str]]) -> None:
+    _TRANSLATORS[functional_type] = fn
+
+
+def translate(functional_type: str, ctx: PluginContext) -> list[str]:
+    """Translate generic config into plugin commands.
+
+    Falls back to the address/gateway common subset when no dedicated
+    translator is registered.
+    """
+    translator = _TRANSLATORS.get(functional_type)
+    if translator is not None:
+        return translator(ctx)
+    return address_commands(ctx)

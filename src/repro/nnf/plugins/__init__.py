@@ -1,0 +1,41 @@
+"""Bundled NNF plugins: the native components a stock CPE Linux ships."""
+
+from repro.nnf.plugins.dnsmasq import DnsmasqPlugin
+from repro.nnf.plugins.iptables_firewall import IptablesFirewallPlugin
+from repro.nnf.plugins.iptables_nat import IptablesNatPlugin
+from repro.nnf.plugins.linuxbridge import LinuxBridgePlugin
+from repro.nnf.plugins.static_router import StaticRouterPlugin
+from repro.nnf.plugins.strongswan import StrongswanPlugin
+from repro.nnf.plugins.transparent import TransparentL2Plugin
+from repro.nnf.registry import NnfRegistry
+
+__all__ = [
+    "DnsmasqPlugin",
+    "IptablesFirewallPlugin",
+    "IptablesNatPlugin",
+    "LinuxBridgePlugin",
+    "StaticRouterPlugin",
+    "StrongswanPlugin",
+    "TransparentL2Plugin",
+    "stock_registry",
+]
+
+#: Packages a stock OpenWrt-style CPE image carries.
+STOCK_PACKAGES = ("iptables", "bridge-utils", "strongswan", "dnsmasq",
+                  "iproute2")
+
+
+def stock_registry(installed=STOCK_PACKAGES) -> NnfRegistry:
+    """Registry with every bundled plugin, as a CPE node would have."""
+    registry = NnfRegistry(installed_packages=installed)
+    registry.register(IptablesNatPlugin())
+    registry.register(IptablesFirewallPlugin())
+    registry.register(LinuxBridgePlugin())
+    registry.register(StrongswanPlugin())
+    registry.register(DnsmasqPlugin())
+    registry.register(StaticRouterPlugin())
+    # Behaviour-only entries: configure VNF-packaged transparent NFs;
+    # never selected as NNFs (no native catalogue implementation).
+    registry.register(TransparentL2Plugin("dpi-engine", "dpi"))
+    registry.register(TransparentL2Plugin("l2fwd", "l2-forwarder"))
+    return registry

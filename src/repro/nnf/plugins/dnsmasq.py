@@ -1,0 +1,92 @@
+"""dnsmasq plugin: DHCP + static DNS on the LAN side.
+
+Exclusive (neither sharable nor multi-instance here): dnsmasq binds
+globally-known ports and keeps one lease database, the kind of NNF that
+forces the orchestrator's "already used in another chain" check.
+
+The long-running daemon is modelled by :meth:`post_start`, which binds
+UDP 53/67 in the namespace and answers a simplified wire protocol
+(documented stand-in; the lifecycle and socket behaviour are what the
+reproduction exercises, not the DNS/DHCP wire formats):
+
+* DNS: payload ``b"Q:<name>"`` -> ``b"A:<ip>"`` or ``b"NX"``
+* DHCP: payload ``b"DISCOVER:<client-id>"`` -> ``b"OFFER:<ip>"``
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import int_to_ip, ip_to_int
+from repro.nnf.plugin import NnfPlugin, PluginContext, PluginError
+
+__all__ = ["DnsmasqPlugin"]
+
+
+class DnsmasqPlugin(NnfPlugin):
+    name = "dnsmasq"
+    functional_type = "dhcp-server"
+    sharable = False
+    multi_instance = False
+    single_interface = True
+    package = "dnsmasq"
+
+    def configure_script(self, ctx: PluginContext) -> list[str]:
+        lan = ctx.port("lan")
+        commands = []
+        if "lan.address" in ctx.config:
+            commands.append(f"ip netns exec {ctx.netns} ip addr add "
+                            f"{ctx.config['lan.address']} dev {lan}")
+        return commands
+
+    def start_script(self, ctx: PluginContext) -> list[str]:
+        return [f"ip netns exec {ctx.netns} ip link set "
+                f"{ctx.port('lan')} up"]
+
+    # -- daemon behaviour ---------------------------------------------------------
+    def post_start(self, ctx: PluginContext, host) -> None:
+        namespace = host.namespace(ctx.netns)
+        static = {}
+        for entry in ctx.config.get("dns.static", "").split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            name, _, address = entry.partition("=")
+            if not name or not address:
+                raise PluginError(f"bad dns.static entry {entry!r}")
+            static[name] = address
+        leases: dict[str, str] = {}
+        pool = iter(())
+        if "dhcp.range" in ctx.config:
+            first, _, last = ctx.config["dhcp.range"].partition(",")
+            start, end = ip_to_int(first.strip()), ip_to_int(last.strip())
+            if end < start:
+                raise PluginError("dhcp.range end below start")
+            pool = iter(int_to_ip(value) for value in range(start, end + 1))
+
+        def dns_handler(ns, packet, dgram):
+            text = dgram.payload.decode(errors="replace")
+            if not text.startswith("Q:"):
+                return
+            answer = static.get(text[2:])
+            reply = f"A:{answer}".encode() if answer else b"NX"
+            ns.send_udp(packet.dst, packet.src, 53, dgram.src_port, reply)
+
+        def dhcp_handler(ns, packet, dgram):
+            text = dgram.payload.decode(errors="replace")
+            if not text.startswith("DISCOVER:"):
+                return
+            client = text[len("DISCOVER:"):]
+            if client not in leases:
+                try:
+                    leases[client] = next(pool)
+                except StopIteration:
+                    return  # pool exhausted: silence, like real DHCP
+            ns.send_udp(packet.dst, packet.src, 67, dgram.src_port,
+                        f"OFFER:{leases[client]}".encode())
+
+        namespace.bind_udp(53, dns_handler)
+        namespace.bind_udp(67, dhcp_handler)
+
+    def post_stop(self, ctx: PluginContext, host) -> None:
+        namespace = host.namespace(ctx.netns)
+        namespace.unbind_udp(53)
+        namespace.unbind_udp(67)

@@ -1,0 +1,138 @@
+"""iptables firewall plugin.
+
+Sharable like the NAT plugin; per-graph policy lives in a dedicated
+user chain (``FW-<mark>``) reached through a mark-scoped dispatch rule,
+so each service graph carries its own rule set inside the single
+kernel component.
+"""
+
+from __future__ import annotations
+
+from repro.nnf.configtrans import parse_port_list
+from repro.nnf.plugin import NnfPlugin, PluginContext
+from repro.nnf.plugins._routes import (
+    path_address_commands,
+    path_routing_commands,
+)
+
+__all__ = ["IptablesFirewallPlugin"]
+
+_PROTO_NUM = {"tcp": "tcp", "udp": "udp"}
+
+
+class IptablesFirewallPlugin(NnfPlugin):
+    name = "iptables-firewall"
+    functional_type = "firewall"
+    sharable = True
+    multi_instance = True
+    single_interface = True
+    package = "iptables"
+
+    def create_script(self, ctx: PluginContext) -> list[str]:
+        return [
+            f"ip netns exec {ctx.netns} sysctl -w net.ipv4.ip_forward=1",
+            f"ip netns exec {ctx.netns} iptables -P FORWARD DROP",
+        ]
+
+    def _policy_rules(self, ctx: PluginContext, chain: str) -> list[str]:
+        """ACCEPT/DROP rules for the allow/deny lists in the config."""
+        commands = []
+        prefix = f"ip netns exec {ctx.netns} iptables"
+        allow = ctx.config.get("firewall.allow")
+        deny = ctx.config.get("firewall.deny")
+        if allow:
+            for proto, port in parse_port_list(allow):
+                commands.append(
+                    f"{prefix} -A {chain} -p {_PROTO_NUM[proto]} "
+                    f"--dport {port} -j ACCEPT")
+            commands.append(
+                f"{prefix} -A {chain} -m conntrack "
+                f"--ctstate ESTABLISHED,RELATED -j ACCEPT")
+            commands.append(f"{prefix} -A {chain} -j DROP")
+        elif deny:
+            for proto, port in parse_port_list(deny):
+                commands.append(
+                    f"{prefix} -A {chain} -p {_PROTO_NUM[proto]} "
+                    f"--dport {port} -j DROP")
+            commands.append(f"{prefix} -A {chain} -j ACCEPT")
+        else:
+            commands.append(f"{prefix} -A {chain} -j ACCEPT")
+        return commands
+
+    # -- dedicated mode -----------------------------------------------------------
+    def configure_script(self, ctx: PluginContext) -> list[str]:
+        lan, wan = ctx.port("lan"), ctx.port("wan")
+        commands = []
+        if "lan.address" in ctx.config:
+            commands.append(f"ip netns exec {ctx.netns} ip addr add "
+                            f"{ctx.config['lan.address']} dev {lan}")
+        if "wan.address" in ctx.config:
+            commands.append(f"ip netns exec {ctx.netns} ip addr add "
+                            f"{ctx.config['wan.address']} dev {wan}")
+        if "gateway" in ctx.config:
+            commands.append(f"ip netns exec {ctx.netns} ip route add "
+                            f"default via {ctx.config['gateway']} dev {wan}")
+        commands.append(
+            f"ip netns exec {ctx.netns} iptables -N FW")
+        commands.append(
+            f"ip netns exec {ctx.netns} iptables -A FORWARD -j FW")
+        commands.extend(self._policy_rules(ctx, "FW"))
+        return commands
+
+    def start_script(self, ctx: PluginContext) -> list[str]:
+        return [f"ip netns exec {ctx.netns} ip link set {dev} up"
+                for dev in (ctx.port("lan"), ctx.port("wan"))]
+
+    def update_script(self, ctx: PluginContext) -> list[str]:
+        """Flush and rebuild the policy chain in place.
+
+        Works for both modes: the dedicated chain is ``FW``, a shared
+        path's chain is ``FW-<mark>``.
+        """
+        chain = f"FW-{ctx.mark}" if ctx.mark is not None else "FW"
+        return ([f"ip netns exec {ctx.netns} iptables -F {chain}"]
+                + self._policy_rules(ctx, chain))
+
+    def destroy_script(self, ctx: PluginContext) -> list[str]:
+        return [
+            f"ip netns exec {ctx.netns} iptables -F",
+            f"ip netns exec {ctx.netns} iptables -t mangle -F",
+        ]
+
+    # -- shared mode ------------------------------------------------------------------
+    def add_path_script(self, ctx: PluginContext) -> list[str]:
+        if ctx.mark is None:
+            raise ValueError("shared path needs a mark")
+        lan, wan = ctx.port("lan"), ctx.port("wan")
+        mark = ctx.mark
+        chain = f"FW-{mark}"
+        prefix = f"ip netns exec {ctx.netns} iptables"
+        commands = path_address_commands(ctx)
+        commands.extend(path_routing_commands(ctx))
+        commands.extend([
+            f"ip netns exec {ctx.netns} iptables -t mangle -A PREROUTING "
+            f"-i {lan} -j MARK --set-mark {mark}",
+            f"ip netns exec {ctx.netns} iptables -t mangle -A PREROUTING "
+            f"-i {wan} -j MARK --set-mark {mark}",
+            f"{prefix} -N {chain}",
+            f"{prefix} -A FORWARD -m mark --mark {mark} -j {chain}",
+        ])
+        commands.extend(self._policy_rules(ctx, chain))
+        return commands
+
+    def remove_path_script(self, ctx: PluginContext) -> list[str]:
+        if ctx.mark is None:
+            raise ValueError("shared path needs a mark")
+        lan, wan = ctx.port("lan"), ctx.port("wan")
+        mark = ctx.mark
+        chain = f"FW-{mark}"
+        prefix = f"ip netns exec {ctx.netns} iptables"
+        return [
+            f"ip netns exec {ctx.netns} iptables -t mangle -D PREROUTING "
+            f"-i {lan} -j MARK --set-mark {mark}",
+            f"ip netns exec {ctx.netns} iptables -t mangle -D PREROUTING "
+            f"-i {wan} -j MARK --set-mark {mark}",
+            f"{prefix} -D FORWARD -m mark --mark {mark} -j {chain}",
+            f"{prefix} -F {chain}",
+            f"{prefix} -X {chain}",
+        ]

@@ -1,0 +1,149 @@
+"""iptables NAT plugin — the paper's first NNF example.
+
+Sharable: one kernel iptables serves many service graphs.  The marking
+mechanism (paper requirement (i)) is a fwmark set from the per-graph
+ingress subinterface; the isolated internal paths (requirement (ii))
+are mark-scoped MASQUERADE and FORWARD rules, with the FORWARD policy
+defaulting to DROP so traffic cannot cross between graphs.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import int_to_ip, parse_cidr
+from repro.nnf.plugin import NnfPlugin, PluginContext
+
+__all__ = ["IptablesNatPlugin"]
+
+
+def _network_of(cidr: str) -> str:
+    """``192.168.1.1/24`` -> ``192.168.1.0/24`` (the connected subnet)."""
+    network, plen = parse_cidr(cidr)
+    return f"{int_to_ip(network)}/{plen}"
+
+
+class IptablesNatPlugin(NnfPlugin):
+    name = "iptables-nat"
+    functional_type = "nat"
+    sharable = True
+    multi_instance = True   # netns-scoped iptables: one per namespace too
+    single_interface = True  # shared flavor attaches via one trunk port
+    package = "iptables"
+
+    # -- dedicated (per-graph namespace) mode -----------------------------------
+    def create_script(self, ctx: PluginContext) -> list[str]:
+        return [
+            f"ip netns exec {ctx.netns} sysctl -w net.ipv4.ip_forward=1",
+            f"ip netns exec {ctx.netns} iptables -P FORWARD DROP",
+        ]
+
+    def configure_script(self, ctx: PluginContext) -> list[str]:
+        lan, wan = ctx.port("lan"), ctx.port("wan")
+        commands = []
+        if "lan.address" in ctx.config:
+            commands.append(f"ip netns exec {ctx.netns} ip addr add "
+                            f"{ctx.config['lan.address']} dev {lan}")
+        if "wan.address" in ctx.config:
+            commands.append(f"ip netns exec {ctx.netns} ip addr add "
+                            f"{ctx.config['wan.address']} dev {wan}")
+        if "gateway" in ctx.config:
+            commands.append(f"ip netns exec {ctx.netns} ip route add "
+                            f"default via {ctx.config['gateway']} dev {wan}")
+        commands.extend([
+            f"ip netns exec {ctx.netns} iptables -t nat -A POSTROUTING "
+            f"-o {wan} -j MASQUERADE",
+            f"ip netns exec {ctx.netns} iptables -A FORWARD -i {lan} "
+            f"-o {wan} -j ACCEPT",
+            f"ip netns exec {ctx.netns} iptables -A FORWARD -i {wan} "
+            f"-o {lan} -m conntrack --ctstate ESTABLISHED,RELATED "
+            f"-j ACCEPT",
+        ])
+        return commands
+
+    def start_script(self, ctx: PluginContext) -> list[str]:
+        lan, wan = ctx.port("lan"), ctx.port("wan")
+        return [
+            f"ip netns exec {ctx.netns} ip link set {lan} up",
+            f"ip netns exec {ctx.netns} ip link set {wan} up",
+        ]
+
+    def destroy_script(self, ctx: PluginContext) -> list[str]:
+        return [
+            f"ip netns exec {ctx.netns} iptables -F",
+            f"ip netns exec {ctx.netns} iptables -t nat -F",
+            f"ip netns exec {ctx.netns} iptables -t mangle -F",
+        ]
+
+    # -- shared-instance mode ------------------------------------------------------
+    def add_path_script(self, ctx: PluginContext) -> list[str]:
+        """One graph's isolated path through the shared instance."""
+        if ctx.mark is None:
+            raise ValueError("shared path needs a mark")
+        lan, wan = ctx.port("lan"), ctx.port("wan")
+        mark = ctx.mark
+        commands = []
+        if "lan.address" in ctx.config:
+            commands.append(f"ip netns exec {ctx.netns} ip addr add "
+                            f"{ctx.config['lan.address']} dev {lan}")
+        if "wan.address" in ctx.config:
+            commands.append(f"ip netns exec {ctx.netns} ip addr add "
+                            f"{ctx.config['wan.address']} dev {wan}")
+        # (ii) per-graph routing: a dedicated table selected by fwmark,
+        # holding this graph's connected subnets and default route, so
+        # paths through the shared component never mix.
+        if "lan.address" in ctx.config:
+            commands.append(
+                f"ip netns exec {ctx.netns} ip route add "
+                f"{_network_of(ctx.config['lan.address'])} dev {lan} "
+                f"table {mark}")
+        if "wan.address" in ctx.config:
+            commands.append(
+                f"ip netns exec {ctx.netns} ip route add "
+                f"{_network_of(ctx.config['wan.address'])} dev {wan} "
+                f"table {mark}")
+        if "gateway" in ctx.config:
+            commands.append(
+                f"ip netns exec {ctx.netns} ip route add default "
+                f"via {ctx.config['gateway']} dev {wan} table {mark}")
+        commands.append(
+            f"ip netns exec {ctx.netns} ip rule add fwmark {mark} "
+            f"table {mark}")
+        commands.extend([
+            # (i) the ad-hoc marking mechanism: per-graph ingress mark
+            f"ip netns exec {ctx.netns} iptables -t mangle -A PREROUTING "
+            f"-i {lan} -j MARK --set-mark {mark}",
+            f"ip netns exec {ctx.netns} iptables -t mangle -A PREROUTING "
+            f"-i {wan} -j MARK --set-mark {mark}",
+            # propagate the mark across connections (replies included)
+            f"ip netns exec {ctx.netns} iptables -t mangle -A PREROUTING "
+            f"-m mark --mark {mark} -j CONNMARK --save-mark",
+            # (ii) the isolated internal path, keyed on the mark
+            f"ip netns exec {ctx.netns} iptables -A FORWARD "
+            f"-m mark --mark {mark} -i {lan} -o {wan} -j ACCEPT",
+            f"ip netns exec {ctx.netns} iptables -A FORWARD "
+            f"-m mark --mark {mark} -i {wan} -o {lan} "
+            f"-m conntrack --ctstate ESTABLISHED,RELATED -j ACCEPT",
+            f"ip netns exec {ctx.netns} iptables -t nat -A POSTROUTING "
+            f"-m mark --mark {mark} -o {wan} -j MASQUERADE",
+        ])
+        return commands
+
+    def remove_path_script(self, ctx: PluginContext) -> list[str]:
+        if ctx.mark is None:
+            raise ValueError("shared path needs a mark")
+        lan, wan = ctx.port("lan"), ctx.port("wan")
+        mark = ctx.mark
+        return [
+            f"ip netns exec {ctx.netns} iptables -t mangle -D PREROUTING "
+            f"-i {lan} -j MARK --set-mark {mark}",
+            f"ip netns exec {ctx.netns} iptables -t mangle -D PREROUTING "
+            f"-i {wan} -j MARK --set-mark {mark}",
+            f"ip netns exec {ctx.netns} iptables -t mangle -D PREROUTING "
+            f"-m mark --mark {mark} -j CONNMARK --save-mark",
+            f"ip netns exec {ctx.netns} iptables -D FORWARD "
+            f"-m mark --mark {mark} -i {lan} -o {wan} -j ACCEPT",
+            f"ip netns exec {ctx.netns} iptables -D FORWARD "
+            f"-m mark --mark {mark} -i {wan} -o {lan} "
+            f"-m conntrack --ctstate ESTABLISHED,RELATED -j ACCEPT",
+            f"ip netns exec {ctx.netns} iptables -t nat -D POSTROUTING "
+            f"-m mark --mark {mark} -o {wan} -j MASQUERADE",
+        ]

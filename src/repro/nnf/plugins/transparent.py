@@ -1,0 +1,58 @@
+"""Transparent bump-in-the-wire behaviour (DPI, monitors, forwarders).
+
+Not an NNF per se — these functions exist only as VNFs in the stock
+catalogue — but the driver layer uses plugins as *behaviour generators*
+for every technology, so the transparent L2 data path lives here: the
+daemon forwards frames between its two interfaces unmodified while
+(conceptually) inspecting them, which is what an in-line DPI engine or
+an l2fwd app does.
+"""
+
+from __future__ import annotations
+
+from repro.nnf.plugin import NnfPlugin, PluginContext, PluginError
+
+__all__ = ["TransparentL2Plugin"]
+
+
+class TransparentL2Plugin(NnfPlugin):
+    sharable = False
+    multi_instance = True
+    single_interface = False
+    package = ""  # no host package: not offered as a native NF
+
+    def __init__(self, name: str, functional_type: str) -> None:
+        self.name = name
+        self.functional_type = functional_type
+        #: per-instance inspected-frame counters (instance_id -> count)
+        self.inspected: dict[str, int] = {}
+
+    def start_script(self, ctx: PluginContext) -> list[str]:
+        return [f"ip netns exec {ctx.netns} ip link set {device} up"
+                for device in sorted(ctx.ports.values())]
+
+    def post_start(self, ctx: PluginContext, host) -> None:
+        namespace = host.namespace(ctx.netns)
+        devices = [namespace.device(name)
+                   for name in ctx.ports.values()]
+        if len(devices) != 2:
+            raise PluginError(
+                f"{ctx.instance_id}: transparent L2 needs exactly two "
+                f"ports, got {len(devices)}")
+        a, b = devices
+        counter_key = ctx.instance_id
+        self.inspected.setdefault(counter_key, 0)
+
+        def make_forwarder(out_device):
+            def forward(dev, frame):
+                self.inspected[counter_key] += 1
+                out_device.transmit(frame)
+            return forward
+
+        a.attach_handler(make_forwarder(b))
+        b.attach_handler(make_forwarder(a))
+
+    def post_stop(self, ctx: PluginContext, host) -> None:
+        namespace = host.namespace(ctx.netns)
+        for name in ctx.ports.values():
+            namespace.device(name).detach_handler()

@@ -1,0 +1,90 @@
+"""NNF plugin registry: what this node can run natively.
+
+The registry answers the resolver's three questions about a native
+implementation (paper §2): is the component installed, is it sharable,
+and is it already claimed by another chain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.catalog.resolver import NnfAvailability
+from repro.nnf.plugin import NnfPlugin
+
+__all__ = ["NnfRegistry"]
+
+
+class NnfRegistry:
+    """Plugins known on a node plus the host package inventory."""
+
+    def __init__(self, installed_packages: Optional[Iterable[str]] = None):
+        self._plugins: dict[str, NnfPlugin] = {}
+        self.installed_packages: set[str] = set(installed_packages or ())
+        self._busy: dict[str, set[str]] = {}  # plugin -> claiming graph ids
+
+    # -- plugin management ------------------------------------------------------
+    def register(self, plugin: NnfPlugin) -> None:
+        if plugin.name in self._plugins:
+            raise ValueError(f"plugin {plugin.name!r} already registered")
+        self._plugins[plugin.name] = plugin
+
+    def get(self, name: str) -> NnfPlugin:
+        try:
+            return self._plugins[name]
+        except KeyError:
+            raise KeyError(f"no NNF plugin {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._plugins
+
+    def names(self) -> list[str]:
+        return sorted(self._plugins)
+
+    def install_package(self, package: str) -> None:
+        self.installed_packages.add(package)
+
+    # -- status for the resolver ---------------------------------------------------
+    def is_installed(self, name: str) -> bool:
+        plugin = self._plugins.get(name)
+        if plugin is None:
+            return False
+        return (not plugin.package
+                or plugin.package in self.installed_packages)
+
+    def claim(self, name: str, graph_id: str) -> None:
+        """Record that ``graph_id`` uses plugin ``name``."""
+        self._busy.setdefault(name, set()).add(graph_id)
+
+    def unclaim(self, name: str, graph_id: str) -> None:
+        users = self._busy.get(name, set())
+        users.discard(graph_id)
+
+    def users(self, name: str) -> set[str]:
+        return set(self._busy.get(name, set()))
+
+    def availability(self, name: str) -> NnfAvailability:
+        """The status triple the VNF resolver consumes."""
+        plugin = self._plugins.get(name)
+        if plugin is None:
+            return NnfAvailability(installed=False)
+        busy = bool(self._busy.get(name)) and not plugin.multi_instance
+        return NnfAvailability(installed=self.is_installed(name),
+                               sharable=plugin.sharable,
+                               busy=busy)
+
+    def describe(self) -> list[dict]:
+        """REST-facing inventory of native capabilities."""
+        rows = []
+        for name in self.names():
+            plugin = self._plugins[name]
+            rows.append({
+                "name": name,
+                "functional-type": plugin.functional_type,
+                "installed": self.is_installed(name),
+                "sharable": plugin.sharable,
+                "multi-instance": plugin.multi_instance,
+                "single-interface": plugin.single_interface,
+                "in-use-by": sorted(self._busy.get(name, set())),
+            })
+        return rows

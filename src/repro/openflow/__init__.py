@@ -1,0 +1,38 @@
+"""OpenFlow-style control channel between controllers and LSIs.
+
+Each LSI in the compute node "is managed by its own OpenFlow controller
+that dynamically inserts the proper rules in flow table(s)" (paper §2).
+This package implements a binary, struct-packed message codec modelled
+on OpenFlow 1.0 (HELLO / FEATURES / FLOW_MOD / PACKET_IN / PACKET_OUT /
+STATS / BARRIER), an in-process channel that really serialises every
+message to bytes and back, the switch-side agent, and the controller
+class the traffic-steering manager drives.
+
+The wire format is OpenFlow-*inspired* rather than byte-compatible
+with the IETF spec (see DESIGN.md §2): the message set, semantics and
+programming model match what the un-orchestrator exercises.
+"""
+
+from repro.openflow.channel import ControlChannel
+from repro.openflow.controller import LsiController
+from repro.openflow.messages import (
+    FlowModCommand,
+    OfpType,
+    decode_message,
+    encode_flow_mod,
+    encode_hello,
+    encode_packet_in,
+)
+from repro.openflow.agent import SwitchAgent
+
+__all__ = [
+    "ControlChannel",
+    "FlowModCommand",
+    "LsiController",
+    "OfpType",
+    "SwitchAgent",
+    "decode_message",
+    "encode_flow_mod",
+    "encode_hello",
+    "encode_packet_in",
+]

@@ -1,0 +1,72 @@
+"""Control channel: byte-stream pipe between controller and switch agent.
+
+Both endpoints exchange *encoded* messages — every FLOW_MOD the
+steering manager sends really round-trips through the binary codec, so
+codec regressions surface in integration tests, not just unit tests.
+Delivery is synchronous (in-process); message and byte counters feed
+the orchestration-scalability bench.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["ChannelClosed", "ControlChannel", "Endpoint"]
+
+Receiver = Callable[[bytes], None]
+
+
+class ChannelClosed(Exception):
+    """Send on a closed channel."""
+
+
+class Endpoint:
+    """One side of the channel."""
+
+    def __init__(self, channel: "ControlChannel", label: str) -> None:
+        self.channel = channel
+        self.label = label
+        self.receiver: Optional[Receiver] = None
+        self.tx_messages = 0
+        self.rx_messages = 0
+        self.tx_bytes = 0
+
+    def on_receive(self, receiver: Receiver) -> None:
+        self.receiver = receiver
+
+    def send(self, data: bytes) -> None:
+        if self.channel.closed:
+            raise ChannelClosed(f"channel {self.channel.name} is closed")
+        self.tx_messages += 1
+        self.tx_bytes += len(data)
+        far = self.channel.far_end(self)
+        far.rx_messages += 1
+        if far.receiver is None:
+            self.channel.undelivered.append((far.label, data))
+        else:
+            far.receiver(data)
+
+
+class ControlChannel:
+    """A pair of endpoints; bytes written to one pop out of the other."""
+
+    def __init__(self, name: str = "of-channel") -> None:
+        self.name = name
+        self.controller_end = Endpoint(self, "controller")
+        self.switch_end = Endpoint(self, "switch")
+        self.closed = False
+        self.undelivered: list[tuple[str, bytes]] = []
+
+    def far_end(self, endpoint: Endpoint) -> Endpoint:
+        if endpoint is self.controller_end:
+            return self.switch_end
+        if endpoint is self.switch_end:
+            return self.controller_end
+        raise ValueError("endpoint not on this channel")
+
+    def close(self) -> None:
+        self.closed = True
+
+    @property
+    def messages_exchanged(self) -> int:
+        return self.controller_end.tx_messages + self.switch_end.tx_messages

@@ -1,0 +1,116 @@
+"""Per-LSI OpenFlow controller.
+
+The traffic-steering manager instantiates one of these per LSI (as in
+Figure 1) and drives the flow tables exclusively through it, so every
+steering decision crosses the binary control channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Sequence
+
+from repro.openflow.channel import ControlChannel
+from repro.openflow.messages import (
+    FlowModCommand,
+    Message,
+    OfpType,
+    decode_message,
+    encode_features_request,
+    encode_flow_mod,
+    encode_hello,
+    encode_packet_out,
+    encode_stats_request,
+    STATS_FLOW,
+    STATS_PORT,
+)
+from repro.switch.actions import Action
+from repro.switch.flowtable import FlowMatch
+
+__all__ = ["LsiController"]
+
+PacketInCallback = Callable[[int, bytes], None]
+
+
+class LsiController:
+    """Controller endpoint: handshake, flow programming, stats."""
+
+    def __init__(self, channel: ControlChannel, name: str = "ctrl") -> None:
+        self.channel = channel
+        self.name = name
+        self._xids = itertools.count(1)
+        self.dpid: Optional[int] = None
+        self.ports: dict[int, str] = {}
+        self.connected = False
+        self.flow_mods_sent = 0
+        self.packet_ins = 0
+        self.packet_in_callback: Optional[PacketInCallback] = None
+        self._pending_stats: list = []
+        channel.controller_end.on_receive(self._on_bytes)
+
+    # -- handshake -----------------------------------------------------------
+    def handshake(self) -> None:
+        """HELLO exchange followed by a features request."""
+        self.channel.controller_end.send(encode_hello(next(self._xids)))
+        self.channel.controller_end.send(
+            encode_features_request(next(self._xids)))
+        if self.dpid is None:
+            raise RuntimeError(f"{self.name}: features reply not received")
+        self.connected = True
+
+    # -- flow programming -------------------------------------------------------
+    def flow_add(self, match: FlowMatch, actions: Sequence[Action],
+                 priority: int = 100, cookie: int = 0) -> None:
+        self.flow_mods_sent += 1
+        self.channel.controller_end.send(encode_flow_mod(
+            next(self._xids), FlowModCommand.ADD, match, actions,
+            priority=priority, cookie=cookie))
+
+    def flow_delete(self, match: FlowMatch,
+                    cookie: int = 0, strict: bool = False,
+                    priority: int = 0) -> None:
+        self.flow_mods_sent += 1
+        command = (FlowModCommand.DELETE_STRICT if strict
+                   else FlowModCommand.DELETE)
+        self.channel.controller_end.send(encode_flow_mod(
+            next(self._xids), command, match, (), priority=priority,
+            cookie=cookie))
+
+    def flow_delete_by_cookie(self, cookie: int) -> None:
+        """Remove every flow installed with ``cookie`` (graph teardown)."""
+        self.flow_delete(FlowMatch(), cookie=cookie)
+
+    def packet_out(self, in_port: int, actions: Sequence[Action],
+                   frame_bytes: bytes) -> None:
+        self.channel.controller_end.send(encode_packet_out(
+            next(self._xids), in_port, actions, frame_bytes))
+
+    # -- stats ----------------------------------------------------------------
+    def flow_stats(self) -> list:
+        self._pending_stats = []
+        self.channel.controller_end.send(
+            encode_stats_request(next(self._xids), STATS_FLOW))
+        return self._pending_stats
+
+    def port_stats(self) -> list:
+        self._pending_stats = []
+        self.channel.controller_end.send(
+            encode_stats_request(next(self._xids), STATS_PORT))
+        return self._pending_stats
+
+    # -- inbound ---------------------------------------------------------------
+    def _on_bytes(self, data: bytes) -> None:
+        message = decode_message(data)
+        if message.msg_type is OfpType.FEATURES_REPLY:
+            self.dpid = message.dpid
+            self.ports = dict(message.port_names)
+        elif message.msg_type is OfpType.PACKET_IN:
+            self.packet_ins += 1
+            if self.packet_in_callback is not None:
+                self.packet_in_callback(message.in_port, message.frame)
+        elif message.msg_type is OfpType.STATS_REPLY:
+            self._pending_stats.extend(message.stats)
+        elif message.msg_type is OfpType.ERROR:
+            raise RuntimeError(
+                f"{self.name}: switch reported error code {message.code}")
+        # HELLO/ECHO/BARRIER replies need no action.

@@ -1,0 +1,434 @@
+"""Binary codec for the control-channel messages.
+
+Every message is ``header || body`` with the 8-byte header::
+
+    version (B) | type (B) | length (H) | xid (I)
+
+Matches are encoded as TLV lists, actions as typed records — the same
+shape OpenFlow uses, with simplified field layouts.  All multi-byte
+integers are network byte order.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.net.addresses import MacAddress, int_to_ip, ip_to_int, parse_cidr
+from repro.switch.actions import (
+    Action,
+    Controller,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+)
+from repro.switch.flowtable import FlowMatch
+
+__all__ = [
+    "CodecError",
+    "FlowModCommand",
+    "OFP_VERSION",
+    "OfpType",
+    "decode_message",
+    "encode_barrier",
+    "encode_echo",
+    "encode_error",
+    "encode_features_reply",
+    "encode_features_request",
+    "encode_flow_mod",
+    "encode_hello",
+    "encode_packet_in",
+    "encode_packet_out",
+    "encode_stats_reply",
+    "encode_stats_request",
+]
+
+OFP_VERSION = 0x01
+
+_HEADER = struct.Struct("!BBHI")
+
+
+class CodecError(Exception):
+    """Malformed message bytes."""
+
+
+class OfpType(enum.IntEnum):
+    HELLO = 0
+    ERROR = 1
+    ECHO_REQUEST = 2
+    ECHO_REPLY = 3
+    FEATURES_REQUEST = 5
+    FEATURES_REPLY = 6
+    PACKET_IN = 10
+    PACKET_OUT = 13
+    FLOW_MOD = 14
+    STATS_REQUEST = 16
+    STATS_REPLY = 17
+    BARRIER_REQUEST = 18
+    BARRIER_REPLY = 19
+
+
+class FlowModCommand(enum.IntEnum):
+    ADD = 0
+    DELETE = 3
+    DELETE_STRICT = 4
+
+
+# -- match TLVs ---------------------------------------------------------------
+
+_MF_IN_PORT = 1
+_MF_ETH_SRC = 2
+_MF_ETH_DST = 3
+_MF_ETH_TYPE = 4
+_MF_VLAN_VID = 5
+_MF_IP_SRC = 6
+_MF_IP_DST = 7
+_MF_IP_PROTO = 8
+_MF_TP_SRC = 9
+_MF_TP_DST = 10
+
+
+def _encode_match(match: FlowMatch) -> bytes:
+    out = bytearray()
+
+    def tlv(field_id: int, payload: bytes) -> None:
+        out.extend(struct.pack("!BB", field_id, len(payload)))
+        out.extend(payload)
+
+    if match.in_port is not None:
+        tlv(_MF_IN_PORT, struct.pack("!H", match.in_port))
+    if match.eth_src is not None:
+        tlv(_MF_ETH_SRC, match.eth_src.packed)
+    if match.eth_dst is not None:
+        tlv(_MF_ETH_DST, match.eth_dst.packed)
+    if match.eth_type is not None:
+        tlv(_MF_ETH_TYPE, struct.pack("!H", match.eth_type))
+    if match.vlan_vid is not None:
+        tlv(_MF_VLAN_VID, struct.pack("!h", match.vlan_vid))
+    if match.ip_src is not None:
+        network, plen = parse_cidr(
+            match.ip_src if "/" in match.ip_src else match.ip_src + "/32")
+        tlv(_MF_IP_SRC, struct.pack("!IB", network, plen))
+    if match.ip_dst is not None:
+        network, plen = parse_cidr(
+            match.ip_dst if "/" in match.ip_dst else match.ip_dst + "/32")
+        tlv(_MF_IP_DST, struct.pack("!IB", network, plen))
+    if match.ip_proto is not None:
+        tlv(_MF_IP_PROTO, struct.pack("!B", match.ip_proto))
+    if match.tp_src is not None:
+        tlv(_MF_TP_SRC, struct.pack("!H", match.tp_src))
+    if match.tp_dst is not None:
+        tlv(_MF_TP_DST, struct.pack("!H", match.tp_dst))
+    return struct.pack("!H", len(out)) + bytes(out)
+
+
+def _decode_match(data: bytes, offset: int) -> tuple[FlowMatch, int]:
+    if offset + 2 > len(data):
+        raise CodecError("truncated match length")
+    (length,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    end = offset + length
+    if end > len(data):
+        raise CodecError("truncated match body")
+    kwargs: dict = {}
+    while offset < end:
+        field_id, flen = struct.unpack_from("!BB", data, offset)
+        offset += 2
+        payload = data[offset:offset + flen]
+        if len(payload) != flen:
+            raise CodecError("truncated match TLV")
+        offset += flen
+        if field_id == _MF_IN_PORT:
+            kwargs["in_port"] = struct.unpack("!H", payload)[0]
+        elif field_id == _MF_ETH_SRC:
+            kwargs["eth_src"] = MacAddress(payload)
+        elif field_id == _MF_ETH_DST:
+            kwargs["eth_dst"] = MacAddress(payload)
+        elif field_id == _MF_ETH_TYPE:
+            kwargs["eth_type"] = struct.unpack("!H", payload)[0]
+        elif field_id == _MF_VLAN_VID:
+            kwargs["vlan_vid"] = struct.unpack("!h", payload)[0]
+        elif field_id == _MF_IP_SRC:
+            network, plen = struct.unpack("!IB", payload)
+            kwargs["ip_src"] = f"{int_to_ip(network)}/{plen}"
+        elif field_id == _MF_IP_DST:
+            network, plen = struct.unpack("!IB", payload)
+            kwargs["ip_dst"] = f"{int_to_ip(network)}/{plen}"
+        elif field_id == _MF_IP_PROTO:
+            kwargs["ip_proto"] = payload[0]
+        elif field_id == _MF_TP_SRC:
+            kwargs["tp_src"] = struct.unpack("!H", payload)[0]
+        elif field_id == _MF_TP_DST:
+            kwargs["tp_dst"] = struct.unpack("!H", payload)[0]
+        else:
+            raise CodecError(f"unknown match field {field_id}")
+    return FlowMatch(**kwargs), end
+
+
+# -- action records ------------------------------------------------------------
+
+_AT_OUTPUT = 0
+_AT_PUSH_VLAN = 1
+_AT_POP_VLAN = 2
+_AT_SET_ETH_SRC = 3
+_AT_SET_ETH_DST = 4
+_AT_SET_VLAN_VID = 5
+_AT_CONTROLLER = 6
+
+
+def _encode_actions(actions: Sequence[Action]) -> bytes:
+    out = bytearray()
+
+    def record(atype: int, payload: bytes = b"") -> None:
+        out.extend(struct.pack("!BB", atype, len(payload)))
+        out.extend(payload)
+
+    for action in actions:
+        if isinstance(action, Output):
+            record(_AT_OUTPUT, struct.pack("!H", action.port))
+        elif isinstance(action, PushVlan):
+            record(_AT_PUSH_VLAN, struct.pack("!HB", action.vid, action.pcp))
+        elif isinstance(action, PopVlan):
+            record(_AT_POP_VLAN)
+        elif isinstance(action, Controller):
+            record(_AT_CONTROLLER, struct.pack("!H", action.max_len))
+        elif isinstance(action, SetField):
+            if action.field == "eth_src":
+                record(_AT_SET_ETH_SRC, MacAddress(action.value).packed)
+            elif action.field == "eth_dst":
+                record(_AT_SET_ETH_DST, MacAddress(action.value).packed)
+            else:
+                record(_AT_SET_VLAN_VID, struct.pack("!H", int(action.value)))
+        else:  # pragma: no cover - closed union
+            raise CodecError(f"unencodable action {action!r}")
+    return struct.pack("!H", len(out)) + bytes(out)
+
+
+def _decode_actions(data: bytes, offset: int) -> tuple[list[Action], int]:
+    if offset + 2 > len(data):
+        raise CodecError("truncated action list length")
+    (length,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    end = offset + length
+    if end > len(data):
+        raise CodecError("truncated action list")
+    actions: list[Action] = []
+    while offset < end:
+        atype, alen = struct.unpack_from("!BB", data, offset)
+        offset += 2
+        payload = data[offset:offset + alen]
+        if len(payload) != alen:
+            raise CodecError("truncated action record")
+        offset += alen
+        if atype == _AT_OUTPUT:
+            actions.append(Output(struct.unpack("!H", payload)[0]))
+        elif atype == _AT_PUSH_VLAN:
+            vid, pcp = struct.unpack("!HB", payload)
+            actions.append(PushVlan(vid, pcp))
+        elif atype == _AT_POP_VLAN:
+            actions.append(PopVlan())
+        elif atype == _AT_CONTROLLER:
+            actions.append(Controller(struct.unpack("!H", payload)[0]))
+        elif atype == _AT_SET_ETH_SRC:
+            actions.append(SetField("eth_src", MacAddress(payload)))
+        elif atype == _AT_SET_ETH_DST:
+            actions.append(SetField("eth_dst", MacAddress(payload)))
+        elif atype == _AT_SET_VLAN_VID:
+            actions.append(SetField("vlan_vid",
+                                    struct.unpack("!H", payload)[0]))
+        else:
+            raise CodecError(f"unknown action type {atype}")
+    return actions, end
+
+
+# -- decoded message views -------------------------------------------------------
+
+@dataclass
+class Message:
+    """Decoded message; body fields populated per type."""
+
+    msg_type: OfpType
+    xid: int
+    # FLOW_MOD
+    command: Optional[FlowModCommand] = None
+    match: Optional[FlowMatch] = None
+    actions: list[Action] = field(default_factory=list)
+    priority: int = 0
+    cookie: int = 0
+    # PACKET_IN / PACKET_OUT
+    in_port: int = 0
+    frame: bytes = b""
+    reason: int = 0
+    # FEATURES_REPLY
+    dpid: int = 0
+    port_names: dict[int, str] = field(default_factory=dict)
+    # STATS
+    stats_kind: int = 0
+    stats: list = field(default_factory=list)
+    # ERROR / ECHO
+    code: int = 0
+    payload: bytes = b""
+
+
+def _pack(msg_type: OfpType, xid: int, body: bytes) -> bytes:
+    total = _HEADER.size + len(body)
+    if total > 0xFFFF:
+        raise CodecError(f"message too large: {total} bytes")
+    return _HEADER.pack(OFP_VERSION, int(msg_type), total, xid) + body
+
+
+def encode_hello(xid: int) -> bytes:
+    return _pack(OfpType.HELLO, xid, b"")
+
+
+def encode_echo(xid: int, payload: bytes = b"",
+                reply: bool = False) -> bytes:
+    kind = OfpType.ECHO_REPLY if reply else OfpType.ECHO_REQUEST
+    return _pack(kind, xid, payload)
+
+
+def encode_error(xid: int, code: int, detail: bytes = b"") -> bytes:
+    return _pack(OfpType.ERROR, xid, struct.pack("!H", code) + detail)
+
+
+def encode_features_request(xid: int) -> bytes:
+    return _pack(OfpType.FEATURES_REQUEST, xid, b"")
+
+
+def encode_features_reply(xid: int, dpid: int,
+                          ports: dict[int, str]) -> bytes:
+    body = bytearray(struct.pack("!QH", dpid, len(ports)))
+    for port_no, name in sorted(ports.items()):
+        raw = name.encode()[:16]
+        body.extend(struct.pack("!H16s", port_no, raw))
+    return _pack(OfpType.FEATURES_REPLY, xid, bytes(body))
+
+
+def encode_flow_mod(xid: int, command: FlowModCommand, match: FlowMatch,
+                    actions: Sequence[Action] = (), priority: int = 100,
+                    cookie: int = 0) -> bytes:
+    body = struct.pack("!BHQ", int(command), priority, cookie)
+    body += _encode_match(match)
+    body += _encode_actions(actions)
+    return _pack(OfpType.FLOW_MOD, xid, body)
+
+
+def encode_packet_in(xid: int, in_port: int, reason: int,
+                     frame: bytes) -> bytes:
+    return _pack(OfpType.PACKET_IN, xid,
+                 struct.pack("!HB", in_port, reason) + frame)
+
+
+def encode_packet_out(xid: int, in_port: int, actions: Sequence[Action],
+                      frame: bytes) -> bytes:
+    body = struct.pack("!H", in_port) + _encode_actions(actions) + frame
+    return _pack(OfpType.PACKET_OUT, xid, body)
+
+
+def encode_barrier(xid: int, reply: bool = False) -> bytes:
+    kind = OfpType.BARRIER_REPLY if reply else OfpType.BARRIER_REQUEST
+    return _pack(kind, xid, b"")
+
+
+#: stats kinds
+STATS_FLOW = 1
+STATS_PORT = 2
+
+
+def encode_stats_request(xid: int, kind: int) -> bytes:
+    return _pack(OfpType.STATS_REQUEST, xid, struct.pack("!B", kind))
+
+
+def encode_stats_reply(xid: int, kind: int,
+                       rows: Sequence[tuple]) -> bytes:
+    body = bytearray(struct.pack("!BH", kind, len(rows)))
+    for row in rows:
+        if kind == STATS_FLOW:
+            priority, packets, nbytes, match = row
+            body.extend(struct.pack("!HQQ", priority, packets, nbytes))
+            body.extend(_encode_match(match))
+        else:
+            port_no, rx_packets, tx_packets, rx_bytes, tx_bytes = row
+            body.extend(struct.pack("!HQQQQ", port_no, rx_packets,
+                                    tx_packets, rx_bytes, tx_bytes))
+    return _pack(OfpType.STATS_REPLY, xid, bytes(body))
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode one complete message; raises :class:`CodecError` on junk."""
+    if len(data) < _HEADER.size:
+        raise CodecError("truncated header")
+    version, raw_type, length, xid = _HEADER.unpack_from(data, 0)
+    if version != OFP_VERSION:
+        raise CodecError(f"unsupported version {version}")
+    if length != len(data):
+        raise CodecError(f"length field {length} != buffer {len(data)}")
+    try:
+        msg_type = OfpType(raw_type)
+    except ValueError:
+        raise CodecError(f"unknown message type {raw_type}") from None
+    message = Message(msg_type=msg_type, xid=xid)
+    body = data[_HEADER.size:]
+    if msg_type in (OfpType.HELLO, OfpType.FEATURES_REQUEST,
+                    OfpType.BARRIER_REQUEST, OfpType.BARRIER_REPLY):
+        return message
+    if msg_type in (OfpType.ECHO_REQUEST, OfpType.ECHO_REPLY):
+        message.payload = body
+        return message
+    if msg_type == OfpType.ERROR:
+        (message.code,) = struct.unpack_from("!H", body, 0)
+        message.payload = body[2:]
+        return message
+    if msg_type == OfpType.FEATURES_REPLY:
+        dpid, count = struct.unpack_from("!QH", body, 0)
+        message.dpid = dpid
+        offset = 10
+        for _ in range(count):
+            port_no, raw_name = struct.unpack_from("!H16s", body, offset)
+            offset += 18
+            message.port_names[port_no] = raw_name.rstrip(b"\x00").decode()
+        return message
+    if msg_type == OfpType.FLOW_MOD:
+        command, priority, cookie = struct.unpack_from("!BHQ", body, 0)
+        message.command = FlowModCommand(command)
+        message.priority = priority
+        message.cookie = cookie
+        match, offset = _decode_match(body, 11)
+        message.match = match
+        message.actions, _offset = _decode_actions(body, offset)
+        return message
+    if msg_type == OfpType.PACKET_IN:
+        in_port, reason = struct.unpack_from("!HB", body, 0)
+        message.in_port = in_port
+        message.reason = reason
+        message.frame = body[3:]
+        return message
+    if msg_type == OfpType.PACKET_OUT:
+        (in_port,) = struct.unpack_from("!H", body, 0)
+        message.in_port = in_port
+        message.actions, offset = _decode_actions(body, 2)
+        message.frame = body[offset:]
+        return message
+    if msg_type == OfpType.STATS_REQUEST:
+        message.stats_kind = body[0]
+        return message
+    if msg_type == OfpType.STATS_REPLY:
+        kind, count = struct.unpack_from("!BH", body, 0)
+        message.stats_kind = kind
+        offset = 3
+        for _ in range(count):
+            if kind == STATS_FLOW:
+                priority, packets, nbytes = struct.unpack_from(
+                    "!HQQ", body, offset)
+                offset += 18
+                match, offset = _decode_match(body, offset)
+                message.stats.append((priority, packets, nbytes, match))
+            else:
+                row = struct.unpack_from("!HQQQQ", body, offset)
+                offset += 34
+                message.stats.append(row)
+        return message
+    raise CodecError(f"no decoder for {msg_type}")  # pragma: no cover

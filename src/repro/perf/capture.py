@@ -1,0 +1,80 @@
+"""Traffic capture: tcpdump for the simulated node.
+
+Attaches to datapath taps (every frame a switch processes) or to a
+wire, timestamps against a wall-clock-free monotonic counter, and
+writes standard pcap files that open in Wireshark — the traditional way
+to debug an NFV dataplane, and the repro's observability story.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import BinaryIO, Optional
+
+from repro.linuxnet.devices import NetDevice
+from repro.net.ethernet import EthernetFrame
+from repro.net.pcap import PcapWriter
+from repro.switch.datapath import Datapath
+
+__all__ = ["PcapCapture"]
+
+
+class PcapCapture:
+    """Collects frames from datapaths/wires; dumps them as pcap."""
+
+    def __init__(self) -> None:
+        self._frames: list[tuple[float, bytes]] = []
+        self._sequence = itertools.count()
+        self._taps: list[tuple[Datapath, object]] = []
+        self._wires: list[NetDevice] = []
+
+    # -- sources -----------------------------------------------------------------
+    def attach_datapath(self, datapath: Datapath) -> None:
+        """Record every frame entering ``datapath``."""
+        def tap(in_port: int, frame: EthernetFrame) -> None:
+            self._record(frame)
+
+        datapath.taps.append(tap)
+        self._taps.append((datapath, tap))
+
+    def attach_wire(self, device: NetDevice) -> None:
+        """Record frames arriving at a wire-side device (keeps
+        delivering to any pre-existing consumer is NOT supported — the
+        wire must be free, mirroring a dedicated monitor port)."""
+        device.attach_handler(lambda dev, frame: self._record(frame))
+        self._wires.append(device)
+
+    def detach_all(self) -> None:
+        for datapath, tap in self._taps:
+            if tap in datapath.taps:
+                datapath.taps.remove(tap)
+        self._taps.clear()
+        for device in self._wires:
+            device.detach_handler()
+        self._wires.clear()
+
+    # -- recording -----------------------------------------------------------------
+    def _record(self, frame: EthernetFrame) -> None:
+        # Synchronous dataplane: order is the only truth; synthesise
+        # microsecond-spaced timestamps so Wireshark sorts stably.
+        timestamp = next(self._sequence) * 1e-6
+        self._frames.append((timestamp, frame.to_bytes()))
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def frames(self) -> list[tuple[float, bytes]]:
+        return list(self._frames)
+
+    # -- output --------------------------------------------------------------------
+    def write(self, stream: BinaryIO) -> int:
+        """Write all captured frames as pcap; returns the count."""
+        writer = PcapWriter(stream)
+        for timestamp, raw in self._frames:
+            writer.write(timestamp, raw)
+        return len(self._frames)
+
+    def save(self, path: str) -> int:
+        with open(path, "wb") as stream:
+            return self.write(stream)

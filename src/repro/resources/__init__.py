@@ -1,0 +1,34 @@
+"""Node resource model: capabilities, accounting, images.
+
+The local orchestrator decides VNF-vs-NNF "based on its knowledge of
+the node capability set" (paper §2); the resource manager of Figure 1
+tracks CPU/RAM/disk so admission control can refuse graphs that do not
+fit a low-cost CPE.  The image registry composes VM disk images, Docker
+layer stacks and native packages from component sizes, which is where
+the Table 1 image-size column comes from.
+"""
+
+from repro.resources.accounting import (
+    AdmissionError,
+    Allocation,
+    ResourceAccountant,
+)
+from repro.resources.capabilities import NodeCapabilities, NodeClass
+from repro.resources.images import (
+    DockerImage,
+    ImageRegistry,
+    NativePackage,
+    VmImage,
+)
+
+__all__ = [
+    "AdmissionError",
+    "Allocation",
+    "DockerImage",
+    "ImageRegistry",
+    "NativePackage",
+    "NodeCapabilities",
+    "NodeClass",
+    "ResourceAccountant",
+    "VmImage",
+]

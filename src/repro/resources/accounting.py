@@ -1,0 +1,123 @@
+"""Resource accounting and admission control (Figure 1's resource manager)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.resources.capabilities import NodeCapabilities
+
+__all__ = ["AdmissionError", "Allocation", "ResourceAccountant"]
+
+_allocation_ids = itertools.count(1)
+
+
+class AdmissionError(Exception):
+    """The node cannot host the requested allocation."""
+
+
+@dataclass
+class Allocation:
+    """One granted reservation (usually one NF instance)."""
+
+    owner: str
+    cpu_cores: float
+    ram_mb: float
+    disk_mb: float
+    allocation_id: int = field(default_factory=lambda: next(_allocation_ids))
+    released: bool = False
+
+
+class ResourceAccountant:
+    """Tracks reservations against a node's capabilities."""
+
+    def __init__(self, capabilities: NodeCapabilities,
+                 ram_headroom_mb: float = 64.0) -> None:
+        """``ram_headroom_mb`` is reserved for the host OS itself."""
+        self.capabilities = capabilities
+        self.ram_headroom_mb = ram_headroom_mb
+        self._allocations: dict[int, Allocation] = {}
+        self.rejections = 0
+
+    # -- usage views ------------------------------------------------------------
+    @property
+    def cpu_used(self) -> float:
+        return sum(a.cpu_cores for a in self._allocations.values())
+
+    @property
+    def ram_used_mb(self) -> float:
+        return sum(a.ram_mb for a in self._allocations.values())
+
+    @property
+    def disk_used_mb(self) -> float:
+        return sum(a.disk_mb for a in self._allocations.values())
+
+    @property
+    def cpu_free(self) -> float:
+        return self.capabilities.cpu_cores - self.cpu_used
+
+    @property
+    def ram_free_mb(self) -> float:
+        return (self.capabilities.ram_mb - self.ram_headroom_mb
+                - self.ram_used_mb)
+
+    @property
+    def disk_free_mb(self) -> float:
+        return self.capabilities.disk_mb - self.disk_used_mb
+
+    def allocations(self) -> list[Allocation]:
+        return list(self._allocations.values())
+
+    # -- admission ---------------------------------------------------------------
+    def fits(self, cpu_cores: float, ram_mb: float, disk_mb: float) -> bool:
+        return (cpu_cores <= self.cpu_free + 1e-9
+                and ram_mb <= self.ram_free_mb + 1e-9
+                and disk_mb <= self.disk_free_mb + 1e-9)
+
+    def allocate(self, owner: str, cpu_cores: float = 0.0,
+                 ram_mb: float = 0.0, disk_mb: float = 0.0) -> Allocation:
+        if min(cpu_cores, ram_mb, disk_mb) < 0:
+            raise ValueError("resource amounts cannot be negative")
+        if not self.fits(cpu_cores, ram_mb, disk_mb):
+            self.rejections += 1
+            raise AdmissionError(
+                f"{owner}: needs cpu={cpu_cores} ram={ram_mb}MB "
+                f"disk={disk_mb}MB; free cpu={self.cpu_free:.2f} "
+                f"ram={self.ram_free_mb:.1f}MB "
+                f"disk={self.disk_free_mb:.1f}MB")
+        allocation = Allocation(owner=owner, cpu_cores=cpu_cores,
+                                ram_mb=ram_mb, disk_mb=disk_mb)
+        self._allocations[allocation.allocation_id] = allocation
+        return allocation
+
+    def resize(self, allocation: Allocation, cpu_cores: Optional[float] = None,
+               ram_mb: Optional[float] = None) -> None:
+        """Grow/shrink a live allocation (graph update path)."""
+        new_cpu = cpu_cores if cpu_cores is not None else allocation.cpu_cores
+        new_ram = ram_mb if ram_mb is not None else allocation.ram_mb
+        delta_cpu = new_cpu - allocation.cpu_cores
+        delta_ram = new_ram - allocation.ram_mb
+        if not self.fits(max(delta_cpu, 0.0), max(delta_ram, 0.0), 0.0):
+            self.rejections += 1
+            raise AdmissionError(f"{allocation.owner}: resize does not fit")
+        allocation.cpu_cores = new_cpu
+        allocation.ram_mb = new_ram
+
+    def release(self, allocation: Allocation) -> None:
+        if allocation.released:
+            raise ValueError(
+                f"allocation {allocation.allocation_id} already released")
+        removed = self._allocations.pop(allocation.allocation_id, None)
+        if removed is None:
+            raise KeyError(
+                f"allocation {allocation.allocation_id} not held here")
+        allocation.released = True
+
+    def utilisation(self) -> dict[str, float]:
+        """Fractional usage per dimension, for the REST status endpoint."""
+        return {
+            "cpu": self.cpu_used / self.capabilities.cpu_cores,
+            "ram": self.ram_used_mb / self.capabilities.ram_mb,
+            "disk": self.disk_used_mb / self.capabilities.disk_mb,
+        }

@@ -1,0 +1,74 @@
+"""Node capability descriptions.
+
+Two canonical profiles matter to the paper: the resource-constrained
+residential CPE (no KVM, little RAM, Linux with native NFs) and the NSP
+data-center server (plenty of everything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["NodeCapabilities", "NodeClass"]
+
+
+class NodeClass(Enum):
+    CPE = "cpe"
+    DATACENTER = "datacenter"
+
+
+@dataclass
+class NodeCapabilities:
+    """Static description of what a compute node can run."""
+
+    node_class: NodeClass
+    cpu_cores: int
+    cpu_mhz: int
+    ram_mb: int
+    disk_mb: int
+    features: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores < 1:
+            raise ValueError("node needs at least one CPU core")
+        for amount, name in ((self.ram_mb, "RAM"), (self.disk_mb, "disk"),
+                             (self.cpu_mhz, "CPU clock")):
+            if amount <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def supports(self, feature: str) -> bool:
+        return feature in self.features
+
+    def supports_all(self, features: "frozenset[str] | set[str]") -> bool:
+        return set(features) <= set(self.features)
+
+    @classmethod
+    def residential_cpe(cls) -> "NodeCapabilities":
+        """A typical Linux home gateway: dual-core ARM, 512 MB RAM.
+
+        ``kvm`` is absent by default: many CPE SoCs lack virtualization
+        extensions, which is precisely why the paper wants NNFs there.
+        (Table 1 was measured on a box that *could* run KVM, so the
+        benchmarks use ``residential_cpe_with_kvm``.)
+        """
+        return cls(node_class=NodeClass.CPE, cpu_cores=2, cpu_mhz=1200,
+                   ram_mb=512, disk_mb=4096,
+                   features=frozenset({"native", "docker", "linux",
+                                       "netns", "iptables", "xfrm"}))
+
+    @classmethod
+    def residential_cpe_with_kvm(cls) -> "NodeCapabilities":
+        """An x86 CPE like the paper's testbed: can run all three flavors."""
+        return cls(node_class=NodeClass.CPE, cpu_cores=4, cpu_mhz=2400,
+                   ram_mb=4096, disk_mb=32768,
+                   features=frozenset({"native", "docker", "kvm", "linux",
+                                       "netns", "iptables", "xfrm"}))
+
+    @classmethod
+    def datacenter_server(cls) -> "NodeCapabilities":
+        return cls(node_class=NodeClass.DATACENTER, cpu_cores=32,
+                   cpu_mhz=2600, ram_mb=262144, disk_mb=4194304,
+                   features=frozenset({"kvm", "docker", "dpdk", "hugepages",
+                                       "linux", "netns", "iptables",
+                                       "xfrm"}))

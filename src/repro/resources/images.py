@@ -1,0 +1,188 @@
+"""Image model: VM disks, Docker layer stacks, native packages.
+
+Table 1's image-size column (522 MB / 240 MB / 5 MB) is the visible
+consequence of what each packaging carries: a VM ships a whole OS, a
+container ships a rootfs minus the kernel, a native package ships just
+the NF binaries because everything else is already on the CPE.  The
+classes below compose those sizes from parts, so the benchmark derives
+the column instead of quoting it.
+
+Component sizes are catalogued from the 2016-era artefacts the paper
+used (Ubuntu cloud images, Docker Hub strongSwan images, OpenWrt ipk
+packages); see ``STOCK_COMPONENTS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["DockerImage", "ImageComponent", "ImageRegistry",
+           "NativePackage", "STOCK_COMPONENTS", "VmImage"]
+
+
+@dataclass(frozen=True)
+class ImageComponent:
+    """A named chunk of bytes inside an image."""
+
+    name: str
+    size_mb: float
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError(f"negative component size: {self.name}")
+
+
+#: Catalogue of 2016-era component sizes (MB).
+STOCK_COMPONENTS: dict[str, ImageComponent] = {
+    comp.name: comp for comp in (
+        # Full VM guest: Ubuntu 14.04 server cloud image content.
+        ImageComponent("linux-kernel", 60.0),
+        ImageComponent("ubuntu-rootfs", 380.0),
+        ImageComponent("cloud-init-tools", 45.0),
+        # Docker: trimmed ubuntu base layers + runtime deps.
+        ImageComponent("ubuntu-docker-base", 165.0),
+        ImageComponent("apt-runtime-deps", 36.0),
+        # The NF itself.
+        ImageComponent("strongswan-full", 37.0),
+        ImageComponent("strongswan-pkg", 5.0),  # ipk: binaries + configs only
+        ImageComponent("iptables-pkg", 0.3),
+        ImageComponent("dnsmasq-pkg", 0.4),
+        ImageComponent("bridge-utils-pkg", 0.1),
+        ImageComponent("dpdk-runtime", 120.0),
+    )
+}
+
+
+@dataclass
+class VmImage:
+    """A qcow2-style disk: kernel + rootfs + tooling + the NF."""
+
+    name: str
+    components: tuple[ImageComponent, ...]
+    format: str = "qcow2"
+
+    @property
+    def size_mb(self) -> float:
+        return sum(component.size_mb for component in self.components)
+
+    @property
+    def technology(self) -> str:
+        return "vm"
+
+
+@dataclass
+class DockerImage:
+    """Layered image; layers shared with other images are still stored
+    once on disk, but the *image* size reported (and pulled) includes
+    them — matching ``docker images`` output, which is what Table 1
+    quotes."""
+
+    name: str
+    layers: tuple[ImageComponent, ...]
+
+    @property
+    def size_mb(self) -> float:
+        return sum(layer.size_mb for layer in self.layers)
+
+    @property
+    def technology(self) -> str:
+        return "docker"
+
+
+@dataclass
+class NativePackage:
+    """An opkg/apt package for an NF already supported by the host OS."""
+
+    name: str
+    components: tuple[ImageComponent, ...]
+
+    @property
+    def size_mb(self) -> float:
+        return sum(component.size_mb for component in self.components)
+
+    @property
+    def technology(self) -> str:
+        return "native"
+
+
+Image = "VmImage | DockerImage | NativePackage"
+
+
+class ImageRegistry:
+    """The VNF repository's artefact store (image name -> image)."""
+
+    def __init__(self) -> None:
+        self._images: dict[str, object] = {}
+
+    def register(self, image: "VmImage | DockerImage | NativePackage") -> None:
+        if image.name in self._images:
+            raise ValueError(f"image {image.name!r} already registered")
+        self._images[image.name] = image
+
+    def get(self, name: str) -> "VmImage | DockerImage | NativePackage":
+        try:
+            return self._images[name]
+        except KeyError:
+            raise KeyError(f"no image {name!r} in registry") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._images
+
+    def names(self) -> list[str]:
+        return sorted(self._images)
+
+    def transfer_seconds(self, name: str, link_mbps: float = 100.0) -> float:
+        """Time to pull the image to a node over ``link_mbps``.
+
+        Native packages are usually preinstalled on the CPE; the pull
+        time still matters when the orchestrator must fetch a missing
+        plugin package.
+        """
+        if link_mbps <= 0:
+            raise ValueError("link rate must be positive")
+        image = self.get(name)
+        return image.size_mb * 8.0 / link_mbps
+
+    @staticmethod
+    def stock() -> "ImageRegistry":
+        """Registry pre-loaded with the images the benchmarks use."""
+        c = STOCK_COMPONENTS
+        registry = ImageRegistry()
+        registry.register(VmImage(
+            name="strongswan-vm",
+            components=(c["linux-kernel"], c["ubuntu-rootfs"],
+                        c["cloud-init-tools"], c["strongswan-full"])))
+        registry.register(DockerImage(
+            name="strongswan-docker",
+            layers=(c["ubuntu-docker-base"], c["apt-runtime-deps"],
+                    c["strongswan-full"],
+                    ImageComponent("docker-image-metadata", 2.0))))
+        registry.register(NativePackage(
+            name="strongswan-native", components=(c["strongswan-pkg"],)))
+        registry.register(NativePackage(
+            name="iptables-native", components=(c["iptables-pkg"],)))
+        registry.register(NativePackage(
+            name="dnsmasq-native", components=(c["dnsmasq-pkg"],)))
+        registry.register(NativePackage(
+            name="linuxbridge-native",
+            components=(c["bridge-utils-pkg"],)))
+        registry.register(VmImage(
+            name="generic-nf-vm",
+            components=(c["linux-kernel"], c["ubuntu-rootfs"],
+                        c["cloud-init-tools"],
+                        ImageComponent("generic-nf", 25.0))))
+        registry.register(DockerImage(
+            name="generic-nf-docker",
+            layers=(c["ubuntu-docker-base"], c["apt-runtime-deps"],
+                    ImageComponent("generic-nf", 25.0))))
+        registry.register(DockerImage(
+            name="dpi-docker",
+            layers=(c["ubuntu-docker-base"], c["apt-runtime-deps"],
+                    ImageComponent("ndpi-engine", 55.0))))
+        registry.register(VmImage(
+            name="dpdk-fwd-vm",
+            components=(c["linux-kernel"], c["ubuntu-rootfs"],
+                        c["dpdk-runtime"],
+                        ImageComponent("l2fwd-app", 8.0))))
+        return registry

@@ -1,0 +1,28 @@
+"""REST front-end of the compute node (Figure 1's "REST server").
+
+The API mirrors the un-orchestrator's north-bound interface:
+
+=======  ============================  =======================================
+method   path                          meaning
+=======  ============================  =======================================
+GET      /                             node description, capabilities, resources
+GET      /nffg                         ids of deployed graphs
+PUT      /nffg/{id}                    deploy (or update) the NF-FG in the body
+GET      /nffg/{id}                    the deployed graph document
+GET      /nffg/{id}/status             placement/state/RAM per NF
+DELETE   /nffg/{id}                    undeploy
+GET      /nnfs                         native-function inventory
+=======  ============================  =======================================
+
+The application object is transport-independent: the in-process
+:class:`~repro.rest.client.RestClient` calls it directly (tests,
+examples), and :mod:`repro.rest.server` exposes the same app over a
+real HTTP socket for interactive use.
+"""
+
+from repro.rest.app import HttpError, Request, Response, RestApp
+from repro.rest.client import RestClient
+from repro.rest.server import serve_node
+
+__all__ = ["HttpError", "Request", "Response", "RestApp", "RestClient",
+           "serve_node"]

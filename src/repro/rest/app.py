@@ -1,0 +1,152 @@
+"""The REST application: routing plus the node's API handlers."""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.node import ComputeNode
+from repro.core.orchestrator import OrchestrationError
+from repro.nffg.json_codec import nffg_from_dict, nffg_to_dict
+
+__all__ = ["HttpError", "Request", "Response", "RestApp"]
+
+
+class HttpError(Exception):
+    """Maps to a non-2xx response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    body: bytes = b""
+    params: dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> Any:
+        if not self.body:
+            raise HttpError(400, "request body required")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+
+@dataclass
+class Response:
+    status: int
+    body: Any = None
+
+    def to_bytes(self) -> bytes:
+        if self.body is None:
+            return b""
+        return json.dumps(self.body, indent=2, sort_keys=True).encode()
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+Handler = Callable[[Request], Response]
+
+
+class RestApp:
+    """Pattern router + the node endpoints."""
+
+    def __init__(self, node: ComputeNode) -> None:
+        self.node = node
+        self._routes: list[tuple[str, re.Pattern, Handler]] = []
+        self.requests_served = 0
+        self._register_default_routes()
+
+    # -- routing -----------------------------------------------------------------
+    def route(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register a handler; ``{name}`` segments become params."""
+        regex = re.compile(
+            "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern) + "$")
+        self._routes.append((method.upper(), regex, handler))
+
+    def handle(self, method: str, path: str, body: bytes = b"") -> Response:
+        self.requests_served += 1
+        matched_path = False
+        for route_method, regex, handler in self._routes:
+            hit = regex.match(path)
+            if hit is None:
+                continue
+            matched_path = True
+            if route_method != method.upper():
+                continue
+            request = Request(method=method.upper(), path=path, body=body,
+                              params=hit.groupdict())
+            try:
+                return handler(request)
+            except HttpError as exc:
+                return Response(exc.status, {"error": exc.message})
+            except OrchestrationError as exc:
+                return Response(409, {"error": str(exc)})
+        if matched_path:
+            return Response(405, {"error": f"method {method} not allowed "
+                                           f"on {path}"})
+        return Response(404, {"error": f"no such resource {path}"})
+
+    # -- node endpoints ------------------------------------------------------------
+    def _register_default_routes(self) -> None:
+        self.route("GET", "/", self._get_root)
+        self.route("GET", "/nffg", self._list_graphs)
+        self.route("PUT", "/nffg/{graph_id}", self._put_graph)
+        self.route("GET", "/nffg/{graph_id}", self._get_graph)
+        self.route("GET", "/nffg/{graph_id}/status", self._get_status)
+        self.route("DELETE", "/nffg/{graph_id}", self._delete_graph)
+        self.route("GET", "/nnfs", self._list_nnfs)
+
+    def _get_root(self, request: Request) -> Response:
+        return Response(200, self.node.describe())
+
+    def _list_graphs(self, request: Request) -> Response:
+        return Response(200, {"nffgs": self.node.orchestrator.list_graphs()})
+
+    def _put_graph(self, request: Request) -> Response:
+        document = request.json()
+        try:
+            graph = nffg_from_dict(document)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+        graph_id = request.params["graph_id"]
+        if graph.graph_id != graph_id:
+            raise HttpError(400, f"graph id {graph.graph_id!r} in body "
+                                 f"does not match URL {graph_id!r}")
+        if graph_id in self.node.orchestrator.deployed:
+            record = self.node.update(graph)
+            return Response(200, self.node.orchestrator.status(graph_id))
+        record = self.node.deploy(graph)
+        return Response(201, self.node.orchestrator.status(graph_id))
+
+    def _get_graph(self, request: Request) -> Response:
+        graph_id = request.params["graph_id"]
+        record = self.node.orchestrator.deployed.get(graph_id)
+        if record is None:
+            raise HttpError(404, f"graph {graph_id!r} is not deployed")
+        return Response(200, nffg_to_dict(record.graph))
+
+    def _get_status(self, request: Request) -> Response:
+        graph_id = request.params["graph_id"]
+        if graph_id not in self.node.orchestrator.deployed:
+            raise HttpError(404, f"graph {graph_id!r} is not deployed")
+        return Response(200, self.node.orchestrator.status(graph_id))
+
+    def _delete_graph(self, request: Request) -> Response:
+        graph_id = request.params["graph_id"]
+        if graph_id not in self.node.orchestrator.deployed:
+            raise HttpError(404, f"graph {graph_id!r} is not deployed")
+        self.node.undeploy(graph_id)
+        return Response(204)
+
+    def _list_nnfs(self, request: Request) -> Response:
+        return Response(200, {"nnfs": self.node.nnf_registry.describe()})

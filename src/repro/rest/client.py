@@ -1,0 +1,61 @@
+"""In-process REST client: the test/example-facing API surface."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.nffg.json_codec import nffg_to_dict
+from repro.nffg.model import Nffg
+from repro.rest.app import Response, RestApp
+
+__all__ = ["RestClient"]
+
+
+class RestClient:
+    """Calls the app directly — same requests, no socket."""
+
+    def __init__(self, app: RestApp) -> None:
+        self.app = app
+
+    # -- generic verbs ------------------------------------------------------------
+    def get(self, path: str) -> Response:
+        return self.app.handle("GET", path)
+
+    def put(self, path: str, document: Any) -> Response:
+        return self.app.handle("PUT", path,
+                               json.dumps(document).encode())
+
+    def delete(self, path: str) -> Response:
+        return self.app.handle("DELETE", path)
+
+    # -- convenience --------------------------------------------------------------
+    def node_description(self) -> dict:
+        return self._expect(self.get("/"), 200)
+
+    def deploy_graph(self, graph: Nffg) -> dict:
+        response = self.put(f"/nffg/{graph.graph_id}", nffg_to_dict(graph))
+        if response.status not in (200, 201):
+            raise RuntimeError(
+                f"deploy failed ({response.status}): {response.body}")
+        return response.body
+
+    def graph_status(self, graph_id: str) -> dict:
+        return self._expect(self.get(f"/nffg/{graph_id}/status"), 200)
+
+    def undeploy_graph(self, graph_id: str) -> None:
+        self._expect(self.delete(f"/nffg/{graph_id}"), 204)
+
+    def list_graphs(self) -> list[str]:
+        return self._expect(self.get("/nffg"), 200)["nffgs"]
+
+    def list_nnfs(self) -> list[dict]:
+        return self._expect(self.get("/nnfs"), 200)["nnfs"]
+
+    @staticmethod
+    def _expect(response: Response, status: int) -> Any:
+        if response.status != status:
+            raise RuntimeError(
+                f"expected HTTP {status}, got {response.status}: "
+                f"{response.body}")
+        return response.body

@@ -1,0 +1,86 @@
+"""Socket transport for the REST app (stdlib http.server).
+
+Optional — everything in the repository works through the in-process
+client — but ``repro serve`` exposes the node on localhost so the API
+can be driven with curl, as the real un-orchestrator is.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.core.node import ComputeNode
+from repro.rest.app import RestApp
+
+__all__ = ["NodeHttpServer", "serve_node"]
+
+
+def _make_handler(app: RestApp):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _dispatch(self, method: str) -> None:
+            length = int(self.headers.get("Content-Length", "0") or "0")
+            body = self.rfile.read(length) if length else b""
+            response = app.handle(method, self.path, body)
+            payload = response.to_bytes()
+            self.send_response(response.status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            if payload:
+                self.wfile.write(payload)
+
+        def do_GET(self) -> None:       # noqa: N802 (http.server API)
+            self._dispatch("GET")
+
+        def do_PUT(self) -> None:       # noqa: N802
+            self._dispatch("PUT")
+
+        def do_DELETE(self) -> None:    # noqa: N802
+            self._dispatch("DELETE")
+
+        def log_message(self, fmt: str, *args) -> None:
+            pass  # tests and examples keep stdout clean
+
+    return Handler
+
+
+class NodeHttpServer:
+    """ThreadingHTTPServer wrapper with clean start/stop."""
+
+    def __init__(self, node: ComputeNode, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.app = RestApp(node)
+        self._server = ThreadingHTTPServer((host, port),
+                                           _make_handler(self.app))
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "NodeHttpServer":
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="rest-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+
+def serve_node(node: ComputeNode, host: str = "127.0.0.1",
+               port: int = 8080) -> NodeHttpServer:
+    """Start serving ``node``; returns the running server."""
+    return NodeHttpServer(node, host=host, port=port).start()

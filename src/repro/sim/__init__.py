@@ -1,0 +1,44 @@
+"""Discrete-event simulation engine.
+
+Every dynamic component of the reproduced NFV compute node (switch
+datapaths, network-function processes, traffic generators) runs as a
+process on this engine.  The engine is a classic event-wheel design:
+
+* :class:`~repro.sim.engine.Simulator` owns a priority queue of timed
+  events and a monotonically advancing virtual clock.
+* Processes are plain Python generators that ``yield`` simulation
+  primitives (:class:`~repro.sim.engine.Timeout`,
+  :class:`~repro.sim.engine.Event`, ...), in the style popularised by
+  SimPy, but implemented from scratch so the repository has no runtime
+  dependencies.
+* :mod:`repro.sim.stats` provides time-weighted counters used by the
+  measurement harness.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.stats import Counter, RateMeter, TimeWeightedStat
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RateMeter",
+    "Resource",
+    "Simulator",
+    "Store",
+    "TimeWeightedStat",
+    "Timeout",
+]

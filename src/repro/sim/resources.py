@@ -1,0 +1,177 @@
+"""Shared-resource primitives built on the event engine.
+
+Three classics, modelled after the SimPy API surface the rest of the
+code base needs:
+
+* :class:`Resource` — capacity-limited server (e.g. a CPU core pool);
+  processes ``yield resource.request()`` and later call ``release``.
+* :class:`Container` — continuous stock (e.g. bytes of RAM);
+  ``put``/``get`` block until the amount fits.
+* :class:`Store` — FIFO of Python objects (e.g. a packet queue between
+  a switch port and an NF process), optionally bounded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["Container", "Request", "Resource", "Store"]
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """Counted resource with FIFO granting."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        request = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed(request)
+        else:
+            self.queue.append(request)
+        return request
+
+    def release(self, request: Request) -> None:
+        if request not in self.users:
+            raise SimulationError("releasing a request that holds no slot")
+        self.users.remove(request)
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class Container:
+    """Continuous stock with blocking put/get."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init outside [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = init
+        self._getters: Deque[tuple[float, Event]] = deque()
+        self._putters: Deque[tuple[float, Event]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("put amount must be positive")
+        if amount > self.capacity:
+            raise ValueError("put amount exceeds container capacity")
+        event = Event(self.sim)
+        self._putters.append((amount, event))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("get amount must be positive")
+        if amount > self.capacity:
+            raise ValueError("get amount exceeds container capacity")
+        event = Event(self.sim)
+        self._getters.append((amount, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed(amount)
+                    progressed = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """FIFO object queue with optional capacity bound.
+
+    ``put`` on a full store blocks the putter; ``get`` on an empty store
+    blocks the getter — exactly the backpressure semantics a bounded
+    packet queue needs.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Any, Event]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.sim)
+        self._putters.append((item, event))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False (drop) when the store is full."""
+        if len(self.items) >= self.capacity:
+            return False
+        self.put(item)
+        return True
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self.items) < self.capacity:
+                item, event = self._putters.popleft()
+                self.items.append(item)
+                event.succeed(item)
+                progressed = True
+            if self._getters and self.items:
+                event = self._getters.popleft()
+                event.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,169 @@
+"""Measurement helpers: counters, rate meters, time-weighted statistics.
+
+The benchmark harness samples these to build the throughput / RAM rows
+of the paper's Table 1 and the scaling curves of the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Counter", "RateMeter", "TimeWeightedStat", "WelfordStat"]
+
+
+class Counter:
+    """Monotonic event/byte counter with window deltas."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.total = 0
+        self._mark = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters are monotonic; use a separate counter")
+        self.total += amount
+
+    def mark(self) -> int:
+        """Return the delta since the previous mark and reset the window."""
+        delta = self.total - self._mark
+        self._mark = self.total
+        return delta
+
+
+class RateMeter:
+    """Bits/second meter over the simulated clock.
+
+    ``record(nbytes)`` accumulates payload; ``rate_bps`` divides by the
+    elapsed simulated time since construction or the last ``reset``.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._bytes = 0
+        self._packets = 0
+        self._start = sim.now
+
+    def record(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot record negative bytes")
+        self._bytes += nbytes
+        self._packets += 1
+
+    def reset(self) -> None:
+        self._bytes = 0
+        self._packets = 0
+        self._start = self.sim.now
+
+    @property
+    def bytes_total(self) -> int:
+        return self._bytes
+
+    @property
+    def packets_total(self) -> int:
+        return self._packets
+
+    @property
+    def elapsed(self) -> float:
+        return self.sim.now - self._start
+
+    @property
+    def rate_bps(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self._bytes * 8.0 / self.elapsed
+
+    @property
+    def rate_pps(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self._packets / self.elapsed
+
+
+class TimeWeightedStat:
+    """Time-weighted mean/max of a piecewise-constant signal.
+
+    Used for queue occupancy and allocated-RAM curves: the value between
+    two updates is weighted by the simulated time it persisted.
+    """
+
+    def __init__(self, sim: Simulator, initial: float = 0.0) -> None:
+        self.sim = sim
+        self._value = initial
+        self._last_change = sim.now
+        self._area = 0.0
+        self._start = sim.now
+        self._max = initial
+        self._min = initial
+
+    def update(self, value: float) -> None:
+        now = self.sim.now
+        self._area += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+        self._max = max(self._max, value)
+        self._min = min(self._min, value)
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    @property
+    def minimum(self) -> float:
+        return self._min
+
+    @property
+    def mean(self) -> float:
+        now = self.sim.now
+        span = now - self._start
+        if span <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._last_change)
+        return area / span
+
+
+class WelfordStat:
+    """Streaming mean/variance (Welford), for latency samples."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def add(self, sample: float) -> None:
+        self.n += 1
+        delta = sample - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (sample - self._mean)
+        self._min = sample if self._min is None else min(self._min, sample)
+        self._max = sample if self._max is None else max(self._max, sample)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._max is not None else 0.0

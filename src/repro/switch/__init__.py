@@ -1,0 +1,44 @@
+"""Software switch substrate: the Logical Switch Instances of Figure 1.
+
+The un-orchestrator steers traffic with one software switch per service
+graph (the *LSI*) plus a base *LSI-0* that classifies node ingress
+traffic, all programmed over OpenFlow.  This package provides:
+
+* :mod:`repro.switch.flowtable` — priority-ordered match/action tables
+  with OpenFlow-1.0-style field matching (in_port, MACs, ethertype,
+  VLAN, IPv4 prefixes, L4 ports) and counters;
+* :mod:`repro.switch.actions` — output / push-pop VLAN / set-field /
+  controller actions;
+* :mod:`repro.switch.datapath` — the pipeline: ports, lookup, action
+  execution, packet-in on miss;
+* :mod:`repro.switch.lsi` — the LSI wrapper and inter-LSI virtual
+  links (the "Virtual Link among LSIs" of Figure 1).
+"""
+
+from repro.switch.actions import (
+    ActionError,
+    Controller,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+)
+from repro.switch.datapath import Datapath, SwitchPort
+from repro.switch.flowtable import FlowEntry, FlowMatch, FlowTable
+from repro.switch.lsi import LogicalSwitchInstance, VirtualLink
+
+__all__ = [
+    "ActionError",
+    "Controller",
+    "Datapath",
+    "FlowEntry",
+    "FlowMatch",
+    "FlowTable",
+    "LogicalSwitchInstance",
+    "Output",
+    "PopVlan",
+    "PushVlan",
+    "SetField",
+    "SwitchPort",
+    "VirtualLink",
+]

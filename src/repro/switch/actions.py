@@ -1,0 +1,108 @@
+"""Flow-entry actions: output, VLAN tag manipulation, header rewrites.
+
+Actions are applied in sequence to a frame; an action list with no
+Output action drops the packet (OpenFlow semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.net.addresses import MacAddress
+from repro.net.ethernet import EthernetFrame
+
+__all__ = ["Action", "ActionError", "Controller", "FLOOD_PORT", "Output",
+           "PopVlan", "PushVlan", "SetField"]
+
+#: Pseudo port number: send to every port except ingress.
+FLOOD_PORT = 0xFFFB
+#: Pseudo port number: punt to the OpenFlow controller.
+CONTROLLER_PORT = 0xFFFD
+
+
+class ActionError(Exception):
+    """Invalid action application (e.g. pop on an untagged frame)."""
+
+
+@dataclass(frozen=True)
+class Output:
+    """Emit the frame on a port (or FLOOD)."""
+
+    port: int
+
+    def __str__(self) -> str:
+        return "output:FLOOD" if self.port == FLOOD_PORT \
+            else f"output:{self.port}"
+
+
+@dataclass(frozen=True)
+class Controller:
+    """Punt the frame to the controller (packet-in)."""
+
+    max_len: int = 128
+
+    def __str__(self) -> str:
+        return "output:CONTROLLER"
+
+
+@dataclass(frozen=True)
+class PushVlan:
+    """Tag the frame; the traffic-marking primitive of the adaptation layer."""
+
+    vid: int
+    pcp: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vid <= 4095:
+            raise ValueError(f"bad VLAN id {self.vid}")
+
+    def apply(self, frame: EthernetFrame) -> EthernetFrame:
+        return frame.with_vlan(self.vid, self.pcp)
+
+    def __str__(self) -> str:
+        return f"push_vlan:{self.vid}"
+
+
+@dataclass(frozen=True)
+class PopVlan:
+    """Strip the outer VLAN tag."""
+
+    def apply(self, frame: EthernetFrame) -> EthernetFrame:
+        if frame.vlan is None:
+            raise ActionError("pop_vlan on an untagged frame")
+        return frame.without_vlan()
+
+    def __str__(self) -> str:
+        return "pop_vlan"
+
+
+@dataclass(frozen=True)
+class SetField:
+    """Rewrite a header field (eth_src / eth_dst / vlan_vid)."""
+
+    field: str
+    value: "int | str | MacAddress"
+
+    _ALLOWED = ("eth_src", "eth_dst", "vlan_vid")
+
+    def __post_init__(self) -> None:
+        if self.field not in self._ALLOWED:
+            raise ValueError(f"unsupported set-field {self.field!r}; "
+                             f"one of {self._ALLOWED}")
+
+    def apply(self, frame: EthernetFrame) -> EthernetFrame:
+        from dataclasses import replace
+        if self.field == "eth_src":
+            return replace(frame, src=MacAddress(self.value))
+        if self.field == "eth_dst":
+            return replace(frame, dst=MacAddress(self.value))
+        if frame.vlan is None:
+            raise ActionError("set vlan_vid on an untagged frame")
+        return replace(frame, vlan=int(self.value))
+
+    def __str__(self) -> str:
+        return f"set_{self.field}:{self.value}"
+
+
+Action = Union[Output, Controller, PushVlan, PopVlan, SetField]

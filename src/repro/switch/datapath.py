@@ -1,0 +1,183 @@
+"""The switch pipeline: ports, table lookup, action execution, packet-in.
+
+A :class:`Datapath` is a single-table OpenFlow-style switch.  Ports
+either wrap a :class:`~repro.linuxnet.devices.NetDevice` (NF ports and
+node physical ports) or connect to another datapath through a
+:class:`~repro.switch.lsi.VirtualLink` (inter-LSI wiring).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.linuxnet.devices import NetDevice
+from repro.net.builder import parse_frame
+from repro.net.ethernet import EthernetFrame
+from repro.switch.actions import (
+    ActionError,
+    Controller,
+    FLOOD_PORT,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+)
+from repro.switch.flowtable import FlowEntry, FlowTable
+
+__all__ = ["Datapath", "SwitchPort"]
+
+PacketInHandler = Callable[["Datapath", int, EthernetFrame], None]
+TapHandler = Callable[[int, EthernetFrame], None]
+
+
+class SwitchPort:
+    """One switch port, optionally bound to a NetDevice."""
+
+    def __init__(self, port_no: int, name: str,
+                 device: Optional[NetDevice] = None) -> None:
+        self.port_no = port_no
+        self.name = name
+        self.device = device
+        self.datapath: Optional["Datapath"] = None
+        self.peer_link = None  # set by VirtualLink
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.rx_bytes = 0
+        self.tx_bytes = 0
+
+    def deliver_out(self, frame: EthernetFrame) -> None:
+        """Frame leaving the switch through this port."""
+        self.tx_packets += 1
+        self.tx_bytes += len(frame)
+        if self.device is not None:
+            # Out the device towards its peer (veth half inside an NF
+            # namespace, or the node's physical NIC).
+            self.device.transmit(frame)
+        elif self.peer_link is not None:
+            self.peer_link.carry(self, frame)
+
+    def __repr__(self) -> str:
+        return f"<SwitchPort {self.port_no}:{self.name}>"
+
+
+class Datapath:
+    """Single-table software switch."""
+
+    def __init__(self, dpid: int, name: str = "") -> None:
+        self.dpid = dpid
+        self.name = name or f"dp{dpid}"
+        self.table = FlowTable()
+        self.ports: dict[int, SwitchPort] = {}
+        self._next_port = 1
+        self.packet_in_handler: Optional[PacketInHandler] = None
+        self.taps: list[TapHandler] = []
+        self.rx_packets = 0
+        self.table_misses = 0
+        self.dropped = 0
+        self.action_errors = 0
+
+    # -- port management --------------------------------------------------------
+    def add_port(self, name: str, device: Optional[NetDevice] = None,
+                 port_no: Optional[int] = None) -> SwitchPort:
+        if port_no is None:
+            port_no = self._next_port
+        if port_no in self.ports:
+            raise ValueError(f"port {port_no} already on {self.name}")
+        self._next_port = max(self._next_port, port_no) + 1
+        port = SwitchPort(port_no, name, device)
+        port.datapath = self
+        self.ports[port_no] = port
+        if device is not None:
+            device.attach_handler(
+                lambda dev, frame, p=port_no: self.process(p, frame))
+            if not device.up:
+                device.set_up()
+        return port
+
+    def remove_port(self, port_no: int) -> SwitchPort:
+        try:
+            port = self.ports.pop(port_no)
+        except KeyError:
+            raise KeyError(f"no port {port_no} on {self.name}") from None
+        if port.device is not None:
+            port.device.detach_handler()
+        port.datapath = None
+        return port
+
+    def port_by_name(self, name: str) -> SwitchPort:
+        for port in self.ports.values():
+            if port.name == name:
+                return port
+        raise KeyError(f"no port named {name!r} on {self.name}")
+
+    # -- pipeline -----------------------------------------------------------------
+    def process(self, in_port: int, frame: EthernetFrame) -> None:
+        """Run one frame through the pipeline."""
+        if in_port not in self.ports:
+            raise KeyError(f"frame from unknown port {in_port} on {self.name}")
+        self.rx_packets += 1
+        port = self.ports[in_port]
+        port.rx_packets += 1
+        port.rx_bytes += len(frame)
+        for tap in self.taps:
+            tap(in_port, frame)
+        parsed = parse_frame(frame)
+        entry = self.table.lookup(in_port, parsed)
+        if entry is None:
+            self.table_misses += 1
+            if self.packet_in_handler is not None:
+                self.packet_in_handler(self, in_port, frame)
+            else:
+                self.dropped += 1
+            return
+        self.execute(entry, in_port, frame)
+
+    def execute(self, entry: FlowEntry, in_port: int,
+                frame: EthernetFrame) -> None:
+        current = frame
+        emitted = False
+        for action in entry.actions:
+            if isinstance(action, Output):
+                emitted = True
+                self._emit(action.port, in_port, current)
+            elif isinstance(action, Controller):
+                emitted = True
+                if self.packet_in_handler is not None:
+                    self.packet_in_handler(self, in_port, current)
+            elif isinstance(action, (PushVlan, PopVlan, SetField)):
+                try:
+                    current = action.apply(current)
+                except ActionError:
+                    self.action_errors += 1
+                    return
+            else:  # pragma: no cover - action union is closed
+                raise TypeError(f"unknown action {action!r}")
+        if not emitted:
+            self.dropped += 1
+
+    def _emit(self, out_port: int, in_port: int,
+              frame: EthernetFrame) -> None:
+        if out_port == FLOOD_PORT:
+            for number, port in self.ports.items():
+                if number != in_port:
+                    port.deliver_out(frame)
+            return
+        port = self.ports.get(out_port)
+        if port is None:
+            self.dropped += 1
+            return
+        port.deliver_out(frame)
+
+    # -- convenience -----------------------------------------------------------
+    def install(self, entry: FlowEntry) -> None:
+        """Direct table write (tests); production path is OpenFlow."""
+        self.table.add(entry)
+
+    def describe(self) -> str:
+        lines = [f"datapath {self.name} dpid={self.dpid:#x} "
+                 f"ports={len(self.ports)} flows={len(self.table)}"]
+        for number in sorted(self.ports):
+            port = self.ports[number]
+            lines.append(f"  port {number}: {port.name}")
+        lines.extend("  " + text for text in self.table.dump())
+        return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Flow tables: OpenFlow-style matching with priorities and counters."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.net.addresses import MacAddress, ip_to_int, parse_cidr
+from repro.net.builder import ParsedFrame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.switch.actions import Action
+
+__all__ = ["ANY_VLAN", "FlowEntry", "FlowMatch", "FlowTable", "NO_VLAN"]
+
+#: Match any VLAN id (but the frame must be tagged).
+ANY_VLAN = -1
+#: Match only untagged frames.
+NO_VLAN = -2
+
+
+@dataclass(frozen=True)
+class FlowMatch:
+    """Match criteria; ``None`` means wildcard.
+
+    ``vlan_vid`` accepts a concrete VID, :data:`ANY_VLAN` (tagged, any
+    id) or :data:`NO_VLAN` (untagged only) — the three cases the
+    steering and adaptation layers need.
+    """
+
+    in_port: Optional[int] = None
+    eth_src: Optional[MacAddress] = None
+    eth_dst: Optional[MacAddress] = None
+    eth_type: Optional[int] = None
+    vlan_vid: Optional[int] = None
+    ip_src: Optional[str] = None     # CIDR
+    ip_dst: Optional[str] = None     # CIDR
+    ip_proto: Optional[int] = None
+    tp_src: Optional[int] = None
+    tp_dst: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for cidr in (self.ip_src, self.ip_dst):
+            if cidr is not None:
+                parse_cidr(cidr if "/" in cidr else cidr + "/32")
+        if self.vlan_vid is not None and not (
+                self.vlan_vid in (ANY_VLAN, NO_VLAN)
+                or 0 <= self.vlan_vid <= 4095):
+            raise ValueError(f"bad vlan_vid {self.vlan_vid}")
+
+    def hits(self, in_port: int, parsed: ParsedFrame) -> bool:
+        eth = parsed.eth
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.eth_src is not None and eth.src != self.eth_src:
+            return False
+        if self.eth_dst is not None and eth.dst != self.eth_dst:
+            return False
+        if self.eth_type is not None and eth.ethertype != self.eth_type:
+            return False
+        if self.vlan_vid is not None:
+            if self.vlan_vid == NO_VLAN:
+                if eth.vlan is not None:
+                    return False
+            elif self.vlan_vid == ANY_VLAN:
+                if eth.vlan is None:
+                    return False
+            elif eth.vlan != self.vlan_vid:
+                return False
+        if self.ip_src is not None or self.ip_dst is not None \
+                or self.ip_proto is not None:
+            if parsed.ipv4 is None:
+                return False
+            if self.ip_src is not None and not _cidr_hit(
+                    self.ip_src, parsed.ipv4.src):
+                return False
+            if self.ip_dst is not None and not _cidr_hit(
+                    self.ip_dst, parsed.ipv4.dst):
+                return False
+            if self.ip_proto is not None \
+                    and parsed.ipv4.proto != self.ip_proto:
+                return False
+        if self.tp_src is not None or self.tp_dst is not None:
+            five = parsed.five_tuple
+            if five is None:
+                return False
+            if self.tp_src is not None and five[3] != self.tp_src:
+                return False
+            if self.tp_dst is not None and five[4] != self.tp_dst:
+                return False
+        return True
+
+    _FIELDS = ("in_port", "eth_src", "eth_dst", "eth_type", "vlan_vid",
+               "ip_src", "ip_dst", "ip_proto", "tp_src", "tp_dst")
+
+    def subsumes(self, other: "FlowMatch") -> bool:
+        """True when every concrete field of self equals other's field.
+
+        This is the filter semantics of a non-strict OpenFlow delete: a
+        wildcarded (None) field in the delete match covers any value.
+        """
+        return all(
+            getattr(self, name) is None
+            or getattr(self, name) == getattr(other, name)
+            for name in self._FIELDS)
+
+    def describe(self) -> str:
+        parts = []
+        for name in ("in_port", "eth_src", "eth_dst", "eth_type", "vlan_vid",
+                     "ip_src", "ip_dst", "ip_proto", "tp_src", "tp_dst"):
+            value = getattr(self, name)
+            if value is not None:
+                if name == "vlan_vid" and value == ANY_VLAN:
+                    value = "any"
+                elif name == "vlan_vid" and value == NO_VLAN:
+                    value = "none"
+                parts.append(f"{name}={value}")
+        return ",".join(parts) or "*"
+
+
+def _cidr_hit(cidr: str, address: str) -> bool:
+    if "/" not in cidr:
+        cidr += "/32"
+    network, plen = parse_cidr(cidr)
+    if plen == 0:
+        return True
+    shift = 32 - plen
+    return (ip_to_int(address) >> shift) == (network >> shift)
+
+
+_entry_ids = itertools.count(1)
+
+
+@dataclass
+class FlowEntry:
+    """One installed flow: match, priority, action list, counters."""
+
+    match: FlowMatch
+    actions: Sequence["Action"]
+    priority: int = 100
+    cookie: int = 0
+    entry_id: int = field(default_factory=lambda: next(_entry_ids))
+    packets: int = 0
+    bytes: int = 0
+
+    def describe(self) -> str:
+        acts = ",".join(str(a) for a in self.actions) or "drop"
+        return (f"priority={self.priority} match[{self.match.describe()}] "
+                f"actions[{acts}]")
+
+
+class FlowTable:
+    """Priority-ordered flow table with add/modify/delete semantics."""
+
+    def __init__(self, table_id: int = 0) -> None:
+        self.table_id = table_id
+        self._entries: list[FlowEntry] = []
+        self.lookups = 0
+        self.matches = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def add(self, entry: FlowEntry) -> None:
+        """Install; replaces an entry with identical match+priority."""
+        self.delete(match=entry.match, priority=entry.priority, strict=True)
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: (-e.priority, e.entry_id))
+
+    def delete(self, match: Optional[FlowMatch] = None,
+               priority: Optional[int] = None, cookie: Optional[int] = None,
+               strict: bool = False) -> int:
+        """Remove matching entries; returns how many were removed."""
+        def doomed(entry: FlowEntry) -> bool:
+            if cookie is not None and entry.cookie != cookie:
+                return False
+            if strict:
+                return (match is not None and entry.match == match
+                        and (priority is None or entry.priority == priority))
+            if match is not None and not match.subsumes(entry.match):
+                return False
+            if priority is not None and entry.priority != priority:
+                return False
+            return True
+
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if not doomed(e)]
+        return before - len(self._entries)
+
+    def clear(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    def lookup(self, in_port: int,
+               parsed: ParsedFrame) -> Optional[FlowEntry]:
+        """Highest-priority matching entry, or None (table miss)."""
+        self.lookups += 1
+        for entry in self._entries:
+            if entry.match.hits(in_port, parsed):
+                self.matches += 1
+                entry.packets += 1
+                entry.bytes += len(parsed.eth)
+                return entry
+        return None
+
+    def dump(self) -> list[str]:
+        return [entry.describe() for entry in self._entries]

@@ -1,0 +1,100 @@
+"""Logical Switch Instances and the virtual links that join them.
+
+Figure 1 of the paper: LSI-0 (the base LSI) owns the node's physical
+ports and classifies traffic into per-graph LSIs over *virtual links*;
+each graph LSI owns the ports of the NFs in that graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.net.ethernet import EthernetFrame
+from repro.switch.datapath import Datapath, SwitchPort
+
+__all__ = ["LogicalSwitchInstance", "VirtualLink"]
+
+_dpids = itertools.count(0x100)
+
+
+class LogicalSwitchInstance:
+    """One LSI: a datapath plus its role metadata.
+
+    ``graph_id`` is ``None`` for the base LSI (LSI-0) and the NF-FG id
+    for per-graph LSIs.
+    """
+
+    def __init__(self, name: str, graph_id: Optional[str] = None,
+                 dpid: Optional[int] = None) -> None:
+        self.name = name
+        self.graph_id = graph_id
+        self.datapath = Datapath(dpid if dpid is not None else next(_dpids),
+                                 name=name)
+        self.controller = None  # set by repro.openflow.controller
+
+    @property
+    def is_base(self) -> bool:
+        return self.graph_id is None
+
+    def __repr__(self) -> str:
+        role = "base" if self.is_base else f"graph {self.graph_id}"
+        return f"<LSI {self.name} ({role})>"
+
+
+class VirtualLink:
+    """Patch cable between a port on one datapath and a port on another."""
+
+    def __init__(self, name: str = "vlink") -> None:
+        self.name = name
+        self.a: Optional[SwitchPort] = None
+        self.b: Optional[SwitchPort] = None
+        self.carried = 0
+
+    @classmethod
+    def connect(cls, dp_a: Datapath, dp_b: Datapath,
+                name: str = "vlink") -> "VirtualLink":
+        """Create the link and one port on each datapath."""
+        link = cls(name=name)
+        port_a = dp_a.add_port(f"{name}-{dp_b.name}")
+        port_b = dp_b.add_port(f"{name}-{dp_a.name}")
+        link.attach(port_a, port_b)
+        return link
+
+    def attach(self, port_a: SwitchPort, port_b: SwitchPort) -> None:
+        if self.a is not None or self.b is not None:
+            raise ValueError(f"virtual link {self.name} already attached")
+        if port_a.device is not None or port_b.device is not None:
+            raise ValueError("virtual link ports cannot wrap devices")
+        self.a = port_a
+        self.b = port_b
+        port_a.peer_link = self
+        port_b.peer_link = self
+
+    def detach(self) -> None:
+        for port in (self.a, self.b):
+            if port is not None:
+                port.peer_link = None
+        self.a = None
+        self.b = None
+
+    def carry(self, from_port: SwitchPort, frame: EthernetFrame) -> None:
+        """Move a frame to the far end and process it there."""
+        if from_port is self.a:
+            far = self.b
+        elif from_port is self.b:
+            far = self.a
+        else:
+            raise ValueError("frame from a port not on this link")
+        if far is None or far.datapath is None:
+            return
+        self.carried += 1
+        far.datapath.process(far.port_no, frame)
+
+    def far_port(self, datapath: Datapath) -> SwitchPort:
+        """The link's port that lives on ``datapath``."""
+        if self.a is not None and self.a.datapath is datapath:
+            return self.a
+        if self.b is not None and self.b.datapath is datapath:
+            return self.b
+        raise ValueError(f"link {self.name} has no port on {datapath.name}")

@@ -1,0 +1,77 @@
+"""PcapCapture: observability of the deployed dataplane."""
+
+import io
+
+from repro import ComputeNode, Nffg
+from repro.net import MacAddress, make_udp_frame, parse_frame
+from repro.net.pcap import PcapReader
+from repro.perf.capture import PcapCapture
+
+CLIENT = MacAddress("02:aa:00:00:00:01")
+REMOTE = MacAddress("02:aa:00:00:00:02")
+
+
+def deployed_node():
+    node = ComputeNode("cap-test")
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+    graph = Nffg(graph_id="g")
+    graph.add_nf("nat1", "nat", config={
+        "lan.address": "192.168.1.1/24",
+        "wan.address": "203.0.113.2/24",
+        "gateway": "203.0.113.1"})
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat1:lan")
+    graph.add_flow_rule("r2", "vnf:nat1:lan", "endpoint:lan")
+    graph.add_flow_rule("r3", "vnf:nat1:wan", "endpoint:wan")
+    graph.add_flow_rule("r4", "endpoint:wan", "vnf:nat1:wan",
+                        ip_dst="203.0.113.0/24")
+    node.deploy(graph)
+    return node
+
+
+def test_datapath_tap_sees_both_sides_of_the_nat():
+    node = deployed_node()
+    capture = PcapCapture()
+    capture.attach_datapath(node.steering.base.datapath)
+    node.wire("lan0").transmit(make_udp_frame(
+        CLIENT, REMOTE, "192.168.1.100", "8.8.8.8", 5353, 53, b"q"))
+    # LSI-0 saw the pre-NAT ingress frame and the post-NAT egress frame.
+    assert len(capture) == 2
+    sources = [parse_frame(raw).ipv4.src for _ts, raw in capture.frames]
+    assert sources == ["192.168.1.100", "203.0.113.2"]
+    capture.detach_all()
+    node.wire("lan0").transmit(make_udp_frame(
+        CLIENT, REMOTE, "192.168.1.100", "8.8.8.8", 5353, 53, b"q2"))
+    assert len(capture) == 2  # detached: nothing new
+
+
+def test_pcap_file_roundtrip(tmp_path):
+    node = deployed_node()
+    capture = PcapCapture()
+    capture.attach_datapath(node.steering.base.datapath)
+    for index in range(3):
+        node.wire("lan0").transmit(make_udp_frame(
+            CLIENT, REMOTE, "192.168.1.100", "8.8.8.8", 5353, 53,
+            f"pkt{index}".encode()))
+    path = tmp_path / "trace.pcap"
+    written = capture.save(str(path))
+    assert written == 6  # 3 ingress + 3 egress at LSI-0
+    with open(path, "rb") as stream:
+        records = list(PcapReader(stream))
+    assert len(records) == 6
+    timestamps = [ts for ts, _raw in records]
+    assert timestamps == sorted(timestamps)
+
+
+def test_in_memory_write():
+    node = deployed_node()
+    capture = PcapCapture()
+    capture.attach_datapath(node.steering.base.datapath)
+    node.wire("lan0").transmit(make_udp_frame(
+        CLIENT, REMOTE, "192.168.1.100", "8.8.8.8", 1, 53, b"x"))
+    buffer = io.BytesIO()
+    assert capture.write(buffer) == len(capture)
+    buffer.seek(0)
+    assert len(list(PcapReader(buffer))) == len(capture)

@@ -1,0 +1,74 @@
+"""CLI subcommand tests (argument wiring + output contracts)."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.nffg.json_codec import nffg_to_json
+from repro.nffg.model import Nffg
+
+
+def nat_graph_json() -> str:
+    graph = Nffg(graph_id="cli-test")
+    graph.add_nf("nat1", "nat", config={
+        "lan.address": "192.168.1.1/24",
+        "wan.address": "203.0.113.2/24",
+        "gateway": "203.0.113.1"})
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat1:lan")
+    graph.add_flow_rule("r2", "vnf:nat1:lan", "endpoint:lan")
+    graph.add_flow_rule("r3", "vnf:nat1:wan", "endpoint:wan")
+    graph.add_flow_rule("r4", "endpoint:wan", "vnf:nat1:wan",
+                        ip_dst="203.0.113.0/24")
+    return nffg_to_json(graph)
+
+
+def test_table1_command(capsys):
+    assert main(["table1", "--duration", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "KVM/QEMU" in out and "Native NF" in out
+    assert "796" in out  # paper column present
+
+
+def test_node_command(capsys):
+    assert main(["node"]) == 0
+    description = json.loads(capsys.readouterr().out)
+    assert description["class"] == "cpe"
+    assert "nnfs" in description
+
+
+def test_deploy_command(tmp_path, capsys):
+    path = tmp_path / "graph.json"
+    path.write_text(nat_graph_json())
+    assert main(["deploy", str(path), "--show-flows"]) == 0
+    out = capsys.readouterr().out
+    assert "nat1: native" in out
+    assert "datapath LSI-0" in out
+
+
+def test_deploy_missing_file(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["deploy", str(tmp_path / "nope.json")])
+
+
+def test_validate_ok(tmp_path, capsys):
+    path = tmp_path / "graph.json"
+    path.write_text(nat_graph_json())
+    assert main(["validate", str(path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_validate_bad_graph(tmp_path, capsys):
+    graph = Nffg(graph_id="broken")
+    graph.add_nf("orphan", "nat")
+    path = tmp_path / "bad.json"
+    path.write_text(nffg_to_json(graph))
+    assert main(["validate", str(path)]) == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

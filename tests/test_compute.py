@@ -1,0 +1,233 @@
+"""Compute layer: lifecycle FSM, manager dispatch, driver behaviour."""
+
+import pytest
+
+from repro.catalog.repository import VnfRepository
+from repro.catalog.templates import NfImplementation, Technology
+from repro.compute.base import DriverError
+from repro.compute.drivers.docker import DockerDriver
+from repro.compute.drivers.dpdk import DpdkDriver
+from repro.compute.drivers.native import NativeDriver
+from repro.compute.drivers.vm_kvm import KvmDriver
+from repro.compute.instances import (
+    InstanceSpec,
+    InstanceState,
+    LifecycleError,
+    NfInstance,
+)
+from repro.compute.manager import ComputeManager
+from repro.linuxnet.host import LinuxHost
+from repro.net import MacAddress, make_udp_frame
+from repro.nnf.plugins import stock_registry
+
+
+def nat_impl(technology=Technology.DOCKER):
+    template = VnfRepository.stock().get("nat")
+    return template.implementation_for(technology)
+
+
+def make_spec(instance_id="i1", technology=Technology.DOCKER, config=None):
+    return InstanceSpec(
+        instance_id=instance_id, graph_id="g1", nf_id="nat1",
+        template_name="nat", functional_type="nat",
+        logical_ports=("lan", "wan"),
+        implementation=nat_impl(technology),
+        config=config or {"lan.address": "192.168.1.1/24",
+                          "wan.address": "203.0.113.2/24",
+                          "gateway": "203.0.113.1"})
+
+
+class TestLifecycleFsm:
+    def instance(self):
+        return NfInstance(spec=make_spec(), technology=Technology.DOCKER,
+                          netns="docker-i1")
+
+    def test_happy_path(self):
+        instance = self.instance()
+        for operation in ("create", "configure", "start", "stop",
+                          "start", "stop", "destroy"):
+            instance.transition(operation)
+        assert instance.state is InstanceState.DESTROYED
+
+    def test_update_only_while_running(self):
+        instance = self.instance()
+        instance.transition("create")
+        with pytest.raises(LifecycleError):
+            instance.transition("update")
+        instance.transition("configure")
+        instance.transition("start")
+        instance.transition("update")
+        assert instance.state is InstanceState.RUNNING
+
+    def test_start_before_configure_rejected(self):
+        instance = self.instance()
+        instance.transition("create")
+        with pytest.raises(LifecycleError):
+            instance.transition("start")
+
+    def test_destroy_twice_rejected(self):
+        instance = self.instance()
+        instance.transition("create")
+        instance.transition("destroy")
+        with pytest.raises(LifecycleError):
+            instance.transition("destroy")
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(LifecycleError):
+            self.instance().transition("reboot")
+
+
+class TestDockerDriver:
+    def test_create_builds_namespace_and_veths(self):
+        host = LinuxHost()
+        driver = DockerDriver(host, behaviors=stock_registry())
+        instance = driver.create(make_spec())
+        assert instance.netns == "docker-i1"
+        assert "docker-i1" in host.namespaces
+        # Inner devices are guest-style eth0/eth1...
+        assert instance.inner_devices == {"lan": "eth0", "wan": "eth1"}
+        # ...and the switch-side halves live in the root namespace.
+        for device in instance.switch_devices.values():
+            assert device.namespace is host.root
+
+    def test_runtime_ram_is_rss_plus_shim(self):
+        host = LinuxHost()
+        driver = DockerDriver(host, behaviors=stock_registry())
+        instance = driver.create(make_spec())
+        assert instance.runtime_ram_mb == pytest.approx(
+            driver.default_nf_rss_mb + driver.shim_rss_mb)
+
+    def test_destroy_removes_namespace_and_devices(self):
+        host = LinuxHost()
+        driver = DockerDriver(host, behaviors=stock_registry())
+        instance = driver.create(make_spec())
+        names = [d.name for d in instance.unique_switch_devices()]
+        driver.configure(instance)
+        driver.start(instance)
+        driver.stop(instance)
+        driver.destroy(instance)
+        assert "docker-i1" not in host.namespaces
+        for name in names:
+            assert name not in host.root.devices
+
+
+class TestKvmDriver:
+    def test_vm_ram_is_guest_plus_qemu(self):
+        host = LinuxHost()
+        driver = KvmDriver(host, behaviors=stock_registry())
+        instance = driver.create(make_spec(technology=Technology.VM))
+        assert instance.runtime_ram_mb == pytest.approx(
+            driver.guest_ram_mb + driver.qemu_rss_mb)
+
+    def test_vm_boot_far_slower_than_container(self):
+        assert KvmDriver.boot_seconds > 10 * DockerDriver.boot_seconds
+        assert DockerDriver.boot_seconds > NativeDriver.boot_seconds
+
+
+class TestDpdkDriver:
+    def spec(self):
+        template = VnfRepository.stock().get("l2-forwarder-dpdk")
+        return InstanceSpec(
+            instance_id="fwd1", graph_id="g1", nf_id="fwd",
+            template_name=template.name,
+            functional_type=template.functional_type,
+            logical_ports=template.ports,
+            implementation=template.implementation_for(Technology.DPDK),
+            config={})
+
+    def test_forwards_between_ports_bypassing_kernel(self):
+        host = LinuxHost()
+        driver = DpdkDriver(host, behaviors=stock_registry())
+        instance = driver.create(self.spec())
+        instance.transition  # state machine exercised below
+        driver.configure(instance)
+        driver.start(instance)
+        received = []
+        out_dev = instance.switch_devices["out"]
+        out_dev.set_up()
+        out_dev.attach_handler(lambda dev, frame: received.append(frame))
+        in_dev = instance.switch_devices["in"]
+        in_dev.set_up()
+        frame = make_udp_frame(MacAddress("02:00:00:00:00:01"),
+                               MacAddress("02:00:00:00:00:02"),
+                               "1.1.1.1", "2.2.2.2", 1, 2, b"dpdk")
+        in_dev.transmit(frame)
+        assert len(received) == 1
+        # The namespace stack never saw the packet (kernel bypass).
+        namespace = host.namespace(instance.netns)
+        assert namespace.rx_delivered == 0
+        driver.stop(instance)
+        in_dev.transmit(frame)
+        assert len(received) == 1  # stopped: no longer forwarding
+
+    def test_two_ports_required(self):
+        host = LinuxHost()
+        driver = DpdkDriver(host, behaviors=stock_registry())
+        spec = self.spec()
+        bad = InstanceSpec(
+            instance_id="x", graph_id="g", nf_id="x",
+            template_name=spec.template_name,
+            functional_type=spec.functional_type,
+            logical_ports=("only",),
+            implementation=spec.implementation, config={})
+        with pytest.raises(DriverError, match="two-port"):
+            driver.create(bad)
+
+
+class TestComputeManager:
+    def manager(self):
+        host = LinuxHost()
+        manager = ComputeManager()
+        registry = stock_registry()
+        manager.register_driver(DockerDriver(host, behaviors=registry))
+        manager.register_driver(NativeDriver(host, registry))
+        return manager
+
+    def test_dispatch_by_technology(self):
+        manager = self.manager()
+        docker_instance = manager.create(make_spec("d1"))
+        native_instance = manager.create(
+            make_spec("n1", technology=Technology.NATIVE))
+        assert docker_instance.technology is Technology.DOCKER
+        assert native_instance.technology is Technology.NATIVE
+
+    def test_duplicate_instance_id_rejected(self):
+        manager = self.manager()
+        manager.create(make_spec("dup"))
+        with pytest.raises(DriverError):
+            manager.create(make_spec("dup"))
+
+    def test_missing_driver_reported(self):
+        manager = self.manager()
+        with pytest.raises(DriverError, match="no driver"):
+            manager.create(make_spec("v1", technology=Technology.VM))
+
+    def test_duplicate_driver_rejected(self):
+        manager = self.manager()
+        host = LinuxHost()
+        with pytest.raises(ValueError):
+            manager.register_driver(DockerDriver(host))
+
+    def test_instances_filtered_by_graph(self):
+        manager = self.manager()
+        manager.create(make_spec("a"))
+        assert len(manager.instances("g1")) == 1
+        assert manager.instances("other") == []
+
+    def test_full_lifecycle_through_manager(self):
+        manager = self.manager()
+        manager.create(make_spec("x"))
+        manager.configure("x")
+        manager.start("x")
+        assert manager.get("x").is_running
+        manager.update("x", {"lan.address": "192.168.9.1/24"})
+        manager.stop("x")
+        manager.destroy("x")
+        with pytest.raises(DriverError):
+            manager.get("x")
+
+    def test_total_runtime_ram(self):
+        manager = self.manager()
+        manager.create(make_spec("a"))
+        manager.create(make_spec("b", technology=Technology.NATIVE))
+        assert manager.total_runtime_ram_mb() > 0

@@ -1,0 +1,178 @@
+"""Steering-manager detail tests (rule translation, LSI lifecycle)."""
+
+import pytest
+
+from repro.core.steering import SteeringError, TrafficSteeringManager
+from repro.compute.instances import InstanceSpec, NfInstance
+from repro.catalog.repository import VnfRepository
+from repro.catalog.templates import Technology
+from repro.linuxnet.devices import NetDevice, VethPair
+from repro.nffg.model import Nffg
+from repro.switch.actions import Output, PopVlan, PushVlan
+
+
+def manager_with_interfaces(*names):
+    manager = TrafficSteeringManager()
+    wires = {}
+    for name in names:
+        pair = VethPair(name, f"{name}-wire")
+        pair.a.set_up()
+        pair.b.set_up()
+        manager.register_physical(pair.a)
+        wires[name] = pair.b
+    return manager, wires
+
+
+def fake_instance(nf_id, graph_id="g1", ports=("lan", "wan"),
+                  shared=False, vlans=None):
+    template = VnfRepository.stock().get("nat")
+    impl = template.implementation_for(Technology.DOCKER)
+    spec = InstanceSpec(instance_id=f"{graph_id}-{nf_id}",
+                        graph_id=graph_id, nf_id=nf_id,
+                        template_name="nat", functional_type="nat",
+                        logical_ports=tuple(ports), implementation=impl)
+    instance = NfInstance(spec=spec, technology=Technology.DOCKER,
+                          netns=f"ns-{nf_id}", shared=shared)
+    for index, port in enumerate(ports):
+        device = NetDevice(f"{nf_id}-{port}")
+        device.set_up()
+        instance.switch_devices[port] = device
+        instance.inner_devices[port] = f"eth{index}"
+        instance.port_vlans[port] = (vlans or {}).get(port)
+    if shared:
+        # All logical ports share one trunk device.
+        trunk = NetDevice(f"sh-{nf_id}")
+        trunk.set_up()
+        for port in ports:
+            instance.switch_devices[port] = trunk
+    return instance
+
+
+def simple_graph(graph_id="g1"):
+    graph = Nffg(graph_id=graph_id)
+    graph.add_nf("nat1", "nat")
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat1:lan")
+    graph.add_flow_rule("r2", "vnf:nat1:wan", "endpoint:wan")
+    return graph
+
+
+def test_duplicate_physical_interface_rejected():
+    manager, _wires = manager_with_interfaces("lan0")
+    pair = VethPair("lan0", "x")
+    with pytest.raises(SteeringError):
+        manager.register_physical(pair.a)
+
+
+def test_graph_network_lifecycle():
+    manager, _wires = manager_with_interfaces("lan0", "wan0")
+    network = manager.create_graph_network("g1")
+    assert network.controller.connected
+    assert "g1" in manager.graphs
+    with pytest.raises(SteeringError):
+        manager.create_graph_network("g1")
+    manager.remove_graph_network("g1")
+    assert "g1" not in manager.graphs
+    # Base-side virtual link port is gone too.
+    assert all(port.peer_link is None
+               for port in manager.base.datapath.ports.values())
+
+
+def test_dedicated_rules_split_across_lsis():
+    manager, _wires = manager_with_interfaces("lan0", "wan0")
+    graph = simple_graph()
+    manager.create_graph_network("g1")
+    instance = fake_instance("nat1")
+    manager.attach_instances("g1", {"nat1": instance})
+    installed = manager.install_graph_rules(graph, {"nat1": instance})
+    assert installed == 2
+    counts = manager.flow_counts()
+    # Each endpoint<->NF rule needs one entry on each side of the link.
+    assert counts["LSI-0"] == 2
+    assert counts["LSI-g1"] == 2
+
+
+def test_cross_lsi_rules_use_internal_tags():
+    manager, _wires = manager_with_interfaces("lan0", "wan0")
+    graph = simple_graph()
+    manager.create_graph_network("g1")
+    instance = fake_instance("nat1")
+    manager.attach_instances("g1", {"nat1": instance})
+    manager.install_graph_rules(graph, {"nat1": instance})
+    base_entries = list(manager.base.datapath.table)
+    ingress = [e for e in base_entries
+               if any(isinstance(a, PushVlan) for a in e.actions)]
+    assert ingress, "LSI-0 must tag traffic towards the graph LSI"
+    tags = [a.vid for e in ingress for a in e.actions
+            if isinstance(a, PushVlan)]
+    assert all(tag >= 3000 for tag in tags)
+    # Far side pops the same tag.
+    graph_entries = list(manager.graphs["g1"].lsi.datapath.table)
+    pops = [e for e in graph_entries
+            if any(isinstance(a, PopVlan) for a in e.actions)]
+    assert pops
+
+
+def test_shared_trunk_lives_on_lsi0_with_vlans():
+    manager, _wires = manager_with_interfaces("lan0", "wan0")
+    graph = simple_graph()
+    manager.create_graph_network("g1")
+    instance = fake_instance("nat1", shared=True,
+                             vlans={"lan": 101, "wan": 102})
+    manager.attach_instances("g1", {"nat1": instance})
+    manager.install_graph_rules(graph, {"nat1": instance})
+    # Trunk port exists once on LSI-0, no NF ports on the graph LSI.
+    port_names = [p.name for p in manager.base.datapath.ports.values()]
+    assert "sh-nat1" in port_names
+    assert manager.graphs["g1"].nf_ports == {}
+    # Ingress rule pushes the adaptation VLAN before the trunk.
+    pushes = [a.vid for e in manager.base.datapath.table
+              for a in e.actions if isinstance(a, PushVlan)]
+    assert 101 in pushes
+
+
+def test_unknown_endpoint_interface_rejected():
+    manager, _wires = manager_with_interfaces("lan0")
+    graph = simple_graph()  # references wan0, not registered
+    manager.create_graph_network("g1")
+    instance = fake_instance("nat1")
+    manager.attach_instances("g1", {"nat1": instance})
+    with pytest.raises(SteeringError, match="not attached"):
+        manager.install_graph_rules(graph, {"nat1": instance})
+
+
+def test_unknown_nf_port_rejected():
+    manager, _wires = manager_with_interfaces("lan0", "wan0")
+    graph = Nffg(graph_id="g1")
+    graph.add_nf("nat1", "nat")
+    graph.add_endpoint("lan", "lan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat1:oops")
+    manager.create_graph_network("g1")
+    instance = fake_instance("nat1")
+    manager.attach_instances("g1", {"nat1": instance})
+    with pytest.raises(SteeringError, match="no port"):
+        manager.install_graph_rules(graph, {"nat1": instance})
+
+
+def test_vlan_endpoint_matched_and_popped():
+    manager, wires = manager_with_interfaces("trunk0")
+    graph = Nffg(graph_id="g1")
+    graph.add_nf("nat1", "nat")
+    graph.add_endpoint("svc", "trunk0", vlan_id=300)
+    graph.add_flow_rule("r1", "endpoint:svc", "vnf:nat1:lan")
+    manager.create_graph_network("g1")
+    instance = fake_instance("nat1")
+    manager.attach_instances("g1", {"nat1": instance})
+    manager.install_graph_rules(graph, {"nat1": instance})
+    (entry,) = [e for e in manager.base.datapath.table
+                if e.match.vlan_vid == 300]
+    assert isinstance(entry.actions[0], PopVlan)
+
+
+def test_flow_counts_inventory():
+    manager, _wires = manager_with_interfaces("lan0", "wan0")
+    manager.create_graph_network("a")
+    manager.create_graph_network("b")
+    counts = manager.flow_counts()
+    assert set(counts) == {"LSI-0", "LSI-a", "LSI-b"}

@@ -1,0 +1,188 @@
+"""Failure injection: the orchestrator must leave no residue behind.
+
+These tests break components mid-deployment (drivers that explode,
+steering that cannot resolve, exhausted resources) and assert the node
+returns to a clean state: no namespaces, no allocations, no flow
+entries, no half-registered instances.
+"""
+
+import pytest
+
+from repro.catalog.templates import Technology
+from repro.compute.base import ComputeDriver, DriverError
+from repro.core import ComputeNode, OrchestrationError
+from repro.nffg.model import Nffg
+from repro.openflow.channel import ChannelClosed, ControlChannel
+from repro.resources.capabilities import NodeCapabilities, NodeClass
+
+
+def nat_graph(graph_id="g1", technology=None):
+    graph = Nffg(graph_id=graph_id)
+    graph.add_nf("nat1", "nat", technology=technology, config={
+        "lan.address": "192.168.1.1/24",
+        "wan.address": "203.0.113.2/24",
+        "gateway": "203.0.113.1"})
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat1:lan")
+    graph.add_flow_rule("r2", "vnf:nat1:lan", "endpoint:lan")
+    graph.add_flow_rule("r3", "vnf:nat1:wan", "endpoint:wan")
+    graph.add_flow_rule("r4", "endpoint:wan", "vnf:nat1:wan",
+                        ip_dst="203.0.113.0/24")
+    return graph
+
+
+def fresh_node(**kwargs):
+    node = ComputeNode("failure-test", **kwargs)
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+    return node
+
+
+def assert_pristine(node):
+    assert node.orchestrator.list_graphs() == []
+    assert node.accountant.ram_used_mb == 0
+    assert node.accountant.cpu_used == 0
+    assert node.steering.flow_counts() == {"LSI-0": 0}
+    assert node.steering.graphs == {}
+    # Only the root namespace remains.
+    assert set(node.host.namespaces) == {"root"}
+
+
+class ExplodingDriver(ComputeDriver):
+    """Driver that fails at a chosen lifecycle step."""
+
+    technology = Technology.DOCKER
+    netns_prefix = "boom"
+
+    def __init__(self, host, fail_at="create"):
+        super().__init__(host)
+        self.fail_at = fail_at
+
+    def create(self, spec):
+        if self.fail_at == "create":
+            raise DriverError("injected create failure")
+        return super().create(spec)
+
+    def configure(self, instance):
+        if self.fail_at == "configure":
+            raise DriverError("injected configure failure")
+        super().configure(instance)
+
+    def start(self, instance):
+        if self.fail_at == "start":
+            raise DriverError("injected start failure")
+        super().start(instance)
+
+
+@pytest.mark.parametrize("fail_at", ["create", "configure", "start"])
+def test_driver_failure_rolls_back_cleanly(fail_at):
+    node = fresh_node()
+    # Swap the Docker driver for the exploding one.
+    node.compute._drivers[Technology.DOCKER] = ExplodingDriver(
+        node.host, fail_at=fail_at)
+    with pytest.raises(OrchestrationError, match="injected"):
+        node.deploy(nat_graph(technology="docker"))
+    assert_pristine(node)
+
+
+def test_failure_in_second_nf_rolls_back_first():
+    node = fresh_node()
+    node.compute._drivers[Technology.DOCKER] = ExplodingDriver(
+        node.host, fail_at="create")
+    graph = nat_graph()
+    # First NF native (fine), second docker (explodes).
+    graph.add_nf("dpi1", "dpi", technology="docker")
+    graph.flow_rules = graph.flow_rules[:2]
+    graph.add_flow_rule("r5", "vnf:nat1:wan", "vnf:dpi1:in")
+    graph.add_flow_rule("r6", "vnf:dpi1:out", "endpoint:wan")
+    with pytest.raises(OrchestrationError):
+        node.deploy(graph)
+    assert_pristine(node)
+    # The shared-NNF registry is clean too: redeploying works.
+    node.deploy(nat_graph())
+    assert node.orchestrator.list_graphs() == ["g1"]
+
+
+def test_steering_failure_rolls_back_instances():
+    node = fresh_node()
+    graph = nat_graph()
+    # Reference an endpoint interface that exists in the graph but was
+    # never attached to LSI-0 — steering must fail *after* instances
+    # were created, exercising the rollback of live namespaces.
+    graph.endpoints[1] = type(graph.endpoints[1])(
+        ep_id="wan", interface="ghost0")
+    with pytest.raises(OrchestrationError, match="not attached"):
+        node.deploy(graph)
+    assert_pristine(node)
+
+
+def test_resource_exhaustion_mid_graph():
+    tiny = NodeCapabilities(
+        node_class=NodeClass.CPE, cpu_cores=2, cpu_mhz=1200,
+        ram_mb=128, disk_mb=1024,
+        features=frozenset({"native", "docker", "linux", "netns",
+                            "iptables", "xfrm"}))
+    node = fresh_node(capabilities=tiny)
+    graph = nat_graph()
+    # Two DPI containers at 512 MB each cannot fit 128 MB.
+    graph.add_nf("dpi1", "dpi", technology="docker")
+    graph.flow_rules = graph.flow_rules[:2]
+    graph.add_flow_rule("r5", "vnf:nat1:wan", "vnf:dpi1:in")
+    graph.add_flow_rule("r6", "vnf:dpi1:out", "endpoint:wan")
+    with pytest.raises(OrchestrationError, match="needs"):
+        node.deploy(graph)
+    assert_pristine(node)
+
+
+def test_double_deploy_rejected_without_side_effects():
+    node = fresh_node()
+    node.deploy(nat_graph())
+    flows = node.steering.flow_counts()
+    with pytest.raises(OrchestrationError, match="already deployed"):
+        node.deploy(nat_graph())
+    assert node.steering.flow_counts() == flows
+
+
+def test_undeploy_unknown_graph():
+    node = fresh_node()
+    with pytest.raises(OrchestrationError, match="no deployed graph"):
+        node.undeploy("ghost")
+
+
+def test_closed_control_channel_raises():
+    channel = ControlChannel()
+    channel.close()
+    with pytest.raises(ChannelClosed):
+        channel.controller_end.send(b"anything")
+
+
+def test_channel_buffers_undelivered():
+    channel = ControlChannel()
+    channel.controller_end.send(b"early")  # no receiver yet
+    assert channel.undelivered == [("switch", b"early")]
+
+
+def test_agent_reports_codec_errors():
+    from repro.openflow import LsiController, SwitchAgent
+    from repro.switch import Datapath
+    dp = Datapath(1)
+    channel = ControlChannel()
+    agent = SwitchAgent(dp, channel)
+    controller = LsiController(channel)
+    with pytest.raises(RuntimeError, match="error code"):
+        channel.controller_end.send(b"\xff\xff garbage not openflow")
+    assert agent.errors_sent == 1
+
+
+def test_lifecycle_misuse_through_manager():
+    from repro.compute.instances import LifecycleError
+    node = fresh_node()
+    node.deploy(nat_graph(technology="docker"))
+    record = node.orchestrator.deployed["g1"]
+    instance_id = record.instances["nat1"].instance_id
+    # Starting a RUNNING instance is an FSM violation.
+    with pytest.raises(LifecycleError):
+        node.compute.start(instance_id)
+    # The instance is still intact and running.
+    assert node.compute.get(instance_id).is_running

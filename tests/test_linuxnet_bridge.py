@@ -1,0 +1,123 @@
+"""Learning-bridge behaviour, including per-VLAN isolation."""
+
+from repro.linuxnet import LinuxHost, VethPair
+from repro.linuxnet.bridge import Bridge
+from repro.net import MacAddress, make_udp_frame
+
+import pytest
+
+MACS = [MacAddress(f"02:00:00:00:00:{i:02x}") for i in range(1, 5)]
+
+
+def bridged_endpoints(count=3, vlan_filtering=False):
+    """Bridge with ``count`` veth legs; returns (bridge, ends, inboxes)."""
+    bridge = Bridge("br0", vlan_filtering=vlan_filtering)
+    ends = []
+    inboxes = []
+    for index in range(count):
+        pair = VethPair(f"b{index}", f"h{index}")
+        pair.a.set_up()
+        pair.b.set_up()
+        inbox = []
+        pair.b.attach_handler(lambda dev, fr, box=inbox: box.append(fr))
+        bridge.add_port(pair.a)
+        ends.append(pair.b)
+        inboxes.append(inbox)
+    return bridge, ends, inboxes
+
+
+def frame(src_mac, dst_mac, vlan=None):
+    return make_udp_frame(src_mac, dst_mac, "10.0.0.1", "10.0.0.2", 1, 2,
+                          b"x", vlan=vlan)
+
+
+def test_unknown_destination_floods():
+    bridge, ends, inboxes = bridged_endpoints()
+    ends[0].transmit(frame(MACS[0], MACS[3]))
+    assert len(inboxes[0]) == 0
+    assert len(inboxes[1]) == 1
+    assert len(inboxes[2]) == 1
+    assert bridge.flooded == 1
+
+
+def test_learning_enables_unicast():
+    bridge, ends, inboxes = bridged_endpoints()
+    # Teach the bridge where MACS[1] lives.
+    ends[1].transmit(frame(MACS[1], MACS[3]))
+    for box in inboxes:
+        box.clear()
+    ends[0].transmit(frame(MACS[0], MACS[1]))
+    assert len(inboxes[1]) == 1
+    assert len(inboxes[2]) == 0
+    assert bridge.forwarded == 1
+
+
+def test_hairpin_dropped():
+    bridge, ends, inboxes = bridged_endpoints()
+    ends[0].transmit(frame(MACS[0], MACS[3]))   # learn 0
+    ends[0].transmit(frame(MACS[1], MACS[0]))   # towards port 0, from port 0
+    assert len(inboxes[0]) == 0
+    assert bridge.dropped == 1
+
+
+def test_station_move_relearned():
+    bridge, ends, inboxes = bridged_endpoints()
+    ends[0].transmit(frame(MACS[0], MACS[3]))
+    ends[2].transmit(frame(MACS[0], MACS[3]))  # MACS[0] moved to port 2
+    for box in inboxes:
+        box.clear()
+    ends[1].transmit(frame(MACS[1], MACS[0]))
+    assert len(inboxes[2]) == 1
+    assert len(inboxes[0]) == 0
+
+
+def test_broadcast_always_floods():
+    bridge, ends, inboxes = bridged_endpoints()
+    broadcast = MacAddress("ff:ff:ff:ff:ff:ff")
+    ends[0].transmit(frame(MACS[0], broadcast))
+    assert len(inboxes[1]) == 1 and len(inboxes[2]) == 1
+
+
+def test_vlan_filtering_isolates_fdb():
+    bridge, ends, inboxes = bridged_endpoints(vlan_filtering=True)
+    # Learn MACS[1] on VLAN 10.
+    ends[1].transmit(frame(MACS[1], MACS[3], vlan=10))
+    for box in inboxes:
+        box.clear()
+    # Unicast to MACS[1] on VLAN 20 must flood (not known on that VLAN).
+    ends[0].transmit(frame(MACS[0], MACS[1], vlan=20))
+    assert len(inboxes[1]) == 1 and len(inboxes[2]) == 1
+    for box in inboxes:
+        box.clear()
+    # Unicast on VLAN 10 is forwarded, not flooded.
+    ends[0].transmit(frame(MACS[0], MACS[1], vlan=10))
+    assert len(inboxes[1]) == 1 and len(inboxes[2]) == 0
+
+
+def test_port_exclusive_enslavement():
+    bridge_a = Bridge("br0")
+    bridge_b = Bridge("br1")
+    pair = VethPair("x0", "x1")
+    bridge_a.add_port(pair.a)
+    with pytest.raises(ValueError):
+        bridge_b.add_port(pair.a)
+    with pytest.raises(ValueError):
+        bridge_a.add_port(pair.a)
+
+
+def test_remove_port_purges_fdb():
+    bridge, ends, _ = bridged_endpoints()
+    ends[0].transmit(frame(MACS[0], MACS[3]))
+    assert any(e.mac == MACS[0] for e in bridge.fdb_entries())
+    bridge.remove_port("b0")
+    assert not any(e.mac == MACS[0] for e in bridge.fdb_entries())
+
+
+def test_host_bridge_lifecycle():
+    host = LinuxHost()
+    host.create_bridge("br-lan")
+    with pytest.raises(ValueError):
+        host.create_bridge("br-lan")
+    host.delete_bridge("br-lan")
+    with pytest.raises(KeyError):
+        host.delete_bridge("br-lan")

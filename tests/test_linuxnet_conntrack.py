@@ -1,0 +1,79 @@
+"""Conntrack table unit tests."""
+
+import pytest
+
+from repro.linuxnet.conntrack import ConnState, ConnTrack, FlowTuple
+
+
+FLOW = FlowTuple("10.0.0.1", "8.8.8.8", 17, 1234, 53)
+
+
+def test_create_and_lookup_both_directions():
+    table = ConnTrack()
+    entry = table.create(FLOW)
+    hit, direction = table.lookup(FLOW)
+    assert hit is entry and direction == "orig"
+    hit, direction = table.lookup(FLOW.reversed())
+    assert hit is entry and direction == "reply"
+
+
+def test_new_until_confirmed():
+    table = ConnTrack()
+    entry = table.create(FLOW)
+    assert entry.state is ConnState.NEW
+    table.confirm(entry)
+    assert entry.state is ConnState.ESTABLISHED
+
+
+def test_snat_reindexes_reply():
+    table = ConnTrack()
+    entry = table.create(FLOW)
+    entry.snat = ("203.0.113.1", 40000)
+    table.apply_nat(entry)
+    reply = FlowTuple("8.8.8.8", "203.0.113.1", 17, 53, 40000)
+    hit, direction = table.lookup(reply)
+    assert hit is entry and direction == "reply"
+    # The pre-NAT reply tuple no longer matches.
+    assert table.lookup(FLOW.reversed()) is None
+
+
+def test_snat_port_zero_keeps_original_port():
+    table = ConnTrack()
+    entry = table.create(FLOW)
+    entry.snat = ("203.0.113.1", 0)
+    table.apply_nat(entry)
+    reply = FlowTuple("8.8.8.8", "203.0.113.1", 17, 53, 1234)
+    assert table.lookup(reply) is not None
+
+
+def test_dnat_reindexes_reply():
+    table = ConnTrack()
+    entry = table.create(FLOW)
+    entry.dnat = ("192.168.1.10", 8053)
+    table.apply_nat(entry)
+    reply = FlowTuple("192.168.1.10", "10.0.0.1", 17, 8053, 1234)
+    assert table.lookup(reply) is not None
+
+
+def test_remove_clears_both_directions():
+    table = ConnTrack()
+    entry = table.create(FLOW)
+    table.remove(entry)
+    assert table.lookup(FLOW) is None
+    assert table.lookup(FLOW.reversed()) is None
+
+
+def test_capacity_limit():
+    table = ConnTrack(max_entries=2)
+    table.create(FLOW)
+    table.create(FlowTuple("10.0.0.2", "8.8.8.8", 17, 1, 53))
+    with pytest.raises(OverflowError):
+        table.create(FlowTuple("10.0.0.3", "8.8.8.8", 17, 2, 53))
+    assert table.insert_failures == 1
+
+
+def test_entries_lists_each_connection_once():
+    table = ConnTrack()
+    table.create(FLOW)
+    table.create(FlowTuple("10.0.0.2", "8.8.8.8", 17, 9, 53))
+    assert len(table.entries()) == 2

@@ -1,0 +1,100 @@
+"""NetDevice / veth / bridge-free delivery tests."""
+
+import pytest
+
+from repro.linuxnet import NetworkNamespace, VethPair
+from repro.linuxnet.devices import NetDevice
+from repro.net import ETHERTYPE_IPV4, EthernetFrame, MacAddress, make_udp_frame
+
+
+def frame_between(a, b, payload=b"x"):
+    return make_udp_frame(a.mac, b.mac, "10.0.0.1", "10.0.0.2",
+                          1000, 2000, payload)
+
+
+def test_veth_cross_delivery():
+    pair = VethPair("v0", "v1")
+    pair.a.set_up()
+    pair.b.set_up()
+    received = []
+    pair.b.attach_handler(lambda dev, frame: received.append(frame))
+    pair.a.transmit(frame_between(pair.a, pair.b))
+    assert len(received) == 1
+    assert pair.a.tx_packets == 1
+    assert pair.b.rx_packets == 1
+
+
+def test_down_device_drops_tx_and_rx():
+    pair = VethPair("v0", "v1")
+    pair.b.set_up()
+    pair.b.attach_handler(lambda dev, frame: None)
+    pair.a.transmit(frame_between(pair.a, pair.b))  # a is down
+    assert pair.a.tx_dropped == 1
+    pair.a.set_up()
+    pair.b.set_down()
+    pair.a.transmit(frame_between(pair.a, pair.b))
+    assert pair.b.rx_dropped == 1
+
+
+def test_mtu_enforced_on_transmit():
+    pair = VethPair("v0", "v1", mtu=100)
+    pair.a.set_up()
+    pair.b.set_up()
+    received = []
+    pair.b.attach_handler(lambda dev, frame: received.append(frame))
+    big = make_udp_frame(pair.a.mac, pair.b.mac, "10.0.0.1", "10.0.0.2",
+                         1, 2, b"y" * 200)
+    pair.a.transmit(big)
+    assert received == []
+    assert pair.a.tx_dropped == 1
+
+
+def test_handler_exclusive():
+    device = NetDevice("eth0")
+    device.attach_handler(lambda dev, frame: None)
+    with pytest.raises(ValueError):
+        device.attach_handler(lambda dev, frame: None)
+    device.detach_handler()
+    device.attach_handler(lambda dev, frame: None)
+
+
+def test_unique_auto_macs():
+    macs = {str(NetDevice(f"d{i}").mac) for i in range(50)}
+    assert len(macs) == 50
+
+
+def test_address_management():
+    device = NetDevice("eth0")
+    device.add_address("192.168.1.1", 24)
+    assert device.owns_address("192.168.1.1")
+    with pytest.raises(ValueError):
+        device.add_address("192.168.1.1", 24)
+
+
+def test_device_requires_valid_name_and_mtu():
+    with pytest.raises(ValueError):
+        NetDevice("")
+    with pytest.raises(ValueError):
+        NetDevice("eth0", mtu=10)
+
+
+def test_namespace_exclusive_membership():
+    ns_a = NetworkNamespace("a")
+    ns_b = NetworkNamespace("b")
+    device = NetDevice("eth0")
+    ns_a.add_device(device)
+    with pytest.raises(ValueError):
+        ns_b.add_device(device)
+    ns_a.remove_device("eth0")
+    ns_b.add_device(device)
+    assert device.namespace is ns_b
+
+
+def test_unattached_device_counts_drops():
+    device = NetDevice("orphan")
+    device.set_up()
+    device.receive(EthernetFrame(dst=device.mac,
+                                 src=MacAddress("02:00:00:00:00:99"),
+                                 ethertype=ETHERTYPE_IPV4, payload=b""))
+    assert device.rx_dropped == 1
+    assert device.rx_packets == 0

@@ -1,0 +1,184 @@
+"""iptables engine unit tests (traversal, targets, user chains)."""
+
+import pytest
+
+from repro.linuxnet.conntrack import ConnState
+from repro.linuxnet.iptables import (
+    IptablesError,
+    Match,
+    Rule,
+    Ruleset,
+    Verdict,
+)
+from repro.linuxnet.namespace import SkBuff
+from repro.net.ipv4 import IPv4Packet
+from repro.net.transport import UdpDatagram
+
+
+def make_skb(src="10.0.0.1", dst="10.0.0.2", proto=17, sport=1111,
+             dport=2222, in_iface="eth0", mark=0):
+    datagram = UdpDatagram(src_port=sport, dst_port=dport, payload=b"")
+    packet = IPv4Packet(src=src, dst=dst, proto=proto,
+                        payload=datagram.to_bytes(src, dst))
+    return SkBuff(ipv4=packet, in_iface=in_iface, mark=mark)
+
+
+def test_default_policy_accept():
+    ruleset = Ruleset()
+    assert ruleset.traverse("filter", "INPUT", make_skb()) == Verdict.ACCEPT
+
+
+def test_policy_drop():
+    ruleset = Ruleset()
+    ruleset.table("filter").chain("INPUT").policy = Verdict.DROP
+    assert ruleset.traverse("filter", "INPUT", make_skb()) == Verdict.DROP
+
+
+def test_first_match_wins():
+    ruleset = Ruleset()
+    ruleset.append("filter", "INPUT",
+                   Rule(match=Match(src="10.0.0.1/32"), target="DROP"))
+    ruleset.append("filter", "INPUT", Rule(match=Match(), target="ACCEPT"))
+    assert ruleset.traverse("filter", "INPUT", make_skb()) == Verdict.DROP
+    assert ruleset.traverse("filter", "INPUT",
+                            make_skb(src="10.0.0.9")) == Verdict.ACCEPT
+
+
+def test_match_criteria():
+    rule = Rule(match=Match(in_iface="eth0", proto=17, dport=(2000, 3000)),
+                target="DROP")
+    ruleset = Ruleset()
+    ruleset.append("filter", "INPUT", rule)
+    assert ruleset.traverse("filter", "INPUT",
+                            make_skb(dport=2222)) == Verdict.DROP
+    assert ruleset.traverse("filter", "INPUT",
+                            make_skb(dport=4000)) == Verdict.ACCEPT
+    assert ruleset.traverse("filter", "INPUT",
+                            make_skb(in_iface="eth1")) == Verdict.ACCEPT
+
+
+def test_inverted_source_match():
+    ruleset = Ruleset()
+    ruleset.append("filter", "INPUT", Rule(
+        match=Match(src="10.0.0.0/24", invert_src=True), target="DROP"))
+    assert ruleset.traverse("filter", "INPUT",
+                            make_skb(src="192.168.1.1")) == Verdict.DROP
+    assert ruleset.traverse("filter", "INPUT",
+                            make_skb(src="10.0.0.5")) == Verdict.ACCEPT
+
+
+def test_mark_target_non_terminating():
+    ruleset = Ruleset()
+    ruleset.append("mangle", "PREROUTING", Rule(
+        match=Match(), target="MARK", target_args={"set_mark": 0x5}))
+    ruleset.append("mangle", "PREROUTING", Rule(
+        match=Match(mark=(0x5, 0xFF)), target="DROP"))
+    skb = make_skb()
+    verdict = ruleset.traverse("mangle", "PREROUTING", skb)
+    assert skb.mark == 0x5
+    assert verdict == Verdict.DROP
+
+
+def test_mark_with_mask_preserves_other_bits():
+    ruleset = Ruleset()
+    ruleset.append("mangle", "PREROUTING", Rule(
+        match=Match(), target="MARK",
+        target_args={"set_mark": 0x2, "mask": 0x0F}))
+    skb = make_skb(mark=0xA0)
+    ruleset.traverse("mangle", "PREROUTING", skb)
+    assert skb.mark == 0xA2
+
+
+def test_user_chain_jump_and_return():
+    ruleset = Ruleset()
+    table = ruleset.table("filter")
+    table.new_chain("TENANT")
+    ruleset.append("filter", "TENANT", Rule(
+        match=Match(src="10.0.0.1/32"), target="DROP"))
+    ruleset.append("filter", "TENANT", Rule(match=Match(), target="RETURN"))
+    ruleset.append("filter", "INPUT", Rule(match=Match(), target="TENANT"))
+    ruleset.append("filter", "INPUT", Rule(match=Match(), target="ACCEPT"))
+    assert ruleset.traverse("filter", "INPUT", make_skb()) == Verdict.DROP
+    assert ruleset.traverse("filter", "INPUT",
+                            make_skb(src="10.0.0.7")) == Verdict.ACCEPT
+
+
+def test_user_chain_fallthrough_resumes_caller():
+    ruleset = Ruleset()
+    table = ruleset.table("filter")
+    table.new_chain("EMPTY")
+    ruleset.append("filter", "INPUT", Rule(match=Match(), target="EMPTY"))
+    ruleset.append("filter", "INPUT", Rule(match=Match(), target="DROP"))
+    assert ruleset.traverse("filter", "INPUT", make_skb()) == Verdict.DROP
+
+
+def test_jump_cycle_detected():
+    ruleset = Ruleset()
+    table = ruleset.table("filter")
+    table.new_chain("A")
+    table.new_chain("B")
+    ruleset.append("filter", "A", Rule(match=Match(), target="B"))
+    ruleset.append("filter", "B", Rule(match=Match(), target="A"))
+    ruleset.append("filter", "INPUT", Rule(match=Match(), target="A"))
+    with pytest.raises(IptablesError, match="depth"):
+        ruleset.traverse("filter", "INPUT", make_skb())
+
+
+def test_delete_builtin_chain_rejected():
+    ruleset = Ruleset()
+    with pytest.raises(IptablesError):
+        ruleset.table("filter").delete_chain("INPUT")
+
+
+def test_delete_referenced_chain_rejected():
+    ruleset = Ruleset()
+    table = ruleset.table("filter")
+    table.new_chain("USED")
+    ruleset.append("filter", "INPUT", Rule(match=Match(), target="USED"))
+    with pytest.raises(IptablesError, match="referenced"):
+        table.delete_chain("USED")
+
+
+def test_snat_outside_nat_table_rejected():
+    ruleset = Ruleset()
+    ruleset.append("filter", "INPUT", Rule(
+        match=Match(), target="SNAT", target_args={"to_ip": "1.1.1.1"}))
+    with pytest.raises(IptablesError):
+        ruleset.traverse("filter", "INPUT", make_skb())
+
+
+def test_ctstate_match():
+    from repro.linuxnet.conntrack import ConnTrack, FlowTuple
+    conntrack = ConnTrack()
+    entry = conntrack.create(FlowTuple("10.0.0.1", "10.0.0.2", 17, 1111,
+                                       2222))
+    ruleset = Ruleset()
+    ruleset.append("filter", "INPUT", Rule(
+        match=Match(ctstate=frozenset({ConnState.NEW})), target="DROP"))
+    skb = make_skb()
+    skb.ct_entry = entry
+    skb.ct_is_new = True
+    assert ruleset.traverse("filter", "INPUT", skb) == Verdict.DROP
+    skb.ct_is_new = False
+    entry.state = ConnState.ESTABLISHED
+    assert ruleset.traverse("filter", "INPUT", skb) == Verdict.ACCEPT
+
+
+def test_rule_counters():
+    ruleset = Ruleset()
+    rule = Rule(match=Match(), target="ACCEPT")
+    ruleset.append("filter", "INPUT", rule)
+    ruleset.traverse("filter", "INPUT", make_skb())
+    ruleset.traverse("filter", "INPUT", make_skb())
+    assert rule.packets == 2
+    assert rule.bytes > 0
+
+
+def test_list_rules_dump():
+    ruleset = Ruleset()
+    ruleset.table("nat").new_chain("CUSTOM")
+    ruleset.append("nat", "POSTROUTING", Rule(
+        match=Match(out_iface="wan0"), target="MASQUERADE"))
+    dump = ruleset.list_rules("nat")
+    assert "-N CUSTOM" in dump
+    assert any("MASQUERADE" in line and "wan0" in line for line in dump)

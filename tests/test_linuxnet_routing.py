@@ -1,0 +1,81 @@
+"""Route table / LPM tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linuxnet import Route, RouteTable
+from repro.net import int_to_ip
+
+
+def test_longest_prefix_wins():
+    table = RouteTable()
+    table.add_cidr("10.0.0.0/8", "eth0")
+    table.add_cidr("10.1.0.0/16", "eth1")
+    table.add_cidr("10.1.2.0/24", "eth2")
+    assert table.lookup("10.1.2.3").device == "eth2"
+    assert table.lookup("10.1.9.9").device == "eth1"
+    assert table.lookup("10.9.9.9").device == "eth0"
+
+
+def test_default_route_catches_everything():
+    table = RouteTable()
+    table.add_cidr("0.0.0.0/0", "wan0", gateway="192.0.2.1")
+    route = table.lookup("8.8.8.8")
+    assert route.device == "wan0"
+    assert route.gateway == "192.0.2.1"
+
+
+def test_no_route_returns_none():
+    table = RouteTable()
+    table.add_cidr("10.0.0.0/8", "eth0")
+    assert table.lookup("192.168.1.1") is None
+
+
+def test_metric_breaks_ties():
+    table = RouteTable()
+    table.add_cidr("10.0.0.0/8", "slow", metric=100)
+    table.add_cidr("10.0.0.0/8", "fast", metric=10)
+    assert table.lookup("10.1.1.1").device == "fast"
+
+
+def test_duplicate_route_rejected():
+    table = RouteTable()
+    table.add_cidr("10.0.0.0/8", "eth0")
+    with pytest.raises(ValueError):
+        table.add_cidr("10.0.0.0/8", "eth0")
+
+
+def test_remove_device_routes():
+    table = RouteTable()
+    table.add_cidr("10.0.0.0/8", "eth0")
+    table.add_cidr("172.16.0.0/12", "eth0")
+    table.add_cidr("192.168.0.0/16", "eth1")
+    assert table.remove_device("eth0") == 2
+    assert len(table) == 1
+    assert table.lookup("10.1.1.1") is None
+
+
+def test_remove_missing_route_raises():
+    table = RouteTable()
+    route = Route.parse("10.0.0.0/8", "eth0")
+    with pytest.raises(KeyError):
+        table.remove(route)
+
+
+def test_host_route_beats_subnet():
+    table = RouteTable()
+    table.add_cidr("10.0.0.0/24", "lan")
+    table.add_cidr("10.0.0.5/32", "dmz")
+    assert table.lookup("10.0.0.5").device == "dmz"
+    assert table.lookup("10.0.0.6").device == "lan"
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_default_plus_specific_always_resolves(value):
+    table = RouteTable()
+    table.add_cidr("0.0.0.0/0", "default")
+    table.add_cidr("10.0.0.0/8", "ten")
+    route = table.lookup(int_to_ip(value))
+    assert route is not None
+    in_ten = (value >> 24) == 10
+    assert (route.device == "ten") == in_ten

@@ -1,0 +1,125 @@
+"""Multi-node orchestrator tests."""
+
+import pytest
+
+from repro.core import ComputeNode, OrchestrationError
+from repro.core.multinode import MultiNodeOrchestrator
+from repro.nffg.model import Nffg
+from repro.resources.capabilities import NodeCapabilities, NodeClass
+
+
+def cpe_node(name="cpe"):
+    node = ComputeNode(name,
+                       capabilities=NodeCapabilities.residential_cpe())
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+    return node
+
+
+def dc_node(name="dc"):
+    node = ComputeNode(
+        name, capabilities=NodeCapabilities.datacenter_server())
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+    return node
+
+
+def nat_graph(graph_id="g1"):
+    graph = Nffg(graph_id=graph_id)
+    graph.add_nf("nat1", "nat", config={
+        "lan.address": "192.168.1.1/24",
+        "wan.address": "203.0.113.2/24",
+        "gateway": "203.0.113.1"})
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat1:lan")
+    graph.add_flow_rule("r2", "vnf:nat1:lan", "endpoint:lan")
+    graph.add_flow_rule("r3", "vnf:nat1:wan", "endpoint:wan")
+    graph.add_flow_rule("r4", "endpoint:wan", "vnf:nat1:wan",
+                        ip_dst="203.0.113.0/24")
+    return graph
+
+
+def dpi_graph(graph_id="heavy"):
+    graph = Nffg(graph_id=graph_id)
+    graph.add_nf("dpi1", "dpi")
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:dpi1:in")
+    graph.add_flow_rule("r2", "vnf:dpi1:out", "endpoint:wan")
+    return graph
+
+
+def fleet():
+    orchestrator = MultiNodeOrchestrator()
+    orchestrator.add_node(cpe_node())
+    orchestrator.add_node(dc_node())
+    return orchestrator
+
+
+def test_cheap_graph_lands_on_the_edge():
+    orchestrator = fleet()
+    orchestrator.deploy(nat_graph())
+    assert orchestrator.locate("g1") == "cpe"
+
+
+def test_heavy_graph_overflows_to_dc():
+    orchestrator = fleet()
+    orchestrator.deploy(dpi_graph())
+    # 512 MB DPI doesn't fit the 512 MB CPE (64 MB host headroom).
+    assert orchestrator.locate("heavy") == "dc"
+
+
+def test_explicit_node_pin():
+    orchestrator = fleet()
+    orchestrator.deploy(nat_graph(), node_name="dc")
+    assert orchestrator.locate("g1") == "dc"
+
+
+def test_duplicate_graph_rejected():
+    orchestrator = fleet()
+    orchestrator.deploy(nat_graph())
+    with pytest.raises(OrchestrationError, match="already deployed"):
+        orchestrator.deploy(nat_graph())
+
+
+def test_nothing_feasible_raises():
+    orchestrator = MultiNodeOrchestrator()
+    orchestrator.add_node(cpe_node())
+    with pytest.raises(OrchestrationError, match="no node"):
+        orchestrator.deploy(dpi_graph())  # no DC in the fleet
+
+
+def test_undeploy_releases_node():
+    orchestrator = fleet()
+    orchestrator.deploy(nat_graph())
+    orchestrator.undeploy("g1")
+    with pytest.raises(OrchestrationError):
+        orchestrator.locate("g1")
+    cpe = orchestrator.node("cpe")
+    assert cpe.orchestrator.list_graphs() == []
+
+
+def test_fleet_status_aggregates():
+    orchestrator = fleet()
+    orchestrator.deploy(nat_graph())
+    orchestrator.deploy(dpi_graph())
+    status = orchestrator.fleet_status()
+    assert status["graphs"] == {"g1": "cpe", "heavy": "dc"}
+    assert status["nodes"]["cpe"]["class"] == "cpe"
+    assert status["nodes"]["dc"]["graphs"] == ["heavy"]
+
+
+def test_missing_endpoint_interface_excludes_node():
+    orchestrator = MultiNodeOrchestrator()
+    bare = ComputeNode("bare",
+                       capabilities=NodeCapabilities.residential_cpe())
+    orchestrator.add_node(bare)  # no physical interfaces registered
+    with pytest.raises(OrchestrationError, match="no node"):
+        orchestrator.deploy(nat_graph())
+
+
+def test_duplicate_node_name_rejected():
+    orchestrator = fleet()
+    with pytest.raises(ValueError):
+        orchestrator.add_node(cpe_node())

@@ -1,0 +1,89 @@
+"""Tests for MAC/IPv4 address helpers, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import MacAddress, int_to_ip, ip_to_int, parse_cidr
+
+
+class TestMacAddress:
+    def test_from_string_roundtrip(self):
+        mac = MacAddress("aa:bb:cc:dd:ee:ff")
+        assert str(mac) == "aa:bb:cc:dd:ee:ff"
+        assert int(mac) == 0xAABBCCDDEEFF
+
+    def test_from_bytes_roundtrip(self):
+        mac = MacAddress(b"\x02\x00\x00\x00\x00\x07")
+        assert mac.packed == b"\x02\x00\x00\x00\x00\x07"
+
+    def test_malformed_string_rejected(self):
+        for bad in ("aa:bb:cc", "zz:bb:cc:dd:ee:ff", "aabbccddeeff", ""):
+            with pytest.raises(ValueError):
+                MacAddress(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+
+    def test_from_index_is_locally_administered(self):
+        mac = MacAddress.from_index(7)
+        assert str(mac).startswith("02:")
+        assert not mac.is_multicast
+
+    def test_broadcast_and_multicast_flags(self):
+        assert MacAddress("ff:ff:ff:ff:ff:ff").is_broadcast
+        assert MacAddress("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress("02:00:00:00:00:01").is_multicast
+
+    def test_equality_with_string(self):
+        assert MacAddress("aa:bb:cc:dd:ee:ff") == "aa:bb:cc:dd:ee:ff"
+        assert MacAddress("aa:bb:cc:dd:ee:ff") != "aa:bb:cc:dd:ee:00"
+
+    def test_hashable(self):
+        table = {MacAddress("02:00:00:00:00:01"): "port1"}
+        assert table[MacAddress("02:00:00:00:00:01")] == "port1"
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_int_roundtrip_property(self, value):
+        assert int(MacAddress(value)) == value
+        assert MacAddress(str(MacAddress(value))) == MacAddress(value)
+
+
+class TestIpConversion:
+    def test_known_values(self):
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+        assert int_to_ip(0xC0A80101) == "192.168.1.1"
+
+    def test_malformed_rejected(self):
+        for bad in ("10.0.0", "10.0.0.256", "a.b.c.d", "10.0.0.01", ""):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestParseCidr:
+    def test_masks_host_bits(self):
+        network, plen = parse_cidr("10.0.0.7/24")
+        assert int_to_ip(network) == "10.0.0.0"
+        assert plen == 24
+
+    def test_zero_prefix(self):
+        network, plen = parse_cidr("1.2.3.4/0")
+        assert network == 0
+        assert plen == 0
+
+    def test_host_route(self):
+        network, plen = parse_cidr("192.168.1.1/32")
+        assert int_to_ip(network) == "192.168.1.1"
+
+    def test_malformed_rejected(self):
+        for bad in ("10.0.0.0", "10.0.0.0/33", "10.0.0.0/x", "/24"):
+            with pytest.raises(ValueError):
+                parse_cidr(bad)

@@ -1,0 +1,189 @@
+"""Codec tests: Ethernet/VLAN, IPv4, UDP/TCP, ICMP, builder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import (
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    IPv4Packet,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    MacAddress,
+    TcpSegment,
+    UdpDatagram,
+    internet_checksum,
+    make_tcp_frame,
+    make_udp_frame,
+    parse_frame,
+)
+from repro.net.icmp import ICMP_ECHO_REQUEST, IcmpMessage
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Example words from RFC 1071 section 3
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_verify_is_zero(self):
+        data = bytearray(b"\x45\x00\x00\x14" + b"\x00" * 16)
+        checksum = internet_checksum(bytes(data))
+        data[10:12] = checksum.to_bytes(2, "big")
+        assert internet_checksum(bytes(data)) == 0
+
+
+class TestEthernet:
+    def test_roundtrip_untagged(self):
+        frame = EthernetFrame(dst=MAC_B, src=MAC_A,
+                              ethertype=ETHERTYPE_IPV4, payload=b"hello")
+        decoded = EthernetFrame.from_bytes(frame.to_bytes())
+        assert decoded == frame
+
+    def test_roundtrip_vlan_tagged(self):
+        frame = EthernetFrame(dst=MAC_B, src=MAC_A,
+                              ethertype=ETHERTYPE_IPV4, payload=b"data",
+                              vlan=42, vlan_pcp=5)
+        decoded = EthernetFrame.from_bytes(frame.to_bytes())
+        assert decoded.vlan == 42
+        assert decoded.vlan_pcp == 5
+        assert decoded.payload == b"data"
+
+    def test_vlan_push_pop(self):
+        frame = EthernetFrame(dst=MAC_B, src=MAC_A,
+                              ethertype=ETHERTYPE_IPV4, payload=b"x")
+        tagged = frame.with_vlan(100)
+        assert tagged.vlan == 100
+        assert len(tagged) == len(frame) + 4
+        assert tagged.without_vlan() == frame
+
+    def test_bad_vlan_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(dst=MAC_B, src=MAC_A, ethertype=ETHERTYPE_IPV4,
+                          payload=b"", vlan=4096)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetFrame.from_bytes(b"\x00" * 10)
+
+    @given(st.binary(max_size=64),
+           st.integers(min_value=0, max_value=4095))
+    def test_roundtrip_property(self, payload, vid):
+        frame = EthernetFrame(dst=MAC_A, src=MAC_B,
+                              ethertype=ETHERTYPE_IPV4,
+                              payload=payload, vlan=vid)
+        assert EthernetFrame.from_bytes(frame.to_bytes()) == frame
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        packet = IPv4Packet(src="10.0.0.1", dst="10.0.0.2",
+                            proto=IPPROTO_UDP, payload=b"payload", ttl=33)
+        decoded = IPv4Packet.from_bytes(packet.to_bytes())
+        assert decoded == packet
+
+    def test_checksum_detects_corruption(self):
+        packet = IPv4Packet(src="10.0.0.1", dst="10.0.0.2",
+                            proto=IPPROTO_UDP, payload=b"")
+        raw = bytearray(packet.to_bytes())
+        raw[8] ^= 0xFF  # corrupt TTL
+        with pytest.raises(ValueError, match="checksum"):
+            IPv4Packet.from_bytes(bytes(raw))
+
+    def test_ttl_decrement(self):
+        packet = IPv4Packet(src="1.1.1.1", dst="2.2.2.2", proto=6,
+                            payload=b"", ttl=2)
+        assert packet.decrement_ttl().ttl == 1
+        with pytest.raises(ValueError):
+            packet.decrement_ttl().decrement_ttl()
+
+    def test_bad_address_rejected_on_construction(self):
+        with pytest.raises(ValueError):
+            IPv4Packet(src="300.0.0.1", dst="10.0.0.2", proto=6, payload=b"")
+
+    @given(st.binary(max_size=128), st.integers(min_value=1, max_value=255))
+    def test_roundtrip_property(self, payload, ttl):
+        packet = IPv4Packet(src="192.168.0.1", dst="172.16.0.9",
+                            proto=IPPROTO_TCP, payload=payload, ttl=ttl)
+        assert IPv4Packet.from_bytes(packet.to_bytes()) == packet
+
+
+class TestTransport:
+    def test_udp_roundtrip(self):
+        datagram = UdpDatagram(src_port=1234, dst_port=80, payload=b"GET /")
+        decoded = UdpDatagram.from_bytes(datagram.to_bytes("1.1.1.1",
+                                                           "2.2.2.2"))
+        assert decoded == datagram
+
+    def test_udp_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            UdpDatagram(src_port=70000, dst_port=80, payload=b"")
+
+    def test_tcp_roundtrip_with_flags(self):
+        segment = TcpSegment(src_port=5001, dst_port=443, seq=1000,
+                             ack=2000, flags=0x12, payload=b"syn-ack")
+        decoded = TcpSegment.from_bytes(segment.to_bytes())
+        assert decoded == segment
+        assert decoded.syn and decoded.is_ack and not decoded.fin
+
+    def test_tcp_sequence_range(self):
+        with pytest.raises(ValueError):
+            TcpSegment(src_port=1, dst_port=2, seq=1 << 32, ack=0,
+                       flags=0, payload=b"")
+
+    @given(st.binary(max_size=256))
+    def test_udp_roundtrip_property(self, payload):
+        datagram = UdpDatagram(src_port=53, dst_port=5353, payload=payload)
+        assert UdpDatagram.from_bytes(datagram.to_bytes()) == datagram
+
+
+class TestIcmp:
+    def test_echo_roundtrip(self):
+        message = IcmpMessage(icmp_type=ICMP_ECHO_REQUEST, code=0,
+                              identifier=7, sequence=3, payload=b"ping")
+        decoded = IcmpMessage.from_bytes(message.to_bytes())
+        assert decoded == message
+
+    def test_reply_mirrors_request(self):
+        request = IcmpMessage(icmp_type=ICMP_ECHO_REQUEST, code=0,
+                              identifier=9, sequence=1, payload=b"abc")
+        reply = request.reply()
+        assert reply.is_echo_reply
+        assert reply.identifier == 9
+        assert reply.payload == b"abc"
+
+    def test_reply_to_reply_rejected(self):
+        reply = IcmpMessage(icmp_type=0, code=0, identifier=1, sequence=1)
+        with pytest.raises(ValueError):
+            reply.reply()
+
+
+class TestBuilder:
+    def test_udp_frame_parses_back(self):
+        frame = make_udp_frame(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2",
+                               4000, 5001, b"iperf", vlan=7)
+        parsed = parse_frame(frame.to_bytes())
+        assert parsed.eth.vlan == 7
+        assert parsed.ipv4.src == "10.0.0.1"
+        assert parsed.udp.dst_port == 5001
+        assert parsed.five_tuple == ("10.0.0.1", "10.0.0.2", 17, 4000, 5001)
+
+    def test_tcp_frame_parses_back(self):
+        frame = make_tcp_frame(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2",
+                               3300, 80, b"data", seq=5)
+        parsed = parse_frame(frame)
+        assert parsed.tcp.seq == 5
+        assert parsed.tcp.payload == b"data"
+
+    def test_non_ip_frame_parses_shallow(self):
+        frame = EthernetFrame(dst=MAC_A, src=MAC_B, ethertype=0x0806,
+                              payload=b"arp-ish")
+        parsed = parse_frame(frame)
+        assert parsed.ipv4 is None
+        assert parsed.five_tuple is None

@@ -1,0 +1,52 @@
+"""pcap reader/writer round-trip tests."""
+
+import io
+
+import pytest
+
+from repro.net import MacAddress, make_udp_frame
+from repro.net.pcap import PcapReader, PcapWriter
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+
+
+def test_roundtrip_preserves_frames_and_times():
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    frames = []
+    for index in range(3):
+        frame = make_udp_frame(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2",
+                               1000 + index, 5001, b"x" * index)
+        frames.append(frame.to_bytes())
+        writer.write(timestamp=index * 0.5, frame_bytes=frames[-1])
+    buffer.seek(0)
+    records = list(PcapReader(buffer))
+    assert len(records) == 3
+    for index, (timestamp, data) in enumerate(records):
+        assert timestamp == pytest.approx(index * 0.5, abs=1e-6)
+        assert data == frames[index]
+
+
+def test_reader_rejects_garbage():
+    with pytest.raises(ValueError):
+        PcapReader(io.BytesIO(b"not a pcap file at all......"))
+
+
+def test_reader_rejects_truncated_record():
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    writer.write(0.0, b"\x01" * 20)
+    truncated = buffer.getvalue()[:-5]
+    reader = PcapReader(io.BytesIO(truncated))
+    with pytest.raises(ValueError):
+        list(reader)
+
+
+def test_microsecond_rollover():
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    writer.write(1.9999999, b"\x00" * 14)  # rounds to 2.0s
+    buffer.seek(0)
+    ((timestamp, _data),) = list(PcapReader(buffer))
+    assert timestamp == pytest.approx(2.0, abs=1e-6)

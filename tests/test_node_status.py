@@ -1,0 +1,84 @@
+"""Node description and graph status contracts (the REST payloads)."""
+
+import pytest
+
+from repro import ComputeNode, Nffg
+from repro.net import MacAddress, make_udp_frame
+from repro.perf.capture import PcapCapture
+
+
+@pytest.fixture
+def node():
+    node = ComputeNode("status-test")
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+    return node
+
+
+def nat_graph():
+    graph = Nffg(graph_id="g1", name="status graph")
+    graph.add_nf("nat1", "nat", config={
+        "lan.address": "192.168.1.1/24",
+        "wan.address": "203.0.113.2/24",
+        "gateway": "203.0.113.1"})
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat1:lan")
+    graph.add_flow_rule("r2", "vnf:nat1:lan", "endpoint:lan")
+    graph.add_flow_rule("r3", "vnf:nat1:wan", "endpoint:wan")
+    graph.add_flow_rule("r4", "endpoint:wan", "vnf:nat1:wan",
+                        ip_dst="203.0.113.0/24")
+    return graph
+
+
+def test_describe_lists_capabilities_and_nnfs(node):
+    description = node.describe()
+    assert description["class"] == "cpe"
+    assert set(description["technologies"]) >= {"native", "docker"}
+    nnf_names = {row["name"] for row in description["nnfs"]}
+    assert "iptables-nat" in nnf_names
+    assert description["flow-counts"] == {"LSI-0": 0}
+
+
+def test_describe_reflects_deployments(node):
+    node.deploy(nat_graph())
+    description = node.describe()
+    assert description["deployed-graphs"] == ["g1"]
+    assert description["utilisation"]["ram"] > 0
+    assert sum(description["flow-counts"].values()) > 0
+
+
+def test_status_payload_shape(node):
+    node.deploy(nat_graph())
+    status = node.orchestrator.status("g1")
+    assert status["graph-id"] == "g1"
+    assert status["name"] == "status graph"
+    nf = status["nfs"]["nat1"]
+    assert nf["technology"] == "native"
+    assert nf["state"] == "running"
+    assert nf["shared"] is True
+    assert status["flow-rules"] == 4
+    assert status["deploy-seconds"] > 0
+
+
+def test_deployed_graph_record_helpers(node):
+    record = node.deploy(nat_graph())
+    assert record.graph_id == "g1"
+    assert record.technologies() == {"nat1": "native"}
+    assert record.modeled_deploy_seconds == pytest.approx(
+        record.instances["nat1"].boot_seconds + 0.004, abs=1e-6)
+
+
+def test_wire_capture(node):
+    node.deploy(nat_graph())
+    capture = PcapCapture()
+    capture.attach_wire(node.wire("wan0"))
+    node.wire("lan0").transmit(make_udp_frame(
+        MacAddress("02:aa:00:00:00:01"), MacAddress("02:aa:00:00:00:02"),
+        "192.168.1.5", "8.8.8.8", 1, 53, b"captured"))
+    assert len(capture) == 1
+    capture.detach_all()
+    node.wire("lan0").transmit(make_udp_frame(
+        MacAddress("02:aa:00:00:00:01"), MacAddress("02:aa:00:00:00:02"),
+        "192.168.1.5", "8.8.8.8", 1, 53, b"after"))
+    assert len(capture) == 1

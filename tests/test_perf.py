@@ -1,0 +1,183 @@
+"""Cost model, pipeline, memory model and Table 1 driver tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.templates import Technology
+from repro.perf.costmodel import CostModel, NfWorkload
+from repro.perf.iperf import run_iperf
+from repro.perf.memory import MemoryModel
+from repro.perf.pipeline import PacketPipeline, Stage, measure_throughput
+from repro.perf.table1 import PAPER_TABLE1, ipsec_cpe_graph, run_table1
+from repro.sim import Simulator
+
+
+class TestCostModel:
+    def test_vm_slower_than_native_for_every_workload(self):
+        model = CostModel()
+        for workload in (NfWorkload.ipsec_esp(), NfWorkload.nat(),
+                         NfWorkload.firewall(), NfWorkload.bridge()):
+            native = model.nf_seconds(Technology.NATIVE, workload, 1500)
+            vm = model.nf_seconds(Technology.VM, workload, 1500,
+                                  uses_kernel_datapath=False)
+            assert vm.total > native.total, workload.name
+
+    def test_docker_close_to_native(self):
+        model = CostModel()
+        workload = NfWorkload.ipsec_esp()
+        native = model.nf_seconds(Technology.NATIVE, workload, 1500)
+        docker = model.nf_seconds(Technology.DOCKER, workload, 1500)
+        assert 1.0 < docker.total / native.total < 1.01
+
+    def test_dpdk_cheapest_per_packet(self):
+        model = CostModel()
+        workload = NfWorkload.bridge()
+        dpdk = model.nf_seconds(Technology.DPDK, workload, 1500)
+        native = model.nf_seconds(Technology.NATIVE, workload, 1500)
+        assert dpdk.total < native.total
+
+    def test_marking_and_tagging_costs_added(self):
+        model = CostModel()
+        workload = NfWorkload.nat()
+        plain = model.nf_seconds(Technology.NATIVE, workload, 1500)
+        shared = model.nf_seconds(Technology.NATIVE, workload, 1500,
+                                  marking_rules=4, tagged_port=True)
+        expected = (4 * model.mark_rule_seconds
+                    + 2 * model.vlan_op_seconds)
+        assert shared.total - plain.total == pytest.approx(expected)
+
+    def test_chain_adds_switch_path_and_lookups(self):
+        model = CostModel()
+        workload = NfWorkload.nat()
+        hop = model.nf_seconds(Technology.NATIVE, workload, 1500)
+        chain1 = model.chain_seconds([hop])
+        chain3 = model.chain_seconds([hop, hop, hop])
+        assert chain3.total > 3 * hop.total
+        assert chain3.components["extra-lookups"] == pytest.approx(
+            2 * model.extra_lookup_seconds)
+        assert chain1.components["switch-path"] == pytest.approx(
+            model.switch_path_seconds)
+
+    def test_closed_form_throughput(self):
+        assert CostModel.throughput_mbps(12e-6, 1500) == pytest.approx(
+            1000.0)
+        with pytest.raises(ValueError):
+            CostModel.throughput_mbps(0.0, 1500)
+
+    @given(st.integers(min_value=64, max_value=9000))
+    @settings(max_examples=25)
+    def test_cost_monotone_in_frame_size(self, frame_bytes):
+        model = CostModel()
+        workload = NfWorkload.ipsec_esp()
+        small = model.nf_seconds(Technology.NATIVE, workload, 64)
+        big = model.nf_seconds(Technology.NATIVE, workload, frame_bytes)
+        assert big.total >= small.total
+
+
+class TestPipeline:
+    def test_des_matches_closed_form(self):
+        service = 10e-6
+        result = measure_throughput([Stage("s", service)],
+                                    frame_bytes=1500, duration=0.2)
+        expected = CostModel.throughput_mbps(service, 1500)
+        assert result.throughput_mbps == pytest.approx(expected, rel=0.02)
+
+    def test_two_flows_share_the_core_fairly(self):
+        sim = Simulator()
+        pipeline = PacketPipeline(sim, cores=1)
+        pipeline.add_flow("a", [Stage("s", 10e-6)])
+        pipeline.add_flow("b", [Stage("s", 10e-6)])
+        a, b = pipeline.run(duration=0.2)
+        solo = measure_throughput([Stage("s", 10e-6)],
+                                  duration=0.2).throughput_mbps
+        assert a.throughput_mbps == pytest.approx(solo / 2, rel=0.05)
+        assert b.throughput_mbps == pytest.approx(a.throughput_mbps,
+                                                  rel=0.05)
+
+    def test_second_core_doubles_aggregate(self):
+        sim = Simulator()
+        pipeline = PacketPipeline(sim, cores=2)
+        pipeline.add_flow("a", [Stage("s", 10e-6)])
+        pipeline.add_flow("b", [Stage("s", 10e-6)])
+        a, b = pipeline.run(duration=0.2)
+        solo = measure_throughput([Stage("s", 10e-6)],
+                                  duration=0.2).throughput_mbps
+        assert a.throughput_mbps == pytest.approx(solo, rel=0.05)
+        assert b.throughput_mbps == pytest.approx(solo, rel=0.05)
+
+    def test_latency_includes_queueing(self):
+        sim = Simulator()
+        pipeline = PacketPipeline(sim, cores=1)
+        pipeline.add_flow("a", [Stage("s", 10e-6)], window=4)
+        (result,) = pipeline.run(duration=0.1)
+        # 4 in flight on one 10us server: ~40us sojourn each.
+        assert result.mean_latency_seconds == pytest.approx(40e-6,
+                                                            rel=0.1)
+
+    def test_validation(self):
+        sim = Simulator()
+        pipeline = PacketPipeline(sim)
+        with pytest.raises(ValueError):
+            pipeline.add_flow("x", [])
+        with pytest.raises(ValueError):
+            pipeline.add_flow("x", [Stage("s", 1e-6)], frame_bytes=0)
+        with pytest.raises(ValueError):
+            Stage("bad", -1.0)
+        pipeline.add_flow("ok", [Stage("s", 1e-6)])
+        with pytest.raises(ValueError):
+            pipeline.run(duration=0.01, warmup=0.02)
+
+
+class TestMemoryModel:
+    def test_table1_ram_column(self):
+        model = MemoryModel()
+        rss = 19.4
+        assert model.runtime_mb(Technology.NATIVE, rss) == pytest.approx(
+            PAPER_TABLE1["native"]["ram_mb"])
+        assert model.runtime_mb(Technology.DOCKER, rss) == pytest.approx(
+            PAPER_TABLE1["docker"]["ram_mb"])
+        assert model.runtime_mb(Technology.VM, rss) == pytest.approx(
+            PAPER_TABLE1["vm"]["ram_mb"])
+
+    def test_breakdown_sums_to_total(self):
+        model = MemoryModel()
+        for technology in (Technology.NATIVE, Technology.DOCKER,
+                           Technology.VM, Technology.DPDK):
+            breakdown = model.breakdown(technology, 19.4)
+            assert sum(breakdown.values()) == pytest.approx(
+                model.runtime_mb(technology, 19.4))
+
+    def test_vm_ram_independent_of_nf_rss(self):
+        model = MemoryModel()
+        assert model.runtime_mb(Technology.VM, 5.0) == model.runtime_mb(
+            Technology.VM, 50.0)
+
+
+class TestIperfAndTable1:
+    def test_run_iperf_reports_breakdown(self):
+        model = CostModel()
+        chain = model.chain_seconds([model.nf_seconds(
+            Technology.NATIVE, NfWorkload.nat(), 1500)])
+        result = run_iperf(chain, duration=0.05)
+        assert result.throughput_mbps > 0
+        assert "kernel-stack" in result.breakdown
+        assert result.probe_delivered  # no node given: vacuously true
+
+    def test_ipsec_graph_is_valid(self):
+        from repro.nffg.validate import validate_nffg
+        validate_nffg(ipsec_cpe_graph("x", "native"))
+
+    def test_table1_rows_complete(self):
+        rows = run_table1(duration=0.05)
+        assert [row.flavor for row in rows] == ["vm", "docker", "native"]
+        for row in rows:
+            assert row.probe_delivered and row.esp_on_wire
+            assert row.throughput_mbps > 0
+
+    def test_table1_shape_holds(self):
+        rows = {row.flavor: row for row in run_table1(duration=0.05)}
+        assert rows["vm"].throughput_mbps < rows["docker"].throughput_mbps
+        assert rows["vm"].ram_mb > rows["docker"].ram_mb \
+            > rows["native"].ram_mb
+        assert rows["vm"].image_mb > rows["docker"].image_mb \
+            > rows["native"].image_mb

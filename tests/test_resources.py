@@ -1,0 +1,161 @@
+"""Capabilities, accounting/admission and image-model tests."""
+
+import pytest
+
+from repro.resources.accounting import AdmissionError, ResourceAccountant
+from repro.resources.capabilities import NodeCapabilities, NodeClass
+from repro.resources.images import (
+    DockerImage,
+    ImageComponent,
+    ImageRegistry,
+    NativePackage,
+    VmImage,
+)
+
+
+class TestCapabilities:
+    def test_profiles_are_sane(self):
+        cpe = NodeCapabilities.residential_cpe()
+        dc = NodeCapabilities.datacenter_server()
+        assert cpe.node_class is NodeClass.CPE
+        assert dc.node_class is NodeClass.DATACENTER
+        assert dc.ram_mb > 10 * cpe.ram_mb
+        assert not cpe.supports("kvm")       # the paper's motivation
+        assert cpe.supports("native")
+        assert dc.supports_all({"kvm", "docker", "dpdk"})
+
+    def test_kvm_profile_runs_all_three_flavors(self):
+        cpe = NodeCapabilities.residential_cpe_with_kvm()
+        assert cpe.supports_all({"kvm", "docker", "native"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeCapabilities(node_class=NodeClass.CPE, cpu_cores=0,
+                             cpu_mhz=1, ram_mb=1, disk_mb=1)
+        with pytest.raises(ValueError):
+            NodeCapabilities(node_class=NodeClass.CPE, cpu_cores=1,
+                             cpu_mhz=1, ram_mb=0, disk_mb=1)
+
+
+class TestAccounting:
+    def accountant(self):
+        caps = NodeCapabilities(node_class=NodeClass.CPE, cpu_cores=4,
+                                cpu_mhz=2000, ram_mb=1024, disk_mb=8192,
+                                features=frozenset())
+        return ResourceAccountant(caps, ram_headroom_mb=24)
+
+    def test_allocate_and_release(self):
+        accountant = self.accountant()
+        allocation = accountant.allocate("g1/nf1", cpu_cores=1.0,
+                                         ram_mb=100, disk_mb=50)
+        assert accountant.cpu_used == 1.0
+        assert accountant.ram_used_mb == 100
+        accountant.release(allocation)
+        assert accountant.cpu_used == 0
+        assert allocation.released
+
+    def test_headroom_reserved_for_host(self):
+        accountant = self.accountant()
+        assert accountant.ram_free_mb == 1000  # 1024 - 24
+
+    def test_admission_rejects_overcommit(self):
+        accountant = self.accountant()
+        accountant.allocate("a", ram_mb=900)
+        with pytest.raises(AdmissionError):
+            accountant.allocate("b", ram_mb=200)
+        assert accountant.rejections == 1
+
+    def test_cpu_admission(self):
+        accountant = self.accountant()
+        accountant.allocate("a", cpu_cores=3.5)
+        with pytest.raises(AdmissionError):
+            accountant.allocate("b", cpu_cores=1.0)
+
+    def test_double_release_rejected(self):
+        accountant = self.accountant()
+        allocation = accountant.allocate("a", ram_mb=10)
+        accountant.release(allocation)
+        with pytest.raises(ValueError):
+            accountant.release(allocation)
+
+    def test_negative_amounts_rejected(self):
+        with pytest.raises(ValueError):
+            self.accountant().allocate("a", ram_mb=-5)
+
+    def test_resize_grows_and_shrinks(self):
+        accountant = self.accountant()
+        allocation = accountant.allocate("a", ram_mb=100)
+        accountant.resize(allocation, ram_mb=300)
+        assert accountant.ram_used_mb == 300
+        accountant.resize(allocation, ram_mb=50)
+        assert accountant.ram_used_mb == 50
+
+    def test_resize_rejects_overcommit(self):
+        accountant = self.accountant()
+        allocation = accountant.allocate("a", ram_mb=500)
+        accountant.allocate("b", ram_mb=400)
+        with pytest.raises(AdmissionError):
+            accountant.resize(allocation, ram_mb=700)
+        assert allocation.ram_mb == 500
+
+    def test_utilisation_fractions(self):
+        accountant = self.accountant()
+        accountant.allocate("a", cpu_cores=2.0, ram_mb=512)
+        utilisation = accountant.utilisation()
+        assert utilisation["cpu"] == pytest.approx(0.5)
+        assert utilisation["ram"] == pytest.approx(0.5)
+
+
+class TestImages:
+    def test_sizes_compose_from_components(self):
+        image = VmImage(name="x", components=(
+            ImageComponent("kernel", 60.0), ImageComponent("rootfs", 400.0)))
+        assert image.size_mb == 460.0
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            ImageComponent("bad", -1.0)
+
+    def test_stock_registry_matches_table1_image_sizes(self):
+        images = ImageRegistry.stock()
+        assert images.get("strongswan-vm").size_mb == pytest.approx(522.0)
+        assert images.get("strongswan-docker").size_mb == pytest.approx(
+            240.0)
+        assert images.get("strongswan-native").size_mb == pytest.approx(
+            5.0)
+
+    def test_technology_tags(self):
+        images = ImageRegistry.stock()
+        assert images.get("strongswan-vm").technology == "vm"
+        assert images.get("strongswan-docker").technology == "docker"
+        assert images.get("strongswan-native").technology == "native"
+
+    def test_duplicate_name_rejected(self):
+        registry = ImageRegistry()
+        package = NativePackage(name="p", components=(
+            ImageComponent("c", 1.0),))
+        registry.register(package)
+        with pytest.raises(ValueError):
+            registry.register(package)
+
+    def test_missing_image_raises(self):
+        with pytest.raises(KeyError):
+            ImageRegistry().get("ghost")
+
+    def test_transfer_time_scales_with_size(self):
+        images = ImageRegistry.stock()
+        vm_pull = images.transfer_seconds("strongswan-vm", link_mbps=100)
+        native_pull = images.transfer_seconds("strongswan-native",
+                                              link_mbps=100)
+        assert vm_pull == pytest.approx(522 * 8 / 100)
+        assert vm_pull / native_pull == pytest.approx(522 / 5)
+
+    def test_transfer_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            ImageRegistry.stock().transfer_seconds("strongswan-vm", 0)
+
+    def test_docker_image_contains_metadata_layer(self):
+        images = ImageRegistry.stock()
+        docker = images.get("strongswan-docker")
+        assert isinstance(docker, DockerImage)
+        assert any("metadata" in layer.name for layer in docker.layers)

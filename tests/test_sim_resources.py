@@ -1,0 +1,184 @@
+"""Tests for Resource/Container/Store primitives."""
+
+import pytest
+
+from repro.sim import Container, Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    r1, r2, r3 = resource.request(), resource.request(), resource.request()
+    sim.run()
+    assert r1.fired and r2.fired
+    assert not r3.fired
+    assert resource.count == 2
+
+
+def test_resource_release_grants_queued():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    first = resource.request()
+    second = resource.request()
+    sim.run()
+    assert first.fired and not second.fired
+    resource.release(first)
+    sim.run()
+    assert second.fired
+
+
+def test_resource_release_unheld_raises():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    stranger = resource.request()
+    resource.release(stranger)
+    from repro.sim.engine import SimulationError
+    with pytest.raises(SimulationError):
+        resource.release(stranger)
+
+
+def test_resource_fifo_order():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag, hold):
+        request = resource.request()
+        yield request
+        order.append((tag, sim.now))
+        yield sim.timeout(hold)
+        resource.release(request)
+
+    sim.process(worker("a", 1.0))
+    sim.process(worker("b", 1.0))
+    sim.process(worker("c", 1.0))
+    sim.run()
+    assert [tag for tag, _t in order] == ["a", "b", "c"]
+    assert [t for _tag, t in order] == [0.0, 1.0, 2.0]
+
+
+def test_container_put_get():
+    sim = Simulator()
+    tank = Container(sim, capacity=100.0, init=10.0)
+    tank.put(30.0)
+    sim.run()
+    assert tank.level == 40.0
+    tank.get(15.0)
+    sim.run()
+    assert tank.level == 25.0
+
+
+def test_container_get_blocks_until_stock():
+    sim = Simulator()
+    tank = Container(sim, capacity=100.0)
+    got = []
+
+    def consumer():
+        yield tank.get(50.0)
+        got.append(sim.now)
+
+    def producer():
+        yield sim.timeout(2.0)
+        tank.put(50.0)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [2.0]
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0, init=8.0)
+    done = []
+
+    def producer():
+        yield tank.put(5.0)
+        done.append(sim.now)
+
+    def consumer():
+        yield sim.timeout(3.0)
+        tank.get(5.0)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert done == [3.0]
+    assert tank.level == 8.0
+
+
+def test_container_validates_amounts():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)
+    with pytest.raises(ValueError):
+        tank.put(11)
+
+
+def test_store_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(consumer())
+    for item in ("x", "y", "z"):
+        store.put(item)
+    sim.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_item():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer():
+        yield sim.timeout(4.0)
+        store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("late", 4.0)]
+
+
+def test_bounded_store_backpressure():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    done = []
+
+    def producer():
+        yield store.put("first")
+        yield store.put("second")
+        done.append(sim.now)
+
+    def consumer():
+        yield sim.timeout(5.0)
+        yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert done == [5.0]
+
+
+def test_store_try_put_drops_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.try_put(1)
+    assert store.try_put(2)
+    sim.run()
+    assert not store.try_put(3)
+    assert len(store) == 2

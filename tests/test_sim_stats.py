@@ -1,0 +1,84 @@
+"""Tests for measurement helpers."""
+
+import pytest
+
+from repro.sim import Counter, RateMeter, Simulator, TimeWeightedStat
+from repro.sim.stats import WelfordStat
+
+
+def test_counter_total_and_mark():
+    counter = Counter("packets")
+    counter.add(5)
+    counter.add()
+    assert counter.total == 6
+    assert counter.mark() == 6
+    counter.add(2)
+    assert counter.mark() == 2
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().add(-1)
+
+
+def test_rate_meter_bits_per_second():
+    sim = Simulator()
+    meter = RateMeter(sim)
+
+    def sender():
+        for _ in range(10):
+            meter.record(1250)  # 10 kbit
+            yield sim.timeout(0.1)
+
+    sim.process(sender())
+    sim.run()
+    # 12500 bytes over 1.0s => 100 kbit/s
+    assert meter.rate_bps == pytest.approx(100_000.0)
+    assert meter.rate_pps == pytest.approx(10.0)
+
+
+def test_rate_meter_reset_window():
+    sim = Simulator()
+    meter = RateMeter(sim)
+    meter.record(100)
+    sim.timeout(1.0)
+    sim.run()
+    meter.reset()
+    assert meter.bytes_total == 0
+    assert meter.rate_bps == 0.0
+
+
+def test_time_weighted_mean():
+    sim = Simulator()
+    stat = TimeWeightedStat(sim, initial=0.0)
+
+    def stepper():
+        yield sim.timeout(1.0)
+        stat.update(10.0)   # 0 for [0,1)
+        yield sim.timeout(3.0)
+        stat.update(0.0)    # 10 for [1,4)
+
+    sim.process(stepper())
+    sim.run(until=5.0)
+    # area = 0*1 + 10*3 + 0*1 = 30 over 5s
+    assert stat.mean == pytest.approx(6.0)
+    assert stat.maximum == 10.0
+    assert stat.minimum == 0.0
+
+
+def test_welford_matches_closed_form():
+    stat = WelfordStat()
+    samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    for sample in samples:
+        stat.add(sample)
+    assert stat.n == len(samples)
+    assert stat.mean == pytest.approx(5.0)
+    assert stat.stdev == pytest.approx(2.138089935299395)
+    assert stat.minimum == 2.0
+    assert stat.maximum == 9.0
+
+
+def test_welford_empty_is_safe():
+    stat = WelfordStat()
+    assert stat.mean == 0.0
+    assert stat.variance == 0.0
