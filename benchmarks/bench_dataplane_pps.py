@@ -1,0 +1,71 @@
+"""Dataplane pps sweep: indexed flow lookup + batched LSI-chain pipeline.
+
+Sweeps flow-table sizes (10/100/1k/5k entries) against the pre-PR
+linear scan, and chain lengths for the batched pipeline; writes
+``BENCH_dataplane.json`` so later PRs can track the pps trajectory.
+
+Run with pytest (perf marker)::
+
+    PYTHONPATH=src python -m pytest -m perf benchmarks/bench_dataplane_pps.py -s
+
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_dataplane_pps.py
+"""
+
+import os
+import sys
+
+import pytest
+
+if __package__ in (None, ""):  # running as a script
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+
+from benchmarks.conftest import bench_json_path, print_block
+from repro.perf.dataplane import check_results, format_results, \
+    run_dataplane_bench, write_bench_json
+
+@pytest.fixture(scope="module")
+def results(request):
+    # Sweep parameters are the run_dataplane_bench defaults so this
+    # entry point and tests/test_perf_dataplane.py cannot drift.
+    data = run_dataplane_bench()
+    print_block("Dataplane pps: indexed lookup + batched pipeline",
+                format_results(data))
+    path = bench_json_path(request.config)
+    write_bench_json(data, path)
+    print(f"wrote {path}")
+    return data
+
+
+@pytest.mark.perf
+def test_acceptance_criteria(results):
+    check_results(results)  # >=10x at 1k entries, parse_cidr-free
+
+
+@pytest.mark.perf
+def test_speedup_grows_with_table_size(results):
+    speedups = [p["speedup"] for p in results["lookup"]]
+    assert speedups[-1] > speedups[0], speedups
+
+
+@pytest.mark.perf
+def test_batched_chain_not_slower(results):
+    for point in results["chain"]:
+        assert point["speedup"] > 0.9, point
+
+
+def main() -> None:
+    data = run_dataplane_bench()
+    print_block("Dataplane pps: indexed lookup + batched pipeline",
+                format_results(data))
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_dataplane.json")
+    write_bench_json(data, path)
+    print(f"wrote {path}")
+    check_results(data)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Repo-wide pytest wiring: the ``perf`` marker and bench JSON output.
+
+Tier-1 (``pytest -x -q``) must stay fast, so tests marked ``perf`` are
+skipped unless the marker is selected explicitly::
+
+    PYTHONPATH=src python -m pytest -m perf            # pps sweep
+    PYTHONPATH=src python -m pytest -m perf --bench-json out.json
+
+The sweep writes ``BENCH_dataplane.json`` (path overridable with
+``--bench-json``) so successive PRs can track the pps trajectory.
+"""
+
+import os
+
+import pytest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BENCH_JSON = os.path.join(_HERE, "BENCH_dataplane.json")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", action="store", default=DEFAULT_BENCH_JSON,
+        help="where perf-marked benches write their JSON results "
+             "(default: BENCH_dataplane.json at the repo root)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: dataplane pps sweeps; excluded from tier-1, run with -m perf")
+
+
+def pytest_collection_modifyitems(config, items):
+    if "perf" in (config.option.markexpr or ""):
+        return
+    skip = pytest.mark.skip(reason="perf bench: run with `pytest -m perf`")
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip)

@@ -271,6 +271,24 @@ class TrafficSteeringManager:
             FlowMatch(in_port=dst_link_port.port_no, vlan_vid=tag),
             second_actions, priority=rule.priority, cookie=network.cookie)
 
+    # -- traffic injection ---------------------------------------------------------
+    def inject_batch(self, interface: str, frames) -> None:
+        """Drive a batch of frames into LSI-0 as if received on ``interface``.
+
+        Bench/test hook for the batched pipeline: the frames enter
+        through the registered physical port (bypassing the NetDevice
+        handler, which is strictly per-frame) and traverse the whole
+        LSI chain batch-at-a-time via
+        :meth:`~repro.switch.datapath.Datapath.process_batch`.
+        """
+        port = self._physical_ports.get(interface)
+        if port is None:
+            raise SteeringError(
+                f"interface {interface!r} is not attached to LSI-0")
+        port_no = port.port_no
+        self.base.datapath.process_batch(
+            (port_no, frame) for frame in frames)
+
     # -- inspection ---------------------------------------------------------------
     def flow_counts(self) -> dict[str, int]:
         counts = {"LSI-0": len(self.base.datapath.table)}

@@ -10,7 +10,8 @@ from __future__ import annotations
 import re
 import struct
 
-__all__ = ["MacAddress", "int_to_ip", "ip_to_int", "parse_cidr"]
+__all__ = ["MacAddress", "compile_cidr", "int_to_ip", "ip_to_int",
+           "parse_cidr"]
 
 _MAC_RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
 
@@ -123,3 +124,16 @@ def parse_cidr(cidr: str) -> tuple[int, int]:
         raise ValueError(f"prefix length out of range in {cidr!r}")
     mask = 0 if plen == 0 else (0xFFFFFFFF << (32 - plen)) & 0xFFFFFFFF
     return ip_to_int(addr) & mask, plen
+
+
+def compile_cidr(cidr: str) -> tuple[int, int]:
+    """Precompile a CIDR (bare addresses mean /32) for hot-path tests.
+
+    Returns ``(network >> shift, shift)`` with ``shift = 32 - plen``, so
+    a membership test is two integer ops and no string parsing:
+    ``ip_int >> shift == network_shifted``.  For ``/0`` both sides are 0
+    and every address matches.
+    """
+    network, plen = parse_cidr(cidr if "/" in cidr else cidr + "/32")
+    shift = 32 - plen
+    return network >> shift, shift

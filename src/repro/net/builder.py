@@ -2,16 +2,20 @@
 
 Traffic generators build frames with ``make_udp_frame``/``make_tcp_frame``;
 datapath elements that must inspect L3/L4 (iptables, NAT, the XFRM hook)
-use ``parse_frame`` which decodes as deep as it can and returns a
-:class:`ParsedFrame` bundle.
+use ``parse_frame`` which returns a :class:`ParsedFrame` bundle.
+
+Decoding is *lazy*: a :class:`ParsedFrame` is constructed in O(1) and
+each layer is decoded at most once, on first access.  A switch chain
+that only matches on L2 fields therefore never pays for the IPv4/L4
+decode, while a table with IP or port matches decodes each frame exactly
+once no matter how many entries inspect it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
-from repro.net.addresses import MacAddress
+from repro.net.addresses import MacAddress, ip_to_int
 from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
 from repro.net.ipv4 import IPPROTO_TCP, IPPROTO_UDP, IPv4Packet
 from repro.net.transport import TcpSegment, UdpDatagram
@@ -19,14 +23,106 @@ from repro.net.transport import TcpSegment, UdpDatagram
 __all__ = ["ParsedFrame", "make_tcp_frame", "make_udp_frame", "parse_frame"]
 
 
-@dataclass
 class ParsedFrame:
-    """Decoded view of a frame; deeper layers are None when absent."""
+    """Lazily decoded view of a frame; deeper layers are None when absent.
 
-    eth: EthernetFrame
-    ipv4: Optional[IPv4Packet] = None
-    udp: Optional[UdpDatagram] = None
-    tcp: Optional[TcpSegment] = None
+    ``eth`` is always present; ``ipv4``/``udp``/``tcp`` decode on first
+    access and are cached.  ``ip_ints`` exposes the addresses as 32-bit
+    ints for the flow-table fast path (computed once per frame).
+    """
+
+    __slots__ = ("eth", "_ipv4", "_udp", "_tcp",
+                 "_l3_done", "_l4_done", "_ip_ints")
+
+    def __init__(self, eth: EthernetFrame,
+                 ipv4: Optional[IPv4Packet] = None,
+                 udp: Optional[UdpDatagram] = None,
+                 tcp: Optional[TcpSegment] = None) -> None:
+        self.eth = eth
+        self._ipv4 = ipv4
+        self._udp = udp
+        self._tcp = tcp
+        # Explicitly supplied layers pin the decode (legacy constructor
+        # semantics: the bundle holds exactly the layers passed, so an
+        # ipv4 without udp/tcp means "no L4 view", not "decode later").
+        self._l3_done = ipv4 is not None
+        self._l4_done = ipv4 is not None or udp is not None \
+            or tcp is not None
+        self._ip_ints: Optional[tuple[int, int]] = None
+
+    # -- lazy decode -------------------------------------------------------
+    @property
+    def ipv4(self) -> Optional[IPv4Packet]:
+        if not self._l3_done:
+            self._l3_done = True
+            if self.eth.ethertype == ETHERTYPE_IPV4:
+                try:
+                    self._ipv4 = IPv4Packet.from_bytes(self.eth.payload)
+                except ValueError:
+                    pass
+        return self._ipv4
+
+    @ipv4.setter
+    def ipv4(self, value: Optional[IPv4Packet]) -> None:
+        """Replace the L3 view (NAT-style rewrite); every derived view —
+        address ints and the L4 decode — follows the new header."""
+        self._ipv4 = value
+        self._l3_done = True
+        self._ip_ints = None
+        self._udp = None
+        self._tcp = None
+        self._l4_done = False
+
+    @property
+    def udp(self) -> Optional[UdpDatagram]:
+        self._decode_l4()
+        return self._udp
+
+    @udp.setter
+    def udp(self, value: Optional[UdpDatagram]) -> None:
+        self._udp = value
+        self._l4_done = True
+
+    @property
+    def tcp(self) -> Optional[TcpSegment]:
+        self._decode_l4()
+        return self._tcp
+
+    @tcp.setter
+    def tcp(self, value: Optional[TcpSegment]) -> None:
+        self._tcp = value
+        self._l4_done = True
+
+    def _decode_l4(self) -> None:
+        if self._l4_done:
+            return
+        self._l4_done = True
+        packet = self.ipv4
+        if packet is None:
+            return
+        if packet.proto == IPPROTO_UDP:
+            try:
+                self._udp = UdpDatagram.from_bytes(packet.payload)
+            except ValueError:
+                pass
+        elif packet.proto == IPPROTO_TCP:
+            try:
+                self._tcp = TcpSegment.from_bytes(packet.payload)
+            except ValueError:
+                pass
+
+    # -- hot-path views ----------------------------------------------------
+    @property
+    def ip_ints(self) -> Optional[tuple[int, int]]:
+        """(src_int, dst_int) of the IPv4 header, or None; cached."""
+        ints = self._ip_ints
+        if ints is None:
+            packet = self.ipv4
+            if packet is None:
+                return None
+            ints = (ip_to_int(packet.src), ip_to_int(packet.dst))
+            self._ip_ints = ints
+        return ints
 
     @property
     def five_tuple(self) -> Optional[tuple[str, str, int, int, int]]:
@@ -40,6 +136,16 @@ class ParsedFrame:
             return (self.ipv4.src, self.ipv4.dst, self.ipv4.proto,
                     self.tcp.src_port, self.tcp.dst_port)
         return (self.ipv4.src, self.ipv4.dst, self.ipv4.proto, 0, 0)
+
+    def __repr__(self) -> str:
+        layers = ["eth"]
+        if self._l3_done and self._ipv4 is not None:
+            layers.append("ipv4")
+        if self._l4_done and self._udp is not None:
+            layers.append("udp")
+        if self._l4_done and self._tcp is not None:
+            layers.append("tcp")
+        return f"<ParsedFrame {'/'.join(layers)} {self.eth!r}>"
 
 
 def make_udp_frame(src_mac: "MacAddress | str", dst_mac: "MacAddress | str",
@@ -72,7 +178,7 @@ def make_tcp_frame(src_mac: "MacAddress | str", dst_mac: "MacAddress | str",
 
 
 def parse_frame(frame: "EthernetFrame | bytes") -> ParsedFrame:
-    """Decode Ethernet -> IPv4 -> UDP/TCP as deep as the bytes allow.
+    """Decode Ethernet eagerly; IPv4 and UDP/TCP decode lazily on access.
 
     Never raises on unknown upper layers: a frame that is not IPv4, or an
     IPv4 packet carrying an unhandled protocol, simply yields a
@@ -80,21 +186,4 @@ def parse_frame(frame: "EthernetFrame | bytes") -> ParsedFrame:
     """
     eth = (frame if isinstance(frame, EthernetFrame)
            else EthernetFrame.from_bytes(frame))
-    parsed = ParsedFrame(eth=eth)
-    if eth.ethertype != ETHERTYPE_IPV4:
-        return parsed
-    try:
-        parsed.ipv4 = IPv4Packet.from_bytes(eth.payload)
-    except ValueError:
-        return parsed
-    if parsed.ipv4.proto == IPPROTO_UDP:
-        try:
-            parsed.udp = UdpDatagram.from_bytes(parsed.ipv4.payload)
-        except ValueError:
-            pass
-    elif parsed.ipv4.proto == IPPROTO_TCP:
-        try:
-            parsed.tcp = TcpSegment.from_bytes(parsed.ipv4.payload)
-        except ValueError:
-            pass
-    return parsed
+    return ParsedFrame(eth=eth)

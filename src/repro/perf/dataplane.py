@@ -1,0 +1,308 @@
+"""Dataplane pps microbenchmarks: indexed vs linear lookup, batched chains.
+
+The lookup sweep installs steering-shaped tables (exact ``(in_port,
+vlan)`` entries plus a sprinkle of CIDR wildcards) at several sizes and
+times the indexed fast path (:meth:`FlowTable.lookup`) against the
+pre-PR reference linear scan (:meth:`FlowTable.lookup_linear`, which
+still re-parses CIDR strings per packet — exactly the old cost model).
+
+The chain sweep wires N datapaths in a row with virtual links (the
+Figure-1 LSI chain) and times the per-frame :meth:`Datapath.process`
+path against :meth:`Datapath.process_batch`.
+
+``run_dataplane_bench`` bundles both sweeps into a JSON-serializable
+dict; benches write it to ``BENCH_dataplane.json`` so later PRs can
+track the pps trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import asdict, dataclass
+
+from repro.net import MacAddress, make_udp_frame, parse_frame
+from repro.switch import (
+    Datapath,
+    FlowEntry,
+    FlowMatch,
+    FlowTable,
+    Output,
+    VirtualLink,
+)
+
+__all__ = [
+    "ChainPoint",
+    "LookupPoint",
+    "SPEEDUP_TARGET_AT_1K",
+    "build_steering_table",
+    "check_results",
+    "count_fast_path_parse_cidr",
+    "run_dataplane_bench",
+    "sweep_chain",
+    "sweep_lookup",
+    "write_bench_json",
+]
+
+#: Acceptance floor: indexed vs linear speedup at the 1k-entry point.
+SPEEDUP_TARGET_AT_1K = 10.0
+
+_MAC_A = MacAddress("02:00:00:00:00:01")
+_MAC_B = MacAddress("02:00:00:00:00:02")
+
+#: Ingress ports the synthetic steering layer spreads entries over.
+_N_PORTS = 8
+#: One wildcard (CIDR) entry per this many exact entries.
+_WILDCARD_EVERY = 50
+
+
+@dataclass
+class LookupPoint:
+    """One table-size point of the lookup sweep."""
+
+    table_size: int
+    packets: int
+    linear_pps: float
+    indexed_pps: float
+    speedup: float
+
+
+@dataclass
+class ChainPoint:
+    """One chain-length point of the pipeline sweep."""
+
+    chain_length: int
+    packets: int
+    single_pps: float
+    batched_pps: float
+    speedup: float
+
+
+def _vid(index: int) -> int:
+    """Unique (port, vlan) pair per entry index, steering-style."""
+    return 100 + (index // _N_PORTS) % 3900
+
+
+def _port(index: int) -> int:
+    return 1 + index % _N_PORTS
+
+
+def build_steering_table(size: int) -> FlowTable:
+    """A table shaped like the steering layer's output at ``size`` entries.
+
+    Mostly exact ``(in_port, vlan_vid)`` entries (what ``_install_rule``
+    emits for inter-LSI segments), plus a low-priority CIDR wildcard
+    every :data:`_WILDCARD_EVERY` entries (endpoint classification
+    rules).
+    """
+    table = FlowTable()
+    for index in range(size):
+        table.add(FlowEntry(
+            match=FlowMatch(in_port=_port(index), vlan_vid=_vid(index)),
+            actions=(Output(200),), priority=100))
+        if index % _WILDCARD_EVERY == 0:
+            table.add(FlowEntry(
+                match=FlowMatch(in_port=_port(index),
+                                ip_dst=f"10.{index % 200}.0.0/16"),
+                actions=(Output(201),), priority=10))
+    return table
+
+
+def _steering_frames(size: int, packets: int, seed: int) -> list:
+    """(in_port, ParsedFrame) pairs hitting installed entries."""
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(packets):
+        index = rng.randrange(max(size, 1))
+        frame = make_udp_frame(
+            _MAC_A, _MAC_B, f"10.{index % 200}.0.1", "10.200.0.2",
+            4000, 5001, b"x", vlan=_vid(index))
+        pairs.append((_port(index), parse_frame(frame)))
+    return pairs
+
+
+def sweep_lookup(sizes=(10, 100, 1000, 5000), packets: int = 2000,
+                 seed: int = 7) -> list[LookupPoint]:
+    """Time indexed vs reference-linear lookup at each table size."""
+    points = []
+    for size in sizes:
+        table = build_steering_table(size)
+        workload = _steering_frames(size, packets, seed)
+        # Warm the lazy-parse caches so both paths see identical frames.
+        for in_port, parsed in workload:
+            table.lookup(in_port, parsed, count=False)
+            table.lookup_linear(in_port, parsed)
+
+        start = time.perf_counter()
+        for in_port, parsed in workload:
+            table.lookup_linear(in_port, parsed)
+        linear_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for in_port, parsed in workload:
+            table.lookup(in_port, parsed, count=False)
+        indexed_elapsed = time.perf_counter() - start
+
+        linear_pps = packets / linear_elapsed
+        indexed_pps = packets / indexed_elapsed
+        points.append(LookupPoint(
+            table_size=size, packets=packets, linear_pps=linear_pps,
+            indexed_pps=indexed_pps, speedup=indexed_pps / linear_pps))
+    return points
+
+
+def _build_chain(length: int) -> tuple[Datapath, Datapath]:
+    """``length`` datapaths in a row joined by virtual links.
+
+    Returns (ingress datapath, egress datapath); ingress port is 1 on
+    the first, the last forwards to a counting sink port.
+    """
+    hops = [Datapath(0x9000 + i, name=f"hop{i}") for i in range(length)]
+    first = hops[0]
+    first.add_port("ingress")
+    previous_in = 1
+    for left, right in zip(hops, hops[1:]):
+        link = VirtualLink.connect(left, right, name=f"vl-{left.name}")
+        out_no = link.far_port(left).port_no
+        left.install(FlowEntry(match=FlowMatch(in_port=previous_in),
+                               actions=(Output(out_no),)))
+        previous_in = link.far_port(right).port_no
+    last = hops[-1]
+    sink = last.add_port("sink")
+    last.install(FlowEntry(match=FlowMatch(in_port=previous_in),
+                           actions=(Output(sink.port_no),)))
+    return first, last
+
+
+def sweep_chain(lengths=(1, 2, 4), packets: int = 1000,
+                seed: int = 11) -> list[ChainPoint]:
+    """Time per-frame vs batched traversal of an LSI chain."""
+    rng = random.Random(seed)
+    frames = [make_udp_frame(_MAC_A, _MAC_B, "10.0.0.1", "10.0.0.2",
+                             4000 + rng.randrange(1000), 5001, b"x")
+              for _ in range(packets)]
+    points = []
+    for length in lengths:
+        first, last = _build_chain(length)
+        sink = last.port_by_name("sink")
+        warmup = frames[:16]
+        for frame in warmup:
+            first.process(1, frame)
+
+        start = time.perf_counter()
+        for frame in frames:
+            first.process(1, frame)
+        single_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        first.process_batch((1, frame) for frame in frames)
+        batched_elapsed = time.perf_counter() - start
+
+        assert sink.tx_packets == len(warmup) + 2 * packets, \
+            f"chain {length}: sink saw {sink.tx_packets} frames"
+        single_pps = packets / single_elapsed
+        batched_pps = packets / batched_elapsed
+        points.append(ChainPoint(
+            chain_length=length, packets=packets, single_pps=single_pps,
+            batched_pps=batched_pps, speedup=batched_pps / single_pps))
+    return points
+
+
+def count_fast_path_parse_cidr(table: FlowTable, workload) -> int:
+    """How many ``parse_cidr`` calls the indexed fast path makes (must be 0).
+
+    Temporarily intercepts ``parse_cidr`` in both the flowtable and
+    addresses namespaces, runs every lookup in ``workload`` against
+    ``table``, and returns the call count.
+    """
+    from repro.net import addresses
+    from repro.switch import flowtable
+
+    calls = [0]
+    original = addresses.parse_cidr
+
+    def counting(cidr: str):
+        calls[0] += 1
+        return original(cidr)
+
+    flowtable.parse_cidr = counting
+    addresses.parse_cidr = counting
+    try:
+        for in_port, parsed in workload:
+            table.lookup(in_port, parsed, count=False)
+    finally:
+        flowtable.parse_cidr = original
+        addresses.parse_cidr = original
+    return calls[0]
+
+
+def run_dataplane_bench(sizes=(10, 100, 1000, 5000),
+                        chain_lengths=(1, 2, 4),
+                        lookup_packets: int = 2000,
+                        chain_packets: int = 1000,
+                        seed: int = 7) -> dict:
+    """Both sweeps plus the fast-path purity check, JSON-ready."""
+    lookup = sweep_lookup(sizes, packets=lookup_packets, seed=seed)
+    chain = sweep_chain(chain_lengths, packets=chain_packets, seed=seed + 4)
+    purity_table = build_steering_table(1000)
+    purity_workload = _steering_frames(1000, 200, seed)
+    parse_cidr_calls = count_fast_path_parse_cidr(
+        purity_table, purity_workload)
+    return {
+        "lookup": [asdict(point) for point in lookup],
+        "chain": [asdict(point) for point in chain],
+        "fast_path_parse_cidr_calls": parse_cidr_calls,
+        "meta": {
+            "lookup_packets": lookup_packets,
+            "chain_packets": chain_packets,
+            "seed": seed,
+            "timestamp": time.time(),
+        },
+    }
+
+
+def check_results(results: dict) -> None:
+    """Assert the PR's acceptance criteria on a sweep result dict.
+
+    Single source of truth for the thresholds: the bench file, its
+    script entry point and the pytest sweep all call this.
+    """
+    point = next((p for p in results["lookup"] if p["table_size"] == 1000),
+                 None)
+    assert point is not None, "sweep did not include the 1k-entry point"
+    assert point["speedup"] >= SPEEDUP_TARGET_AT_1K, (
+        f"indexed lookup only {point['speedup']:.1f}x over linear at 1k "
+        f"entries ({point['indexed_pps']:.0f} vs {point['linear_pps']:.0f} "
+        "pps)")
+    assert results["fast_path_parse_cidr_calls"] == 0, (
+        "fast path called parse_cidr "
+        f"{results['fast_path_parse_cidr_calls']} times")
+
+
+def write_bench_json(results: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+
+
+def format_results(results: dict) -> str:
+    """Human-readable sweep tables for bench output."""
+    lines = [f"{'table':>6} {'linear pps':>12} {'indexed pps':>13} "
+             f"{'speedup':>9}"]
+    for point in results["lookup"]:
+        lines.append(f"{point['table_size']:>6} {point['linear_pps']:>12.0f} "
+                     f"{point['indexed_pps']:>13.0f} "
+                     f"{point['speedup']:>8.1f}x")
+    lines.append("")
+    lines.append(f"{'chain':>6} {'single pps':>12} {'batched pps':>13} "
+                 f"{'speedup':>9}")
+    for point in results["chain"]:
+        lines.append(f"{point['chain_length']:>6} "
+                     f"{point['single_pps']:>12.0f} "
+                     f"{point['batched_pps']:>13.0f} "
+                     f"{point['speedup']:>8.2f}x")
+    lines.append("")
+    lines.append("fast-path parse_cidr calls: "
+                 f"{results['fast_path_parse_cidr_calls']}")
+    return "\n".join(lines)

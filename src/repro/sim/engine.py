@@ -241,8 +241,7 @@ class Process(Event):
             if event._exception is not None:
                 next_event = self.generator.throw(event._exception)
             else:
-                next_event = self.generator.send(
-                    event._value if event is not None else None)
+                next_event = self.generator.send(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return

@@ -24,7 +24,12 @@ from repro.switch.actions import (
     SetField,
 )
 from repro.switch.datapath import Datapath, SwitchPort
-from repro.switch.flowtable import FlowEntry, FlowMatch, FlowTable
+from repro.switch.flowtable import (
+    FlowEntry,
+    FlowMatch,
+    FlowTable,
+    FlowTableOracleError,
+)
 from repro.switch.lsi import LogicalSwitchInstance, VirtualLink
 
 __all__ = [
@@ -34,6 +39,7 @@ __all__ = [
     "FlowEntry",
     "FlowMatch",
     "FlowTable",
+    "FlowTableOracleError",
     "LogicalSwitchInstance",
     "Output",
     "PopVlan",

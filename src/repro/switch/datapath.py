@@ -4,11 +4,21 @@ A :class:`Datapath` is a single-table OpenFlow-style switch.  Ports
 either wrap a :class:`~repro.linuxnet.devices.NetDevice` (NF ports and
 node physical ports) or connect to another datapath through a
 :class:`~repro.switch.lsi.VirtualLink` (inter-LSI wiring).
+
+Two ingress paths exist:
+
+* :meth:`Datapath.process` — one frame, counters updated inline;
+* :meth:`Datapath.process_batch` — many frames, amortizing per-packet
+  overheads: each frame is parsed once (lazily — see
+  :class:`~repro.net.builder.ParsedFrame`), flow counters are
+  accumulated locally and flushed once per batch, and frames leaving
+  through a virtual link are carried to the far LSI as one batch so a
+  whole chain of LSIs runs batch-at-a-time.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.linuxnet.devices import NetDevice
 from repro.net.builder import parse_frame
@@ -28,6 +38,7 @@ __all__ = ["Datapath", "SwitchPort"]
 
 PacketInHandler = Callable[["Datapath", int, EthernetFrame], None]
 TapHandler = Callable[[int, EthernetFrame], None]
+EmitFn = Callable[[int, int, EthernetFrame], None]
 
 
 class SwitchPort:
@@ -56,6 +67,17 @@ class SwitchPort:
         elif self.peer_link is not None:
             self.peer_link.carry(self, frame)
 
+    def deliver_out_batch(self, frames: list[EthernetFrame]) -> None:
+        """Batch egress: devices still get one transmit per frame, but a
+        virtual-link peer receives the whole list in one carry."""
+        self.tx_packets += len(frames)
+        self.tx_bytes += sum(len(frame) for frame in frames)
+        if self.device is not None:
+            for frame in frames:
+                self.device.transmit(frame)
+        elif self.peer_link is not None:
+            self.peer_link.carry_batch(self, frames)
+
     def __repr__(self) -> str:
         return f"<SwitchPort {self.port_no}:{self.name}>"
 
@@ -68,6 +90,7 @@ class Datapath:
         self.name = name or f"dp{dpid}"
         self.table = FlowTable()
         self.ports: dict[int, SwitchPort] = {}
+        self._ports_by_name: dict[str, SwitchPort] = {}
         self._next_port = 1
         self.packet_in_handler: Optional[PacketInHandler] = None
         self.taps: list[TapHandler] = []
@@ -87,6 +110,8 @@ class Datapath:
         port = SwitchPort(port_no, name, device)
         port.datapath = self
         self.ports[port_no] = port
+        # First port wins on duplicate names, like the old linear scan.
+        self._ports_by_name.setdefault(name, port)
         if device is not None:
             device.attach_handler(
                 lambda dev, frame, p=port_no: self.process(p, frame))
@@ -99,16 +124,25 @@ class Datapath:
             port = self.ports.pop(port_no)
         except KeyError:
             raise KeyError(f"no port {port_no} on {self.name}") from None
+        if self._ports_by_name.get(port.name) is port:
+            del self._ports_by_name[port.name]
+            # Another port may share the name; restore the earliest-added
+            # one (dict insertion order — the old linear scan's winner).
+            for other in self.ports.values():
+                if other.name == port.name:
+                    self._ports_by_name[port.name] = other
+                    break
         if port.device is not None:
             port.device.detach_handler()
         port.datapath = None
         return port
 
     def port_by_name(self, name: str) -> SwitchPort:
-        for port in self.ports.values():
-            if port.name == name:
-                return port
-        raise KeyError(f"no port named {name!r} on {self.name}")
+        try:
+            return self._ports_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no port named {name!r} on {self.name}") from None
 
     # -- pipeline -----------------------------------------------------------------
     def process(self, in_port: int, frame: EthernetFrame) -> None:
@@ -132,14 +166,82 @@ class Datapath:
             return
         self.execute(entry, in_port, frame)
 
+    def process_batch(self,
+                      batch: Iterable[tuple[int, EthernetFrame]]) -> None:
+        """Run a batch of ``(in_port, frame)`` through the pipeline.
+
+        Behaviorally equivalent to calling :meth:`process` per frame,
+        except that side effects are amortized: flow/table counters are
+        flushed once at the end, and egress is coalesced per output port
+        (virtual links forward one batch to the far LSI instead of
+        recursing per frame).  Per-port egress order is preserved among
+        *matched* frames; frames for different output ports are not
+        interleaved.  A packet-in handler that re-injects via
+        :meth:`process` delivers immediately, i.e. ahead of frames still
+        queued for the batch flush.
+        """
+        table = self.table
+        taps = self.taps
+        # entry_id -> [entry, packets, bytes]
+        pending: dict[int, list] = {}
+        # out port_no -> frames, in ingress order
+        queues: dict[int, list[EthernetFrame]] = {}
+
+        def enqueue(number: int, port: SwitchPort,
+                    frame: EthernetFrame) -> None:
+            queues.setdefault(number, []).append(frame)
+
+        def emit(out_port: int, in_port: int, frame: EthernetFrame) -> None:
+            self._route(out_port, in_port, frame, enqueue)
+
+        try:
+            for in_port, frame in batch:
+                port = self.ports.get(in_port)
+                if port is None:
+                    raise KeyError(
+                        f"frame from unknown port {in_port} on {self.name}")
+                self.rx_packets += 1
+                port.rx_packets += 1
+                port.rx_bytes += len(frame)
+                for tap in taps:
+                    tap(in_port, frame)
+                parsed = parse_frame(frame)
+                entry = table.lookup(in_port, parsed, count=False)
+                if entry is None:
+                    self.table_misses += 1
+                    if self.packet_in_handler is not None:
+                        self.packet_in_handler(self, in_port, frame)
+                    else:
+                        self.dropped += 1
+                    continue
+                acc = pending.get(entry.entry_id)
+                if acc is None:
+                    pending[entry.entry_id] = [entry, 1, len(frame)]
+                else:
+                    acc[1] += 1
+                    acc[2] += len(frame)
+                self.execute(entry, in_port, frame, emit=emit)
+        finally:
+            # A bad frame or raising tap must not lose the prefix of the
+            # batch: flush whatever was matched and queued so far.
+            for entry, packets, nbytes in pending.values():
+                table.credit(entry, packets, nbytes)
+            for port_no, frames in queues.items():
+                port = self.ports.get(port_no)
+                if port is None:  # removed by a tap/handler mid-batch
+                    self.dropped += len(frames)
+                    continue
+                port.deliver_out_batch(frames)
+
     def execute(self, entry: FlowEntry, in_port: int,
-                frame: EthernetFrame) -> None:
+                frame: EthernetFrame, emit: Optional[EmitFn] = None) -> None:
+        deliver = self._emit if emit is None else emit
         current = frame
         emitted = False
         for action in entry.actions:
             if isinstance(action, Output):
                 emitted = True
-                self._emit(action.port, in_port, current)
+                deliver(action.port, in_port, current)
             elif isinstance(action, Controller):
                 emitted = True
                 if self.packet_in_handler is not None:
@@ -155,18 +257,27 @@ class Datapath:
         if not emitted:
             self.dropped += 1
 
-    def _emit(self, out_port: int, in_port: int,
-              frame: EthernetFrame) -> None:
+    def _route(self, out_port: int, in_port: int, frame: EthernetFrame,
+               deliver: Callable[[int, SwitchPort, EthernetFrame],
+                                 None]) -> None:
+        """Routing policy shared by the single-frame and batched paths:
+        FLOOD expands to every port but the ingress, unknown ports count
+        as drops."""
         if out_port == FLOOD_PORT:
             for number, port in self.ports.items():
                 if number != in_port:
-                    port.deliver_out(frame)
+                    deliver(number, port, frame)
             return
         port = self.ports.get(out_port)
         if port is None:
             self.dropped += 1
             return
-        port.deliver_out(frame)
+        deliver(out_port, port, frame)
+
+    def _emit(self, out_port: int, in_port: int,
+              frame: EthernetFrame) -> None:
+        self._route(out_port, in_port, frame,
+                    lambda number, port, fr: port.deliver_out(fr))
 
     # -- convenience -----------------------------------------------------------
     def install(self, entry: FlowEntry) -> None:

@@ -1,23 +1,65 @@
-"""Flow tables: OpenFlow-style matching with priorities and counters."""
+"""Flow tables: OpenFlow-style matching with priorities and counters.
+
+Lookup engine design (the node's hottest path — Figure 1 sends every
+packet through at least two LSIs, so per-lookup cost multiplies along
+the chain):
+
+* **Compiled matches.**  A :class:`FlowMatch` compiles itself at
+  construction into a tuple of closed-over predicate functions; CIDR
+  strings are reduced to ``(network >> shift, shift)`` integer pairs via
+  :func:`repro.net.addresses.compile_cidr`, so the per-packet test is
+  two integer ops.  ``parse_cidr`` is **never** called after
+  construction — the fast path touches no strings.
+
+* **Two-level index.**  Entries are bucketed by the fields the steering
+  layer always sets:
+
+  1. *exact level* — hash buckets keyed on ``(in_port, vlan_vid)`` for
+     entries with both fields concrete (``NO_VLAN`` keys untagged
+     traffic);
+  2. *port level* — per-``in_port`` buckets for entries whose VLAN is
+     wildcarded (or :data:`ANY_VLAN`);
+  3. *wildcard list* — everything with ``in_port`` wildcarded.
+
+  Every bucket is kept priority-sorted (``bisect.insort`` on
+  ``(-priority, entry_id)`` — no full re-sort per insert) and a lookup
+  is a 3-way merge of the relevant buckets, returning the first
+  compiled-predicate hit.  This preserves exact linear-scan semantics
+  while visiting only the few entries that could possibly match.
+
+* **Correctness oracle.**  :meth:`FlowTable.lookup_linear` keeps the
+  original priority-ordered linear scan (string-based matching and
+  all); setting ``table.oracle = True`` cross-checks every indexed
+  lookup against it and raises :class:`FlowTableOracleError` on any
+  divergence.  The property-based suite drives both paths with random
+  tables and frames.
+"""
 
 from __future__ import annotations
 
 import itertools
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, TYPE_CHECKING
+from heapq import merge as _heap_merge
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
 
-from repro.net.addresses import MacAddress, ip_to_int, parse_cidr
+from repro.net.addresses import MacAddress, compile_cidr, ip_to_int, \
+    parse_cidr
 from repro.net.builder import ParsedFrame
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.switch.actions import Action
 
-__all__ = ["ANY_VLAN", "FlowEntry", "FlowMatch", "FlowTable", "NO_VLAN"]
+__all__ = ["ANY_VLAN", "FlowEntry", "FlowMatch", "FlowTable",
+           "FlowTableOracleError", "NO_VLAN"]
 
 #: Match any VLAN id (but the frame must be tagged).
 ANY_VLAN = -1
 #: Match only untagged frames.
 NO_VLAN = -2
+
+#: Predicate compiled from one concrete FlowMatch field.
+MatchCheck = Callable[[int, ParsedFrame], bool]
 
 
 @dataclass(frozen=True)
@@ -27,6 +69,11 @@ class FlowMatch:
     ``vlan_vid`` accepts a concrete VID, :data:`ANY_VLAN` (tagged, any
     id) or :data:`NO_VLAN` (untagged only) — the three cases the
     steering and adaptation layers need.
+
+    Construction compiles the concrete fields into integer-only
+    predicates (see module docstring); :meth:`hits` evaluates the
+    compiled form, :meth:`hits_reference` the original string-based
+    logic (kept as the oracle's reference).
     """
 
     in_port: Optional[int] = None
@@ -41,15 +88,106 @@ class FlowMatch:
     tp_dst: Optional[int] = None
 
     def __post_init__(self) -> None:
-        for cidr in (self.ip_src, self.ip_dst):
-            if cidr is not None:
-                parse_cidr(cidr if "/" in cidr else cidr + "/32")
         if self.vlan_vid is not None and not (
                 self.vlan_vid in (ANY_VLAN, NO_VLAN)
                 or 0 <= self.vlan_vid <= 4095):
             raise ValueError(f"bad vlan_vid {self.vlan_vid}")
+        # Validate CIDRs once and precompute their integer forms; also
+        # compile the whole match so the hot path never parses strings.
+        src_key = (None if self.ip_src is None
+                   else compile_cidr(self.ip_src))
+        dst_key = (None if self.ip_dst is None
+                   else compile_cidr(self.ip_dst))
+        object.__setattr__(self, "_src_key", src_key)
+        object.__setattr__(self, "_dst_key", dst_key)
+        object.__setattr__(self, "_checks", self._compile(src_key, dst_key))
+
+    def _compile(self, src_key: Optional[tuple[int, int]],
+                 dst_key: Optional[tuple[int, int]]) -> tuple[MatchCheck, ...]:
+        checks: list[MatchCheck] = []
+        if self.in_port is not None:
+            want_port = self.in_port
+            checks.append(lambda port, parsed: port == want_port)
+        if self.eth_src is not None:
+            want_src = self.eth_src
+            checks.append(lambda port, parsed: parsed.eth.src == want_src)
+        if self.eth_dst is not None:
+            want_dst = self.eth_dst
+            checks.append(lambda port, parsed: parsed.eth.dst == want_dst)
+        if self.eth_type is not None:
+            want_type = self.eth_type
+            checks.append(
+                lambda port, parsed: parsed.eth.ethertype == want_type)
+        if self.vlan_vid is not None:
+            vid = self.vlan_vid
+            if vid == NO_VLAN:
+                checks.append(lambda port, parsed: parsed.eth.vlan is None)
+            elif vid == ANY_VLAN:
+                checks.append(
+                    lambda port, parsed: parsed.eth.vlan is not None)
+            else:
+                checks.append(lambda port, parsed: parsed.eth.vlan == vid)
+        if src_key is not None:
+            src_net, src_shift = src_key
+            def check_src(port: int, parsed: ParsedFrame,
+                          net: int = src_net, shift: int = src_shift) -> bool:
+                ints = parsed.ip_ints
+                return ints is not None and ints[0] >> shift == net
+            checks.append(check_src)
+        if dst_key is not None:
+            dst_net, dst_shift = dst_key
+            def check_dst(port: int, parsed: ParsedFrame,
+                          net: int = dst_net, shift: int = dst_shift) -> bool:
+                ints = parsed.ip_ints
+                return ints is not None and ints[1] >> shift == net
+            checks.append(check_dst)
+        if self.ip_proto is not None:
+            want_proto = self.ip_proto
+            def check_proto(port: int, parsed: ParsedFrame) -> bool:
+                packet = parsed.ipv4
+                return packet is not None and packet.proto == want_proto
+            checks.append(check_proto)
+        # L4 port checks read the decoded segments directly instead of
+        # five_tuple, which rebuilds a string-bearing tuple per call.
+        # Reference semantics: non-IPv4 never matches; IPv4 without a
+        # parsed L4 exposes ports as 0.
+        if self.tp_src is not None:
+            want_sport = self.tp_src
+            def check_sport(port: int, parsed: ParsedFrame) -> bool:
+                if parsed.ipv4 is None:
+                    return False
+                udp = parsed.udp
+                if udp is not None:
+                    return udp.src_port == want_sport
+                tcp = parsed.tcp
+                if tcp is not None:
+                    return tcp.src_port == want_sport
+                return want_sport == 0
+            checks.append(check_sport)
+        if self.tp_dst is not None:
+            want_dport = self.tp_dst
+            def check_dport(port: int, parsed: ParsedFrame) -> bool:
+                if parsed.ipv4 is None:
+                    return False
+                udp = parsed.udp
+                if udp is not None:
+                    return udp.dst_port == want_dport
+                tcp = parsed.tcp
+                if tcp is not None:
+                    return tcp.dst_port == want_dport
+                return want_dport == 0
+            checks.append(check_dport)
+        return tuple(checks)
 
     def hits(self, in_port: int, parsed: ParsedFrame) -> bool:
+        """Compiled predicate: no string parsing per packet."""
+        for check in self._checks:  # type: ignore[attr-defined]
+            if not check(in_port, parsed):
+                return False
+        return True
+
+    def hits_reference(self, in_port: int, parsed: ParsedFrame) -> bool:
+        """Original (pre-index) matching logic; the oracle's reference."""
         eth = parsed.eth
         if self.in_port is not None and in_port != self.in_port:
             return False
@@ -93,6 +231,12 @@ class FlowMatch:
 
     _FIELDS = ("in_port", "eth_src", "eth_dst", "eth_type", "vlan_vid",
                "ip_src", "ip_dst", "ip_proto", "tp_src", "tp_dst")
+
+    def __reduce__(self):
+        # The compiled predicate closures are not picklable; rebuild
+        # from the declared fields (recompiles on unpickle).
+        return (self.__class__,
+                tuple(getattr(self, name) for name in self._FIELDS))
 
     def subsumes(self, other: "FlowMatch") -> bool:
         """True when every concrete field of self equals other's field.
@@ -150,14 +294,35 @@ class FlowEntry:
                 f"actions[{acts}]")
 
 
+class FlowTableOracleError(AssertionError):
+    """Indexed lookup diverged from the reference linear scan."""
+
+
+def _sort_key(entry: FlowEntry) -> tuple[int, int]:
+    return (-entry.priority, entry.entry_id)
+
+
 class FlowTable:
-    """Priority-ordered flow table with add/modify/delete semantics."""
+    """Indexed flow table with priority add/modify/delete semantics.
+
+    See the module docstring for the two-level index layout.  Public
+    semantics are identical to a priority-ordered linear scan; set
+    ``oracle = True`` to verify that on every lookup.
+    """
 
     def __init__(self, table_id: int = 0) -> None:
         self.table_id = table_id
         self._entries: list[FlowEntry] = []
+        # Index level 1: (in_port, vid-or-NO_VLAN) -> sorted entries.
+        self._exact: dict[tuple[int, int], list[FlowEntry]] = {}
+        # Index level 2: in_port -> sorted entries with wildcard/ANY vlan.
+        self._by_port: dict[int, list[FlowEntry]] = {}
+        # Fallback: entries with wildcard in_port.
+        self._wild: list[FlowEntry] = []
         self.lookups = 0
         self.matches = 0
+        #: When True every lookup is cross-checked against the linear scan.
+        self.oracle = False
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -165,11 +330,38 @@ class FlowTable:
     def __iter__(self):
         return iter(self._entries)
 
+    # -- index maintenance -------------------------------------------------
+    def _bucket(self, match: FlowMatch) -> list[FlowEntry]:
+        """The index bucket this match belongs to (created on demand)."""
+        if match.in_port is None:
+            return self._wild
+        if match.vlan_vid is None or match.vlan_vid == ANY_VLAN:
+            return self._by_port.setdefault(match.in_port, [])
+        return self._exact.setdefault((match.in_port, match.vlan_vid), [])
+
+    def _unindex(self, entry: FlowEntry) -> None:
+        match = entry.match
+        if match.in_port is None:
+            self._wild.remove(entry)
+            return
+        if match.vlan_vid is None or match.vlan_vid == ANY_VLAN:
+            bucket = self._by_port[match.in_port]
+            bucket.remove(entry)
+            if not bucket:
+                del self._by_port[match.in_port]
+            return
+        key = (match.in_port, match.vlan_vid)
+        bucket = self._exact[key]
+        bucket.remove(entry)
+        if not bucket:
+            del self._exact[key]
+
+    # -- modification ------------------------------------------------------
     def add(self, entry: FlowEntry) -> None:
         """Install; replaces an entry with identical match+priority."""
         self.delete(match=entry.match, priority=entry.priority, strict=True)
-        self._entries.append(entry)
-        self._entries.sort(key=lambda e: (-e.priority, e.entry_id))
+        insort(self._entries, entry, key=_sort_key)
+        insort(self._bucket(entry.match), entry, key=_sort_key)
 
     def delete(self, match: Optional[FlowMatch] = None,
                priority: Optional[int] = None, cookie: Optional[int] = None,
@@ -187,26 +379,108 @@ class FlowTable:
                 return False
             return True
 
-        before = len(self._entries)
-        self._entries = [e for e in self._entries if not doomed(e)]
-        return before - len(self._entries)
+        victims = [entry for entry in self._entries if doomed(entry)]
+        if not victims:
+            return 0
+        victim_ids = {entry.entry_id for entry in victims}
+        self._entries = [entry for entry in self._entries
+                         if entry.entry_id not in victim_ids]
+        for entry in victims:
+            self._unindex(entry)
+        return len(victims)
 
     def clear(self) -> int:
         count = len(self._entries)
         self._entries.clear()
+        self._exact.clear()
+        self._by_port.clear()
+        self._wild.clear()
         return count
 
-    def lookup(self, in_port: int,
-               parsed: ParsedFrame) -> Optional[FlowEntry]:
-        """Highest-priority matching entry, or None (table miss)."""
-        self.lookups += 1
-        for entry in self._entries:
+    # -- lookup ------------------------------------------------------------
+    def _select(self, in_port: int,
+                parsed: ParsedFrame) -> Optional[FlowEntry]:
+        """Indexed candidate walk; no counter updates."""
+        vlan = parsed.eth.vlan
+        exact = self._exact.get(
+            (in_port, vlan if vlan is not None else NO_VLAN))
+        by_port = self._by_port.get(in_port)
+        lists = [bucket for bucket in (exact, by_port) if bucket]
+        if self._wild:
+            lists.append(self._wild)
+        if not lists:
+            return None
+        if len(lists) == 1:
+            for entry in lists[0]:
+                if entry.match.hits(in_port, parsed):
+                    return entry
+            return None
+        if len(lists) == 2:
+            # Manual two-list merge: the common case (exact bucket plus
+            # one fallback list) and ~2x cheaper than heapq with a key.
+            first, second = lists
+            i = j = 0
+            len_first, len_second = len(first), len(second)
+            while i < len_first or j < len_second:
+                if j >= len_second:
+                    entry = first[i]
+                    i += 1
+                elif i >= len_first:
+                    entry = second[j]
+                    j += 1
+                else:
+                    head_a, head_b = first[i], second[j]
+                    if (-head_a.priority, head_a.entry_id) \
+                            <= (-head_b.priority, head_b.entry_id):
+                        entry = head_a
+                        i += 1
+                    else:
+                        entry = head_b
+                        j += 1
+                if entry.match.hits(in_port, parsed):
+                    return entry
+            return None
+        for entry in _heap_merge(*lists, key=_sort_key):
             if entry.match.hits(in_port, parsed):
-                self.matches += 1
-                entry.packets += 1
-                entry.bytes += len(parsed.eth)
                 return entry
         return None
+
+    def lookup(self, in_port: int, parsed: ParsedFrame,
+               count: bool = True) -> Optional[FlowEntry]:
+        """Highest-priority matching entry, or None (table miss).
+
+        ``count=False`` skips the per-entry counter updates; the batched
+        datapath uses it and flushes accumulated counts once per batch
+        through :meth:`credit`.
+        """
+        self.lookups += 1
+        entry = self._select(in_port, parsed)
+        if self.oracle:
+            reference = self.lookup_linear(in_port, parsed)
+            if reference is not entry:
+                raise FlowTableOracleError(
+                    f"table {self.table_id}: indexed lookup returned "
+                    f"{entry and entry.describe()!r}, linear scan "
+                    f"{reference and reference.describe()!r}")
+        if entry is not None and count:
+            self.matches += 1
+            entry.packets += 1
+            entry.bytes += len(parsed.eth)
+        return entry
+
+    def lookup_linear(self, in_port: int,
+                      parsed: ParsedFrame) -> Optional[FlowEntry]:
+        """Reference pre-index linear scan (string matching, no counters)."""
+        for entry in self._entries:
+            if entry.match.hits_reference(in_port, parsed):
+                return entry
+        return None
+
+    def credit(self, entry: FlowEntry, packets: int, nbytes: int) -> None:
+        """Flush batched counters for ``entry`` (see ``lookup(count=)``)."""
+        self.matches += packets
+        entry.packets += packets
+        entry.bytes += nbytes
 
     def dump(self) -> list[str]:
         return [entry.describe() for entry in self._entries]

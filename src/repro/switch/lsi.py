@@ -78,18 +78,36 @@ class VirtualLink:
         self.a = None
         self.b = None
 
+    def _far(self, from_port: SwitchPort) -> Optional[SwitchPort]:
+        if from_port is self.a:
+            return self.b
+        if from_port is self.b:
+            return self.a
+        raise ValueError("frame from a port not on this link")
+
     def carry(self, from_port: SwitchPort, frame: EthernetFrame) -> None:
         """Move a frame to the far end and process it there."""
-        if from_port is self.a:
-            far = self.b
-        elif from_port is self.b:
-            far = self.a
-        else:
-            raise ValueError("frame from a port not on this link")
+        far = self._far(from_port)
         if far is None or far.datapath is None:
             return
         self.carried += 1
         far.datapath.process(far.port_no, frame)
+
+    def carry_batch(self, from_port: SwitchPort,
+                    frames: list[EthernetFrame]) -> None:
+        """Move a whole batch to the far end in one pipeline pass.
+
+        This is what keeps a chain of LSIs batch-at-a-time: the far
+        datapath receives the frames through
+        :meth:`~repro.switch.datapath.Datapath.process_batch`, so parse,
+        lookup and counter amortization carry across every hop.
+        """
+        far = self._far(from_port)
+        if far is None or far.datapath is None:
+            return
+        self.carried += len(frames)
+        port_no = far.port_no
+        far.datapath.process_batch((port_no, frame) for frame in frames)
 
     def far_port(self, datapath: Datapath) -> SwitchPort:
         """The link's port that lives on ``datapath``."""

@@ -170,6 +170,27 @@ def test_vlan_endpoint_matched_and_popped():
     assert isinstance(entry.actions[0], PopVlan)
 
 
+def test_inject_batch_traverses_lsi_chain():
+    manager, _wires = manager_with_interfaces("lan0", "wan0")
+    graph = simple_graph()
+    manager.create_graph_network("g1")
+    instance = fake_instance("nat1")
+    manager.attach_instances("g1", {"nat1": instance})
+    manager.install_graph_rules(graph, {"nat1": instance})
+    nf_lan = instance.switch_devices["lan"]
+    from repro.net import MacAddress, make_udp_frame
+    frames = [make_udp_frame(MacAddress("02:00:00:00:00:01"),
+                             MacAddress("02:00:00:00:00:02"),
+                             "10.0.0.1", "10.0.0.2", 1000 + i, 2000, b"x")
+              for i in range(3)]
+    manager.inject_batch("lan0", frames)
+    assert nf_lan.tx_packets == 3  # delivered out of the NF-facing port
+    # The classification hop crossed the virtual link as one batch.
+    assert manager.graphs["g1"].link.carried == 3
+    with pytest.raises(SteeringError, match="not attached"):
+        manager.inject_batch("nope0", frames)
+
+
 def test_flow_counts_inventory():
     manager, _wires = manager_with_interfaces("lan0", "wan0")
     manager.create_graph_network("a")

@@ -1,0 +1,116 @@
+"""Property-based oracle: indexed lookup ≡ reference linear scan.
+
+Random tables of random :class:`FlowMatch` entries (priority ties,
+wildcards, VLAN sentinels, CIDRs of every prefix length) against random
+frames (UDP/TCP/ARP, tagged and untagged).  The indexed two-level
+lookup must return the *identical* entry object as the pre-index
+priority-ordered linear scan, and the compiled per-match predicate must
+agree with the original string-based matching logic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import EthernetFrame, MacAddress, make_tcp_frame, \
+    make_udp_frame, parse_frame
+from repro.net.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4
+from repro.switch import FlowEntry, FlowMatch, FlowTable, Output
+from repro.switch.flowtable import ANY_VLAN, NO_VLAN
+
+MACS = [MacAddress(f"02:00:00:00:00:{i:02x}") for i in (1, 2, 3)]
+IPS = ["10.0.0.1", "10.0.1.7", "10.1.0.1", "192.168.0.5"]
+CIDRS = ["0.0.0.0/0", "10.0.0.0/8", "10.0.0.0/16", "10.0.1.0/24",
+         "10.0.0.1/32", "10.0.0.1", "192.168.0.0/24"]
+PORTS = [1000, 2000, 3000]
+VIDS = [1, 2, 3]
+
+match_strategy = st.builds(
+    FlowMatch,
+    in_port=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+    eth_src=st.one_of(st.none(), st.sampled_from(MACS)),
+    eth_dst=st.one_of(st.none(), st.sampled_from(MACS)),
+    eth_type=st.one_of(st.none(),
+                       st.sampled_from([ETHERTYPE_IPV4, ETHERTYPE_ARP])),
+    vlan_vid=st.one_of(st.none(),
+                       st.sampled_from([ANY_VLAN, NO_VLAN] + VIDS)),
+    ip_src=st.one_of(st.none(), st.sampled_from(CIDRS)),
+    ip_dst=st.one_of(st.none(), st.sampled_from(CIDRS)),
+    ip_proto=st.one_of(st.none(), st.sampled_from([6, 17])),
+    tp_src=st.one_of(st.none(), st.sampled_from(PORTS)),
+    tp_dst=st.one_of(st.none(), st.sampled_from(PORTS)),
+)
+
+
+@st.composite
+def frame_strategy(draw):
+    vlan = draw(st.one_of(st.none(), st.sampled_from(VIDS)))
+    kind = draw(st.sampled_from(["udp", "tcp", "arp"]))
+    src_mac = draw(st.sampled_from(MACS))
+    dst_mac = draw(st.sampled_from(MACS))
+    if kind == "arp":
+        return EthernetFrame(dst=dst_mac, src=src_mac,
+                             ethertype=ETHERTYPE_ARP, payload=b"arp",
+                             vlan=vlan)
+    maker = make_udp_frame if kind == "udp" else make_tcp_frame
+    return maker(src_mac, dst_mac, draw(st.sampled_from(IPS)),
+                 draw(st.sampled_from(IPS)), draw(st.sampled_from(PORTS)),
+                 draw(st.sampled_from(PORTS)), b"x", vlan=vlan)
+
+
+@given(match=match_strategy, frame=frame_strategy(),
+       in_port=st.integers(min_value=1, max_value=4))
+@settings(max_examples=200)
+def test_compiled_match_agrees_with_reference(match, frame, in_port):
+    parsed = parse_frame(frame)
+    assert match.hits(in_port, parsed) \
+        == match.hits_reference(in_port, parsed)
+
+
+@given(
+    matches=st.lists(st.tuples(match_strategy,
+                               st.integers(min_value=1, max_value=5)),
+                     min_size=0, max_size=25),
+    frames=st.lists(st.tuples(frame_strategy(),
+                              st.integers(min_value=1, max_value=4)),
+                    min_size=1, max_size=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_indexed_lookup_identical_to_linear_scan(matches, frames):
+    table = FlowTable()
+    table.oracle = True  # lookup() itself raises on any divergence
+    for match, priority in matches:
+        # dataclass equality means duplicate (match, priority) pairs
+        # exercise the replace path; duplicate priorities exercise ties.
+        table.add(FlowEntry(match=match, actions=(Output(1),),
+                            priority=priority))
+    for frame, in_port in frames:
+        parsed = parse_frame(frame)
+        indexed = table.lookup(in_port, parsed, count=False)
+        linear = table.lookup_linear(in_port, parsed)
+        assert indexed is linear
+
+
+@given(
+    matches=st.lists(st.tuples(match_strategy,
+                               st.integers(min_value=1, max_value=3)),
+                     min_size=2, max_size=20),
+    frames=st.lists(st.tuples(frame_strategy(),
+                              st.integers(min_value=1, max_value=4)),
+                    min_size=1, max_size=5),
+    drop=st.integers(min_value=0, max_value=19),
+)
+@settings(max_examples=50, deadline=None)
+def test_index_stays_consistent_across_deletes(matches, frames, drop):
+    table = FlowTable()
+    table.oracle = True
+    entries = []
+    for match, priority in matches:
+        entry = FlowEntry(match=match, actions=(Output(1),),
+                          priority=priority)
+        table.add(entry)
+        entries.append(entry)
+    victim = entries[drop % len(entries)]
+    table.delete(match=victim.match, priority=victim.priority, strict=True)
+    for frame, in_port in frames:
+        parsed = parse_frame(frame)
+        assert table.lookup(in_port, parsed, count=False) \
+            is table.lookup_linear(in_port, parsed)

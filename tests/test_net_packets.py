@@ -187,3 +187,17 @@ class TestBuilder:
         parsed = parse_frame(frame)
         assert parsed.ipv4 is None
         assert parsed.five_tuple is None
+
+    def test_ip_ints_follow_ipv4_reassignment(self):
+        from repro.net.addresses import ip_to_int
+        from repro.net.ipv4 import IPv4Packet
+        frame = make_udp_frame(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2",
+                               4000, 5001, b"x")
+        parsed = parse_frame(frame)
+        assert parsed.ip_ints == (ip_to_int("10.0.0.1"),
+                                  ip_to_int("10.0.0.2"))
+        # Rewriting the L3 view (NAT-style) must invalidate the cache.
+        parsed.ipv4 = IPv4Packet(src="9.9.9.9", dst="10.0.0.2", proto=17,
+                                 payload=parsed.ipv4.payload)
+        assert parsed.ip_ints == (ip_to_int("9.9.9.9"),
+                                  ip_to_int("10.0.0.2"))

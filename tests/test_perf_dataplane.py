@@ -1,0 +1,66 @@
+"""Dataplane pps harness: fast sanity checks + the perf-marked sweep.
+
+The ``perf``-marked test is the `pytest -m perf` entry point: it runs
+the full table-size/chain-length sweep and writes the JSON artifact
+(``--bench-json``, default ``BENCH_dataplane.json``).  The unmarked
+tests keep the harness itself covered in tier-1 with tiny workloads.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.dataplane import (
+    build_steering_table,
+    check_results,
+    count_fast_path_parse_cidr,
+    format_results,
+    run_dataplane_bench,
+    sweep_chain,
+    sweep_lookup,
+    write_bench_json,
+)
+from repro.perf.dataplane import _steering_frames
+
+
+def test_sweep_lookup_shape():
+    points = sweep_lookup(sizes=(4, 16), packets=50)
+    assert [p.table_size for p in points] == [4, 16]
+    for point in points:
+        assert point.linear_pps > 0 and point.indexed_pps > 0
+        assert point.speedup == pytest.approx(
+            point.indexed_pps / point.linear_pps)
+
+
+def test_sweep_chain_delivers_everything():
+    points = sweep_chain(lengths=(1, 3), packets=40)
+    assert [p.chain_length for p in points] == [1, 3]
+    for point in points:
+        assert point.single_pps > 0 and point.batched_pps > 0
+
+
+def test_fast_path_parse_cidr_free():
+    table = build_steering_table(64)
+    workload = _steering_frames(64, 30, seed=3)
+    assert count_fast_path_parse_cidr(table, workload) == 0
+
+
+def test_results_serialize_and_format():
+    results = run_dataplane_bench(sizes=(4,), chain_lengths=(1,),
+                                  lookup_packets=30, chain_packets=20)
+    text = format_results(results)
+    assert "speedup" in text and "parse_cidr" in text
+    json.dumps(results)  # JSON-clean
+
+
+@pytest.mark.perf
+def test_dataplane_pps_sweep(request):
+    """The full sweep; asserts the ≥10x target and writes the artifact."""
+    results = run_dataplane_bench()
+    print("\n" + format_results(results))
+    path = request.config.getoption("--bench-json")
+    write_bench_json(results, path)
+    print(f"wrote {path}")
+    assert os.path.exists(path)
+    check_results(results)  # >=10x at 1k entries, parse_cidr-free

@@ -168,3 +168,131 @@ def test_lsi_roles():
     graph = LogicalSwitchInstance("LSI-g", graph_id="g7")
     assert base.is_base and not graph.is_base
     assert base.datapath.dpid != graph.datapath.dpid
+
+
+def test_port_by_name_tracks_add_and_remove():
+    dp = Datapath(1)
+    first = dp.add_port("alpha")
+    dp.add_port("beta")
+    assert dp.port_by_name("alpha") is first
+    dp.remove_port(first.port_no)
+    with pytest.raises(KeyError):
+        dp.port_by_name("alpha")
+    again = dp.add_port("alpha")
+    assert dp.port_by_name("alpha") is again
+
+
+def test_port_by_name_duplicate_names_first_wins():
+    dp = Datapath(1)
+    first = dp.add_port("dup")
+    second = dp.add_port("dup")
+    assert dp.port_by_name("dup") is first
+    dp.remove_port(first.port_no)
+    assert dp.port_by_name("dup") is second
+
+
+def test_process_batch_matches_single_frame_path():
+    single = Datapath(1)
+    batched = Datapath(2)
+    setups = []
+    for dp in (single, batched):
+        in_port, _pair, _ = collector(dp, "in")
+        out_port, _opair, frames_out = collector(dp, "out")
+        dp.install(FlowEntry(match=FlowMatch(in_port=in_port.port_no),
+                             actions=(Output(out_port.port_no),)))
+        setups.append((in_port, out_port, frames_out))
+    frames = [frame(payload=bytes([i])) for i in range(5)]
+
+    in_a, out_a, rx_a = setups[0]
+    for f in frames:
+        single.process(in_a.port_no, f)
+    in_b, out_b, rx_b = setups[1]
+    batched.process_batch((in_b.port_no, f) for f in frames)
+
+    assert [f.payload for f in rx_b] == [f.payload for f in rx_a]
+    assert batched.rx_packets == single.rx_packets == 5
+    assert out_b.tx_packets == out_a.tx_packets == 5
+    assert out_b.tx_bytes == out_a.tx_bytes
+    (entry_a,) = list(single.table)
+    (entry_b,) = list(batched.table)
+    assert entry_b.packets == entry_a.packets == 5
+    assert entry_b.bytes == entry_a.bytes
+    assert batched.table.matches == single.table.matches == 5
+
+
+def test_process_batch_miss_and_drop_accounting():
+    dp = Datapath(1)
+    in_port, _pair, _ = collector(dp, "in")
+    dp.process_batch([(in_port.port_no, frame()), (in_port.port_no, frame())])
+    assert dp.table_misses == 2
+    assert dp.dropped == 2
+    punted = []
+    dp.packet_in_handler = lambda d, port, fr: punted.append(port)
+    dp.process_batch([(in_port.port_no, frame())])
+    assert punted == [in_port.port_no]
+
+
+def test_process_batch_flood_excludes_ingress():
+    dp = Datapath(1)
+    _p1, pair1, rx1 = collector(dp, "p1")
+    _p2, _pair2, rx2 = collector(dp, "p2")
+    _p3, _pair3, rx3 = collector(dp, "p3")
+    dp.install(FlowEntry(match=FlowMatch(), actions=(Output(FLOOD_PORT),)))
+    dp.process_batch([(_p1.port_no, frame()), (_p1.port_no, frame())])
+    assert len(rx1) == 0
+    assert len(rx2) == 2
+    assert len(rx3) == 2
+
+
+def test_process_batch_unknown_port_raises():
+    dp = Datapath(1)
+    with pytest.raises(KeyError):
+        dp.process_batch([(42, frame())])
+
+
+def test_process_batch_flushes_prefix_on_midbatch_error():
+    dp = Datapath(1)
+    in_port, _pair, _ = collector(dp, "in")
+    out_port, _opair, rx = collector(dp, "out")
+    dp.install(FlowEntry(match=FlowMatch(in_port=in_port.port_no),
+                         actions=(Output(out_port.port_no),)))
+    with pytest.raises(KeyError):
+        dp.process_batch([(in_port.port_no, frame()), (42, frame())])
+    # The valid prefix was still delivered and credited.
+    assert len(rx) == 1
+    assert out_port.tx_packets == 1
+    (entry,) = list(dp.table)
+    assert entry.packets == 1
+    assert dp.table.matches == 1
+
+
+def test_port_by_name_duplicates_with_explicit_numbers():
+    dp = Datapath(1)
+    dp.add_port("dup", port_no=5)
+    nine = dp.add_port("dup", port_no=9)
+    dp.add_port("dup", port_no=2)
+    dp.remove_port(5)
+    # Earliest-added survivor wins (insertion order, not port number).
+    assert dp.port_by_name("dup") is nine
+
+
+def test_batch_carries_whole_chain_across_virtual_link():
+    base = LogicalSwitchInstance("LSI-0")
+    graph = LogicalSwitchInstance("LSI-g1", graph_id="g1")
+    link = VirtualLink.connect(base.datapath, graph.datapath, name="vl0")
+    in_port, _in_pair, _ = collector(base.datapath, "phys")
+    base_link_port = link.far_port(base.datapath)
+    graph_link_port = link.far_port(graph.datapath)
+    base.datapath.install(FlowEntry(
+        match=FlowMatch(in_port=in_port.port_no),
+        actions=(Output(base_link_port.port_no),)))
+    _nf_port, _nf_pair, nf_frames = collector(graph.datapath, "nf")
+    graph.datapath.install(FlowEntry(
+        match=FlowMatch(in_port=graph_link_port.port_no),
+        actions=(Output(_nf_port.port_no),)))
+    frames = [frame(payload=bytes([i])) for i in range(4)]
+    base.datapath.process_batch((in_port.port_no, f) for f in frames)
+    assert [f.payload for f in nf_frames] == [f.payload for f in frames]
+    assert link.carried == 4
+    # The far LSI saw the frames through its batch pipeline too.
+    assert graph.datapath.rx_packets == 4

@@ -103,3 +103,89 @@ def test_counters_accumulate():
 def test_bad_vlan_vid_rejected():
     with pytest.raises(ValueError):
         FlowMatch(vlan_vid=5000)
+
+
+def test_bad_cidr_rejected_at_construction():
+    with pytest.raises(ValueError):
+        FlowMatch(ip_src="10.0.0.0/33")
+    with pytest.raises(ValueError):
+        FlowMatch(ip_dst="not-an-address")
+
+
+def test_lookup_never_parses_cidr_strings(monkeypatch):
+    """The fast path must be string-free: CIDRs compile at construction."""
+    from repro.switch import flowtable as ft
+
+    table = FlowTable()
+    table.add(FlowEntry(match=FlowMatch(in_port=1, vlan_vid=7,
+                                        ip_dst="10.0.0.0/24"),
+                        actions=(Output(1),)))
+    table.add(FlowEntry(match=FlowMatch(ip_src="10.0.0.0/8"),
+                        actions=(Output(2),), priority=10))
+
+    def explode(cidr):
+        raise AssertionError(f"parse_cidr({cidr!r}) on the fast path")
+
+    monkeypatch.setattr(ft, "parse_cidr", explode)
+    assert table.lookup(1, parsed(vlan=7)) is not None
+    assert table.lookup(2, parsed()) is not None
+    assert table.lookup(2, parsed(src_ip="172.16.0.1")) is None
+
+
+def test_exact_bucket_and_wildcards_merge_by_priority():
+    table = FlowTable()
+    exact = FlowEntry(match=FlowMatch(in_port=1, vlan_vid=5),
+                      actions=(Output(1),), priority=50)
+    port_wild = FlowEntry(match=FlowMatch(in_port=1),
+                          actions=(Output(2),), priority=100)
+    full_wild = FlowEntry(match=FlowMatch(), actions=(Output(3),),
+                          priority=200)
+    for entry in (exact, port_wild, full_wild):
+        table.add(entry)
+    # All three could match; the highest priority must win regardless of
+    # which index level it lives at.
+    assert table.lookup(1, parsed(vlan=5)) is full_wild
+    table.delete(match=full_wild.match, priority=200, strict=True)
+    assert table.lookup(1, parsed(vlan=5)) is port_wild
+    table.delete(match=port_wild.match, priority=100, strict=True)
+    assert table.lookup(1, parsed(vlan=5)) is exact
+
+
+def test_any_vlan_entry_reached_from_port_bucket():
+    table = FlowTable()
+    any_vlan = FlowEntry(match=FlowMatch(in_port=1, vlan_vid=ANY_VLAN),
+                         actions=(Output(1),))
+    table.add(any_vlan)
+    assert table.lookup(1, parsed(vlan=9)) is any_vlan
+    assert table.lookup(1, parsed()) is None
+
+
+def test_oracle_mode_passes_on_consistent_table():
+    table = FlowTable()
+    table.oracle = True
+    table.add(FlowEntry(match=FlowMatch(in_port=1), actions=(Output(1),)))
+    table.add(FlowEntry(match=FlowMatch(), actions=(Output(2),),
+                        priority=10))
+    assert table.lookup(1, parsed()) is not None
+    assert table.lookup(9, parsed()) is not None  # wildcard fallback
+
+
+def test_count_false_defers_counters_until_credit():
+    table = FlowTable()
+    table.add(FlowEntry(match=FlowMatch(), actions=(Output(1),)))
+    entry = table.lookup(1, parsed(), count=False)
+    assert entry.packets == 0 and table.matches == 0
+    table.credit(entry, 3, 300)
+    assert entry.packets == 3
+    assert entry.bytes == 300
+    assert table.matches == 3
+
+
+def test_clear_resets_index():
+    table = FlowTable()
+    table.add(FlowEntry(match=FlowMatch(in_port=1, vlan_vid=5),
+                        actions=(Output(1),)))
+    table.add(FlowEntry(match=FlowMatch(), actions=(Output(2),)))
+    assert table.clear() == 2
+    assert len(table) == 0
+    assert table.lookup(1, parsed(vlan=5)) is None
