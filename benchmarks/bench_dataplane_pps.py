@@ -1,8 +1,11 @@
-"""Dataplane pps sweep: indexed flow lookup + batched LSI-chain pipeline.
+"""Dataplane pps sweep: flow lookup, compiled actions, batched chains.
 
-Sweeps flow-table sizes (10/100/1k/5k entries) against the pre-PR
-linear scan, and chain lengths for the batched pipeline; writes
-``BENCH_dataplane.json`` so later PRs can track the pps trajectory.
+Sweeps flow-table sizes (10/100/1k/5k entries — small-table bypass
+below 17, two-level index above) against the pre-PR linear scan, the
+compiled action closures against the interpreted reference loop per
+steering shape, and chain lengths for the batched pipeline vs
+per-frame interpretation; writes ``BENCH_dataplane.json`` so later PRs
+can track the pps trajectory.
 
 Run with pytest (perf marker)::
 
@@ -41,19 +44,16 @@ def results(request):
 
 @pytest.mark.perf
 def test_acceptance_criteria(results):
-    check_results(results)  # >=10x at 1k entries, parse_cidr-free
+    # check_results is the single source of truth for every threshold:
+    # >=10x at 1k entries, >=1.3x chain batching, no small-table
+    # regression, compiled actions not slower on average, parse_cidr-free.
+    check_results(results)
 
 
 @pytest.mark.perf
 def test_speedup_grows_with_table_size(results):
     speedups = [p["speedup"] for p in results["lookup"]]
     assert speedups[-1] > speedups[0], speedups
-
-
-@pytest.mark.perf
-def test_batched_chain_not_slower(results):
-    for point in results["chain"]:
-        assert point["speedup"] > 0.9, point
 
 
 def main() -> None:

@@ -20,6 +20,13 @@ dedicated NF ports on the graph's LSI:
 Shared NNFs (paper §2): the adaptation layer assigned each
 (graph, logical-port) a VLAN id; steering pushes that id right before
 the trunk port and matches+pops it on traffic coming back.
+
+Every action list this module emits is one of the fused shapes that
+:func:`repro.switch.actions.compile_actions` specializes (``Output``,
+``PushVlan+Output``, ``PopVlan+Output``, ``PopVlan+PushVlan+Output``),
+so installed rules execute as straight-line closures with at most one
+frame copy per hop — the per-hop switching cost the paper's model
+charges stays flat no matter how many segments a rule spans.
 """
 
 from __future__ import annotations
@@ -279,7 +286,9 @@ class TrafficSteeringManager:
         through the registered physical port (bypassing the NetDevice
         handler, which is strictly per-frame) and traverse the whole
         LSI chain batch-at-a-time via
-        :meth:`~repro.switch.datapath.Datapath.process_batch`.
+        :meth:`~repro.switch.datapath.Datapath.process_batch` — every
+        hop runs compiled actions and flushes flow *and* port counters
+        once per batch.
         """
         port = self._physical_ports.get(interface)
         if port is None:
@@ -287,7 +296,7 @@ class TrafficSteeringManager:
                 f"interface {interface!r} is not attached to LSI-0")
         port_no = port.port_no
         self.base.datapath.process_batch(
-            (port_no, frame) for frame in frames)
+            [(port_no, frame) for frame in frames])
 
     # -- inspection ---------------------------------------------------------------
     def flow_counts(self) -> dict[str, int]:

@@ -32,7 +32,7 @@ class ParsedFrame:
     """
 
     __slots__ = ("eth", "_ipv4", "_udp", "_tcp",
-                 "_l3_done", "_l4_done", "_ip_ints")
+                 "_l3_done", "_l4_done", "_ip_ints", "_wire_len")
 
     def __init__(self, eth: EthernetFrame,
                  ipv4: Optional[IPv4Packet] = None,
@@ -49,6 +49,7 @@ class ParsedFrame:
         self._l4_done = ipv4 is not None or udp is not None \
             or tcp is not None
         self._ip_ints: Optional[tuple[int, int]] = None
+        self._wire_len: Optional[int] = None
 
     # -- lazy decode -------------------------------------------------------
     @property
@@ -123,6 +124,19 @@ class ParsedFrame:
             ints = (ip_to_int(packet.src), ip_to_int(packet.dst))
             self._ip_ints = ints
         return ints
+
+    @property
+    def wire_len(self) -> int:
+        """On-wire frame length in bytes; computed once per frame.
+
+        Byte counters (flow entries, switch ports) are written on every
+        matched frame, so the length sum behind them is cached here
+        rather than re-derived from the header layout each time.
+        """
+        size = self._wire_len
+        if size is None:
+            size = self._wire_len = len(self.eth)
+        return size
 
     @property
     def five_tuple(self) -> Optional[tuple[str, str, int, int, int]]:

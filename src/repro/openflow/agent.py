@@ -109,10 +109,11 @@ class SwitchAgent:
         self.flow_mods_applied += 1
 
     def _handle_packet_out(self, message: Message) -> None:
-        from repro.switch.flowtable import FlowMatch
+        # One-shot action list: interpret it directly instead of
+        # building (and compiling) a throwaway FlowEntry per message.
         frame = EthernetFrame.from_bytes(message.frame)
-        entry = FlowEntry(match=FlowMatch(), actions=tuple(message.actions))
-        self.datapath.execute(entry, message.in_port, frame)
+        self.datapath.execute_interpreted(tuple(message.actions),
+                                          message.in_port, frame)
 
     def _handle_barrier_request(self, message: Message) -> None:
         # All processing is synchronous: the barrier is trivially met.

@@ -10,10 +10,17 @@ Two ingress paths exist:
 * :meth:`Datapath.process` — one frame, counters updated inline;
 * :meth:`Datapath.process_batch` — many frames, amortizing per-packet
   overheads: each frame is parsed once (lazily — see
-  :class:`~repro.net.builder.ParsedFrame`), flow counters are
-  accumulated locally and flushed once per batch, and frames leaving
-  through a virtual link are carried to the far LSI as one batch so a
-  whole chain of LSIs runs batch-at-a-time.
+  :class:`~repro.net.builder.ParsedFrame`), flow counters *and* port
+  rx/tx counters are accumulated locally and flushed once per batch,
+  and frames leaving through a virtual link are carried to the far LSI
+  as one batch so a whole chain of LSIs runs batch-at-a-time.
+
+Action execution is *compiled*: every matching frame runs its entry's
+cached closure (one call — see
+:func:`repro.switch.actions.compile_actions`).  Set
+``datapath.compiled_actions = False`` to fall back to the interpreted
+reference loop (:meth:`Datapath.execute_interpreted`), which the perf
+sweep uses as its baseline and the property suite as its oracle.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.net.ethernet import EthernetFrame
 from repro.switch.actions import (
     ActionError,
     Controller,
+    EmitFn,
     FLOOD_PORT,
     Output,
     PopVlan,
@@ -38,7 +46,6 @@ __all__ = ["Datapath", "SwitchPort"]
 
 PacketInHandler = Callable[["Datapath", int, EthernetFrame], None]
 TapHandler = Callable[[int, EthernetFrame], None]
-EmitFn = Callable[[int, int, EthernetFrame], None]
 
 
 class SwitchPort:
@@ -98,6 +105,9 @@ class Datapath:
         self.table_misses = 0
         self.dropped = 0
         self.action_errors = 0
+        #: False switches execute() to the interpreted reference loop
+        #: (perf baseline / property-test oracle).
+        self.compiled_actions = True
 
     # -- port management --------------------------------------------------------
     def add_port(self, name: str, device: Optional[NetDevice] = None,
@@ -151,11 +161,11 @@ class Datapath:
             raise KeyError(f"frame from unknown port {in_port} on {self.name}")
         self.rx_packets += 1
         port = self.ports[in_port]
+        parsed = parse_frame(frame)
         port.rx_packets += 1
-        port.rx_bytes += len(frame)
+        port.rx_bytes += parsed.wire_len
         for tap in self.taps:
             tap(in_port, frame)
-        parsed = parse_frame(frame)
         entry = self.table.lookup(in_port, parsed)
         if entry is None:
             self.table_misses += 1
@@ -171,28 +181,45 @@ class Datapath:
         """Run a batch of ``(in_port, frame)`` through the pipeline.
 
         Behaviorally equivalent to calling :meth:`process` per frame,
-        except that side effects are amortized: flow/table counters are
-        flushed once at the end, and egress is coalesced per output port
-        (virtual links forward one batch to the far LSI instead of
-        recursing per frame).  Per-port egress order is preserved among
-        *matched* frames; frames for different output ports are not
-        interleaved.  A packet-in handler that re-injects via
-        :meth:`process` delivers immediately, i.e. ahead of frames still
-        queued for the batch flush.
+        except that side effects are amortized: flow/table counters and
+        port rx counters are flushed once at the end (a tap or packet-in
+        handler that inspects counters mid-batch sees pre-batch values),
+        and egress is coalesced per output port (virtual links forward
+        one batch to the far LSI instead of recursing per frame, and tx
+        counters are written once per port).  Per-port egress order is
+        preserved among *matched* frames; frames for different output
+        ports are not interleaved.  A packet-in handler that re-injects
+        via :meth:`process` delivers immediately, i.e. ahead of frames
+        still queued for the batch flush.
         """
         table = self.table
         taps = self.taps
+        compiled = self.compiled_actions
         # entry_id -> [entry, packets, bytes]
         pending: dict[int, list] = {}
+        # in port_no -> [port, packets, bytes]
+        rx_pending: dict[int, list] = {}
         # out port_no -> frames, in ingress order
         queues: dict[int, list[EthernetFrame]] = {}
+
+        ports = self.ports
 
         def enqueue(number: int, port: SwitchPort,
                     frame: EthernetFrame) -> None:
             queues.setdefault(number, []).append(frame)
 
         def emit(out_port: int, in_port: int, frame: EthernetFrame) -> None:
-            self._route(out_port, in_port, frame, enqueue)
+            # Unicast to an already-seen port is the hot case: one dict
+            # hit and an append.  Everything else (first frame for a
+            # port, FLOOD, unknown port) takes the shared _route policy.
+            queue = queues.get(out_port)
+            if queue is not None:
+                queue.append(frame)
+                return
+            if out_port == FLOOD_PORT or out_port not in ports:
+                self._route(out_port, in_port, frame, enqueue)
+                return
+            queues[out_port] = [frame]
 
         try:
             for in_port, frame in batch:
@@ -200,9 +227,13 @@ class Datapath:
                 if port is None:
                     raise KeyError(
                         f"frame from unknown port {in_port} on {self.name}")
-                self.rx_packets += 1
-                port.rx_packets += 1
-                port.rx_bytes += len(frame)
+                size = len(frame)
+                acc = rx_pending.get(in_port)
+                if acc is None:
+                    rx_pending[in_port] = [port, 1, size]
+                else:
+                    acc[1] += 1
+                    acc[2] += size
                 for tap in taps:
                     tap(in_port, frame)
                 parsed = parse_frame(frame)
@@ -216,14 +247,22 @@ class Datapath:
                     continue
                 acc = pending.get(entry.entry_id)
                 if acc is None:
-                    pending[entry.entry_id] = [entry, 1, len(frame)]
+                    pending[entry.entry_id] = [entry, 1, size]
                 else:
                     acc[1] += 1
-                    acc[2] += len(frame)
-                self.execute(entry, in_port, frame, emit=emit)
+                    acc[2] += size
+                if compiled:
+                    entry.compiled(self, in_port, frame, emit)
+                else:
+                    self.execute_interpreted(entry.actions, in_port, frame,
+                                             emit)
         finally:
             # A bad frame or raising tap must not lose the prefix of the
             # batch: flush whatever was matched and queued so far.
+            for port, packets, nbytes in rx_pending.values():
+                self.rx_packets += packets
+                port.rx_packets += packets
+                port.rx_bytes += nbytes
             for entry, packets, nbytes in pending.values():
                 table.credit(entry, packets, nbytes)
             for port_no, frames in queues.items():
@@ -235,10 +274,29 @@ class Datapath:
 
     def execute(self, entry: FlowEntry, in_port: int,
                 frame: EthernetFrame, emit: Optional[EmitFn] = None) -> None:
+        """Run ``entry``'s actions on one frame (compiled by default)."""
         deliver = self._emit if emit is None else emit
+        if self.compiled_actions:
+            entry.compiled(self, in_port, frame, deliver)
+        else:
+            self.execute_interpreted(entry.actions, in_port, frame, deliver)
+
+    def execute_interpreted(self, actions: Iterable, in_port: int,
+                            frame: EthernetFrame,
+                            deliver: Optional[EmitFn] = None) -> None:
+        """Reference action interpreter: per-frame type dispatch.
+
+        Kept as the semantic baseline for the compiled closures — the
+        perf sweep times it and ``tests/test_compiled_actions.py``
+        asserts both paths produce identical emissions and counters.
+        It is also the right path for one-shot action lists (OpenFlow
+        packet-out), which would waste a compile per message.
+        """
+        if deliver is None:
+            deliver = self._emit
         current = frame
         emitted = False
-        for action in entry.actions:
+        for action in actions:
             if isinstance(action, Output):
                 emitted = True
                 deliver(action.port, in_port, current)

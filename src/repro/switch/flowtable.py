@@ -27,12 +27,30 @@ the chain):
   compiled-predicate hit.  This preserves exact linear-scan semantics
   while visiting only the few entries that could possibly match.
 
+* **Small-table bypass.**  Index-merge bookkeeping costs more than it
+  saves on tiny tables, so lookups on tables of at most
+  :data:`SMALL_TABLE_THRESHOLD` (16) entries scan the plain
+  priority-sorted entry list directly (still with compiled
+  predicates).  The buckets are maintained on every add/delete either
+  way, so the table flips between modes for free as it grows past the
+  threshold or shrinks back under it; ``FlowTable.index_active`` tells
+  which mode the next lookup will use.
+
 * **Correctness oracle.**  :meth:`FlowTable.lookup_linear` keeps the
   original priority-ordered linear scan (string-based matching and
-  all); setting ``table.oracle = True`` cross-checks every indexed
-  lookup against it and raises :class:`FlowTableOracleError` on any
-  divergence.  The property-based suite drives both paths with random
-  tables and frames.
+  all); setting ``table.oracle = True`` cross-checks every lookup —
+  in *both* bypass and indexed modes — against it and raises
+  :class:`FlowTableOracleError` on any divergence.  The property-based
+  suite drives both paths with random tables and frames.
+
+* **Compiled actions.**  A :class:`FlowEntry` compiles its action list
+  into a fused closure (:func:`repro.switch.actions.compile_actions`)
+  at construction and caches it in ``entry.compiled``; the datapath
+  executes that one closure per matching frame.  ``entry.actions`` is
+  normalized to a tuple so the list cannot be mutated in place behind
+  the cache; *rebinding* ``entry.actions`` after construction is
+  unsupported unless :meth:`FlowEntry.invalidate` is called to
+  recompile.
 """
 
 from __future__ import annotations
@@ -46,12 +64,13 @@ from typing import Callable, Optional, Sequence, TYPE_CHECKING
 from repro.net.addresses import MacAddress, compile_cidr, ip_to_int, \
     parse_cidr
 from repro.net.builder import ParsedFrame
+from repro.switch.actions import compile_actions
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.switch.actions import Action
+    from repro.switch.actions import Action, CompiledActions
 
 __all__ = ["ANY_VLAN", "FlowEntry", "FlowMatch", "FlowTable",
-           "FlowTableOracleError", "NO_VLAN"]
+           "FlowTableOracleError", "NO_VLAN", "SMALL_TABLE_THRESHOLD"]
 
 #: Match any VLAN id (but the frame must be tagged).
 ANY_VLAN = -1
@@ -101,6 +120,12 @@ class FlowMatch:
         object.__setattr__(self, "_src_key", src_key)
         object.__setattr__(self, "_dst_key", dst_key)
         object.__setattr__(self, "_checks", self._compile(src_key, dst_key))
+        # True when in_port/vlan_vid are the only concrete fields — the
+        # steering layer's standard shape.  The small-table bypass
+        # checks those two inline and can then skip the predicate walk.
+        object.__setattr__(self, "_port_vlan_only", all(
+            getattr(self, name) is None
+            for name in self._FIELDS if name not in ("in_port", "vlan_vid")))
 
     def _compile(self, src_key: Optional[tuple[int, int]],
                  dst_key: Optional[tuple[int, int]]) -> tuple[MatchCheck, ...]:
@@ -278,7 +303,17 @@ _entry_ids = itertools.count(1)
 
 @dataclass
 class FlowEntry:
-    """One installed flow: match, priority, action list, counters."""
+    """One installed flow: match, priority, action tuple, counters.
+
+    ``actions`` is normalized to a tuple at construction and compiled
+    into a fused per-frame closure, cached as :attr:`compiled` (the
+    datapath calls it directly — see
+    :func:`repro.switch.actions.compile_actions`).  In-place mutation
+    of the action list is therefore impossible; **rebinding**
+    ``entry.actions`` after construction is unsupported unless you call
+    :meth:`invalidate` afterwards — otherwise an installed entry keeps
+    executing its previously compiled program.
+    """
 
     match: FlowMatch
     actions: Sequence["Action"]
@@ -287,6 +322,31 @@ class FlowEntry:
     entry_id: int = field(default_factory=lambda: next(_entry_ids))
     packets: int = 0
     bytes: int = 0
+
+    def __post_init__(self) -> None:
+        self.actions = tuple(self.actions)
+        self.compiled: "CompiledActions" = compile_actions(self.actions)
+
+    def invalidate(self) -> None:
+        """Recompile after ``entry.actions`` was rebound.
+
+        The compiled closure is bound to the action tuple it was built
+        from; call this if you replace ``entry.actions`` on a live
+        entry (normally you should install a fresh entry instead).
+        """
+        self.actions = tuple(self.actions)
+        self.compiled = compile_actions(self.actions)
+
+    def __getstate__(self):
+        # The compiled closure is not picklable; drop it and recompile
+        # on unpickle (mirrors FlowMatch.__reduce__).
+        state = self.__dict__.copy()
+        del state["compiled"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self.compiled = compile_actions(self.actions)
 
     def describe(self) -> str:
         acts = ",".join(str(a) for a in self.actions) or "drop"
@@ -302,16 +362,26 @@ def _sort_key(entry: FlowEntry) -> tuple[int, int]:
     return (-entry.priority, entry.entry_id)
 
 
+#: At or below this many entries, lookups scan the sorted entry list
+#: directly instead of merging index buckets (see module docstring).
+SMALL_TABLE_THRESHOLD = 16
+
+
 class FlowTable:
     """Indexed flow table with priority add/modify/delete semantics.
 
-    See the module docstring for the two-level index layout.  Public
-    semantics are identical to a priority-ordered linear scan; set
-    ``oracle = True`` to verify that on every lookup.
+    See the module docstring for the two-level index layout and the
+    small-table bypass.  Public semantics are identical to a
+    priority-ordered linear scan; set ``oracle = True`` to verify that
+    on every lookup.  ``small_table_threshold`` is per-instance
+    (default :data:`SMALL_TABLE_THRESHOLD`); set it to 0 to force the
+    index on from the first entry.
     """
 
-    def __init__(self, table_id: int = 0) -> None:
+    def __init__(self, table_id: int = 0,
+                 small_table_threshold: int = SMALL_TABLE_THRESHOLD) -> None:
         self.table_id = table_id
+        self.small_table_threshold = small_table_threshold
         self._entries: list[FlowEntry] = []
         # Index level 1: (in_port, vid-or-NO_VLAN) -> sorted entries.
         self._exact: dict[tuple[int, int], list[FlowEntry]] = {}
@@ -326,6 +396,12 @@ class FlowTable:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def index_active(self) -> bool:
+        """True when the next lookup will use the two-level index
+        (i.e. the table has outgrown the small-table bypass)."""
+        return len(self._entries) > self.small_table_threshold
 
     def __iter__(self):
         return iter(self._entries)
@@ -400,7 +476,34 @@ class FlowTable:
     # -- lookup ------------------------------------------------------------
     def _select(self, in_port: int,
                 parsed: ParsedFrame) -> Optional[FlowEntry]:
-        """Indexed candidate walk; no counter updates."""
+        """Candidate walk (bypass or indexed); no counter updates."""
+        entries = self._entries
+        if len(entries) <= self.small_table_threshold:
+            # Small-table bypass: the priority-sorted entry list *is*
+            # the merge result.  The two fields the steering layer
+            # always sets are pre-filtered inline (plain integer
+            # compares, no calls) so most non-candidates die before the
+            # compiled predicate runs — this is what keeps the bypass
+            # ahead of the bare reference scan.
+            vlan = parsed.eth.vlan
+            for entry in entries:
+                match = entry.match
+                want_port = match.in_port
+                if want_port is not None and want_port != in_port:
+                    continue
+                want_vid = match.vlan_vid
+                if want_vid is not None:
+                    if want_vid >= 0:
+                        if vlan != want_vid:
+                            continue
+                    elif want_vid == NO_VLAN:
+                        if vlan is not None:
+                            continue
+                    elif vlan is None:  # ANY_VLAN
+                        continue
+                if match._port_vlan_only or match.hits(in_port, parsed):
+                    return entry
+            return None
         vlan = parsed.eth.vlan
         exact = self._exact.get(
             (in_port, vlan if vlan is not None else NO_VLAN))
@@ -465,7 +568,7 @@ class FlowTable:
         if entry is not None and count:
             self.matches += 1
             entry.packets += 1
-            entry.bytes += len(parsed.eth)
+            entry.bytes += parsed.wire_len
         return entry
 
     def lookup_linear(self, in_port: int,

@@ -99,15 +99,21 @@ class VirtualLink:
 
         This is what keeps a chain of LSIs batch-at-a-time: the far
         datapath receives the frames through
-        :meth:`~repro.switch.datapath.Datapath.process_batch`, so parse,
-        lookup and counter amortization carry across every hop.
+        :meth:`~repro.switch.datapath.Datapath.process_batch`, so
+        parse, lookup, compiled-action execution and flow/port counter
+        amortization carry across every hop.  The link's own ``carried``
+        counter and the egress port's tx counters are likewise written
+        once per batch, not per frame (chain egress happens in the
+        far datapath's batch flush).
         """
+        if not frames:
+            return
         far = self._far(from_port)
         if far is None or far.datapath is None:
             return
         self.carried += len(frames)
         port_no = far.port_no
-        far.datapath.process_batch((port_no, frame) for frame in frames)
+        far.datapath.process_batch([(port_no, frame) for frame in frames])
 
     def far_port(self, datapath: Datapath) -> SwitchPort:
         """The link's port that lives on ``datapath``."""

@@ -2,10 +2,11 @@
 
 Random tables of random :class:`FlowMatch` entries (priority ties,
 wildcards, VLAN sentinels, CIDRs of every prefix length) against random
-frames (UDP/TCP/ARP, tagged and untagged).  The indexed two-level
-lookup must return the *identical* entry object as the pre-index
-priority-ordered linear scan, and the compiled per-match predicate must
-agree with the original string-based matching logic.
+frames (UDP/TCP/ARP, tagged and untagged).  The lookup — in both the
+small-table bypass mode and the forced two-level index mode — must
+return the *identical* entry object as the pre-index priority-ordered
+linear scan, and the compiled per-match predicate must agree with the
+original string-based matching logic.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -72,10 +73,13 @@ def test_compiled_match_agrees_with_reference(match, frame, in_port):
     frames=st.lists(st.tuples(frame_strategy(),
                               st.integers(min_value=1, max_value=4)),
                     min_size=1, max_size=8),
+    threshold=st.sampled_from([0, 16]),
 )
 @settings(max_examples=100, deadline=None)
-def test_indexed_lookup_identical_to_linear_scan(matches, frames):
-    table = FlowTable()
+def test_indexed_lookup_identical_to_linear_scan(matches, frames, threshold):
+    # threshold 0 forces the two-level index even on tiny tables;
+    # 16 (the default) exercises the small-table bypass below it.
+    table = FlowTable(small_table_threshold=threshold)
     table.oracle = True  # lookup() itself raises on any divergence
     for match, priority in matches:
         # dataclass equality means duplicate (match, priority) pairs
@@ -97,10 +101,12 @@ def test_indexed_lookup_identical_to_linear_scan(matches, frames):
                               st.integers(min_value=1, max_value=4)),
                     min_size=1, max_size=5),
     drop=st.integers(min_value=0, max_value=19),
+    threshold=st.sampled_from([0, 16]),
 )
 @settings(max_examples=50, deadline=None)
-def test_index_stays_consistent_across_deletes(matches, frames, drop):
-    table = FlowTable()
+def test_index_stays_consistent_across_deletes(matches, frames, drop,
+                                               threshold):
+    table = FlowTable(small_table_threshold=threshold)
     table.oracle = True
     entries = []
     for match, priority in matches:
