@@ -8,6 +8,15 @@ skipped unless the marker is selected explicitly::
 
 The sweep writes ``BENCH_dataplane.json`` (path overridable with
 ``--bench-json``) so successive PRs can track the pps trajectory.
+
+``--quick`` shrinks the perf sweep to the smoke configuration (one
+table size, chain length 2, best-of-2) asserting only the
+no-regression gates::
+
+    PYTHONPATH=src python -m pytest -m perf --quick
+
+Quick runs never overwrite the bench JSON artifact — the trajectory
+file always comes from a full sweep.
 """
 
 import os
@@ -23,6 +32,11 @@ def pytest_addoption(parser):
         "--bench-json", action="store", default=DEFAULT_BENCH_JSON,
         help="where perf-marked benches write their JSON results "
              "(default: BENCH_dataplane.json at the repo root)")
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="run perf-marked benches in the smoke configuration: "
+             "single table size, chain length 2, no-regression gates "
+             "only, no JSON artifact written")
 
 
 def pytest_configure(config):

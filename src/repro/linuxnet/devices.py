@@ -4,12 +4,22 @@ A :class:`NetDevice` delivers received frames either to the namespace
 stack it is enslaved to, to a bridge, or to an externally registered
 handler (that is how switch datapath ports and NF processes tap in).
 Transmission goes to the connected peer (veth) or the attached link.
+
+Ingress and egress are *batch-aware*: :meth:`NetDevice.transmit_batch`
+moves a whole list of frames to the peer in one :meth:`receive_batch`
+call, and a handler registered with a ``batch_handler`` companion
+(switch datapath ports do this) receives the entire batch in one call —
+real device traffic therefore lands on the switch's batched pipeline
+(:meth:`~repro.switch.datapath.Datapath.process_batch_from`) instead of
+the per-frame path.  Devices without a batch handler degrade to the
+per-frame :meth:`receive` loop, so namespaces, bridges and VLAN demux
+behave identically either way.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
 
 from repro.net.addresses import MacAddress
 from repro.net.ethernet import EthernetFrame
@@ -20,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["Loopback", "NetDevice", "VethPair"]
 
 FrameHandler = Callable[["NetDevice", EthernetFrame], None]
+BatchFrameHandler = Callable[["NetDevice", Sequence[EthernetFrame]], None]
 
 _mac_counter = itertools.count(1)
 
@@ -54,6 +65,7 @@ class NetDevice:
         self.bridge = None  # set by repro.linuxnet.bridge.Bridge
         self.vlan_subdevices: dict[int, "VlanDevice"] = {}
         self._handler: Optional[FrameHandler] = None
+        self._batch_handler: Optional[BatchFrameHandler] = None
         # statistics
         self.rx_packets = 0
         self.rx_bytes = 0
@@ -79,14 +91,24 @@ class NetDevice:
     def set_down(self) -> None:
         self.up = False
 
-    def attach_handler(self, handler: FrameHandler) -> None:
-        """Divert received frames to ``handler`` (e.g. a switch port)."""
+    def attach_handler(self, handler: FrameHandler,
+                       batch_handler: Optional[BatchFrameHandler] = None
+                       ) -> None:
+        """Divert received frames to ``handler`` (e.g. a switch port).
+
+        ``batch_handler``, when given, receives whole frame batches
+        arriving through :meth:`receive_batch` in one call instead of a
+        per-frame loop — the hook through which real device ingress
+        reaches the switch's batched pipeline.
+        """
         if self._handler is not None:
             raise ValueError(f"device {self.name} already has a handler")
         self._handler = handler
+        self._batch_handler = batch_handler
 
     def detach_handler(self) -> None:
         self._handler = None
+        self._batch_handler = None
 
     # -- dataplane -----------------------------------------------------------
     def transmit(self, frame: EthernetFrame) -> None:
@@ -101,6 +123,33 @@ class NetDevice:
         self.tx_bytes += len(frame)
         if self.peer is not None:
             self.peer.receive(frame)
+
+    def transmit_batch(self, frames: Sequence[EthernetFrame]) -> None:
+        """Send a batch out of this device in one peer delivery.
+
+        Per-frame admission (up state, MTU) matches :meth:`transmit`
+        exactly — oversized frames are dropped from the batch, the rest
+        reach the peer together through :meth:`receive_batch`.
+        """
+        if not self.up:
+            self.tx_dropped += len(frames)
+            return
+        limit = self.mtu + 18  # L2 headers don't count against MTU
+        passed = []
+        nbytes = 0
+        for frame in frames:
+            size = len(frame)
+            if size > limit:
+                self.tx_dropped += 1
+                continue
+            passed.append(frame)
+            nbytes += size
+        if not passed:
+            return
+        self.tx_packets += len(passed)
+        self.tx_bytes += nbytes
+        if self.peer is not None:
+            self.peer.receive_batch(passed)
 
     def receive(self, frame: EthernetFrame) -> None:
         """A frame arrived at this device from the outside."""
@@ -124,6 +173,28 @@ class NetDevice:
             self.rx_dropped += 1
             self.rx_packets -= 1
             self.rx_bytes -= len(frame)
+
+    def receive_batch(self, frames: Sequence[EthernetFrame]) -> None:
+        """A whole batch arrived at this device from the outside.
+
+        With a batch handler attached (switch ports), counters are
+        written once and the handler gets the full batch in one call —
+        this is how real ingress traffic reaches
+        :meth:`~repro.switch.datapath.Datapath.process_batch_from`.
+        Otherwise (namespace stacks, bridges, VLAN demux) the batch
+        degrades to the per-frame :meth:`receive` path unchanged.
+        """
+        if not self.up:
+            self.rx_dropped += len(frames)
+            return
+        handler = self._batch_handler
+        if handler is not None:
+            self.rx_packets += len(frames)
+            self.rx_bytes += sum(len(frame) for frame in frames)
+            handler(self, frames)
+            return
+        for frame in frames:
+            self.receive(frame)
 
     def owns_address(self, ip: str) -> bool:
         return any(addr == ip for addr, _plen in self.addresses)
@@ -182,6 +253,15 @@ class VlanDevice(NetDevice):
         self.tx_bytes += len(frame)
         self.parent.transmit(frame.with_vlan(self.vid))
 
+    def transmit_batch(self, frames: Sequence[EthernetFrame]) -> None:
+        if not self.up:
+            self.tx_dropped += len(frames)
+            return
+        self.tx_packets += len(frames)
+        self.tx_bytes += sum(len(frame) for frame in frames)
+        self.parent.transmit_batch(
+            [frame.with_vlan(self.vid) for frame in frames])
+
 
 class Loopback(NetDevice):
     """``lo`` — transmits straight back into the local stack."""
@@ -197,3 +277,11 @@ class Loopback(NetDevice):
         self.tx_packets += 1
         self.tx_bytes += len(frame)
         self.receive(frame)
+
+    def transmit_batch(self, frames: Sequence[EthernetFrame]) -> None:
+        if not self.up:
+            self.tx_dropped += len(frames)
+            return
+        self.tx_packets += len(frames)
+        self.tx_bytes += sum(len(frame) for frame in frames)
+        self.receive_batch(frames)

@@ -26,6 +26,7 @@ from repro.net.ipv4 import (
 )
 from repro.net.transport import TcpSegment, UdpDatagram
 from repro.net.builder import (
+    ParsedFrame,
     make_tcp_frame,
     make_udp_frame,
     parse_frame,
@@ -43,6 +44,7 @@ __all__ = [
     "IPPROTO_UDP",
     "IPv4Packet",
     "MacAddress",
+    "ParsedFrame",
     "TcpSegment",
     "UdpDatagram",
     "internet_checksum",

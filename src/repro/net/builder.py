@@ -138,6 +138,32 @@ class ParsedFrame:
             size = self._wire_len = len(self.eth)
         return size
 
+    def derive(self, eth: EthernetFrame) -> "ParsedFrame":
+        """A view of ``eth``, reusing every decode of this frame that is
+        still valid.
+
+        This is the zero-reparse primitive of the batched pipeline: when
+        an action rewrites a frame, the switch derives the new frame's
+        parse from the old one instead of starting over.  The L3/L4
+        decode (and the cached ``ip_ints``) carries over only when the
+        rewrite provably left the payload alone — same payload *object*
+        and same ethertype.  Every supported switch action (VLAN
+        push/pop, eth/VLAN set-field) rewrites L2 via ``replace`` and
+        shares the payload bytes, so chains never re-decode IPv4/L4; a
+        rewrite that swapped the payload gets a clean (dirty) parse.
+        ``wire_len`` is never carried — tags change the frame length.
+        """
+        new = ParsedFrame(eth)
+        old = self.eth
+        if eth.payload is old.payload and eth.ethertype == old.ethertype:
+            new._ipv4 = self._ipv4
+            new._udp = self._udp
+            new._tcp = self._tcp
+            new._l3_done = self._l3_done
+            new._l4_done = self._l4_done
+            new._ip_ints = self._ip_ints
+        return new
+
     @property
     def five_tuple(self) -> Optional[tuple[str, str, int, int, int]]:
         """(src_ip, dst_ip, proto, src_port, dst_port) or None."""

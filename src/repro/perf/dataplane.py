@@ -17,13 +17,18 @@ Three sweeps:
 * **Chain** — wires N datapaths in a row with virtual links (the
   Figure-1 LSI chain) and times per-frame :meth:`Datapath.process`
   with *interpreted* actions (the pre-PR cost model) against
-  :meth:`Datapath.process_batch` with compiled actions and per-batch
-  flow/port counters.
+  :meth:`Datapath.process_batch_from` with compiled actions, per-batch
+  flow/port counters and zero-reparse ``ParsedFrame`` carry across the
+  links.
 
 ``run_dataplane_bench`` bundles the sweeps into a JSON-serializable
 dict; benches write it to ``BENCH_dataplane.json`` so later PRs can
 track the pps trajectory.  :func:`check_results` asserts the standing
-acceptance thresholds on such a dict.
+acceptance thresholds on such a dict.  ``quick=True`` shrinks the
+sweep to a single table size and chain length with fewer packets and
+repeats — the tier-1 smoke configuration, which asserts only the
+no-regression gates (point floors, purity counters) and skips the
+absolute speedup targets that need the full best-of-3 sweep.
 """
 
 from __future__ import annotations
@@ -54,8 +59,10 @@ __all__ = [
     "LookupPoint",
     "SMALL_TABLE_FLOOR",
     "SPEEDUP_TARGET_AT_1K",
+    "CHAIN_BATCH_TARGET_AT_4",
     "build_steering_table",
     "check_results",
+    "count_chain_excess_parse_frame",
     "count_fast_path_parse_cidr",
     "run_dataplane_bench",
     "sweep_actions",
@@ -69,12 +76,22 @@ SPEEDUP_TARGET_AT_1K = 10.0
 #: Acceptance floor: batched+compiled chain traversal vs per-frame
 #: interpreted execution at the longest measured chain.
 CHAIN_BATCH_TARGET = 1.3
+#: Acceptance floor at chain length 4 specifically: with zero-reparse
+#: ``ParsedFrame`` carry and single-port batch ingress the deep-chain
+#: point must clear this (the pre-carry pipeline sat at ~1.45-1.6x).
+CHAIN_BATCH_TARGET_AT_4 = 1.8
 #: Regression floor for *every* chain length: batching must never be
 #: meaningfully slower than the per-frame path.
 CHAIN_POINT_FLOOR = 0.9
 #: Acceptance floor: small tables (<= bypass threshold) must not lose
 #: to the bare reference linear scan.
 SMALL_TABLE_FLOOR = 1.0
+#: Quick-mode no-regression floor for *every* measured lookup point:
+#: indexed lookup must never lose to the reference linear scan (the
+#: full sweep's absolute targets need best-of-3 to be stable, but
+#: parity is safe to assert even on a loaded box — the real margin at
+#: the quick point is ~4.5x).
+QUICK_LOOKUP_FLOOR = 1.0
 
 _MAC_A = MacAddress("02:00:00:00:00:01")
 _MAC_B = MacAddress("02:00:00:00:00:02")
@@ -323,7 +340,7 @@ def sweep_chain(lengths=(1, 2, 4), packets: int = 1000,
                 first.process(1, frame)
 
         def run_batched():
-            first.process_batch([(1, frame) for frame in frames])
+            first.process_batch_from(1, frames)
 
         for hop in hops:
             hop.compiled_actions = False
@@ -371,31 +388,105 @@ def count_fast_path_parse_cidr(table: FlowTable, workload) -> int:
     return calls[0]
 
 
-def run_dataplane_bench(sizes=(10, 100, 1000, 5000),
-                        chain_lengths=(1, 2, 4),
-                        lookup_packets: int = 2000,
-                        chain_packets: int = 1000,
-                        action_packets: int = 2000,
-                        seed: int = 7) -> dict:
-    """All three sweeps plus the fast-path purity check, JSON-ready."""
-    lookup = sweep_lookup(sizes, packets=lookup_packets, seed=seed)
-    actions = sweep_actions(packets=action_packets, seed=seed + 2)
-    chain = sweep_chain(chain_lengths, packets=chain_packets, seed=seed + 4)
-    purity_table = build_steering_table(1000)
-    purity_workload = _steering_frames(1000, 200, seed)
+def count_chain_excess_parse_frame(length: int, packets: int = 50,
+                                   seed: int = 23) -> int:
+    """``parse_frame`` calls beyond one per frame on an untouched chain.
+
+    Builds a plain-``Output`` chain of ``length`` hops (no action
+    rewrites any frame), runs one batch of raw frames through it while
+    counting every ``parse_frame`` call the datapath makes, and returns
+    the excess over the unavoidable one-parse-per-frame at ingress.
+    The zero-reparse pipeline must return 0 at every chain length:
+    the carried :class:`ParsedFrame` makes re-parsing at hops 2..N
+    structurally impossible for untouched frames.
+    """
+    from repro.switch import datapath as datapath_module
+
+    rng = random.Random(seed)
+    frames = [make_udp_frame(_MAC_A, _MAC_B, "10.0.0.1", "10.0.0.2",
+                             4000 + rng.randrange(1000), 5001, b"x")
+              for _ in range(packets)]
+    hops = _build_chain(length)
+    calls = [0]
+    original = datapath_module.parse_frame
+
+    def counting(frame):
+        calls[0] += 1
+        return original(frame)
+
+    datapath_module.parse_frame = counting
+    try:
+        hops[0].process_batch_from(1, frames)
+    finally:
+        datapath_module.parse_frame = original
+    sink = hops[-1].port_by_name("sink")
+    assert sink.tx_packets == packets, \
+        f"chain {length}: sink saw {sink.tx_packets}/{packets} frames"
+    return calls[0] - packets
+
+
+def run_dataplane_bench(sizes=None,
+                        chain_lengths=None,
+                        lookup_packets: "int | None" = None,
+                        chain_packets: "int | None" = None,
+                        action_packets: "int | None" = None,
+                        seed: int = 7,
+                        repeats: "int | None" = None,
+                        quick: bool = False) -> dict:
+    """All three sweeps plus the purity checks, JSON-ready.
+
+    ``quick`` selects the *defaults* for any parameter the caller left
+    unset: the full sweep shape (sizes 10/100/1k/5k, chains 1/2/4,
+    best-of-3) normally, or the smoke configuration (one mid-size
+    table, chain length 2, fewer packets, best-of-2 — a sub-second run
+    whose results are only held to the no-regression gates, see
+    :func:`check_results`) with ``quick=True``.  Explicitly passed
+    parameters always win over either preset.
+    """
+    if quick:
+        preset = ((100,), (2,), 400, 300, 400, 2)
+    else:
+        preset = ((10, 100, 1000, 5000), (1, 2, 4), 2000, 1000, 2000, 3)
+    if sizes is None:
+        sizes = preset[0]
+    if chain_lengths is None:
+        chain_lengths = preset[1]
+    if lookup_packets is None:
+        lookup_packets = preset[2]
+    if chain_packets is None:
+        chain_packets = preset[3]
+    if action_packets is None:
+        action_packets = preset[4]
+    if repeats is None:
+        repeats = preset[5]
+    lookup = sweep_lookup(sizes, packets=lookup_packets, seed=seed,
+                          repeats=repeats)
+    actions = sweep_actions(packets=action_packets, seed=seed + 2,
+                            repeats=repeats)
+    chain = sweep_chain(chain_lengths, packets=chain_packets, seed=seed + 4,
+                        repeats=repeats)
+    purity_size = 100 if quick else 1000
+    purity_table = build_steering_table(purity_size)
+    purity_workload = _steering_frames(purity_size, 200, seed)
     parse_cidr_calls = count_fast_path_parse_cidr(
         purity_table, purity_workload)
+    excess_parse_frame = max(
+        (count_chain_excess_parse_frame(length, seed=seed + 6)
+         for length in chain_lengths), default=0)
     return {
         "lookup": [asdict(point) for point in lookup],
         "actions": [asdict(point) for point in actions],
         "chain": [asdict(point) for point in chain],
         "fast_path_parse_cidr_calls": parse_cidr_calls,
+        "chain_excess_parse_frame_calls": excess_parse_frame,
         "meta": {
             "lookup_packets": lookup_packets,
             "chain_packets": chain_packets,
             "action_packets": action_packets,
             "small_table_threshold": SMALL_TABLE_THRESHOLD,
             "seed": seed,
+            "repeats": repeats,
+            "quick": quick,
             "timestamp": time.time(),
         },
     }
@@ -405,27 +496,47 @@ def check_results(results: dict) -> None:
     """Assert the standing acceptance criteria on a sweep result dict.
 
     Single source of truth for the thresholds: the bench file, its
-    script entry point and the pytest sweep all call this.
+    script entry point and the pytest sweep all call this.  A dict
+    produced with ``quick=True`` (``meta.quick``) is held only to the
+    no-regression gates — point floors and the two purity counters —
+    because the absolute speedup targets need the full best-of-3 sweep
+    to be stable.
     """
-    point = next((p for p in results["lookup"] if p["table_size"] == 1000),
-                 None)
-    assert point is not None, "sweep did not include the 1k-entry point"
-    assert point["speedup"] >= SPEEDUP_TARGET_AT_1K, (
-        f"indexed lookup only {point['speedup']:.1f}x over linear at 1k "
-        f"entries ({point['indexed_pps']:.0f} vs {point['linear_pps']:.0f} "
-        "pps)")
+    quick = bool(results.get("meta", {}).get("quick"))
+    if not quick:
+        point = next(
+            (p for p in results["lookup"] if p["table_size"] == 1000), None)
+        assert point is not None, "sweep did not include the 1k-entry point"
+        assert point["speedup"] >= SPEEDUP_TARGET_AT_1K, (
+            f"indexed lookup only {point['speedup']:.1f}x over linear at 1k "
+            f"entries ({point['indexed_pps']:.0f} vs "
+            f"{point['linear_pps']:.0f} pps)")
     for point in results["lookup"]:
         if point["table_size"] <= SMALL_TABLE_THRESHOLD:
             assert point["speedup"] >= SMALL_TABLE_FLOOR, (
                 f"small-table bypass regressed at {point['table_size']} "
                 f"entries: {point['speedup']:.2f}x vs the bare linear scan")
+        elif quick:
+            # Quick mode skips the absolute 1k target, but the measured
+            # lookup leg still gates on indexed-vs-linear parity.
+            assert point["speedup"] >= QUICK_LOOKUP_FLOOR, (
+                f"indexed lookup regressed below the linear scan at "
+                f"{point['table_size']} entries: {point['speedup']:.2f}x")
     chain = results["chain"]
     if chain:
-        longest = max(chain, key=lambda p: p["chain_length"])
-        assert longest["speedup"] >= CHAIN_BATCH_TARGET, (
-            f"batched+compiled chain only {longest['speedup']:.2f}x over "
-            f"per-frame interpretation at length "
-            f"{longest['chain_length']} (target {CHAIN_BATCH_TARGET}x)")
+        if not quick:
+            longest = max(chain, key=lambda p: p["chain_length"])
+            assert longest["speedup"] >= CHAIN_BATCH_TARGET, (
+                f"batched+compiled chain only {longest['speedup']:.2f}x "
+                f"over per-frame interpretation at length "
+                f"{longest['chain_length']} (target {CHAIN_BATCH_TARGET}x)")
+            at_four = next(
+                (p for p in chain if p["chain_length"] == 4), None)
+            if at_four is not None:
+                assert at_four["speedup"] >= CHAIN_BATCH_TARGET_AT_4, (
+                    f"zero-reparse chain only {at_four['speedup']:.2f}x "
+                    f"over per-frame interpretation at length 4 "
+                    f"(target {CHAIN_BATCH_TARGET_AT_4}x)")
         for point in chain:
             assert point["speedup"] >= CHAIN_POINT_FLOOR, (
                 f"batched chain regressed at length "
@@ -439,6 +550,10 @@ def check_results(results: dict) -> None:
     assert results["fast_path_parse_cidr_calls"] == 0, (
         "fast path called parse_cidr "
         f"{results['fast_path_parse_cidr_calls']} times")
+    excess = results.get("chain_excess_parse_frame_calls", 0)
+    assert excess == 0, (
+        f"untouched frames were re-parsed {excess} times beyond the "
+        "one ingress parse (zero-reparse carry is broken)")
 
 
 def write_bench_json(results: dict, path: str) -> None:
@@ -475,4 +590,6 @@ def format_results(results: dict) -> str:
     lines.append("")
     lines.append("fast-path parse_cidr calls: "
                  f"{results['fast_path_parse_cidr_calls']}")
+    lines.append("chain excess parse_frame calls: "
+                 f"{results.get('chain_excess_parse_frame_calls', 0)}")
     return "\n".join(lines)

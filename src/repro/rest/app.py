@@ -105,6 +105,7 @@ class RestApp:
         self.route("GET", "/nffg/{graph_id}/status", self._get_status)
         self.route("DELETE", "/nffg/{graph_id}", self._delete_graph)
         self.route("GET", "/nnfs", self._list_nnfs)
+        self.route("POST", "/traffic/{interface}", self._inject_traffic)
 
     def _get_root(self, request: Request) -> Response:
         return Response(200, self.node.describe())
@@ -150,3 +151,39 @@ class RestApp:
 
     def _list_nnfs(self, request: Request) -> Response:
         return Response(200, {"nnfs": self.node.nnf_registry.describe()})
+
+    def _inject_traffic(self, request: Request) -> Response:
+        """Inject a batch of frames into a node interface.
+
+        Body: ``{"frames": ["<hex frame bytes>", ...]}``.  The whole
+        batch enters LSI-0 in one
+        :meth:`~repro.core.steering.TrafficSteeringManager.inject_batch`
+        call, i.e. through the batched zero-reparse pipeline — REST
+        driven traffic takes the same fast path as device ingress.
+        """
+        from repro.core.steering import SteeringError
+        from repro.net.ethernet import EthernetFrame
+
+        document = request.json()
+        if not isinstance(document, dict) or "frames" not in document:
+            raise HttpError(400, 'body must be {"frames": [...]}')
+        encoded = document["frames"]
+        if not isinstance(encoded, list) or not encoded:
+            raise HttpError(400, '"frames" must be a non-empty list')
+        frames = []
+        for index, item in enumerate(encoded):
+            if not isinstance(item, str):
+                raise HttpError(400, f"frame {index} is not a hex string")
+            # Decode everything up front so a malformed frame rejects
+            # the request before any part of the batch is injected.
+            try:
+                frames.append(EthernetFrame.from_bytes(bytes.fromhex(item)))
+            except ValueError as exc:
+                raise HttpError(
+                    400, f"frame {index} is malformed: {exc}") from exc
+        interface = request.params["interface"]
+        try:
+            self.node.steering.inject_batch(interface, frames)
+        except SteeringError as exc:
+            raise HttpError(404, str(exc)) from exc
+        return Response(200, {"injected": len(frames)})

@@ -133,12 +133,62 @@ EmitFn = Callable[[int, int, EthernetFrame], None]
 #: ``compiled(dp, in_port, frame, emit)`` — one call runs the whole
 #: action list for one frame.  ``dp`` is duck-typed: the program only
 #: touches ``packet_in_handler``, ``action_errors`` and ``dropped``.
+#: Every compiled program carries a ``mutates`` attribute: True when the
+#: list contains a frame transform (push/pop/set-field), i.e. when an
+#: emitted frame can be a different object than the input frame.  The
+#: batched pipeline dispatches on the tag: a non-mutating program always
+#: emits the ingress frame itself, so it runs with a carry-only emit
+#: that forwards the existing :class:`~repro.net.builder.ParsedFrame`
+#: to the next hop without even an identity check (see
+#: ``Datapath._batch_emit``).
 CompiledActions = Callable[[Any, int, EthernetFrame, EmitFn], None]
 
 # Opcodes of the generic (non-specialized) compiled program.
 _OP_XFORM = 0   # arg: frame -> frame (may raise ActionError)
 _OP_OUT = 1     # arg: output port number
 _OP_CTRL = 2    # arg: unused (packet-in punt)
+
+
+def _compile_transform(action: "PushVlan | PopVlan | SetField"):
+    """One frame transform, specialized at compile time.
+
+    Everything per-frame is reduced to a single ``replace``: VLAN ids
+    and PCPs are closed over as ints, and — the point of this function —
+    a :class:`SetField` MAC target is converted to a
+    :class:`MacAddress` exactly once here, not once per frame inside
+    ``SetField.apply``.
+    """
+    if isinstance(action, PushVlan):
+        vid, pcp = action.vid, action.pcp
+
+        def push(frame: EthernetFrame) -> EthernetFrame:
+            return replace(frame, vlan=vid, vlan_pcp=pcp)
+        return push
+    if isinstance(action, PopVlan):
+        def pop(frame: EthernetFrame) -> EthernetFrame:
+            if frame.vlan is None:
+                raise ActionError("pop_vlan on an untagged frame")
+            return replace(frame, vlan=None, vlan_pcp=0)
+        return pop
+    if action.field == "eth_src":
+        src_mac = MacAddress(action.value)
+
+        def set_src(frame: EthernetFrame) -> EthernetFrame:
+            return replace(frame, src=src_mac)
+        return set_src
+    if action.field == "eth_dst":
+        dst_mac = MacAddress(action.value)
+
+        def set_dst(frame: EthernetFrame) -> EthernetFrame:
+            return replace(frame, dst=dst_mac)
+        return set_dst
+    new_vid = int(action.value)
+
+    def set_vid(frame: EthernetFrame) -> EthernetFrame:
+        if frame.vlan is None:
+            raise ActionError("set vlan_vid on an untagged frame")
+        return replace(frame, vlan=new_vid)
+    return set_vid
 
 
 def compile_actions(actions: Sequence[Action]) -> CompiledActions:
@@ -151,6 +201,10 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
     Output/Controller counts the frame as dropped.  The property suite
     in ``tests/test_compiled_actions.py`` asserts this equivalence over
     random action lists and frames.
+
+    Constant work happens here, not per frame: set-field targets (e.g.
+    MAC addresses given as strings) are converted once, and the program
+    is tagged with ``mutates`` (see :data:`CompiledActions`).
 
     Unknown action types fail here, at compile time, instead of on the
     first matching packet.
@@ -167,6 +221,7 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
         def run_out(dp: Any, in_port: int, frame: EthernetFrame,
                     emit: EmitFn) -> None:
             emit(out, in_port, frame)
+        run_out.mutates = False
         return run_out
 
     if kinds == (PushVlan, Output):
@@ -175,6 +230,7 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
         def run_push_out(dp: Any, in_port: int, frame: EthernetFrame,
                          emit: EmitFn) -> None:
             emit(out, in_port, replace(frame, vlan=vid, vlan_pcp=pcp))
+        run_push_out.mutates = True
         return run_push_out
 
     if kinds == (PopVlan, Output):
@@ -186,6 +242,7 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
                 dp.action_errors += 1
                 return
             emit(out, in_port, replace(frame, vlan=None, vlan_pcp=0))
+        run_pop_out.mutates = True
         return run_pop_out
 
     if kinds == (PopVlan, PushVlan, Output):
@@ -199,12 +256,30 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
                 dp.action_errors += 1
                 return
             emit(out, in_port, replace(frame, vlan=vid, vlan_pcp=pcp))
+        run_retag_out.mutates = True
         return run_retag_out
 
+    if kinds == (SetField, PushVlan, Output) \
+            and acts[0].field in ("eth_src", "eth_dst"):
+        # MAC rewrite + tag fuse into one replace; the MacAddress target
+        # is built here, once per install, never per frame.
+        mac_kw = {"src" if acts[0].field == "eth_src" else "dst":
+                  MacAddress(acts[0].value)}
+        vid, pcp, out = acts[1].vid, acts[1].pcp, acts[2].port
+
+        def run_setmac_push_out(dp: Any, in_port: int, frame: EthernetFrame,
+                                emit: EmitFn) -> None:
+            emit(out, in_port,
+                 replace(frame, vlan=vid, vlan_pcp=pcp, **mac_kw))
+        run_setmac_push_out.mutates = True
+        return run_setmac_push_out
+
     # Generic program: dispatch resolved at compile time into small-int
-    # opcodes; transforms are pre-bound ``apply`` methods.
+    # opcodes; transforms are closures specialized per action (see
+    # :func:`_compile_transform`).
     steps: list[tuple[int, Any]] = []
     emits = False
+    mutates = False
     for action in acts:
         if isinstance(action, Output):
             steps.append((_OP_OUT, action.port))
@@ -213,7 +288,8 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
             steps.append((_OP_CTRL, None))
             emits = True
         elif isinstance(action, (PushVlan, PopVlan, SetField)):
-            steps.append((_OP_XFORM, action.apply))
+            steps.append((_OP_XFORM, _compile_transform(action)))
+            mutates = True
         else:
             raise TypeError(f"unknown action {action!r}")
     program = tuple(steps)
@@ -237,4 +313,5 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
                     handler(dp, in_port, current)
         if drops:
             dp.dropped += 1
+    run_generic.mutates = mutates
     return run_generic

@@ -5,15 +5,29 @@ either wrap a :class:`~repro.linuxnet.devices.NetDevice` (NF ports and
 node physical ports) or connect to another datapath through a
 :class:`~repro.switch.lsi.VirtualLink` (inter-LSI wiring).
 
-Two ingress paths exist:
+Three ingress paths exist:
 
 * :meth:`Datapath.process` — one frame, counters updated inline;
-* :meth:`Datapath.process_batch` — many frames, amortizing per-packet
-  overheads: each frame is parsed once (lazily — see
-  :class:`~repro.net.builder.ParsedFrame`), flow counters *and* port
-  rx/tx counters are accumulated locally and flushed once per batch,
-  and frames leaving through a virtual link are carried to the far LSI
-  as one batch so a whole chain of LSIs runs batch-at-a-time.
+* :meth:`Datapath.process_batch` — many ``(in_port, frame)`` pairs,
+  amortizing per-packet overheads: flow counters *and* port rx/tx
+  counters are accumulated locally and flushed once per batch, and
+  frames leaving through a virtual link are carried to the far LSI as
+  one batch so a whole chain of LSIs runs batch-at-a-time;
+* :meth:`Datapath.process_batch_from` — a whole batch from *one*
+  ingress port (what virtual links and batch-aware NetDevices deliver);
+  same semantics with the port lookup and rx accounting hoisted out of
+  the per-frame loop.
+
+The batch paths are *zero-reparse*: each frame is parsed at most once
+per chain.  Batch items may be raw :class:`EthernetFrame` objects
+(parsed on entry) or already-carried
+:class:`~repro.net.builder.ParsedFrame` views; egress queues hold
+``ParsedFrame`` objects and virtual links forward them as-is, so the
+next hop's lookup reuses the existing parse (including the lazy
+IPv4/L4 decode and cached ``ip_ints``).  When a compiled action list
+rewrites a frame (``compiled.mutates``), the emitted frame's parse is
+*derived* from the carried one (:meth:`ParsedFrame.derive`): still-valid
+layers carry over, anything the rewrite could have touched is dropped.
 
 Action execution is *compiled*: every matching frame runs its entry's
 cached closure (one call — see
@@ -28,7 +42,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional
 
 from repro.linuxnet.devices import NetDevice
-from repro.net.builder import parse_frame
+from repro.net.builder import ParsedFrame, parse_frame
 from repro.net.ethernet import EthernetFrame
 from repro.switch.actions import (
     ActionError,
@@ -74,14 +88,14 @@ class SwitchPort:
         elif self.peer_link is not None:
             self.peer_link.carry(self, frame)
 
-    def deliver_out_batch(self, frames: list[EthernetFrame]) -> None:
-        """Batch egress: devices still get one transmit per frame, but a
-        virtual-link peer receives the whole list in one carry."""
+    def deliver_out_batch(self, frames: list[ParsedFrame]) -> None:
+        """Batch egress of carried parses: a device receives the raw
+        frames in one ``transmit_batch``, a virtual-link peer receives
+        the parsed views in one carry (no re-parse at the far LSI)."""
         self.tx_packets += len(frames)
-        self.tx_bytes += sum(len(frame) for frame in frames)
+        self.tx_bytes += sum(parsed.wire_len for parsed in frames)
         if self.device is not None:
-            for frame in frames:
-                self.device.transmit(frame)
+            self.device.transmit_batch([parsed.eth for parsed in frames])
         elif self.peer_link is not None:
             self.peer_link.carry_batch(self, frames)
 
@@ -124,7 +138,9 @@ class Datapath:
         self._ports_by_name.setdefault(name, port)
         if device is not None:
             device.attach_handler(
-                lambda dev, frame, p=port_no: self.process(p, frame))
+                lambda dev, frame, p=port_no: self.process(p, frame),
+                batch_handler=lambda dev, frames, p=port_no:
+                    self.process_batch_from(p, frames))
             if not device.up:
                 device.set_up()
         return port
@@ -176,8 +192,77 @@ class Datapath:
             return
         self.execute(entry, in_port, frame)
 
+    def _batch_emit(self, queues: dict[int, list[ParsedFrame]],
+                    carried: list):
+        """Build the shared egress closures of one batch run.
+
+        ``carried[0]`` is rebound to the current frame's
+        :class:`ParsedFrame` before each program runs.  Two emit
+        closures share the queues, selected per entry by the compiled
+        program's ``mutates`` tag:
+
+        * ``emit`` (mutating programs, and the interpreted loop)
+          re-attaches the carried parse to whatever the program hands
+          back — an emitted frame identical to the ingress frame keeps
+          its parse wholesale, a rewritten frame gets a parse *derived*
+          from it, so still-valid layers are never decoded again;
+        * ``emit_carry`` (non-mutating programs) skips even that
+          identity check: such a program only ever emits the ingress
+          frame object itself, so the carried parse is forwarded as-is.
+        """
+        ports = self.ports
+
+        def enqueue(number: int, port: SwitchPort,
+                    parsed: ParsedFrame) -> None:
+            queues.setdefault(number, []).append(parsed)
+
+        def emit(out_port: int, in_port: int, frame: EthernetFrame) -> None:
+            parsed = carried[0]
+            if frame is not parsed.eth:
+                parsed = parsed.derive(frame)
+            # Unicast to an already-seen port is the hot case: one dict
+            # hit and an append.  Everything else (first frame for a
+            # port, FLOOD, unknown port) takes the shared _route policy.
+            queue = queues.get(out_port)
+            if queue is not None:
+                queue.append(parsed)
+                return
+            if out_port == FLOOD_PORT or out_port not in ports:
+                self._route(out_port, in_port, parsed, enqueue)
+                return
+            queues[out_port] = [parsed]
+
+        def emit_carry(out_port: int, in_port: int,
+                       frame: EthernetFrame) -> None:
+            parsed = carried[0]
+            queue = queues.get(out_port)
+            if queue is not None:
+                queue.append(parsed)
+                return
+            if out_port == FLOOD_PORT or out_port not in ports:
+                self._route(out_port, in_port, parsed, enqueue)
+                return
+            queues[out_port] = [parsed]
+
+        return emit, emit_carry
+
+    def _flush_batch(self, pending: dict,
+                     queues: dict[int, list[ParsedFrame]]) -> None:
+        """Write the flow counters and drain the egress queues of one
+        batch run (rx counters are flushed by the caller, whose
+        accumulation shape differs per ingress path)."""
+        table = self.table
+        for entry, packets, nbytes in pending.values():
+            table.credit(entry, packets, nbytes)
+        for port_no, frames in queues.items():
+            port = self.ports.get(port_no)
+            if port is None:  # removed by a tap/handler mid-batch
+                self.dropped += len(frames)
+                continue
+            port.deliver_out_batch(frames)
+
     def process_batch(self,
-                      batch: Iterable[tuple[int, EthernetFrame]]) -> None:
+                      batch: "Iterable[tuple[int, EthernetFrame | ParsedFrame]]") -> None:
         """Run a batch of ``(in_port, frame)`` through the pipeline.
 
         Behaviorally equivalent to calling :meth:`process` per frame,
@@ -191,6 +276,10 @@ class Datapath:
         ports are not interleaved.  A packet-in handler that re-injects
         via :meth:`process` delivers immediately, i.e. ahead of frames
         still queued for the batch flush.
+
+        Frames may be raw :class:`EthernetFrame` objects or
+        :class:`ParsedFrame` views carried from an upstream hop; the
+        latter are *not* re-parsed (see the module docstring).
         """
         table = self.table
         taps = self.taps
@@ -199,27 +288,10 @@ class Datapath:
         pending: dict[int, list] = {}
         # in port_no -> [port, packets, bytes]
         rx_pending: dict[int, list] = {}
-        # out port_no -> frames, in ingress order
-        queues: dict[int, list[EthernetFrame]] = {}
-
-        ports = self.ports
-
-        def enqueue(number: int, port: SwitchPort,
-                    frame: EthernetFrame) -> None:
-            queues.setdefault(number, []).append(frame)
-
-        def emit(out_port: int, in_port: int, frame: EthernetFrame) -> None:
-            # Unicast to an already-seen port is the hot case: one dict
-            # hit and an append.  Everything else (first frame for a
-            # port, FLOOD, unknown port) takes the shared _route policy.
-            queue = queues.get(out_port)
-            if queue is not None:
-                queue.append(frame)
-                return
-            if out_port == FLOOD_PORT or out_port not in ports:
-                self._route(out_port, in_port, frame, enqueue)
-                return
-            queues[out_port] = [frame]
+        # out port_no -> carried parses, in ingress order
+        queues: dict[int, list[ParsedFrame]] = {}
+        carried: list = [None]
+        emit, emit_carry = self._batch_emit(queues, carried)
 
         try:
             for in_port, frame in batch:
@@ -227,21 +299,24 @@ class Datapath:
                 if port is None:
                     raise KeyError(
                         f"frame from unknown port {in_port} on {self.name}")
-                size = len(frame)
+                parsed = (frame if type(frame) is ParsedFrame
+                          else parse_frame(frame))
+                size = parsed.wire_len
                 acc = rx_pending.get(in_port)
                 if acc is None:
                     rx_pending[in_port] = [port, 1, size]
                 else:
                     acc[1] += 1
                     acc[2] += size
-                for tap in taps:
-                    tap(in_port, frame)
-                parsed = parse_frame(frame)
+                if taps:
+                    eth = parsed.eth
+                    for tap in taps:
+                        tap(in_port, eth)
                 entry = table.lookup(in_port, parsed, count=False)
                 if entry is None:
                     self.table_misses += 1
                     if self.packet_in_handler is not None:
-                        self.packet_in_handler(self, in_port, frame)
+                        self.packet_in_handler(self, in_port, parsed.eth)
                     else:
                         self.dropped += 1
                     continue
@@ -251,11 +326,14 @@ class Datapath:
                 else:
                     acc[1] += 1
                     acc[2] += size
+                carried[0] = parsed
                 if compiled:
-                    entry.compiled(self, in_port, frame, emit)
+                    program = entry.compiled
+                    program(self, in_port, parsed.eth,
+                            emit if program.mutates else emit_carry)
                 else:
-                    self.execute_interpreted(entry.actions, in_port, frame,
-                                             emit)
+                    self.execute_interpreted(entry.actions, in_port,
+                                             parsed.eth, emit)
         finally:
             # A bad frame or raising tap must not lose the prefix of the
             # batch: flush whatever was matched and queued so far.
@@ -263,14 +341,72 @@ class Datapath:
                 self.rx_packets += packets
                 port.rx_packets += packets
                 port.rx_bytes += nbytes
-            for entry, packets, nbytes in pending.values():
-                table.credit(entry, packets, nbytes)
-            for port_no, frames in queues.items():
-                port = self.ports.get(port_no)
-                if port is None:  # removed by a tap/handler mid-batch
-                    self.dropped += len(frames)
+            self._flush_batch(pending, queues)
+
+    def process_batch_from(
+            self, in_port: int,
+            frames: "Iterable[EthernetFrame | ParsedFrame]") -> None:
+        """Run a batch of frames arriving on one ingress port.
+
+        Semantically ``process_batch((in_port, f) for f in frames)``,
+        but the single-port shape — what a virtual link carries to the
+        next LSI and what a batch-aware :class:`NetDevice` hands its
+        handler — lets the port lookup and the rx accounting move out
+        of the per-frame loop entirely, and no ``(port, frame)`` tuples
+        are built.  This is the chain hot path.
+        """
+        port = self.ports.get(in_port)
+        if port is None:
+            raise KeyError(
+                f"frame from unknown port {in_port} on {self.name}")
+        table = self.table
+        taps = self.taps
+        compiled = self.compiled_actions
+        pending: dict[int, list] = {}
+        queues: dict[int, list[ParsedFrame]] = {}
+        carried: list = [None]
+        emit, emit_carry = self._batch_emit(queues, carried)
+        packets = 0
+        nbytes = 0
+
+        try:
+            for frame in frames:
+                parsed = (frame if type(frame) is ParsedFrame
+                          else parse_frame(frame))
+                size = parsed.wire_len
+                packets += 1
+                nbytes += size
+                if taps:
+                    eth = parsed.eth
+                    for tap in taps:
+                        tap(in_port, eth)
+                entry = table.lookup(in_port, parsed, count=False)
+                if entry is None:
+                    self.table_misses += 1
+                    if self.packet_in_handler is not None:
+                        self.packet_in_handler(self, in_port, parsed.eth)
+                    else:
+                        self.dropped += 1
                     continue
-                port.deliver_out_batch(frames)
+                acc = pending.get(entry.entry_id)
+                if acc is None:
+                    pending[entry.entry_id] = [entry, 1, size]
+                else:
+                    acc[1] += 1
+                    acc[2] += size
+                carried[0] = parsed
+                if compiled:
+                    program = entry.compiled
+                    program(self, in_port, parsed.eth,
+                            emit if program.mutates else emit_carry)
+                else:
+                    self.execute_interpreted(entry.actions, in_port,
+                                             parsed.eth, emit)
+        finally:
+            self.rx_packets += packets
+            port.rx_packets += packets
+            port.rx_bytes += nbytes
+            self._flush_batch(pending, queues)
 
     def execute(self, entry: FlowEntry, in_port: int,
                 frame: EthernetFrame, emit: Optional[EmitFn] = None) -> None:

@@ -552,6 +552,13 @@ class FlowTable:
                count: bool = True) -> Optional[FlowEntry]:
         """Highest-priority matching entry, or None (table miss).
 
+        ``parsed`` is whatever :class:`ParsedFrame` the pipeline
+        carries — on a chain's later hops it is the view forwarded (or
+        derived) from the previous LSI, not a fresh parse, so an IP/L4
+        match here reuses the decode a hop upstream already paid for.
+        Lookup never assumes a fresh parse and never mutates the view
+        beyond triggering its lazy decode.
+
         ``count=False`` skips the per-entry counter updates; the batched
         datapath uses it and flushes accumulated counts once per batch
         through :meth:`credit`.

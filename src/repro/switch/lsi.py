@@ -10,6 +10,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro.net.builder import ParsedFrame
 from repro.net.ethernet import EthernetFrame
 from repro.switch.datapath import Datapath, SwitchPort
 
@@ -50,6 +51,12 @@ class VirtualLink:
         self.a: Optional[SwitchPort] = None
         self.b: Optional[SwitchPort] = None
         self.carried = 0
+        #: When False, batch carries strip the frames back to raw
+        #: :class:`EthernetFrame` objects, forcing the far LSI to
+        #: re-parse every frame — the pre-zero-reparse cost model.  The
+        #: differential test harness flips this to pin down that both
+        #: modes are observably identical; production leaves it True.
+        self.carry_parsed = True
 
     @classmethod
     def connect(cls, dp_a: Datapath, dp_b: Datapath,
@@ -94,17 +101,22 @@ class VirtualLink:
         far.datapath.process(far.port_no, frame)
 
     def carry_batch(self, from_port: SwitchPort,
-                    frames: list[EthernetFrame]) -> None:
+                    frames: "list[ParsedFrame | EthernetFrame]") -> None:
         """Move a whole batch to the far end in one pipeline pass.
 
         This is what keeps a chain of LSIs batch-at-a-time: the far
         datapath receives the frames through
-        :meth:`~repro.switch.datapath.Datapath.process_batch`, so
-        parse, lookup, compiled-action execution and flow/port counter
-        amortization carry across every hop.  The link's own ``carried``
-        counter and the egress port's tx counters are likewise written
-        once per batch, not per frame (chain egress happens in the
-        far datapath's batch flush).
+        :meth:`~repro.switch.datapath.Datapath.process_batch_from`, so
+        lookup, compiled-action execution and flow/port counter
+        amortization carry across every hop.  The frames are normally
+        :class:`~repro.net.builder.ParsedFrame` views queued by the
+        near datapath's batch flush, forwarded *as parsed* — the far
+        LSI never re-parses an untouched frame (set
+        :attr:`carry_parsed` to False to restore the old re-parse-per-
+        hop behavior).  The link's own ``carried`` counter and the
+        egress port's tx counters are likewise written once per batch,
+        not per frame (chain egress happens in the far datapath's batch
+        flush).
         """
         if not frames:
             return
@@ -112,8 +124,10 @@ class VirtualLink:
         if far is None or far.datapath is None:
             return
         self.carried += len(frames)
-        port_no = far.port_no
-        far.datapath.process_batch([(port_no, frame) for frame in frames])
+        if not self.carry_parsed:
+            frames = [frame.eth if type(frame) is ParsedFrame else frame
+                      for frame in frames]
+        far.datapath.process_batch_from(far.port_no, frames)
 
     def far_port(self, datapath: Datapath) -> SwitchPort:
         """The link's port that lives on ``datapath``."""

@@ -1,0 +1,212 @@
+"""Differential harness: the three chain-traversal modes are identical.
+
+Hypothesis generates flow tables (random per-hop action shapes, VLAN
+matching, low-priority CIDR fallbacks) and frame batches, then runs the
+same workload through three independently-built copies of the same LSI
+chain (lengths 1, 2 and 4):
+
+1. **per-frame** — :meth:`Datapath.process` for every frame, the
+   reference semantics;
+2. **reparse batch** — the batched pipeline with ``carry_parsed=False``
+   on every virtual link, i.e. the old re-parse-at-every-hop cost
+   model;
+3. **zero-reparse batch** — the production configuration:
+   :meth:`Datapath.process_batch_from` with ``ParsedFrame`` carry
+   across the links.
+
+Every observable must agree across all three: egress frames
+byte-for-byte at every capture point, per-port rx/tx packet and byte
+counters, per-entry flow counters, table miss / drop / action-error
+counts, and controller punts.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.linuxnet import VethPair
+from repro.net import MacAddress, make_udp_frame
+from repro.switch import (
+    Controller,
+    Datapath,
+    FlowEntry,
+    FlowMatch,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    VirtualLink,
+)
+from repro.switch.flowtable import ANY_VLAN, NO_VLAN
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+NEW_MAC = "02:00:00:00:00:99"
+
+CHAIN_LENGTHS = (1, 2, 4)
+
+#: Per-hop action shapes; ``fwd`` is the port towards the next hop (or
+#: the final sink), ``tee`` a local capture port.  No FLOOD — a flood
+#: towards the backward link port would loop the chain.
+_SHAPES = {
+    "out": lambda fwd, tee, vid: (Output(fwd),),
+    "push_out": lambda fwd, tee, vid: (PushVlan(vid), Output(fwd)),
+    "pop_out": lambda fwd, tee, vid: (PopVlan(), Output(fwd)),
+    "retag_out": lambda fwd, tee, vid: (PopVlan(), PushVlan(vid),
+                                        Output(fwd)),
+    "setdst_out": lambda fwd, tee, vid: (SetField("eth_dst", NEW_MAC),
+                                         Output(fwd)),
+    "setdst_push_out": lambda fwd, tee, vid: (SetField("eth_dst", NEW_MAC),
+                                              PushVlan(vid), Output(fwd)),
+    "setvid_out": lambda fwd, tee, vid: (SetField("vlan_vid", vid),
+                                         Output(fwd)),
+    "tee_out": lambda fwd, tee, vid: (Output(tee), Output(fwd)),
+    "drop": lambda fwd, tee, vid: (),
+    "punt": lambda fwd, tee, vid: (Controller(),),
+}
+
+hop_spec = st.fixed_dictionaries({
+    "shape": st.sampled_from(sorted(_SHAPES)),
+    "vid": st.integers(min_value=1, max_value=5),
+    # How the hop's primary entry matches VLANs: wildcard, exact id,
+    # tagged-any or untagged-only.
+    "match_vlan": st.sampled_from(["wild", "exact", "any", "none"]),
+    "match_vid": st.integers(min_value=1, max_value=5),
+    # Optional low-priority CIDR fallback (exercises the carried
+    # ParsedFrame's lazy IPv4 decode at hops > 0).
+    "cidr": st.sampled_from([None, "10.0.0.0/8", "11.0.0.0/8"]),
+})
+
+frame_spec = st.fixed_dictionaries({
+    "vlan": st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    "sport": st.integers(min_value=1000, max_value=1005),
+    "dst_net": st.sampled_from([10, 11, 12]),
+    "payload": st.binary(min_size=1, max_size=6),
+})
+
+
+def _capture(datapath, name):
+    """Device-backed port whose far veth end records egress bytes."""
+    pair = VethPair(f"{name}-sw", f"{name}-wire")
+    received = []
+    pair.b.set_up()
+    pair.b.attach_handler(lambda dev, fr: received.append(fr.to_bytes()))
+    port = datapath.add_port(name, device=pair.a)
+    return port, received
+
+
+class ChainInstance:
+    """One independent build of the generated chain scenario."""
+
+    def __init__(self, length, hop_specs):
+        self.hops = [Datapath(0x4000 + i, name=f"hop{i}")
+                     for i in range(length)]
+        self.links = []
+        self.captures = {}   # capture name -> list of egress bytes
+        self.punts = []      # (hop name, in_port, frame bytes)
+
+        self.hops[0].add_port("ingress")
+        in_ports = [1]
+        for left, right in zip(self.hops, self.hops[1:]):
+            link = VirtualLink.connect(left, right, name=f"vl-{left.name}")
+            self.links.append(link)
+            in_ports.append(link.far_port(right).port_no)
+
+        for index, (hop, spec) in enumerate(zip(self.hops, hop_specs)):
+            hop.packet_in_handler = (
+                lambda dp, port, fr: self.punts.append(
+                    (dp.name, port, fr.to_bytes())))
+            tee_port, tee_rx = _capture(hop, f"tee{index}")
+            self.captures[f"tee{index}"] = tee_rx
+            if index + 1 < length:
+                fwd_no = self.links[index].far_port(hop).port_no
+            else:
+                final_port, final_rx = _capture(hop, "final")
+                self.captures["final"] = final_rx
+                fwd_no = final_port.port_no
+            cidr_port, cidr_rx = _capture(hop, f"cidr{index}")
+            self.captures[f"cidr{index}"] = cidr_rx
+
+            vlan_mode = spec["match_vlan"]
+            vlan_vid = {"wild": None, "exact": spec["match_vid"],
+                        "any": ANY_VLAN, "none": NO_VLAN}[vlan_mode]
+            actions = _SHAPES[spec["shape"]](fwd_no, tee_port.port_no,
+                                             spec["vid"])
+            hop.install(FlowEntry(
+                match=FlowMatch(in_port=in_ports[index], vlan_vid=vlan_vid),
+                actions=actions, priority=100))
+            if spec["cidr"] is not None:
+                hop.install(FlowEntry(
+                    match=FlowMatch(in_port=in_ports[index],
+                                    ip_dst=spec["cidr"]),
+                    actions=(Output(cidr_port.port_no),), priority=10))
+
+    def observe(self):
+        state = {"captures": {name: list(rx)
+                              for name, rx in self.captures.items()},
+                 "punts": sorted(self.punts)}
+        for hop in self.hops:
+            state[hop.name] = {
+                "rx": hop.rx_packets, "misses": hop.table_misses,
+                "dropped": hop.dropped, "errors": hop.action_errors,
+                "ports": {n: (p.rx_packets, p.rx_bytes,
+                              p.tx_packets, p.tx_bytes)
+                          for n, p in hop.ports.items()},
+                "flows": [(e.priority, e.match.describe(),
+                           e.packets, e.bytes) for e in hop.table],
+                "lookups": hop.table.lookups,
+                "matches": hop.table.matches,
+            }
+        return state
+
+
+def _frames(frame_specs):
+    return [make_udp_frame(MAC_A, MAC_B, "10.0.0.1",
+                           f"{spec['dst_net']}.0.0.2",
+                           spec["sport"], 2000, spec["payload"],
+                           vlan=spec["vlan"])
+            for spec in frame_specs]
+
+
+@given(hop_specs=st.lists(hop_spec, min_size=max(CHAIN_LENGTHS),
+                          max_size=max(CHAIN_LENGTHS)),
+       frame_specs=st.lists(frame_spec, min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_three_traversal_modes_are_identical(hop_specs, frame_specs):
+    for length in CHAIN_LENGTHS:
+        specs = hop_specs[:length]
+
+        per_frame = ChainInstance(length, specs)
+        for frame in _frames(frame_specs):
+            per_frame.hops[0].process(1, frame)
+
+        reparse = ChainInstance(length, specs)
+        for link in reparse.links:
+            link.carry_parsed = False
+        reparse.hops[0].process_batch(
+            [(1, frame) for frame in _frames(frame_specs)])
+
+        zero_reparse = ChainInstance(length, specs)
+        zero_reparse.hops[0].process_batch_from(1, _frames(frame_specs))
+
+        reference = per_frame.observe()
+        assert reparse.observe() == reference, f"chain length {length}"
+        assert zero_reparse.observe() == reference, f"chain length {length}"
+
+
+def test_interpreted_batch_mode_matches_too():
+    """The differential holds with compiled actions disabled (the
+    interpreted batch leg the perf sweep's baseline uses)."""
+    specs = [{"shape": "retag_out", "vid": 3, "match_vlan": "wild",
+              "match_vid": 1, "cidr": "10.0.0.0/8"}] * 4
+    frame_specs = [{"vlan": v, "sport": 1000 + i, "dst_net": 10 + i % 3,
+                    "payload": bytes([i])}
+                   for i, v in enumerate([None, 1, 2, None, 5])]
+
+    compiled = ChainInstance(4, specs)
+    compiled.hops[0].process_batch_from(1, _frames(frame_specs))
+
+    interpreted = ChainInstance(4, specs)
+    for hop in interpreted.hops:
+        hop.compiled_actions = False
+    interpreted.hops[0].process_batch_from(1, _frames(frame_specs))
+
+    assert interpreted.observe() == compiled.observe()

@@ -1,0 +1,268 @@
+"""Batch-aware device ingress: real traffic lands on the batched path.
+
+Unit coverage for the :class:`NetDevice` batch protocol
+(``transmit_batch`` / ``receive_batch`` / ``attach_handler``'s
+``batch_handler``), plus integration proof that every real ingress
+flavor — veth wire traffic into a deployed node, pcap replay and
+REST-driven injection — reaches
+:meth:`~repro.switch.datapath.Datapath.process_batch_from` instead of
+the per-frame :meth:`~repro.switch.datapath.Datapath.process` loop,
+with observable effects identical to per-frame delivery.
+"""
+
+import io
+
+from repro.core.node import ComputeNode
+from repro.linuxnet.devices import NetDevice, VethPair
+from repro.net import MacAddress, make_udp_frame
+from repro.net.pcap import PcapWriter
+from repro.nffg.model import Nffg
+from repro.rest.app import RestApp
+from repro.switch import Datapath, FlowEntry, FlowMatch, Output
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+
+
+def frames(count, payload=b"x"):
+    return [make_udp_frame(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2",
+                           1000 + i, 2000, payload) for i in range(count)]
+
+
+# -- NetDevice batch protocol ---------------------------------------------------
+
+def test_batch_handler_gets_whole_batch_in_one_call():
+    device = NetDevice("dev0")
+    device.set_up()
+    single_calls, batch_calls = [], []
+    device.attach_handler(
+        lambda dev, fr: single_calls.append(fr),
+        batch_handler=lambda dev, frs: batch_calls.append(list(frs)))
+    batch = frames(4)
+    device.receive_batch(batch)
+    assert batch_calls == [batch]
+    assert single_calls == []
+    assert device.rx_packets == 4
+    assert device.rx_bytes == sum(len(f) for f in batch)
+
+
+def test_receive_batch_falls_back_per_frame_without_batch_handler():
+    device = NetDevice("dev0")
+    device.set_up()
+    seen = []
+    device.attach_handler(lambda dev, fr: seen.append(fr))
+    device.receive_batch(frames(3))
+    assert len(seen) == 3
+    assert device.rx_packets == 3
+
+
+def test_receive_batch_down_device_drops_all():
+    device = NetDevice("dev0")
+    device.receive_batch(frames(5))
+    assert device.rx_dropped == 5
+    assert device.rx_packets == 0
+
+
+def test_detach_handler_clears_batch_handler_too():
+    device = NetDevice("dev0")
+    device.set_up()
+    device.attach_handler(lambda dev, fr: None,
+                          batch_handler=lambda dev, frs: None)
+    device.detach_handler()
+    device.receive_batch(frames(1))
+    assert device.rx_dropped == 1  # no sink left
+
+
+def test_transmit_batch_reaches_peer_in_one_receive_batch():
+    pair = VethPair("a0", "b0")
+    pair.a.set_up()
+    pair.b.set_up()
+    batches = []
+    pair.b.attach_handler(lambda dev, fr: None,
+                          batch_handler=lambda dev, frs: batches.append(
+                              list(frs)))
+    batch = frames(3)
+    pair.a.transmit_batch(batch)
+    assert batches == [batch]
+    assert pair.a.tx_packets == 3
+    assert pair.b.rx_packets == 3
+
+
+def test_transmit_batch_drops_oversized_keeps_rest():
+    pair = VethPair("a0", "b0", mtu=100)
+    pair.a.set_up()
+    pair.b.set_up()
+    received = []
+    pair.b.attach_handler(lambda dev, fr: received.append(fr))
+    big = make_udp_frame(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", 1, 2,
+                         b"y" * 300)
+    batch = frames(2) + [big]
+    pair.a.transmit_batch(batch)
+    assert len(received) == 2
+    assert pair.a.tx_dropped == 1
+    assert pair.a.tx_packets == 2
+
+
+def test_transmit_batch_down_device_drops_all():
+    pair = VethPair("a0", "b0")
+    pair.b.set_up()  # a stays down
+    pair.a.transmit_batch(frames(2))
+    assert pair.a.tx_dropped == 2
+    assert pair.b.rx_packets == 0
+
+
+# -- switch port ingress ---------------------------------------------------------
+
+def _spy(datapath):
+    """Record which pipeline entry points run on ``datapath``, per
+    ingress port: ``{"process": [port, ...], "batch_from": [port, ...]}``."""
+    calls = {"process": [], "batch_from": []}
+    original_process = datapath.process
+    original_batch_from = datapath.process_batch_from
+
+    def process(in_port, frame):
+        calls["process"].append(in_port)
+        return original_process(in_port, frame)
+
+    def process_batch_from(in_port, batch):
+        calls["batch_from"].append(in_port)
+        return original_batch_from(in_port, batch)
+
+    datapath.process = process
+    datapath.process_batch_from = process_batch_from
+    return calls
+
+
+def test_device_port_batch_ingress_routes_through_process_batch():
+    dp = Datapath(1)
+    pair = VethPair("sw0", "wire0")
+    pair.b.set_up()
+    in_port = dp.add_port("in", device=pair.a)
+    out = dp.add_port("out")
+    dp.install(FlowEntry(match=FlowMatch(in_port=in_port.port_no),
+                         actions=(Output(out.port_no),)))
+    calls = _spy(dp)
+    pair.b.transmit_batch(frames(5))
+    assert calls == {"process": [], "batch_from": [in_port.port_no]}
+    assert out.tx_packets == 5
+    # Per-frame transmit still uses the single-frame path.
+    pair.b.transmit(frames(1)[0])
+    assert calls == {"process": [in_port.port_no],
+                     "batch_from": [in_port.port_no]}
+    assert out.tx_packets == 6
+
+
+def _deployed_node():
+    """A node with a docker NAT deployed: a *dedicated* NF, so the
+    lan->NF rule crosses the LSI-0 -> graph-LSI virtual link."""
+    node = ComputeNode("cpe")
+    lan = node.add_physical_interface("lan0")
+    wan = node.add_physical_interface("wan0")
+    graph = Nffg(graph_id="g1")
+    graph.add_nf("nat1", "nat", technology="docker", config={
+        "lan.address": "192.168.1.1/24",
+        "wan.address": "203.0.113.2/24",
+        "gateway": "203.0.113.1",
+    })
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat1:lan")
+    graph.add_flow_rule("r2", "vnf:nat1:wan", "endpoint:wan")
+    node.deploy(graph)
+    return node, lan, wan
+
+
+def test_real_wire_ingress_uses_batched_pipeline_end_to_end():
+    """The acceptance-criteria integration: frames transmitted on the
+    node's physical wire (NetDevice ingress, not the bench hook) run
+    the batched zero-reparse pipeline, and the result is identical to
+    per-frame delivery on a twin node."""
+    batch_node, batch_wire, _ = _deployed_node()
+    single_node, single_wire, _ = _deployed_node()
+
+    base_batch = batch_node.steering.base.datapath
+    lan_port = base_batch.port_by_name("lan0").port_no
+    calls = _spy(base_batch)
+
+    batch_wire.transmit_batch(frames(6))
+    # The wire batch entered through the batched pipeline, exactly once;
+    # no frame took the per-frame path at the physical ingress port (the
+    # NF's own forwarded traffic re-enters per frame — namespace stacks
+    # transmit frame by frame — which is fine and expected).
+    assert calls["batch_from"] == [lan_port]
+    assert lan_port not in calls["process"]
+
+    for frame in frames(6):
+        single_wire.transmit(frame)
+
+    def observe(node):
+        dp = node.steering.base.datapath
+        network = node.steering.graphs["g1"]
+        return {
+            "base_rx": dp.rx_packets,
+            "base_misses": dp.table_misses,
+            "graph_rx": network.lsi.datapath.rx_packets,
+            "carried": network.link.carried,
+            "base_flows": [(e.packets, e.bytes) for e in dp.table],
+            "graph_flows": [(e.packets, e.bytes)
+                            for e in network.lsi.datapath.table],
+        }
+
+    assert observe(batch_node) == observe(single_node)
+    # Each frame crossed the virtual link twice: lan -> NF, NF -> wan.
+    assert observe(batch_node)["carried"] == 12
+
+
+def test_pcap_replay_lands_on_batched_pipeline():
+    node, _lan, _wan = _deployed_node()
+    base = node.steering.base.datapath
+    calls = _spy(base)
+
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    originals = frames(7, payload=b"pcap")
+    for index, frame in enumerate(originals):
+        writer.write(float(index), frame.to_bytes())
+    buffer.seek(0)
+
+    lan_port = base.port_by_name("lan0").port_no
+    replayed = node.steering.replay_pcap("lan0", buffer, batch_size=3)
+    assert replayed == 7
+    assert lan_port not in calls["process"]
+    assert calls["batch_from"].count(lan_port) == 3  # ceil(7 / 3) batches
+    assert base.ports[lan_port].rx_packets == 7
+
+
+def test_rest_injection_lands_on_batched_pipeline():
+    node, _lan, _wan = _deployed_node()
+    app = RestApp(node)
+    base = node.steering.base.datapath
+    calls = _spy(base)
+
+    body = ('{"frames": ['
+            + ", ".join(f'"{f.to_bytes().hex()}"' for f in frames(4))
+            + "]}").encode()
+    lan_port = base.port_by_name("lan0").port_no
+    response = app.handle("POST", "/traffic/lan0", body)
+    assert response.status == 200
+    assert response.body == {"injected": 4}
+    assert lan_port not in calls["process"]
+    assert calls["batch_from"].count(lan_port) == 1
+    assert base.ports[lan_port].rx_packets == 4
+
+
+def test_rest_injection_error_paths():
+    node, _lan, _wan = _deployed_node()
+    app = RestApp(node)
+    good = frames(1)[0].to_bytes().hex()
+    assert app.handle("POST", "/traffic/nope0",
+                      f'{{"frames": ["{good}"]}}'.encode()).status == 404
+    assert app.handle("POST", "/traffic/lan0",
+                      b'{"frames": []}').status == 400
+    assert app.handle("POST", "/traffic/lan0",
+                      b'{"frames": ["zz"]}').status == 400
+    assert app.handle("POST", "/traffic/lan0",
+                      b'{"frames": ["abcd"]}').status == 400  # truncated
+    assert app.handle("POST", "/traffic/lan0", b'{}').status == 400
+    # Nothing was injected by any rejected request.
+    assert node.steering.base.datapath.rx_packets == 0

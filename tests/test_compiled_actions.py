@@ -94,6 +94,74 @@ def test_unknown_action_fails_at_compile_time():
         compile_actions(("not-an-action",))
 
 
+@pytest.mark.parametrize("actions,expected", [
+    ((Output(2),), False),
+    ((Controller(),), False),
+    ((), False),
+    ((Output(2), Output(3), Controller()), False),
+    ((PushVlan(5), Output(2)), True),
+    ((PopVlan(), Output(2)), True),
+    ((PopVlan(), PushVlan(5), Output(2)), True),
+    ((SetField("eth_dst", "02:00:00:00:00:99"), Output(2)), True),
+    ((SetField("eth_dst", "02:00:00:00:00:99"), PushVlan(5), Output(2)),
+     True),
+    ((SetField("vlan_vid", 7), Output(2)), True),
+    ((PushVlan(5),), True),  # drop-only but still rewrites
+])
+def test_compiled_program_mutates_tag(actions, expected):
+    """``mutates`` is True exactly when the list contains a transform —
+    the tag the zero-reparse batch path relies on: a non-mutating
+    program must only ever emit the ingress frame object itself."""
+    program = compile_actions(actions)
+    assert program.mutates is expected
+    if not expected and any(isinstance(a, Output) for a in actions):
+        emitted = []
+        program(Datapath(1), 1, FRAME := make_udp_frame(
+            MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", 1000, 2000, b"x"),
+            lambda out, inp, fr: emitted.append(fr))
+        assert all(fr is FRAME for fr in emitted)
+
+
+def _count_mac_builds(monkeypatch):
+    from repro.switch import actions as actions_module
+
+    original = actions_module.MacAddress
+    calls = [0]
+
+    class CountingMac(original):
+        def __init__(self, value):
+            calls[0] += 1
+            super().__init__(value)
+
+    monkeypatch.setattr(actions_module, "MacAddress", CountingMac)
+    return calls
+
+
+@pytest.mark.parametrize("actions", [
+    (SetField("eth_dst", "02:00:00:00:00:99"), Output(2)),
+    (SetField("eth_src", "02:00:00:00:00:98"), Output(2)),
+    (SetField("eth_dst", "02:00:00:00:00:99"), PushVlan(5), Output(2)),
+])
+def test_setfield_builds_mac_target_once_per_install(monkeypatch, actions):
+    """Regression for the per-frame MacAddress rebuild: the compiled
+    closure must allocate the set-field target exactly once, at
+    flow-install time, no matter how many frames it executes on."""
+    calls = _count_mac_builds(monkeypatch)
+    entry = FlowEntry(match=FlowMatch(), actions=actions)
+    assert calls[0] == 1
+    dp = Datapath(1)
+    emitted = []
+    for index in range(50):
+        entry.compiled(dp, 1, make_udp_frame(
+            MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", 1000 + index, 2000,
+            b"x"), lambda out, inp, fr: emitted.append(fr))
+    assert calls[0] == 1  # still the single install-time build
+    assert len(emitted) == 50
+    want = actions[0].value
+    field = "dst" if actions[0].field == "eth_dst" else "src"
+    assert all(str(getattr(fr, field)) == want for fr in emitted)
+
+
 def test_flow_entry_pickles_and_recompiles():
     import pickle
     entry = FlowEntry(match=FlowMatch(in_port=1, ip_dst="10.0.0.0/8"),

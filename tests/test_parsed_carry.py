@@ -1,0 +1,187 @@
+"""ParsedFrame carry across hops: reuse what's valid, never serve stale.
+
+The zero-reparse pipeline forwards :class:`ParsedFrame` views across
+virtual links and *derives* the parse of rewritten frames from the
+carried one.  The contract under test:
+
+* an L2-only rewrite (VLAN push/pop, MAC/VID set-field — everything a
+  switch action can do) keeps the IPv4/L4 decode and the cached
+  ``ip_ints``, because the payload bytes are shared;
+* a rewrite that swaps the payload (or the ethertype) gets a clean
+  parse — a stale ``ip_ints``/``five_tuple`` can never be observed at
+  the next hop;
+* ``wire_len`` is always recomputed (tags change frame length);
+* the next hop's lookup sees post-rewrite L2 fields, and IP/L4 matches
+  at later hops still work on carried parses without re-decoding.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.linuxnet import VethPair
+from repro.net import MacAddress, ParsedFrame, make_udp_frame, parse_frame
+from repro.net.builder import ParsedFrame as BuilderParsedFrame
+from repro.switch import (
+    Datapath,
+    FlowEntry,
+    FlowMatch,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    VirtualLink,
+)
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+
+
+def udp_frame(vlan=None, dst="10.0.0.2"):
+    return make_udp_frame(MAC_A, MAC_B, "10.0.0.1", dst, 1234, 5678,
+                          b"payload", vlan=vlan)
+
+
+def test_parsedframe_reexported():
+    assert ParsedFrame is BuilderParsedFrame
+
+
+def test_derive_carries_l3_l4_for_shared_payload():
+    parsed = parse_frame(udp_frame())
+    ipv4, udp, ints = parsed.ipv4, parsed.udp, parsed.ip_ints
+    derived = parsed.derive(replace(parsed.eth, vlan=42, vlan_pcp=1))
+    # Same decoded objects — nothing is parsed again.
+    assert derived.ipv4 is ipv4
+    assert derived.udp is udp
+    assert derived.ip_ints == ints
+    assert derived.eth.vlan == 42
+
+
+def test_derive_does_not_redecode(monkeypatch):
+    from repro.net import ipv4 as ipv4_module
+
+    parsed = parse_frame(udp_frame())
+    assert parsed.five_tuple is not None  # force the full decode
+    calls = []
+    monkeypatch.setattr(
+        ipv4_module.IPv4Packet, "from_bytes",
+        classmethod(lambda cls, data: calls.append(1)))
+    derived = parsed.derive(replace(parsed.eth, dst=MacAddress(MAC_A)))
+    assert derived.ipv4 is parsed.ipv4
+    assert derived.five_tuple == parsed.five_tuple
+    assert calls == []  # decode never re-ran
+
+
+def test_derive_undecoded_frame_stays_lazy():
+    parsed = parse_frame(udp_frame())
+    derived = parsed.derive(replace(parsed.eth, vlan=7))
+    # Neither side had decoded L3 yet; the derived view decodes on
+    # demand and sees the right header.
+    assert derived.ipv4 is not None
+    assert derived.ipv4.dst == "10.0.0.2"
+
+
+def test_derive_marks_dirty_on_payload_change():
+    parsed = parse_frame(udp_frame(dst="10.0.0.2"))
+    assert parsed.ip_ints is not None
+    assert parsed.five_tuple[1] == "10.0.0.2"
+    other = udp_frame(dst="99.0.0.9")
+    derived = parsed.derive(replace(parsed.eth, payload=other.payload))
+    # No stale caches: the new payload decodes fresh.
+    assert derived.ipv4.dst == "99.0.0.9"
+    assert derived.five_tuple[1] == "99.0.0.9"
+    assert derived.ip_ints != parsed.ip_ints
+
+
+def test_derive_marks_dirty_on_ethertype_change():
+    parsed = parse_frame(udp_frame())
+    assert parsed.ipv4 is not None
+    derived = parsed.derive(replace(parsed.eth, ethertype=0x0806))
+    assert derived.ipv4 is None  # ARP frames have no IPv4 view
+
+
+def test_derive_recomputes_wire_len():
+    parsed = parse_frame(udp_frame())
+    bare_len = parsed.wire_len
+    tagged = parsed.derive(replace(parsed.eth, vlan=9))
+    assert tagged.wire_len == bare_len + 4  # 802.1Q tag
+    popped = tagged.derive(replace(tagged.eth, vlan=None))
+    assert popped.wire_len == bare_len
+
+
+def chain_two(first_actions, second_match_extra):
+    """hop0 --link--> hop1; hop0 applies ``first_actions`` towards the
+    link, hop1 matches the link port + ``second_match_extra`` to a
+    device-backed sink."""
+    hop0, hop1 = Datapath(1, "hop0"), Datapath(2, "hop1")
+    hop0.add_port("ingress")
+    link = VirtualLink.connect(hop0, hop1, name="vl")
+    out_no = link.far_port(hop0).port_no
+    far_no = link.far_port(hop1).port_no
+    hop0.install(FlowEntry(match=FlowMatch(in_port=1),
+                           actions=tuple(first_actions) + (Output(out_no),)))
+    pair = VethPair("sink-sw", "sink-wire")
+    received = []
+    pair.b.set_up()
+    pair.b.attach_handler(lambda dev, fr: received.append(fr))
+    sink = hop1.add_port("sink", device=pair.a)
+    hop1.install(FlowEntry(
+        match=FlowMatch(in_port=far_no, **second_match_extra),
+        actions=(Output(sink.port_no),)))
+    return hop0, hop1, received
+
+
+@pytest.mark.parametrize("actions,match_extra", [
+    ((PushVlan(31),), {"vlan_vid": 31, "ip_dst": "10.0.0.0/8"}),
+    ((PushVlan(8), SetField("vlan_vid", 44)),
+     {"vlan_vid": 44, "tp_dst": 5678}),
+    ((SetField("eth_dst", "02:00:00:00:00:77"),),
+     {"eth_dst": MacAddress("02:00:00:00:00:77"), "ip_src": "10.0.0.1/32"}),
+])
+def test_next_hop_matches_on_post_rewrite_fields(actions, match_extra):
+    """A mutating hop must never leave the next hop matching stale L2
+    state, while IP/L4 matches keep working on the carried parse."""
+    hop0, hop1, received = chain_two(actions, match_extra)
+    frames = [udp_frame() for _ in range(3)]
+    hop0.process_batch_from(1, frames)
+    assert len(received) == 3
+    assert hop1.table_misses == 0
+
+
+def test_next_hop_pop_then_ip_match_uses_carried_decode():
+    hop0, hop1, received = chain_two(
+        (PopVlan(),), {"vlan_vid": -2, "ip_dst": "10.0.0.0/8"})  # NO_VLAN
+    hop0.process_batch_from(1, [udp_frame(vlan=12) for _ in range(2)])
+    assert len(received) == 2
+    assert all(frame.vlan is None for frame in received)
+
+
+def test_chain_decodes_ipv4_once_per_frame(monkeypatch):
+    """Two hops both matching on IP fields share one L3 decode."""
+    from repro.net import ipv4 as ipv4_module
+
+    hop0, hop1 = Datapath(1, "hop0"), Datapath(2, "hop1")
+    hop0.add_port("ingress")
+    link = VirtualLink.connect(hop0, hop1, name="vl")
+    hop0.install(FlowEntry(
+        match=FlowMatch(in_port=1, ip_dst="10.0.0.0/8"),
+        actions=(PushVlan(5), Output(link.far_port(hop0).port_no))))
+    sink = hop1.add_port("sink")
+    hop1.install(FlowEntry(
+        match=FlowMatch(in_port=link.far_port(hop1).port_no,
+                        ip_dst="10.0.0.0/8"),
+        actions=(Output(sink.port_no),)))
+
+    frames = [udp_frame() for _ in range(4)]
+    original = ipv4_module.IPv4Packet.from_bytes.__func__
+    calls = [0]
+
+    def counting(cls, data):
+        calls[0] += 1
+        return original(cls, data)
+
+    monkeypatch.setattr(ipv4_module.IPv4Packet, "from_bytes",
+                        classmethod(counting))
+    hop0.process_batch_from(1, frames)
+    assert sink.tx_packets == 4
+    assert calls[0] == 4  # one decode per frame, not per hop

@@ -14,6 +14,7 @@ import pytest
 from repro.perf.dataplane import (
     build_steering_table,
     check_results,
+    count_chain_excess_parse_frame,
     count_fast_path_parse_cidr,
     format_results,
     run_dataplane_bench,
@@ -46,6 +47,40 @@ def test_fast_path_parse_cidr_free():
     assert count_fast_path_parse_cidr(table, workload) == 0
 
 
+def test_chain_never_reparses_untouched_frames():
+    """Structural zero-reparse: one parse_frame per frame per chain,
+    counted, at every chain depth."""
+    for length in (1, 2, 4):
+        assert count_chain_excess_parse_frame(length, packets=25) == 0
+
+
+def test_quick_smoke_no_regression_gates():
+    """The tier-1 perf smoke leg: a sub-second quick sweep held to the
+    no-regression gates (point floors + both purity counters), so a
+    perf breakage is caught without waiting for `pytest -m perf`."""
+    results = run_dataplane_bench(quick=True)
+    assert results["meta"]["quick"] is True
+    assert [p["chain_length"] for p in results["chain"]] == [2]
+    try:
+        check_results(results)
+    except AssertionError:
+        # The floors sit far below the real speedups (~2x vs the 0.9x
+        # gate), but this leg runs in tier-1 on whatever the CI box is
+        # doing, so allow exactly one re-measure before declaring a
+        # genuine regression.
+        check_results(run_dataplane_bench(quick=True))
+
+
+def test_quick_gates_catch_lookup_regression():
+    """The quick gates are real: a doctored result dict with a lookup
+    regression must fail even in quick mode."""
+    results = run_dataplane_bench(quick=True)
+    for point in results["lookup"]:
+        point["speedup"] = 0.05
+    with pytest.raises(AssertionError, match="lookup regressed"):
+        check_results(results)
+
+
 def test_results_serialize_and_format():
     results = run_dataplane_bench(sizes=(4,), chain_lengths=(1,),
                                   lookup_packets=30, chain_packets=20)
@@ -56,11 +91,17 @@ def test_results_serialize_and_format():
 
 @pytest.mark.perf
 def test_dataplane_pps_sweep(request):
-    """The full sweep; asserts the ≥10x target and writes the artifact."""
-    results = run_dataplane_bench()
+    """The full sweep; asserts the ≥10x target and writes the artifact.
+
+    With ``--quick`` the sweep runs in the smoke configuration and the
+    artifact is left untouched (trajectory files come from full runs).
+    """
+    quick = request.config.getoption("--quick")
+    results = run_dataplane_bench(quick=quick)
     print("\n" + format_results(results))
-    path = request.config.getoption("--bench-json")
-    write_bench_json(results, path)
-    print(f"wrote {path}")
-    assert os.path.exists(path)
+    if not quick:
+        path = request.config.getoption("--bench-json")
+        write_bench_json(results, path)
+        print(f"wrote {path}")
+        assert os.path.exists(path)
     check_results(results)  # >=10x at 1k entries, parse_cidr-free
