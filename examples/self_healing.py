@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Self-healing: kill an NF and watch the reconciler bring it back.
+
+The orchestrator is no longer a one-shot pipeline — deploy/update set
+*desired* state and a reconciliation engine keeps the *observed* state
+converged to it.  This example:
+
+1. deploys a NAT -> DPI chain (both Docker, so each has its own
+   instance to lose);
+2. simulates a container crash by deleting the DPI's network namespace
+   out from under it — exactly what the driver health probe checks;
+3. runs one reconcile: the probe marks the instance FAILED, restart
+   cannot help (the substrate is gone), so the engine recreates it and
+   reinstalls *only the DPI's* steering rules;
+4. prints the append-only event journal of the whole recovery and
+   proves the untouched NAT rules kept their flow counters.
+
+Run:  PYTHONPATH=src python examples/self_healing.py
+"""
+
+from repro import ComputeNode, Nffg
+from repro.net import MacAddress, make_udp_frame
+from repro.resources.capabilities import NodeCapabilities
+
+CLIENT = MacAddress("02:aa:00:00:00:01")
+GATEWAY = MacAddress("02:aa:00:00:00:02")
+
+
+def build_graph() -> Nffg:
+    graph = Nffg(graph_id="edge-chain", name="NAT + DPI chain")
+    graph.add_nf("nat1", "nat", technology="docker", config={
+        "lan.address": "192.168.1.1/24",
+        "wan.address": "203.0.113.2/24",
+        "gateway": "203.0.113.1",
+    })
+    graph.add_nf("dpi1", "dpi", technology="docker")
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:nat1:lan")
+    graph.add_flow_rule("r2", "vnf:nat1:wan", "vnf:dpi1:in")
+    graph.add_flow_rule("r3", "vnf:dpi1:out", "endpoint:wan")
+    graph.add_flow_rule("r4", "endpoint:wan", "vnf:nat1:wan")
+    return graph
+
+
+def nat_ingress_counters(node) -> list[tuple[int, int]]:
+    """(entry_id, packets) of the LAN->NAT rule's flow entries."""
+    steering = node.steering
+    network = steering.graph_network("edge-chain")
+    rows = []
+    for controller, match, priority in network.installed["r1"].segments:
+        datapath = (steering.base.datapath
+                    if controller is steering.base_controller
+                    else network.lsi.datapath)
+        for entry in datapath.table:
+            if entry.match == match and entry.priority == priority:
+                rows.append((entry.entry_id, entry.packets))
+    return rows
+
+
+def main() -> None:
+    node = ComputeNode("dc-edge",
+                       capabilities=NodeCapabilities.datacenter_server())
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+    node.deploy(build_graph())
+    print("deployed:", node.orchestrator.status("edge-chain")["nfs"])
+
+    # Traffic before the crash, to put counters on the NAT's rules.
+    node.steering.inject_batch("lan0", [make_udp_frame(
+        CLIENT, GATEWAY, "192.168.1.5", "8.8.8.8", 1111, 53, b"hello")])
+    before = nat_ingress_counters(node)
+    print("NAT ingress entries before crash:", before)
+
+    # Crash the DPI container: its namespace evaporates.
+    victim = node.compute.get("edge-chain-dpi1")
+    del node.host.namespaces[victim.netns]
+    print(f"\n*** killed {victim.instance_id} "
+          f"(namespace {victim.netns} gone) ***\n")
+
+    result = node.orchestrator.reconcile("edge-chain")
+    print(f"reconcile: converged={result.converged} in {result.ticks} "
+          f"tick(s), {result.steps_executed} step(s)\n")
+
+    print("event journal:")
+    for event in node.orchestrator.events("edge-chain"):
+        target = event.nf_id or event.rule_id
+        print(f"  {event.seq:>3}  {event.kind:<15} {target:<6} "
+              f"{event.detail}".rstrip())
+
+    after = nat_ingress_counters(node)
+    print("\nNAT ingress entries after heal:  ", after)
+    assert after == before, "untouched NF lost its flow state!"
+    replacement = node.compute.get("edge-chain-dpi1")
+    assert replacement is not victim and replacement.is_running
+    print("untouched NAT flow entries (ids + counters) preserved; "
+          "DPI recreated and running.")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,19 @@ Subcommands::
 
     repro validate GRAPH.json
         Validate an NF-FG document without deploying it.
+
+    repro graph events GRAPH_ID [--url U]
+        Print a running node's reconciliation journal for one graph.
+
+    repro graph reconcile GRAPH_ID [--url U]
+        Trigger a reconcile-to-convergence (detect + heal) on a
+        running node and print the result.
+
+    repro graph status GRAPH_ID [--url U]
+        Print a running node's status document for one graph.
+
+The ``graph`` subcommands talk HTTP to a node started with
+``repro serve`` (default ``--url http://127.0.0.1:8080``).
 """
 
 from __future__ import annotations
@@ -57,6 +70,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser("validate", help="validate an NF-FG document")
     validate.add_argument("graph", help="path to the NF-FG JSON file")
+
+    graph = sub.add_parser(
+        "graph", help="inspect/drive a live graph on a running node")
+    graph_sub = graph.add_subparsers(dest="graph_command", required=True)
+    for name, text in (("events", "print the reconciliation journal"),
+                       ("reconcile", "reconcile to convergence (heal)"),
+                       ("status", "print the graph status document")):
+        leaf = graph_sub.add_parser(name, help=text)
+        leaf.add_argument("graph_id", help="graph id on the serving node")
+        leaf.add_argument("--url", default="http://127.0.0.1:8080",
+                          help="base URL of the node's REST API")
     return parser
 
 
@@ -125,6 +149,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _http(method: str, url: str):
+    """One JSON request against a serving node; exits on refusal."""
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(url, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return json.loads(reply.read() or b"null")
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read() or b"{}").get("error", "")
+        except ValueError:
+            detail = ""
+        raise SystemExit(
+            f"{url}: HTTP {exc.code}" + (f" — {detail}" if detail else ""))
+    except urllib.error.URLError as exc:
+        raise SystemExit(
+            f"cannot reach {url}: {exc.reason} (is `repro serve` running?)")
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    graph_id = args.graph_id
+    if args.graph_command == "events":
+        document = _http("GET", f"{base}/graphs/{graph_id}/events")
+        for event in document["events"]:
+            target = event.get("nf-id") or event.get("rule-id") or ""
+            detail = event.get("detail", "")
+            line = f"{event['seq']:>5}  {event['kind']:<15} {target:<12}"
+            print(f"{line} {detail}".rstrip())
+        return 0
+    if args.graph_command == "reconcile":
+        # A non-converging graph surfaces as an HTTP 409 (SystemExit in
+        # _http); a 200 reply always means convergence.
+        document = _http("POST", f"{base}/graphs/{graph_id}/reconcile")
+        print(f"graph {graph_id!r}: converged after {document['ticks']} "
+              f"tick(s), {document['steps-executed']} step(s) executed")
+        return 0
+    document = _http("GET", f"{base}/nffg/{graph_id}/status")
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     try:
@@ -145,6 +213,7 @@ _COMMANDS = {
     "node": _cmd_node,
     "serve": _cmd_serve,
     "validate": _cmd_validate,
+    "graph": _cmd_graph,
 }
 
 

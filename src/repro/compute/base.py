@@ -3,9 +3,10 @@
 Paper §2: "All the above drivers must implement a specific abstraction
 defined by the local orchestrator, which enables multiple drivers to
 coexist".  The abstraction is the lifecycle verb set (create /
-configure / start / stop / update / destroy) over
-:class:`~repro.compute.instances.NfInstance` plus the port-attachment
-contract (``switch_devices``/``port_vlans``) the steering layer reads.
+configure / start / stop / update / destroy / restart) over
+:class:`~repro.compute.instances.NfInstance`, the :meth:`health` probe
+the reconciler polls on every tick, plus the port-attachment contract
+(``switch_devices``/``port_vlans``) the steering layer reads.
 
 The namespace-backed drivers share plumbing here: each NF instance gets
 a network namespace and one veth pair per logical port, with the
@@ -18,20 +19,32 @@ the wrapping (and its costs) differ.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.catalog.templates import Technology
-from repro.compute.instances import InstanceSpec, NfInstance
+from repro.compute.instances import InstanceSpec, InstanceState, NfInstance
 from repro.linuxnet.cmdline import ScriptRunner
 from repro.linuxnet.host import LinuxHost
 from repro.nnf.plugin import NnfPlugin, PluginContext
 from repro.nnf.registry import NnfRegistry
 
-__all__ = ["ComputeDriver", "DriverError"]
+__all__ = ["ComputeDriver", "DriverError", "Health"]
 
 
 class DriverError(Exception):
     """Driver-level failure (bad spec, unusable plugin, ...)."""
+
+
+@dataclass(frozen=True)
+class Health:
+    """Result of one :meth:`ComputeDriver.health` probe."""
+
+    healthy: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.healthy
 
 
 class ComputeDriver:
@@ -157,8 +170,52 @@ class ComputeDriver:
                 device.peer.peer = None
             if device.namespace is not None:
                 device.namespace.remove_device(device.name)
-        self._run([f"ip netns del {instance.netns}"])
+        if instance.netns in self.host.namespaces:
+            self._run([f"ip netns del {instance.netns}"])
+        # else: the namespace already evaporated (crashed instance) —
+        # destroy is idempotent so the reconciler can clean up wrecks.
         instance.transition("destroy")
+
+    def restart(self, instance: NfInstance) -> None:
+        """Heal a FAILED instance in place.
+
+        The namespace and ports survived (only the NF itself died), so
+        the driver re-runs its start machinery: stop scripts
+        best-effort, then the start scripts, on the same substrate.
+        Raises :class:`~repro.compute.instances.LifecycleError` when the
+        instance is not FAILED.
+        """
+        plugin = self._named_plugin(instance)
+        if plugin is not None:
+            try:
+                self._run(plugin.stop_script(self._context(instance)))
+                plugin.post_stop(self._context(instance), self.host)
+            except Exception:
+                pass  # the dead NF may not answer its stop scripts
+            self._run(plugin.start_script(self._context(instance)))
+            plugin.post_start(self._context(instance), self.host)
+        else:
+            self._run([f"ip netns exec {instance.netns} ip link set "
+                       f"{device} up"
+                       for device in instance.inner_devices.values()])
+        instance.transition("restart")
+
+    def health(self, instance: NfInstance) -> Health:
+        """Probe whether the instance's substrate is still alive.
+
+        The base probe checks the marked state and that the instance's
+        network namespace still exists on the host; technology drivers
+        refine it (poll loops for DPDK, component registration for
+        shared NNFs).  The probe never mutates state — the reconciler
+        decides what to do with an unhealthy verdict.
+        """
+        if instance.state is InstanceState.FAILED:
+            return Health(False, "marked failed")
+        if instance.state is InstanceState.DESTROYED:
+            return Health(False, "destroyed")
+        if instance.netns not in self.host.namespaces:
+            return Health(False, f"namespace {instance.netns} is gone")
+        return Health(True, instance.state.value)
 
     def _named_plugin(self, instance: NfInstance) -> Optional[NnfPlugin]:
         if instance.plugin_name is None or self.behaviors is None:

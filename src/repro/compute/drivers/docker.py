@@ -9,7 +9,7 @@ image size and a few MB of runtime overhead.
 from __future__ import annotations
 
 from repro.catalog.templates import Technology
-from repro.compute.base import ComputeDriver
+from repro.compute.base import ComputeDriver, Health
 from repro.compute.instances import InstanceSpec, NfInstance
 
 __all__ = ["DockerDriver"]
@@ -42,3 +42,15 @@ class DockerDriver(ComputeDriver):
         instance = super().create(spec)
         instance.runtime_ram_mb = self.runtime_ram_mb(instance)
         return instance
+
+    def health(self, instance: NfInstance) -> Health:
+        base = super().health(instance)
+        if not base.healthy or not instance.is_running:
+            return base
+        # The runtime shim keeps the veth pair plumbed; a torn-down
+        # container loses the host-side peer.
+        for device in instance.unique_switch_devices():
+            if device.peer is None:
+                return Health(
+                    False, f"container veth {device.name} lost its peer")
+        return base

@@ -9,7 +9,7 @@ hugepage reservation is charged as RAM.
 from __future__ import annotations
 
 from repro.catalog.templates import Technology
-from repro.compute.base import ComputeDriver, DriverError
+from repro.compute.base import ComputeDriver, DriverError, Health
 from repro.compute.instances import InstanceSpec, NfInstance
 
 __all__ = ["DpdkDriver"]
@@ -35,21 +35,45 @@ class DpdkDriver(ComputeDriver):
     def runtime_ram_mb(self, instance: NfInstance) -> float:
         return self.hugepages_mb + self.eal_rss_mb
 
-    def start(self, instance: NfInstance) -> None:
+    def _wire_ports(self, instance: NfInstance) -> None:
         # Poll-mode forwarding: patch the two inner devices together,
         # bypassing the namespace stack (kernel bypass).
         namespace = self.host.namespace(instance.netns)
-        ports = [namespace.device(name)
-                 for name in instance.inner_devices.values()]
-        a, b = ports
+        a, b = [namespace.device(name)
+                for name in instance.inner_devices.values()]
         a.set_up()
         b.set_up()
         a.attach_handler(lambda dev, frame: b.transmit(frame))
         b.attach_handler(lambda dev, frame: a.transmit(frame))
-        instance.transition("start")
 
-    def stop(self, instance: NfInstance) -> None:
+    def _unwire_ports(self, instance: NfInstance) -> None:
         namespace = self.host.namespace(instance.netns)
         for name in instance.inner_devices.values():
             namespace.device(name).detach_handler()
+
+    def start(self, instance: NfInstance) -> None:
+        self._wire_ports(instance)
+        instance.transition("start")
+
+    def stop(self, instance: NfInstance) -> None:
+        self._unwire_ports(instance)
         instance.transition("stop")
+
+    def restart(self, instance: NfInstance) -> None:
+        # Re-launch the poll-mode app: drop whatever handler wiring
+        # survived the crash and rebuild the two-port patch.
+        self._unwire_ports(instance)
+        self._wire_ports(instance)
+        instance.transition("restart")
+
+    def health(self, instance: NfInstance) -> Health:
+        base = super().health(instance)
+        if not base.healthy or not instance.is_running:
+            return base
+        # A live poll-mode app means both inner ports carry a handler;
+        # a crashed EAL process leaves them dangling.
+        namespace = self.host.namespace(instance.netns)
+        for name in instance.inner_devices.values():
+            if namespace.device(name)._handler is None:  # noqa: SLF001
+                return Health(False, f"poll loop on {name} is gone")
+        return base

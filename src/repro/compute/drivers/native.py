@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.catalog.templates import Technology
-from repro.compute.base import ComputeDriver, DriverError
+from repro.compute.base import ComputeDriver, DriverError, Health
 from repro.compute.instances import InstanceSpec, InstanceState, NfInstance
 from repro.nnf.plugin import NnfPlugin, PluginContext
 from repro.nnf.registry import NnfRegistry
@@ -166,6 +166,38 @@ class NativeDriver(ComputeDriver):
             self._run(plugin.stop_script(self._context(instance)))
             plugin.post_stop(self._context(instance), self.host)
         instance.transition("stop")
+
+    def restart(self, instance: NfInstance) -> None:
+        plugin = self.registry.get(instance.plugin_name)
+        if instance.shared:
+            # The component is shared across graphs — restarting one
+            # attachment only re-raises its subinterfaces.
+            for device in instance.inner_devices.values():
+                self._run([f"ip netns exec {instance.netns} "
+                           f"ip link set {device} up"])
+            instance.transition("restart")
+            return
+        try:
+            self._run(plugin.stop_script(self._context(instance)))
+            plugin.post_stop(self._context(instance), self.host)
+        except Exception:
+            pass  # dead component may not answer its stop scripts
+        self._run(plugin.start_script(self._context(instance)))
+        plugin.post_start(self._context(instance), self.host)
+        instance.transition("restart")
+
+    def health(self, instance: NfInstance) -> Health:
+        base = super().health(instance)
+        if not base.healthy:
+            return base
+        if instance.shared and instance.plugin_name is not None:
+            # The shared component must still be registered — a torn
+            # down trunk means every attachment of it is dead.
+            if self.shared.instance_of(instance.plugin_name) is None:
+                return Health(
+                    False,
+                    f"shared component {instance.plugin_name} released")
+        return base
 
     def _run_best_effort(self, commands: list[str]) -> None:
         """Teardown semantics of the real scripts' ``cmd || true``: a

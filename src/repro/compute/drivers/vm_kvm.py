@@ -11,7 +11,7 @@ in the process, within the hypervisor, running the VM)").
 from __future__ import annotations
 
 from repro.catalog.templates import Technology
-from repro.compute.base import ComputeDriver
+from repro.compute.base import ComputeDriver, Health
 from repro.compute.instances import InstanceSpec, NfInstance
 
 __all__ = ["KvmDriver"]
@@ -45,3 +45,15 @@ class KvmDriver(ComputeDriver):
         instance = super().create(spec)
         instance.runtime_ram_mb = self.runtime_ram_mb(instance)
         return instance
+
+    def health(self, instance: NfInstance) -> Health:
+        base = super().health(instance)
+        if not base.healthy or not instance.is_running:
+            return base
+        # The guest kernel is the instance namespace: a QEMU crash
+        # removes it wholesale, but a hung guest still answers the
+        # namespace probe — only the loopback state betrays it.
+        namespace = self.host.namespace(instance.netns)
+        if not namespace.device("lo").up:
+            return Health(False, "guest lost its loopback (hung kernel)")
+        return base

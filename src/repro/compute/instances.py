@@ -23,10 +23,14 @@ class InstanceState(Enum):
     CONFIGURED = "configured"
     RUNNING = "running"
     STOPPED = "stopped"
+    FAILED = "failed"
     DESTROYED = "destroyed"
 
 
 #: Legal transitions: operation -> (allowed source states, target state).
+#: ``fail`` records a health-probe failure (the reconciler's detection
+#: path); ``restart`` is the in-place heal — the driver re-runs its
+#: start machinery on the surviving namespace/ports.
 _TRANSITIONS: dict[str, tuple[tuple[InstanceState, ...], InstanceState]] = {
     "create": ((InstanceState.INIT,), InstanceState.CREATED),
     "configure": ((InstanceState.CREATED,), InstanceState.CONFIGURED),
@@ -34,8 +38,11 @@ _TRANSITIONS: dict[str, tuple[tuple[InstanceState, ...], InstanceState]] = {
               InstanceState.RUNNING),
     "stop": ((InstanceState.RUNNING,), InstanceState.STOPPED),
     "update": ((InstanceState.RUNNING,), InstanceState.RUNNING),
+    "fail": ((InstanceState.RUNNING,), InstanceState.FAILED),
+    "restart": ((InstanceState.FAILED,), InstanceState.RUNNING),
     "destroy": ((InstanceState.CREATED, InstanceState.CONFIGURED,
-                 InstanceState.RUNNING, InstanceState.STOPPED),
+                 InstanceState.RUNNING, InstanceState.STOPPED,
+                 InstanceState.FAILED),
                 InstanceState.DESTROYED),
 }
 
@@ -86,6 +93,10 @@ class NfInstance:
     @property
     def is_running(self) -> bool:
         return self.state is InstanceState.RUNNING
+
+    @property
+    def is_failed(self) -> bool:
+        return self.state is InstanceState.FAILED
 
     def transition(self, operation: str) -> None:
         """Apply a lifecycle operation or raise :class:`LifecycleError`."""

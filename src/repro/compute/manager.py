@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.catalog.templates import Technology
-from repro.compute.base import ComputeDriver, DriverError
+from repro.compute.base import ComputeDriver, DriverError, Health
 from repro.compute.instances import InstanceSpec, NfInstance
 
 __all__ = ["ComputeManager"]
@@ -66,6 +66,16 @@ class ComputeManager:
     def update(self, instance_id: str, config: dict[str, str]) -> None:
         instance = self.get(instance_id)
         self.driver(instance.technology).update(instance, config)
+
+    def restart(self, instance_id: str) -> None:
+        """In-place heal of a FAILED instance (reconciler verb)."""
+        instance = self.get(instance_id)
+        self.driver(instance.technology).restart(instance)
+
+    def health(self, instance_id: str) -> Health:
+        """Probe the instance through its technology driver."""
+        instance = self.get(instance_id)
+        return self.driver(instance.technology).health(instance)
 
     def destroy(self, instance_id: str) -> NfInstance:
         instance = self.get(instance_id)

@@ -6,23 +6,42 @@ This package wires the reproduction together into the node of Figure 1:
 * :mod:`repro.core.steering` — the traffic-steering manager: LSI-0
   classification, per-graph LSIs, virtual links, OpenFlow rule
   translation (including VLAN marking for shared NNFs);
+* :mod:`repro.core.reconciler` — the desired-state engine: plan
+  compilation, checkpointed execution, health-probed healing, and the
+  append-only event journal;
 * :mod:`repro.core.orchestrator` — deploy / update / undeploy of
-  NF-FGs end to end;
+  NF-FGs as thin wrappers over the reconciler;
 * :mod:`repro.core.node` — the assembled compute node.
 """
 
 from repro.core.node import ComputeNode
 from repro.core.orchestrator import DeployedGraph, LocalOrchestrator, OrchestrationError
 from repro.core.placement import PlacementDecision, PlacementPolicy
+from repro.core.reconciler import (
+    EventJournal,
+    GraphEvent,
+    Plan,
+    PlanStep,
+    ReconcileError,
+    ReconcileResult,
+    Reconciler,
+)
 from repro.core.steering import SteeringError, TrafficSteeringManager
 
 __all__ = [
     "ComputeNode",
     "DeployedGraph",
+    "EventJournal",
+    "GraphEvent",
     "LocalOrchestrator",
     "OrchestrationError",
+    "Plan",
+    "PlanStep",
     "PlacementDecision",
     "PlacementPolicy",
+    "ReconcileError",
+    "ReconcileResult",
+    "Reconciler",
     "SteeringError",
     "TrafficSteeringManager",
 ]

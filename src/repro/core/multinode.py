@@ -11,7 +11,14 @@ orchestrators:
   that can host *all* of its NFs (graphs that must span CPE + DC are
   expressed as one graph per domain, linked by endpoints — the same
   convention the UNIFY demos used);
-* fleet-wide status aggregation.
+* fleet-wide status aggregation;
+* node-level failure handling: a node marked down is excluded from
+  placement, and :meth:`MultiNodeOrchestrator.reconcile` re-places its
+  graphs onto another feasible node, selected through the
+  :class:`~repro.catalog.scheduler.VnfScheduler` over per-node
+  :class:`~repro.catalog.scheduler.NodeDescriptor` views of the live
+  headroom.  Every fleet-level transition lands in the same kind of
+  append-only journal the per-node reconciler keeps.
 """
 
 from __future__ import annotations
@@ -20,8 +27,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.catalog.resolver import ResolutionError
+from repro.catalog.scheduler import NodeDescriptor, PlacementError, \
+    VnfScheduler
 from repro.core.node import ComputeNode
 from repro.core.orchestrator import DeployedGraph, OrchestrationError
+from repro.core.reconciler import EventJournal
 from repro.nffg.model import Nffg
 from repro.resources.capabilities import NodeClass
 
@@ -40,6 +50,9 @@ class MultiNodeOrchestrator:
     def __init__(self) -> None:
         self._nodes: dict[str, ComputeNode] = {}
         self._graphs: dict[str, _GraphLocation] = {}
+        self._down: set[str] = set()
+        self.journal = EventJournal()
+        self.replacements = 0
 
     # -- fleet management ----------------------------------------------------------
     def add_node(self, node: ComputeNode) -> None:
@@ -55,6 +68,42 @@ class MultiNodeOrchestrator:
 
     def nodes(self) -> list[ComputeNode]:
         return list(self._nodes.values())
+
+    # -- node health ---------------------------------------------------------------
+    def mark_node_down(self, name: str) -> None:
+        """Declare a whole node failed (power loss, link cut, ...).
+
+        The node stops receiving placements immediately; its graphs are
+        re-placed on the next :meth:`reconcile`.
+        """
+        self.node(name)  # raises on unknown
+        if name in self._down:
+            return
+        self._down.add(name)
+        for graph_id, location in self._graphs.items():
+            if location.node_name == name:
+                self.journal.append(graph_id, "node-down",
+                                    detail=f"node {name} marked down")
+
+    def mark_node_up(self, name: str) -> None:
+        """Bring a node back into rotation.
+
+        Graphs that were re-placed elsewhere while the node was down
+        are cleaned off it (modelling the reboot wiping their crashed
+        remains) so the returning node's capacity is schedulable again;
+        a cleanup that cannot complete keeps its record visible on the
+        node for a later reconcile rather than silently leaking.
+        """
+        node = self.node(name)
+        self._down.discard(name)
+        for graph_id in list(node.orchestrator.list_graphs()):
+            location = self._graphs.get(graph_id)
+            if location is None or location.node_name != name:
+                node.orchestrator.reconciler.forget(graph_id)
+
+    def node_is_up(self, name: str) -> bool:
+        self.node(name)
+        return name not in self._down
 
     # -- placement ---------------------------------------------------------------------
     def _feasible(self, node: ComputeNode, graph: Nffg) -> bool:
@@ -73,8 +122,7 @@ class MultiNodeOrchestrator:
             ram += impl.ram_mb
             disk += impl.disk_mb
         for endpoint in graph.endpoints:
-            if endpoint.interface not in \
-                    node.steering._physical_ports:  # noqa: SLF001
+            if not node.steering.has_physical_interface(endpoint.interface):
                 return False
         return node.accountant.fits(cpu, ram, disk)
 
@@ -82,6 +130,44 @@ class MultiNodeOrchestrator:
         # Edge first (no WAN hairpin), then the emptiest node.
         edge = 0 if node.capabilities.node_class is NodeClass.CPE else 1
         return (edge, node.accountant.ram_used_mb)
+
+    def _descriptor(self, node: ComputeNode) -> NodeDescriptor:
+        """A scheduler view of the node with its *live* headroom."""
+        descriptor = NodeDescriptor(name=node.name,
+                                    capabilities=node.capabilities,
+                                    resolver=node.placement.resolver)
+        descriptor.cpu_free = node.accountant.cpu_free
+        descriptor.ram_free_mb = node.accountant.ram_free_mb
+        return descriptor
+
+    def _schedule_target(self, graph: Nffg,
+                         exclude: set[str]) -> Optional[ComputeNode]:
+        """Pick a node that can host the *whole* graph right now.
+
+        Each candidate is probed through a single-node
+        :class:`VnfScheduler` over its live-headroom descriptor — the
+        same feasibility logic (resolver + capacity, pinned-first
+        greedy order) that splits graphs across CPE and DC.
+        """
+        candidates = sorted(
+            (node for name, node in self._nodes.items()
+             if name not in exclude and name not in self._down),
+            key=self._rank)
+        for node in candidates:
+            if any(not node.steering.has_physical_interface(ep.interface)
+                   for ep in graph.endpoints):
+                continue
+            try:
+                templates = [node.repository.get(spec.template)
+                             for spec in graph.nfs]
+            except KeyError:
+                continue
+            try:
+                VnfScheduler([self._descriptor(node)]).schedule(templates)
+            except (PlacementError, ResolutionError):
+                continue
+            return node
+        return None
 
     def deploy(self, graph: Nffg,
                node_name: Optional[str] = None) -> DeployedGraph:
@@ -91,9 +177,15 @@ class MultiNodeOrchestrator:
                 f"graph {graph.graph_id!r} is already deployed on "
                 f"{self._graphs[graph.graph_id].node_name}")
         if node_name is not None:
+            if node_name in self._down:
+                raise OrchestrationError(
+                    f"node {node_name!r} is marked down")
             candidates = [self.node(node_name)]
         else:
-            candidates = sorted(self._nodes.values(), key=self._rank)
+            candidates = sorted(
+                (node for name, node in self._nodes.items()
+                 if name not in self._down),
+                key=self._rank)
             candidates = [node for node in candidates
                           if self._feasible(node, graph)]
             if not candidates:
@@ -109,6 +201,12 @@ class MultiNodeOrchestrator:
         location = self._graphs.pop(graph_id, None)
         if location is None:
             raise OrchestrationError(f"no deployed graph {graph_id!r}")
+        if location.node_name in self._down:
+            # The hosting node is dead: nothing to execute there, just
+            # drop the fleet-level booking.
+            self.journal.append(graph_id, "abandoned",
+                                detail=f"host {location.node_name} down")
+            return location.record
         return self.node(location.node_name).undeploy(graph_id)
 
     def locate(self, graph_id: str) -> str:
@@ -117,12 +215,57 @@ class MultiNodeOrchestrator:
             raise OrchestrationError(f"no deployed graph {graph_id!r}")
         return location.node_name
 
+    # -- fleet reconciliation ------------------------------------------------------------
+    def reconcile(self) -> list[str]:
+        """Re-place every graph stranded on a down node; heal the rest.
+
+        Returns the graph_ids that were moved.  Graphs whose desired
+        state cannot be hosted anywhere stay booked on the dead node
+        (and journaled) so a later tick — after capacity returns — can
+        still rescue them.
+        """
+        moved: list[str] = []
+        for graph_id, location in list(self._graphs.items()):
+            if location.node_name not in self._down:
+                continue
+            desired = self.node(location.node_name).orchestrator \
+                .reconciler.desired.get(graph_id)
+            if desired is None:
+                desired = location.record.graph
+            target = self._schedule_target(
+                desired, exclude={location.node_name})
+            if target is None:
+                self.journal.append(
+                    graph_id, "re-place-failed",
+                    detail=f"no feasible node (host "
+                           f"{location.node_name} down)")
+                continue
+            record = target.deploy(desired)
+            self._graphs[graph_id] = _GraphLocation(
+                node_name=target.name, record=record)
+            self.replacements += 1
+            moved.append(graph_id)
+            self.journal.append(
+                graph_id, "re-placed",
+                detail=f"{location.node_name} -> {target.name}")
+        # Per-node healing for the nodes that are up.
+        for name, node in self._nodes.items():
+            if name in self._down:
+                continue
+            for graph_id in node.orchestrator.list_graphs():
+                try:
+                    node.orchestrator.reconcile(graph_id)
+                except OrchestrationError:
+                    pass  # journaled by the node's reconciler
+        return moved
+
     # -- status ------------------------------------------------------------------------
     def fleet_status(self) -> dict:
         return {
             "nodes": {
                 name: {
                     "class": node.capabilities.node_class.value,
+                    "up": name not in self._down,
                     "graphs": node.orchestrator.list_graphs(),
                     "utilisation": node.accountant.utilisation(),
                 }

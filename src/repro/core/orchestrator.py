@@ -4,23 +4,36 @@ Deployment pipeline (paper §2): validate the graph, decide VNF-vs-NNF
 per NF, admit resources, create instances through the right management
 drivers, build the graph's LSI + virtual link, install steering rules
 through the per-LSI OpenFlow controllers, start the NFs.
+
+Since the reconciliation refactor, ``deploy``/``update``/``undeploy``
+are thin wrappers that record *desired* state and run the
+:class:`~repro.core.reconciler.Reconciler` to convergence — every
+caller (REST, CLI, tests) therefore exercises the same plan-compile /
+checkpointed-execute engine, and a mid-operation driver failure leaves
+the node in a consistent, retryable state instead of a half-applied
+one.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.catalog.templates import Technology
-from repro.compute.instances import InstanceSpec, NfInstance
 from repro.compute.manager import ComputeManager
-from repro.core.placement import PlacementDecision, PlacementPolicy
+from repro.core.placement import PlacementPolicy
+from repro.core.reconciler import (
+    DeployedGraph,
+    EventJournal,
+    GraphEvent,
+    Plan,
+    ReconcileError,
+    ReconcileResult,
+    Reconciler,
+)
 from repro.core.steering import TrafficSteeringManager
-from repro.nffg.diff import diff_nffg
 from repro.nffg.model import Nffg
 from repro.nffg.validate import NffgValidationError, validate_nffg
-from repro.resources.accounting import AdmissionError, ResourceAccountant
+from repro.resources.accounting import ResourceAccountant
 from repro.resources.images import ImageRegistry
 
 __all__ = ["DeployedGraph", "LocalOrchestrator", "OrchestrationError"]
@@ -28,26 +41,6 @@ __all__ = ["DeployedGraph", "LocalOrchestrator", "OrchestrationError"]
 
 class OrchestrationError(Exception):
     """Deployment failed; the orchestrator rolled back what it could."""
-
-
-@dataclass
-class DeployedGraph:
-    """Book-keeping for one live NF-FG."""
-
-    graph: Nffg
-    placements: dict[str, PlacementDecision]
-    instances: dict[str, NfInstance] = field(default_factory=dict)
-    rules_installed: int = 0
-    modeled_deploy_seconds: float = 0.0
-    wall_deploy_seconds: float = 0.0
-
-    @property
-    def graph_id(self) -> str:
-        return self.graph.graph_id
-
-    def technologies(self) -> dict[str, str]:
-        return {nf_id: decision.implementation.technology.value
-                for nf_id, decision in self.placements.items()}
 
 
 class LocalOrchestrator:
@@ -63,166 +56,111 @@ class LocalOrchestrator:
         self.steering = steering
         self.accountant = accountant
         self.images = images
-        self.deployed: dict[str, DeployedGraph] = {}
+        self.reconciler = Reconciler(placement=placement, compute=compute,
+                                     steering=steering,
+                                     accountant=accountant, images=images)
+        #: observed per-graph records (shared with the reconciler)
+        self.deployed: dict[str, DeployedGraph] = self.reconciler.observed
         self.deploys = 0
         self.deploy_failures = 0
 
-    # -- deploy -----------------------------------------------------------------
-    def deploy(self, graph: Nffg) -> DeployedGraph:
-        started = time.perf_counter()
-        if graph.graph_id in self.deployed:
-            raise OrchestrationError(
-                f"graph {graph.graph_id!r} is already deployed "
-                "(use update)")
+    @property
+    def journal(self) -> EventJournal:
+        return self.reconciler.journal
+
+    def events(self, graph_id: str) -> list[GraphEvent]:
+        """The graph's reconciliation journal (survives undeploy)."""
+        return self.reconciler.journal.events(graph_id)
+
+    def _validate(self, graph: Nffg) -> None:
         try:
             validate_nffg(
                 graph,
                 known_templates=set(self.placement.repository.names()))
         except NffgValidationError as exc:
-            self.deploy_failures += 1
             raise OrchestrationError(f"invalid NF-FG: {exc}") from exc
 
-        try:
-            decisions = {d.nf_id: d for d in self.placement.decide(graph)}
-        except Exception as exc:
-            self.deploy_failures += 1
+    # -- deploy -----------------------------------------------------------------
+    def deploy(self, graph: Nffg) -> DeployedGraph:
+        started = time.perf_counter()
+        if graph.graph_id in self.reconciler.desired:
             raise OrchestrationError(
-                f"placement for {graph.graph_id!r} failed: {exc}") from exc
-        record = DeployedGraph(graph=graph, placements=decisions)
-
-        created: list[NfInstance] = []
-        network_created = False
+                f"graph {graph.graph_id!r} is already deployed "
+                "(use update)")
         try:
-            for spec in graph.nfs:
-                decision = decisions[spec.nf_id]
-                instance = self._instantiate(graph, spec.nf_id, decision,
-                                             spec.config_dict())
-                record.instances[spec.nf_id] = instance
-                created.append(instance)
-            self.steering.create_graph_network(graph.graph_id)
-            network_created = True
-            self.steering.attach_instances(graph.graph_id, record.instances)
-            for spec in graph.nfs:
-                self.compute.configure(record.instances[spec.nf_id]
-                                       .instance_id)
-            record.rules_installed = self.steering.install_graph_rules(
-                graph, record.instances)
-            for spec in graph.nfs:
-                self.compute.start(record.instances[spec.nf_id].instance_id)
-        except Exception as exc:
-            self._rollback(graph.graph_id, created, network_created)
+            self._validate(graph)
+        except OrchestrationError:
+            self.deploy_failures += 1
+            raise
+        self.reconciler.set_desired(graph)
+        try:
+            self.reconciler.reconcile(graph.graph_id)
+        except ReconcileError as exc:
+            # Initial deploys are all-or-nothing: converge back to
+            # empty so no allocations, namespaces or rules linger.
+            self.reconciler.clear_desired(graph.graph_id)
+            try:
+                self.reconciler.reconcile(graph.graph_id)
+            except ReconcileError:
+                pass
             self.deploy_failures += 1
             raise OrchestrationError(
                 f"deploying {graph.graph_id!r} failed: {exc}") from exc
-
+        record = self.deployed[graph.graph_id]
         record.modeled_deploy_seconds = (
             sum(i.boot_seconds for i in record.instances.values())
             + 0.001 * record.rules_installed)
         record.wall_deploy_seconds = time.perf_counter() - started
-        self.deployed[graph.graph_id] = record
         self.deploys += 1
         return record
-
-    def _instantiate(self, graph: Nffg, nf_id: str,
-                     decision: PlacementDecision,
-                     config: dict[str, str]) -> NfInstance:
-        template = self.placement.repository.get(decision.template_name)
-        impl = decision.implementation
-        if impl.image not in self.images:
-            raise OrchestrationError(
-                f"{nf_id}: image {impl.image!r} missing from repository")
-        allocation = self.accountant.allocate(
-            owner=f"{graph.graph_id}/{nf_id}", cpu_cores=impl.cpu_cores,
-            ram_mb=impl.ram_mb, disk_mb=impl.disk_mb)
-        spec = InstanceSpec(
-            instance_id=f"{graph.graph_id}-{nf_id}",
-            graph_id=graph.graph_id,
-            nf_id=nf_id,
-            template_name=template.name,
-            functional_type=template.functional_type,
-            logical_ports=template.ports,
-            implementation=impl,
-            config=config)
-        try:
-            instance = self.compute.create(spec)
-        except Exception:
-            self.accountant.release(allocation)
-            raise
-        instance.allocation = allocation
-        return instance
-
-    def _rollback(self, graph_id: str, created: list[NfInstance],
-                  network_created: bool) -> None:
-        if network_created:
-            try:
-                self.steering.remove_graph_network(graph_id)
-            except Exception:
-                pass
-        for instance in created:
-            try:
-                self.compute.destroy(instance.instance_id)
-            except Exception:
-                pass
-            if instance.allocation is not None \
-                    and not instance.allocation.released:
-                self.accountant.release(instance.allocation)
 
     # -- undeploy ------------------------------------------------------------------
     def undeploy(self, graph_id: str) -> DeployedGraph:
         record = self._record(graph_id)
-        for instance in record.instances.values():
-            if instance.is_running:
-                self.compute.stop(instance.instance_id)
-        self.steering.remove_graph_network(graph_id)
-        for instance in record.instances.values():
-            self.compute.destroy(instance.instance_id)
-            if instance.allocation is not None \
-                    and not instance.allocation.released:
-                self.accountant.release(instance.allocation)
-        del self.deployed[graph_id]
+        self.reconciler.clear_desired(graph_id)
+        try:
+            self.reconciler.reconcile(graph_id)
+        except ReconcileError as exc:
+            raise OrchestrationError(
+                f"undeploying {graph_id!r} failed: {exc}") from exc
         return record
 
     # -- update --------------------------------------------------------------------
     def update(self, new_graph: Nffg) -> DeployedGraph:
-        """In-place update via graph diff (add/remove NFs and rules,
-        re-configure changed NFs) without tearing down the graph."""
+        """In-place update: record the new desired graph and converge.
+
+        Only the diff is touched — steering rules of unchanged NFs are
+        never reinstalled.  On a mid-plan failure the applied prefix is
+        kept (checkpointed), the error is raised, and the same update
+        can simply be retried (or driven via :meth:`reconcile`).
+        """
         record = self._record(new_graph.graph_id)
-        diff = diff_nffg(record.graph, new_graph)
-        if diff.empty:
-            return record
-        validate_nffg(new_graph, known_templates=set(
-            self.placement.repository.names()))
-        # Remove rules first so traffic stops hitting removed NFs,
-        # then instances, then bring up the additions.
-        network = self.steering._network(new_graph.graph_id)
-        network.controller.flow_delete_by_cookie(network.cookie)
-        self.steering.base_controller.flow_delete_by_cookie(network.cookie)
-        for spec in diff.removed_nfs:
-            instance = record.instances.pop(spec.nf_id)
-            if instance.is_running:
-                self.compute.stop(instance.instance_id)
-            self.compute.destroy(instance.instance_id)
-            if instance.allocation is not None \
-                    and not instance.allocation.released:
-                self.accountant.release(instance.allocation)
-            del record.placements[spec.nf_id]
-        for spec in diff.added_nfs:
-            decision = self.placement.decide_one(spec)
-            record.placements[spec.nf_id] = decision
-            instance = self._instantiate(new_graph, spec.nf_id, decision,
-                                         spec.config_dict())
-            record.instances[spec.nf_id] = instance
-            self.steering.attach_instances(new_graph.graph_id,
-                                           {spec.nf_id: instance})
-            self.compute.configure(instance.instance_id)
-            self.compute.start(instance.instance_id)
-        for spec in diff.reconfigured_nfs:
-            self.compute.update(record.instances[spec.nf_id].instance_id,
-                                spec.config_dict())
-        record.rules_installed = self.steering.install_graph_rules(
-            new_graph, record.instances)
-        record.graph = new_graph
+        self._validate(new_graph)
+        self.reconciler.set_desired(new_graph)
+        try:
+            self.reconciler.reconcile(new_graph.graph_id)
+        except ReconcileError as exc:
+            raise OrchestrationError(
+                f"updating {new_graph.graph_id!r} failed: {exc} "
+                "(desired state kept; retry with update or reconcile)"
+            ) from exc
         return record
+
+    # -- reconcile / heal ------------------------------------------------------------
+    def reconcile(self, graph_id: str) -> ReconcileResult:
+        """Run the engine to convergence for one graph (heals too)."""
+        if graph_id not in self.reconciler.desired \
+                and graph_id not in self.deployed:
+            raise OrchestrationError(f"no deployed graph {graph_id!r}")
+        try:
+            return self.reconciler.reconcile(graph_id)
+        except ReconcileError as exc:
+            raise OrchestrationError(
+                f"reconciling {graph_id!r} failed: {exc}") from exc
+
+    def tick(self, graph_id: str) -> Plan:
+        """One reconciliation pass (detect failures, execute one plan)."""
+        return self.reconciler.tick(graph_id)
 
     # -- queries --------------------------------------------------------------------
     def _record(self, graph_id: str) -> DeployedGraph:
@@ -234,20 +172,28 @@ class LocalOrchestrator:
 
     def status(self, graph_id: str) -> dict:
         record = self._record(graph_id)
+        desired = self.reconciler.desired.get(graph_id)
+        plan = self.reconciler.last_plans.get(graph_id)
+        nfs = {}
+        for nf_id, instance in record.instances.items():
+            decision = record.placements.get(nf_id)
+            nfs[nf_id] = {
+                "technology": (decision.implementation.technology.value
+                               if decision is not None
+                               else instance.technology.value),
+                "state": instance.state.value,
+                "shared": instance.shared,
+                "ram-mb": instance.runtime_ram_mb,
+            }
         return {
             "graph-id": graph_id,
             "name": record.graph.name,
-            "nfs": {
-                nf_id: {
-                    "technology": decision.implementation.technology.value,
-                    "state": record.instances[nf_id].state.value,
-                    "shared": record.instances[nf_id].shared,
-                    "ram-mb": record.instances[nf_id].runtime_ram_mb,
-                }
-                for nf_id, decision in record.placements.items()
-            },
+            "nfs": nfs,
             "flow-rules": record.rules_installed,
             "deploy-seconds": record.modeled_deploy_seconds,
+            "desired-nfs": (len(desired.nfs) if desired is not None
+                            else 0),
+            "converged": plan.converged if plan is not None else False,
         }
 
     def list_graphs(self) -> list[str]:

@@ -1,0 +1,698 @@
+"""Desired-state reconciliation: the engine under the orchestrator.
+
+The paper's un-orchestrator keeps NF-FGs *running* — create, update,
+heal — which an imperative verb pipeline cannot do: a driver failure
+halfway through an update strands allocations with no path back.  This
+module replaces the verbs with a control loop:
+
+* **Desired vs. observed.**  ``Reconciler.desired`` holds what each
+  graph *should* look like (set by deploy/update, cleared by
+  undeploy); ``Reconciler.observed`` holds per-graph
+  :class:`DeployedGraph` records tracking what is actually realized —
+  which instances exist (and in which lifecycle state), which
+  placements were decided, and (via the steering layer's per-rule
+  registry) which big-switch rules are installed.
+
+* **Plans.**  Every tick compiles the :func:`~repro.nffg.diff.diff_nffg`
+  edit script between the observed graph and the desired graph into an
+  explicit, inspectable list of :class:`PlanStep` objects — delete-rule
+  / stop / destroy / place / create / configure / reconfigure /
+  install-rule / start / restart, plus the graph-network bookends —
+  and executes them in order.
+
+* **Per-step checkpointing.**  Each completed step immediately updates
+  the observed record, so a mid-plan failure aborts the tick with the
+  observed state exactly describing what was applied.  The next tick
+  recompiles a *fresh* plan from that state: updates are retryable and
+  nothing is ever torn down wholesale to get back to consistency.
+
+* **Health-probed healing.**  The tick loop probes every RUNNING
+  instance through its driver's ``health`` verb; an unhealthy instance
+  transitions to FAILED and is healed — restarted in place first, and
+  recreated (destroy + create + configure + reinstall *only its own
+  rules* + start) if the restart does not stick.  Untouched NFs keep
+  their flow entries and counters throughout.
+
+* **Journal.**  Every transition lands in an append-only
+  :class:`EventJournal`, exposed over REST
+  (``GET /graphs/{id}/events``) and the CLI (``repro graph events``) —
+  the repair/convergence record availability models need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compute.instances import InstanceSpec, InstanceState, NfInstance
+from repro.compute.manager import ComputeManager
+from repro.core.placement import PlacementDecision, PlacementPolicy
+from repro.core.steering import TrafficSteeringManager
+from repro.nffg.diff import diff_nffg
+from repro.nffg.model import FlowRule, Nffg, NfInstanceSpec
+from repro.resources.accounting import ResourceAccountant
+from repro.resources.images import ImageRegistry
+
+__all__ = ["DeployedGraph", "EventJournal", "GraphEvent", "Plan",
+           "PlanStep", "ReconcileError", "ReconcileResult", "Reconciler"]
+
+
+class ReconcileError(Exception):
+    """The engine could not make progress towards the desired state."""
+
+
+# -- journal ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GraphEvent:
+    """One append-only journal entry."""
+
+    seq: int
+    kind: str
+    graph_id: str
+    nf_id: str = ""
+    rule_id: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        row = {"seq": self.seq, "kind": self.kind,
+               "graph-id": self.graph_id}
+        if self.nf_id:
+            row["nf-id"] = self.nf_id
+        if self.rule_id:
+            row["rule-id"] = self.rule_id
+        if self.detail:
+            row["detail"] = self.detail
+        return row
+
+
+class EventJournal:
+    """Append-only, per-graph bounded event log.
+
+    The journal outlives the graphs it describes (post-mortems after an
+    undeploy are the point), but each graph's log is capped so a
+    flapping NF cannot grow memory without bound.
+    """
+
+    def __init__(self, capacity: int = 1000) -> None:
+        self.capacity = capacity
+        self._events: dict[str, list[GraphEvent]] = {}
+        self._seq = itertools.count(1)
+
+    def append(self, graph_id: str, kind: str, nf_id: str = "",
+               rule_id: str = "", detail: str = "") -> GraphEvent:
+        event = GraphEvent(seq=next(self._seq), kind=kind,
+                           graph_id=graph_id, nf_id=nf_id,
+                           rule_id=rule_id, detail=detail)
+        log = self._events.setdefault(graph_id, [])
+        log.append(event)
+        if len(log) > self.capacity:
+            del log[:len(log) - self.capacity]
+        return event
+
+    def events(self, graph_id: str) -> list[GraphEvent]:
+        return list(self._events.get(graph_id, ()))
+
+    def last_kind(self, graph_id: str) -> str:
+        log = self._events.get(graph_id)
+        return log[-1].kind if log else ""
+
+    def graphs(self) -> list[str]:
+        return sorted(self._events)
+
+    def forget(self, graph_id: str) -> None:
+        self._events.pop(graph_id, None)
+
+
+# -- plans -----------------------------------------------------------------------
+
+#: Step kinds in canonical execution order within a plan.
+STEP_KINDS = ("create-network", "delete-rule", "stop", "destroy-network",
+              "destroy", "place", "create", "configure", "reconfigure",
+              "restart", "install-rule", "start")
+
+
+@dataclass
+class PlanStep:
+    """One reconciliation action; ``status`` is its checkpoint."""
+
+    kind: str
+    nf_id: str = ""
+    rule_id: str = ""
+    detail: str = ""
+    status: str = "pending"   # pending -> done | failed
+    error: str = ""
+
+    @property
+    def target(self) -> str:
+        return self.nf_id or self.rule_id
+
+    def describe(self) -> str:
+        text = self.kind
+        if self.target:
+            text += f" {self.target}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+    def to_dict(self) -> dict:
+        row = {"kind": self.kind, "status": self.status}
+        if self.nf_id:
+            row["nf-id"] = self.nf_id
+        if self.rule_id:
+            row["rule-id"] = self.rule_id
+        if self.detail:
+            row["detail"] = self.detail
+        if self.error:
+            row["error"] = self.error
+        return row
+
+
+@dataclass
+class Plan:
+    """The compiled edit script of one tick."""
+
+    graph_id: str
+    steps: list[PlanStep] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        return not self.steps
+
+    @property
+    def done_count(self) -> int:
+        return sum(1 for step in self.steps if step.status == "done")
+
+    @property
+    def failed_step(self) -> Optional[PlanStep]:
+        for step in self.steps:
+            if step.status == "failed":
+                return step
+        return None
+
+    def summary(self) -> str:
+        if not self.steps:
+            return "converged (empty plan)"
+        kinds: dict[str, int] = {}
+        for step in self.steps:
+            kinds[step.kind] = kinds.get(step.kind, 0) + 1
+        return ", ".join(f"{count}x {kind}" for kind, count in
+                         sorted(kinds.items(),
+                                key=lambda item: STEP_KINDS.index(item[0])))
+
+
+@dataclass
+class ReconcileResult:
+    """Outcome of one :meth:`Reconciler.reconcile` convergence run."""
+
+    graph_id: str
+    converged: bool
+    ticks: int
+    steps_executed: int
+
+    def to_dict(self) -> dict:
+        return {"graph-id": self.graph_id, "converged": self.converged,
+                "ticks": self.ticks, "steps-executed": self.steps_executed}
+
+
+# -- observed records -------------------------------------------------------------
+
+@dataclass
+class DeployedGraph:
+    """Observed state of one live NF-FG (the reconciler's record)."""
+
+    graph: Nffg
+    placements: dict[str, PlacementDecision] = field(default_factory=dict)
+    instances: dict[str, NfInstance] = field(default_factory=dict)
+    #: desired spec each live instance was realized from (configure /
+    #: reconfigure checkpoints update it) — the observed-graph NF set
+    realized_nfs: dict[str, NfInstanceSpec] = field(default_factory=dict)
+    rules_installed: int = 0
+    modeled_deploy_seconds: float = 0.0
+    wall_deploy_seconds: float = 0.0
+
+    @property
+    def graph_id(self) -> str:
+        return self.graph.graph_id
+
+    def technologies(self) -> dict[str, str]:
+        return {nf_id: decision.implementation.technology.value
+                for nf_id, decision in self.placements.items()}
+
+
+def _rule_touches(rule: FlowRule, nf_ids: set[str]) -> bool:
+    for ref in (rule.match.port_in, rule.output):
+        if ref.kind == "vnf" and ref.element in nf_ids:
+            return True
+    return False
+
+
+class Reconciler:
+    """Drives every graph's observed state towards its desired state."""
+
+    def __init__(self, placement: PlacementPolicy,
+                 compute: ComputeManager,
+                 steering: TrafficSteeringManager,
+                 accountant: ResourceAccountant,
+                 images: ImageRegistry,
+                 journal: Optional[EventJournal] = None) -> None:
+        self.placement = placement
+        self.compute = compute
+        self.steering = steering
+        self.accountant = accountant
+        self.images = images
+        self.journal = journal if journal is not None else EventJournal()
+        self.desired: dict[str, Nffg] = {}
+        self.observed: dict[str, DeployedGraph] = {}
+        self.last_plans: dict[str, Plan] = {}
+        #: per-(graph, nf) failed heal attempts; escalates restart->recreate
+        self._heal_attempts: dict[tuple[str, str], int] = {}
+        self.max_ticks = 16
+        self.ticks_run = 0
+        self.failures_detected = 0
+        self.heals = 0
+
+    # -- desired state -----------------------------------------------------------
+    def set_desired(self, graph: Nffg) -> None:
+        self.desired[graph.graph_id] = graph
+        self.journal.append(graph.graph_id, "desired-set",
+                            detail=f"{len(graph.nfs)} NFs, "
+                                   f"{len(graph.flow_rules)} rules")
+
+    def clear_desired(self, graph_id: str) -> None:
+        if self.desired.pop(graph_id, None) is not None:
+            self.journal.append(graph_id, "desired-cleared")
+
+    # -- observed state ----------------------------------------------------------
+    def _observed_graph(self, record: DeployedGraph) -> Nffg:
+        """The graph that is *actually realized* right now: every NF
+        with a live instance, every rule the steering registry holds."""
+        graph = Nffg(graph_id=record.graph.graph_id,
+                     name=record.graph.name)
+        graph.nfs = [record.realized_nfs[nf_id]
+                     for nf_id in record.instances
+                     if nf_id in record.realized_nfs]
+        desired = self.desired.get(record.graph_id)
+        if desired is not None:
+            graph.endpoints = list(desired.endpoints)
+        if record.graph_id in self.steering.graphs:
+            graph.flow_rules = list(
+                self.steering.installed_rules(record.graph_id).values())
+        return graph
+
+    # -- health ------------------------------------------------------------------
+    def check_health(self, graph_id: str) -> list[str]:
+        """Probe every RUNNING instance; mark unhealthy ones FAILED.
+
+        Returns the nf_ids that newly failed (detection only — healing
+        is planned by the next :meth:`plan` compilation).
+        """
+        record = self.observed.get(graph_id)
+        if record is None:
+            return []
+        failed: list[str] = []
+        for nf_id, instance in record.instances.items():
+            if not instance.is_running:
+                continue
+            verdict = self.compute.health(instance.instance_id)
+            if not verdict.healthy:
+                instance.transition("fail")
+                self.failures_detected += 1
+                failed.append(nf_id)
+                self.journal.append(graph_id, "health-failed", nf_id=nf_id,
+                                    detail=verdict.detail)
+        return failed
+
+    # -- plan compilation --------------------------------------------------------
+    def plan(self, graph_id: str) -> Plan:
+        """Compile the current desired/observed divergence into steps."""
+        desired = self.desired.get(graph_id)
+        record = self.observed.get(graph_id)
+        plan = Plan(graph_id=graph_id)
+        if record is None and desired is None:
+            return plan
+        steps = plan.steps
+        teardown = desired is None
+        network_exists = graph_id in self.steering.graphs
+
+        if record is None:
+            record_graph_name = desired.name
+            observed = Nffg(graph_id=graph_id, name=record_graph_name)
+            instances: dict[str, NfInstance] = {}
+        else:
+            observed = self._observed_graph(record)
+            instances = record.instances
+        target = desired if desired is not None \
+            else Nffg(graph_id=graph_id, name=observed.name)
+        diff = diff_nffg(observed, target)
+
+        removed = {spec.nf_id for spec in diff.removed_nfs}
+        added = [spec.nf_id for spec in diff.added_nfs]
+
+        # Heal decisions for FAILED instances that stay in the graph.
+        heal_restart: list[str] = []
+        heal_recreate: list[str] = []
+        if not teardown:
+            for nf_id, instance in instances.items():
+                if instance.is_failed and nf_id not in removed:
+                    if self._heal_attempts.get((graph_id, nf_id), 0) == 0:
+                        heal_restart.append(nf_id)
+                    else:
+                        heal_recreate.append(nf_id)
+        torn = removed | set(heal_recreate)
+
+        # Rules to delete: explicitly removed/changed ones, plus every
+        # installed rule touching an NF about to lose its ports.
+        installed = (self.steering.installed_rules(graph_id)
+                     if network_exists else {})
+        doomed: list[str] = [rule.rule_id for rule in diff.removed_rules]
+        reinstall: list[FlowRule] = []
+        if torn:
+            desired_rules = ({rule.rule_id: rule
+                              for rule in target.flow_rules})
+            for rule_id, rule in installed.items():
+                if rule_id in doomed or not _rule_touches(rule, torn):
+                    continue
+                doomed.append(rule_id)
+                kept = desired_rules.get(rule_id)
+                if kept is not None:
+                    reinstall.append(kept)
+
+        if not network_exists and not teardown:
+            steps.append(PlanStep("create-network"))
+        for rule_id in doomed:
+            steps.append(PlanStep("delete-rule", rule_id=rule_id))
+        if teardown:
+            for nf_id in instances:
+                if instances[nf_id].is_running:
+                    steps.append(PlanStep("stop", nf_id=nf_id))
+            if network_exists:
+                steps.append(PlanStep("destroy-network"))
+            for nf_id in list(instances):
+                steps.append(PlanStep("destroy", nf_id=nf_id))
+            return plan
+        for nf_id in sorted(removed):
+            if nf_id in instances and instances[nf_id].is_running:
+                steps.append(PlanStep("stop", nf_id=nf_id))
+        for nf_id in sorted(removed):
+            if nf_id in instances:
+                steps.append(PlanStep("destroy", nf_id=nf_id))
+        for nf_id in heal_recreate:
+            steps.append(PlanStep("destroy", nf_id=nf_id,
+                                  detail="heal: recreate"))
+
+        # Bring-up: new NFs, recreated NFs, and resumed partial ones.
+        for nf_id in added:
+            if record is None or nf_id not in record.placements:
+                steps.append(PlanStep("place", nf_id=nf_id))
+            steps.append(PlanStep("create", nf_id=nf_id))
+            steps.append(PlanStep("configure", nf_id=nf_id))
+        for nf_id in heal_recreate:
+            steps.append(PlanStep("place", nf_id=nf_id,
+                                  detail="heal: recreate"))
+            steps.append(PlanStep("create", nf_id=nf_id,
+                                  detail="heal: recreate"))
+            steps.append(PlanStep("configure", nf_id=nf_id,
+                                  detail="heal: recreate"))
+        resumed: list[str] = []
+        for nf_id, instance in instances.items():
+            if nf_id in torn:
+                continue
+            if instance.state is InstanceState.CREATED:
+                steps.append(PlanStep("configure", nf_id=nf_id,
+                                      detail="resume"))
+                resumed.append(nf_id)
+        reconfigured = {spec.nf_id for spec in diff.reconfigured_nfs}
+        for nf_id in sorted(reconfigured - set(resumed) - torn):
+            if nf_id in instances and instances[nf_id].is_running:
+                steps.append(PlanStep("reconfigure", nf_id=nf_id))
+        for nf_id in heal_restart:
+            steps.append(PlanStep("restart", nf_id=nf_id,
+                                  detail="heal: restart in place"))
+
+        # Rules before starts (deploy semantics: an NF never comes up
+        # without its steering in place).
+        for rule in diff.added_rules:
+            steps.append(PlanStep("install-rule", rule_id=rule.rule_id))
+        for rule in reinstall:
+            steps.append(PlanStep("install-rule", rule_id=rule.rule_id,
+                                  detail="reinstall"))
+        for nf_id in added:
+            steps.append(PlanStep("start", nf_id=nf_id))
+        for nf_id in heal_recreate:
+            steps.append(PlanStep("start", nf_id=nf_id,
+                                  detail="heal: recreate"))
+        for nf_id, instance in instances.items():
+            if nf_id in torn or nf_id in added:
+                continue
+            if instance.state in (InstanceState.CONFIGURED,
+                                  InstanceState.STOPPED) \
+                    or nf_id in resumed:
+                steps.append(PlanStep("start", nf_id=nf_id,
+                                      detail="resume"))
+        return plan
+
+    # -- step execution ----------------------------------------------------------
+    def _instantiate(self, graph_id: str, spec: NfInstanceSpec,
+                     decision: PlacementDecision) -> NfInstance:
+        template = self.placement.repository.get(decision.template_name)
+        impl = decision.implementation
+        if impl.image not in self.images:
+            raise ReconcileError(
+                f"{spec.nf_id}: image {impl.image!r} missing from "
+                f"repository")
+        allocation = self.accountant.allocate(
+            owner=f"{graph_id}/{spec.nf_id}", cpu_cores=impl.cpu_cores,
+            ram_mb=impl.ram_mb, disk_mb=impl.disk_mb)
+        instance_spec = InstanceSpec(
+            instance_id=f"{graph_id}-{spec.nf_id}",
+            graph_id=graph_id,
+            nf_id=spec.nf_id,
+            template_name=template.name,
+            functional_type=template.functional_type,
+            logical_ports=template.ports,
+            implementation=impl,
+            config=spec.config_dict())
+        try:
+            instance = self.compute.create(instance_spec)
+        except Exception:
+            self.accountant.release(allocation)
+            raise
+        instance.allocation = allocation
+        try:
+            self.steering.attach_instances(graph_id,
+                                           {spec.nf_id: instance})
+        except Exception:
+            self.compute.destroy(instance.instance_id)
+            if instance.allocation is not None \
+                    and not instance.allocation.released:
+                self.accountant.release(instance.allocation)
+            raise
+        return instance
+
+    def _destroy_instance(self, record: DeployedGraph, nf_id: str) -> None:
+        # The record is only updated after the driver verbs succeed, so
+        # a failing destroy leaves the observed state still owning the
+        # instance and the next tick retries it.
+        instance = record.instances[nf_id]
+        if instance.is_running:
+            self.compute.stop(instance.instance_id)
+        if record.graph_id in self.steering.graphs:
+            self.steering.detach_instance(record.graph_id, nf_id, instance)
+        self.compute.destroy(instance.instance_id)
+        if instance.allocation is not None \
+                and not instance.allocation.released:
+            self.accountant.release(instance.allocation)
+        record.instances.pop(nf_id, None)
+        record.placements.pop(nf_id, None)
+        record.realized_nfs.pop(nf_id, None)
+        if instance.shared:
+            self.steering.prune_dead_trunks()
+
+    def _sync_rule_count(self, record: DeployedGraph) -> None:
+        if record.graph_id in self.steering.graphs:
+            record.rules_installed = len(
+                self.steering.installed_rules(record.graph_id))
+        else:
+            record.rules_installed = 0
+
+    def _execute(self, record: DeployedGraph, step: PlanStep) -> None:
+        graph_id = record.graph_id
+        desired = self.desired.get(graph_id)
+        kind = step.kind
+        if kind == "create-network":
+            self.steering.create_graph_network(graph_id)
+        elif kind == "delete-rule":
+            self.steering.uninstall_rule(graph_id, step.rule_id)
+            self._sync_rule_count(record)
+        elif kind == "stop":
+            instance = record.instances[step.nf_id]
+            if instance.is_running:
+                self.compute.stop(instance.instance_id)
+        elif kind == "destroy-network":
+            self.steering.remove_graph_network(graph_id)
+            record.rules_installed = 0
+        elif kind == "destroy":
+            self._destroy_instance(record, step.nf_id)
+        elif kind == "place":
+            spec = desired.nf(step.nf_id)
+            record.placements[step.nf_id] = \
+                self.placement.decide_one(spec)
+        elif kind == "create":
+            spec = desired.nf(step.nf_id)
+            decision = record.placements[step.nf_id]
+            instance = self._instantiate(graph_id, spec, decision)
+            record.instances[step.nf_id] = instance
+            record.realized_nfs[step.nf_id] = spec
+        elif kind == "configure":
+            spec = desired.nf(step.nf_id)
+            instance = record.instances[step.nf_id]
+            instance.spec.config.clear()
+            instance.spec.config.update(spec.config_dict())
+            self.compute.configure(instance.instance_id)
+            record.realized_nfs[step.nf_id] = spec
+        elif kind == "reconfigure":
+            spec = desired.nf(step.nf_id)
+            instance = record.instances[step.nf_id]
+            self.compute.update(instance.instance_id, spec.config_dict())
+            record.realized_nfs[step.nf_id] = spec
+        elif kind == "restart":
+            instance = record.instances[step.nf_id]
+            self.compute.restart(instance.instance_id)
+            verdict = self.compute.health(instance.instance_id)
+            if not verdict.healthy:
+                raise ReconcileError(
+                    f"{step.nf_id}: restart did not recover "
+                    f"({verdict.detail})")
+            self.heals += 1
+            self.journal.append(graph_id, "healed", nf_id=step.nf_id,
+                                detail="restarted in place")
+        elif kind == "install-rule":
+            rule = next(r for r in desired.flow_rules
+                        if r.rule_id == step.rule_id)
+            self.steering.install_rules(desired, record.instances, [rule])
+            self._sync_rule_count(record)
+        elif kind == "start":
+            instance = record.instances[step.nf_id]
+            if not instance.is_running:
+                self.compute.start(instance.instance_id)
+            if step.detail.startswith("heal"):
+                self.heals += 1
+                self.journal.append(graph_id, "healed", nf_id=step.nf_id,
+                                    detail="recreated")
+        else:  # pragma: no cover - kind union is closed
+            raise ReconcileError(f"unknown plan step kind {kind!r}")
+
+    # -- the loop ----------------------------------------------------------------
+    def tick(self, graph_id: str) -> Plan:
+        """One detect-plan-execute pass; returns the (annotated) plan."""
+        self.ticks_run += 1
+        record = self.observed.get(graph_id)
+        if record is not None:
+            self.check_health(graph_id)
+        desired = self.desired.get(graph_id)
+        if record is None and desired is not None:
+            record = DeployedGraph(graph=desired)
+            self.observed[graph_id] = record
+        plan = self.plan(graph_id)
+        self.last_plans[graph_id] = plan
+        if plan.steps:
+            self.journal.append(graph_id, "plan", detail=plan.summary())
+        for step in plan.steps:
+            try:
+                self._execute(record, step)
+            except Exception as exc:
+                step.status = "failed"
+                step.error = str(exc)
+                self.journal.append(graph_id, "step-failed",
+                                    nf_id=step.nf_id, rule_id=step.rule_id,
+                                    detail=f"{step.kind}: {exc}")
+                if step.detail.startswith("heal") or step.kind == "restart":
+                    key = (graph_id, step.nf_id)
+                    self._heal_attempts[key] = \
+                        self._heal_attempts.get(key, 0) + 1
+                break
+            step.status = "done"
+            self.journal.append(graph_id, "step-ok", nf_id=step.nf_id,
+                                rule_id=step.rule_id, detail=step.describe())
+        if record is not None and desired is not None:
+            record.graph = desired
+        if plan.converged and record is not None:
+            # All instances passed this tick's health probe: forget the
+            # escalation counters (a RUNNING state alone is not enough —
+            # a half-successful restart leaves RUNNING but unhealthy).
+            for nf_id in record.instances:
+                self._heal_attempts.pop((graph_id, nf_id), None)
+        if desired is None and record is not None \
+                and not record.instances \
+                and graph_id not in self.steering.graphs \
+                and plan.failed_step is None:
+            del self.observed[graph_id]
+            self._drop_heal_attempts(graph_id)
+            self.journal.append(graph_id, "removed")
+        if plan.converged and self.journal.last_kind(graph_id) \
+                not in ("", "converged"):
+            # A re-probe of an already-converged graph is not news.
+            self.journal.append(graph_id, "converged")
+        return plan
+
+    def reconcile(self, graph_id: str,
+                  max_ticks: Optional[int] = None) -> ReconcileResult:
+        """Tick until converged; raises :class:`ReconcileError` when a
+        tick makes no progress or the budget runs out."""
+        budget = max_ticks if max_ticks is not None else self.max_ticks
+        executed = 0
+        last_failure: Optional[tuple] = None
+        for tick_no in range(1, budget + 1):
+            plan = self.tick(graph_id)
+            if plan.converged:
+                return ReconcileResult(graph_id=graph_id, converged=True,
+                                       ticks=tick_no,
+                                       steps_executed=executed)
+            executed += plan.done_count
+            failed = plan.failed_step
+            if failed is not None and plan.done_count == 0:
+                # A failed step can still be progress — a failed
+                # restart escalates the next plan to a recreate — so
+                # only the *same* failure twice in a row is "stuck".
+                signature = (failed.kind, failed.target, failed.error)
+                if signature == last_failure:
+                    raise ReconcileError(
+                        f"graph {graph_id!r} stuck at step "
+                        f"'{failed.describe()}': {failed.error}")
+                last_failure = signature
+            else:
+                last_failure = None
+        raise ReconcileError(
+            f"graph {graph_id!r} did not converge within {budget} ticks")
+
+    def _drop_heal_attempts(self, graph_id: str) -> None:
+        for key in [key for key in self._heal_attempts
+                    if key[0] == graph_id]:
+            del self._heal_attempts[key]
+
+    def forget(self, graph_id: str, teardown: bool = True) -> bool:
+        """Drop a graph's desired state and clean up its remains.
+
+        With ``teardown`` (the default) the engine first converges to
+        empty; if that teardown *fails*, the observed record is kept —
+        its instances and allocations are real, and silently dropping
+        the record would leak them with nothing left to retry — and a
+        later :meth:`reconcile` resumes the cleanup.  ``teardown=False``
+        is the explicit abandon-as-is escape hatch (no verbs executed,
+        record dropped regardless).  Returns True once the record is
+        gone.
+        """
+        self.clear_desired(graph_id)
+        if teardown:
+            try:
+                self.reconcile(graph_id)
+            except ReconcileError as exc:
+                self.journal.append(graph_id, "abandon-failed",
+                                    detail=str(exc))
+                return graph_id not in self.observed
+        if self.observed.pop(graph_id, None) is not None:
+            self.journal.append(graph_id, "abandoned")
+        self._drop_heal_attempts(graph_id)
+        return True

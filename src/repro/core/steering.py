@@ -66,6 +66,22 @@ class Location:
 
 
 @dataclass
+class InstalledRule:
+    """Book-keeping for one realized big-switch rule.
+
+    ``segments`` lists every flow-mod the rule translated into —
+    ``(controller, match, priority)`` triples — so the rule can later
+    be removed *individually* with strict deletes instead of nuking the
+    whole cookie.  This is what lets updates and healing touch only the
+    rules that actually changed.
+    """
+
+    rule: FlowRule
+    segments: list[tuple[LsiController, FlowMatch, int]] = \
+        field(default_factory=list)
+
+
+@dataclass
 class GraphNetwork:
     """Steering state of one deployed graph."""
 
@@ -75,8 +91,15 @@ class GraphNetwork:
     link: VirtualLink
     cookie: int
     nf_ports: dict[tuple[str, str], SwitchPort] = field(default_factory=dict)
-    rules_installed: int = 0
     base_link_port: Optional[SwitchPort] = None
+    #: rule_id -> realized segments, the per-rule install registry
+    installed: dict[str, InstalledRule] = field(default_factory=dict)
+
+    @property
+    def rules_installed(self) -> int:
+        """Number of currently realized rules (registry-derived, so it
+        can never drift from the actual install state)."""
+        return len(self.installed)
 
 
 class TrafficSteeringManager:
@@ -153,10 +176,45 @@ class TrafficSteeringManager:
                     f"{nf_id}:{logical}", device=device)
                 network.nf_ports[(nf_id, logical)] = port
 
+    def detach_instance(self, graph_id: str, nf_id: str,
+                        instance: NfInstance) -> None:
+        """Remove the graph-LSI ports of one NF (recreate/remove path).
+
+        Shared NNFs keep their LSI-0 trunk here — it may serve other
+        graphs; :meth:`prune_dead_trunks` reclaims it once the driver
+        has actually torn the component down.
+        """
+        network = self._network(graph_id)
+        if instance.shared:
+            return
+        for key in [key for key in network.nf_ports if key[0] == nf_id]:
+            port = network.nf_ports.pop(key)
+            if port.port_no in network.lsi.datapath.ports:
+                network.lsi.datapath.remove_port(port.port_no)
+
+    def prune_dead_trunks(self) -> int:
+        """Drop LSI-0 trunk ports whose device was torn down.
+
+        Called after destroying shared instances: when the native
+        driver released the component, the trunk veth left the root
+        namespace — keeping its port would silently blackhole a later
+        re-share under the same name.  Returns how many went.
+        """
+        pruned = 0
+        for name, port in list(self._trunk_ports.items()):
+            device = port.device
+            if device is not None and device.namespace is None:
+                if port.port_no in self.base.datapath.ports:
+                    self.base.datapath.remove_port(port.port_no)
+                del self._trunk_ports[name]
+                pruned += 1
+        return pruned
+
     def remove_graph_network(self, graph_id: str) -> None:
         network = self._network(graph_id)
         network.controller.flow_delete_by_cookie(network.cookie)
         self.base_controller.flow_delete_by_cookie(network.cookie)
+        network.installed.clear()
         for port in list(network.lsi.datapath.ports.values()):
             network.lsi.datapath.remove_port(port.port_no)
         network.link.detach()
@@ -164,6 +222,19 @@ class TrafficSteeringManager:
         if network.base_link_port is not None:
             self.base.datapath.remove_port(network.base_link_port.port_no)
         del self.graphs[graph_id]
+
+    def graph_network(self, graph_id: str) -> GraphNetwork:
+        """Public per-graph steering state accessor.
+
+        The reconciler (and anything else outside this module) goes
+        through here — reaching for ``_network`` from other layers was
+        a private-API leak.
+        """
+        return self._network(graph_id)
+
+    def has_physical_interface(self, name: str) -> bool:
+        """Whether ``name`` is a node NIC attached to LSI-0."""
+        return name in self._physical_ports
 
     def _network(self, graph_id: str) -> GraphNetwork:
         try:
@@ -175,13 +246,42 @@ class TrafficSteeringManager:
     def install_graph_rules(self, graph: Nffg,
                             instances: dict[str, NfInstance]) -> int:
         """Translate and install every big-switch rule; returns count."""
+        return self.install_rules(graph, instances, graph.flow_rules)
+
+    def install_rules(self, graph: Nffg, instances: dict[str, NfInstance],
+                      rules) -> int:
+        """Install a *subset* of the graph's rules (targeted path).
+
+        Reinstalling a rule_id that is already realized first removes
+        its old segments, so the call is idempotent.  This is the
+        primitive the reconciler uses to touch only added/changed rules
+        and only a healed NF's rules — never the whole graph.
+        """
         network = self._network(graph.graph_id)
         installed = 0
-        for rule in graph.flow_rules:
+        for rule in rules:
+            if rule.rule_id in network.installed:
+                self.uninstall_rule(graph.graph_id, rule.rule_id)
             self._install_rule(network, graph, instances, rule)
             installed += 1
-        network.rules_installed += installed
         return installed
+
+    def uninstall_rule(self, graph_id: str, rule_id: str) -> bool:
+        """Strict-delete every segment of one realized rule."""
+        network = self._network(graph_id)
+        realized = network.installed.pop(rule_id, None)
+        if realized is None:
+            return False
+        for controller, match, priority in realized.segments:
+            controller.flow_delete(match, cookie=network.cookie,
+                                   strict=True, priority=priority)
+        return True
+
+    def installed_rules(self, graph_id: str) -> dict[str, FlowRule]:
+        """rule_id -> realized FlowRule, the observed-rule view."""
+        network = self._network(graph_id)
+        return {rule_id: realized.rule
+                for rule_id, realized in network.installed.items()}
 
     def _resolve(self, network: GraphNetwork, graph: Nffg,
                  instances: dict[str, NfInstance],
@@ -240,43 +340,61 @@ class TrafficSteeringManager:
         dst = self._resolve(network, graph, instances, rule.output)
         fields = self._match_fields(rule)
         ingress_vid = src.vid if src.vid is not None else rule.match.vlan_id
+        realized = InstalledRule(rule=rule)
 
-        if src.lsi is dst.lsi:
-            actions: list[Action] = []
-            if ingress_vid is not None:
-                actions.append(PopVlan())
-            if dst.vid is not None:
-                actions.append(PushVlan(dst.vid))
-            actions.append(Output(dst.port_no))
-            self._controller_for(src.lsi).flow_add(
-                FlowMatch(in_port=src.port_no, vlan_vid=ingress_vid,
-                          **fields),
-                actions, priority=rule.priority, cookie=network.cookie)
-            return
+        def add_segment(controller: LsiController, match: FlowMatch,
+                        actions: list[Action]) -> None:
+            controller.flow_add(match, actions, priority=rule.priority,
+                                cookie=network.cookie)
+            realized.segments.append((controller, match, rule.priority))
 
-        # Two segments across the graph's virtual link.
-        tag = next(self._tags)
-        if tag > _INTERNAL_TAG_LIMIT:
-            raise SteeringError("internal steering tag space exhausted")
-        src_link_port = network.link.far_port(src.lsi.datapath)
-        dst_link_port = network.link.far_port(dst.lsi.datapath)
+        try:
+            if src.lsi is dst.lsi:
+                actions: list[Action] = []
+                if ingress_vid is not None:
+                    actions.append(PopVlan())
+                if dst.vid is not None:
+                    actions.append(PushVlan(dst.vid))
+                actions.append(Output(dst.port_no))
+                add_segment(self._controller_for(src.lsi),
+                            FlowMatch(in_port=src.port_no,
+                                      vlan_vid=ingress_vid, **fields),
+                            actions)
+            else:
+                # Two segments across the graph's virtual link.
+                tag = next(self._tags)
+                if tag > _INTERNAL_TAG_LIMIT:
+                    raise SteeringError(
+                        "internal steering tag space exhausted")
+                src_link_port = network.link.far_port(src.lsi.datapath)
+                dst_link_port = network.link.far_port(dst.lsi.datapath)
 
-        first_actions: list[Action] = []
-        if ingress_vid is not None:
-            first_actions.append(PopVlan())
-        first_actions.append(PushVlan(tag))
-        first_actions.append(Output(src_link_port.port_no))
-        self._controller_for(src.lsi).flow_add(
-            FlowMatch(in_port=src.port_no, vlan_vid=ingress_vid, **fields),
-            first_actions, priority=rule.priority, cookie=network.cookie)
+                first_actions: list[Action] = []
+                if ingress_vid is not None:
+                    first_actions.append(PopVlan())
+                first_actions.append(PushVlan(tag))
+                first_actions.append(Output(src_link_port.port_no))
+                add_segment(self._controller_for(src.lsi),
+                            FlowMatch(in_port=src.port_no,
+                                      vlan_vid=ingress_vid, **fields),
+                            first_actions)
 
-        second_actions: list[Action] = [PopVlan()]
-        if dst.vid is not None:
-            second_actions.append(PushVlan(dst.vid))
-        second_actions.append(Output(dst.port_no))
-        self._controller_for(dst.lsi).flow_add(
-            FlowMatch(in_port=dst_link_port.port_no, vlan_vid=tag),
-            second_actions, priority=rule.priority, cookie=network.cookie)
+                second_actions: list[Action] = [PopVlan()]
+                if dst.vid is not None:
+                    second_actions.append(PushVlan(dst.vid))
+                second_actions.append(Output(dst.port_no))
+                add_segment(self._controller_for(dst.lsi),
+                            FlowMatch(in_port=dst_link_port.port_no,
+                                      vlan_vid=tag),
+                            second_actions)
+        except Exception:
+            # Half-installed rules may never linger: strict-delete what
+            # made it in, so a retry starts from a clean slate.
+            for controller, match, priority in realized.segments:
+                controller.flow_delete(match, cookie=network.cookie,
+                                       strict=True, priority=priority)
+            raise
+        network.installed[rule.rule_id] = realized
 
     # -- traffic injection ---------------------------------------------------------
     def inject_batch(self, interface: str, frames) -> None:

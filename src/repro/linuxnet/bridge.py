@@ -98,6 +98,54 @@ class Bridge:
                 continue
             device.transmit(frame)
 
+    def _bridge_input_batch(self, ingress: NetDevice, frames) -> None:
+        """Batch ingress: learn/forward a whole batch in one pass.
+
+        Learning, counters and forwarding decisions are identical to
+        per-frame :meth:`_bridge_input`; known-unicast egress is
+        coalesced per target port and delivered through
+        ``transmit_batch`` (per-port frame order preserved, same
+        batch-coalescing contract as the switch datapath).  Floods and
+        hairpin drops keep the per-frame path.
+        """
+        filtering = self.vlan_filtering
+        fdb = self._fdb
+        # target device id -> [device, frames]
+        queues: dict[int, list] = {}
+
+        def flush() -> None:
+            for device, queued in queues.values():
+                device.transmit_batch(queued)
+            queues.clear()
+
+        for frame in frames:
+            vlan = frame.vlan if filtering else None
+            key = (int(frame.src), vlan)
+            entry = fdb.get(key)
+            if entry is None or entry.port is not ingress:
+                fdb[key] = entry = FdbEntry(frame.src, vlan, ingress)
+            entry.packets += 1
+
+            if frame.dst.is_broadcast or frame.dst.is_multicast:
+                flush()  # a flood may not overtake queued unicast
+                self._flood(ingress, frame, vlan)
+                continue
+            target = fdb.get((int(frame.dst), vlan))
+            if target is None:
+                flush()
+                self._flood(ingress, frame, vlan)
+                continue
+            if target.port is ingress:
+                self.dropped += 1  # hairpin off by default, as in Linux
+                continue
+            self.forwarded += 1
+            acc = queues.get(id(target.port))
+            if acc is None:
+                queues[id(target.port)] = [target.port, [frame]]
+            else:
+                acc[1].append(frame)
+        flush()
+
     # -- inspection ---------------------------------------------------------------
     def fdb_entries(self) -> list[FdbEntry]:
         return list(self._fdb.values())

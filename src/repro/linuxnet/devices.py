@@ -11,9 +11,12 @@ call, and a handler registered with a ``batch_handler`` companion
 (switch datapath ports do this) receives the entire batch in one call —
 real device traffic therefore lands on the switch's batched pipeline
 (:meth:`~repro.switch.datapath.Datapath.process_batch_from`) instead of
-the per-frame path.  Devices without a batch handler degrade to the
-per-frame :meth:`receive` loop, so namespaces, bridges and VLAN demux
-behave identically either way.
+the per-frame path.  Namespace stacks and bridges are batch sinks too
+(:meth:`NetworkNamespace._stack_input_batch`,
+:meth:`Bridge._bridge_input_batch`), so NF-bound egress amortizes the
+same way switch-bound ingress does; only VLAN demux still degrades to
+the per-frame :meth:`receive` loop, with identical observable
+behavior.
 """
 
 from __future__ import annotations
@@ -177,12 +180,17 @@ class NetDevice:
     def receive_batch(self, frames: Sequence[EthernetFrame]) -> None:
         """A whole batch arrived at this device from the outside.
 
-        With a batch handler attached (switch ports), counters are
-        written once and the handler gets the full batch in one call —
-        this is how real ingress traffic reaches
-        :meth:`~repro.switch.datapath.Datapath.process_batch_from`.
-        Otherwise (namespace stacks, bridges, VLAN demux) the batch
-        degrades to the per-frame :meth:`receive` path unchanged.
+        Every sink is batch-aware: a batch handler (switch ports) gets
+        the full batch in one call — this is how real ingress traffic
+        reaches
+        :meth:`~repro.switch.datapath.Datapath.process_batch_from` — a
+        bridge-enslaved device hands it to
+        :meth:`~repro.linuxnet.bridge.Bridge._bridge_input_batch`, and
+        a namespace device to
+        :meth:`~repro.linuxnet.namespace.NetworkNamespace._stack_input_batch`;
+        in each case counters are written once per batch.  Only VLAN
+        demux (subinterface-carrying devices with no handler/bridge)
+        still degrades to the per-frame :meth:`receive` loop.
         """
         if not self.up:
             self.rx_dropped += len(frames)
@@ -193,6 +201,17 @@ class NetDevice:
             self.rx_bytes += sum(len(frame) for frame in frames)
             handler(self, frames)
             return
+        if self._handler is None and not self.vlan_subdevices:
+            if self.bridge is not None:
+                self.rx_packets += len(frames)
+                self.rx_bytes += sum(len(frame) for frame in frames)
+                self.bridge._bridge_input_batch(self, frames)
+                return
+            if self.namespace is not None:
+                self.rx_packets += len(frames)
+                self.rx_bytes += sum(len(frame) for frame in frames)
+                self.namespace._stack_input_batch(self, frames)
+                return
         for frame in frames:
             self.receive(frame)
 

@@ -106,6 +106,8 @@ class RestApp:
         self.route("DELETE", "/nffg/{graph_id}", self._delete_graph)
         self.route("GET", "/nnfs", self._list_nnfs)
         self.route("POST", "/traffic/{interface}", self._inject_traffic)
+        self.route("GET", "/graphs/{graph_id}/events", self._get_events)
+        self.route("POST", "/graphs/{graph_id}/reconcile", self._reconcile)
 
     def _get_root(self, request: Request) -> Response:
         return Response(200, self.node.describe())
@@ -151,6 +153,36 @@ class RestApp:
 
     def _list_nnfs(self, request: Request) -> Response:
         return Response(200, {"nnfs": self.node.nnf_registry.describe()})
+
+    def _get_events(self, request: Request) -> Response:
+        """The graph's reconciliation journal, oldest first.
+
+        The journal outlives the graph — events of an undeployed (or
+        crashed-and-healed) graph stay readable for post-mortems, so
+        404 only means the engine never touched that graph_id.
+        """
+        graph_id = request.params["graph_id"]
+        events = self.node.orchestrator.events(graph_id)
+        if not events \
+                and graph_id not in self.node.orchestrator.deployed:
+            raise HttpError(404, f"no events for graph {graph_id!r}")
+        return Response(200, {"graph-id": graph_id,
+                              "events": [e.to_dict() for e in events]})
+
+    def _reconcile(self, request: Request) -> Response:
+        """Run the reconciler to convergence for one graph.
+
+        Probes instance health, compiles and executes plans until the
+        observed state matches the desired one — the manual "heal now"
+        trigger (the same engine deploy/update run internally).
+        """
+        graph_id = request.params["graph_id"]
+        if graph_id not in self.node.orchestrator.deployed \
+                and graph_id not in \
+                self.node.orchestrator.reconciler.desired:
+            raise HttpError(404, f"graph {graph_id!r} is not deployed")
+        result = self.node.orchestrator.reconcile(graph_id)
+        return Response(200, result.to_dict())
 
     def _inject_traffic(self, request: Request) -> Response:
         """Inject a batch of frames into a node interface.

@@ -29,6 +29,10 @@ class RestClient:
     def delete(self, path: str) -> Response:
         return self.app.handle("DELETE", path)
 
+    def post(self, path: str, document: Any = None) -> Response:
+        body = b"" if document is None else json.dumps(document).encode()
+        return self.app.handle("POST", path, body)
+
     # -- convenience --------------------------------------------------------------
     def node_description(self) -> dict:
         return self._expect(self.get("/"), 200)
@@ -51,6 +55,13 @@ class RestClient:
 
     def list_nnfs(self) -> list[dict]:
         return self._expect(self.get("/nnfs"), 200)["nnfs"]
+
+    def graph_events(self, graph_id: str) -> list[dict]:
+        return self._expect(
+            self.get(f"/graphs/{graph_id}/events"), 200)["events"]
+
+    def reconcile_graph(self, graph_id: str) -> dict:
+        return self._expect(self.post(f"/graphs/{graph_id}/reconcile"), 200)
 
     @staticmethod
     def _expect(response: Response, status: int) -> Any:

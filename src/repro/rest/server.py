@@ -42,6 +42,9 @@ def _make_handler(app: RestApp):
         def do_DELETE(self) -> None:    # noqa: N802
             self._dispatch("DELETE")
 
+        def do_POST(self) -> None:      # noqa: N802
+            self._dispatch("POST")
+
         def log_message(self, fmt: str, *args) -> None:
             pass  # tests and examples keep stdout clean
 

@@ -88,12 +88,19 @@ class SwitchPort:
         elif self.peer_link is not None:
             self.peer_link.carry(self, frame)
 
-    def deliver_out_batch(self, frames: list[ParsedFrame]) -> None:
+    def deliver_out_batch(self, frames: list[ParsedFrame],
+                          nbytes: Optional[int] = None) -> None:
         """Batch egress of carried parses: a device receives the raw
         frames in one ``transmit_batch``, a virtual-link peer receives
-        the parsed views in one carry (no re-parse at the far LSI)."""
+        the parsed views in one carry (no re-parse at the far LSI).
+
+        ``nbytes`` is the batch's total wire length, accumulated by the
+        datapath's emit closures as frames were queued — passing it
+        spares the flush a second ``wire_len`` pass; ``None`` (direct
+        callers) re-sums."""
         self.tx_packets += len(frames)
-        self.tx_bytes += sum(parsed.wire_len for parsed in frames)
+        self.tx_bytes += (nbytes if nbytes is not None
+                          else sum(parsed.wire_len for parsed in frames))
         if self.device is not None:
             self.device.transmit_batch([parsed.eth for parsed in frames])
         elif self.peer_link is not None:
@@ -192,14 +199,17 @@ class Datapath:
             return
         self.execute(entry, in_port, frame)
 
-    def _batch_emit(self, queues: dict[int, list[ParsedFrame]],
-                    carried: list):
+    def _batch_emit(self, queues: dict[int, list], carried: list):
         """Build the shared egress closures of one batch run.
 
         ``carried[0]`` is rebound to the current frame's
-        :class:`ParsedFrame` before each program runs.  Two emit
-        closures share the queues, selected per entry by the compiled
-        program's ``mutates`` tag:
+        :class:`ParsedFrame` (and ``carried[1]`` to its wire length)
+        before each program runs.  Each queue is a two-slot
+        ``[frames, nbytes]`` accumulator: the emit closures add every
+        frame's wire length as it is queued, so the flush hands the
+        egress port a ready total instead of re-summing ``wire_len``
+        over the whole queue.  Two emit closures share the queues,
+        selected per entry by the compiled program's ``mutates`` tag:
 
         * ``emit`` (mutating programs, and the interpreted loop)
           re-attaches the carried parse to whatever the program hands
@@ -208,58 +218,70 @@ class Datapath:
           from it, so still-valid layers are never decoded again;
         * ``emit_carry`` (non-mutating programs) skips even that
           identity check: such a program only ever emits the ingress
-          frame object itself, so the carried parse is forwarded as-is.
+          frame object itself, so the carried parse (and its
+          already-known size) is forwarded as-is.
         """
         ports = self.ports
 
         def enqueue(number: int, port: SwitchPort,
                     parsed: ParsedFrame) -> None:
-            queues.setdefault(number, []).append(parsed)
+            acc = queues.get(number)
+            if acc is None:
+                queues[number] = [[parsed], parsed.wire_len]
+            else:
+                acc[0].append(parsed)
+                acc[1] += parsed.wire_len
 
         def emit(out_port: int, in_port: int, frame: EthernetFrame) -> None:
             parsed = carried[0]
             if frame is not parsed.eth:
                 parsed = parsed.derive(frame)
+                size = parsed.wire_len
+            else:
+                size = carried[1]
             # Unicast to an already-seen port is the hot case: one dict
             # hit and an append.  Everything else (first frame for a
             # port, FLOOD, unknown port) takes the shared _route policy.
-            queue = queues.get(out_port)
-            if queue is not None:
-                queue.append(parsed)
+            acc = queues.get(out_port)
+            if acc is not None:
+                acc[0].append(parsed)
+                acc[1] += size
                 return
             if out_port == FLOOD_PORT or out_port not in ports:
                 self._route(out_port, in_port, parsed, enqueue)
                 return
-            queues[out_port] = [parsed]
+            queues[out_port] = [[parsed], size]
 
         def emit_carry(out_port: int, in_port: int,
                        frame: EthernetFrame) -> None:
             parsed = carried[0]
-            queue = queues.get(out_port)
-            if queue is not None:
-                queue.append(parsed)
+            acc = queues.get(out_port)
+            if acc is not None:
+                acc[0].append(parsed)
+                acc[1] += carried[1]
                 return
             if out_port == FLOOD_PORT or out_port not in ports:
                 self._route(out_port, in_port, parsed, enqueue)
                 return
-            queues[out_port] = [parsed]
+            queues[out_port] = [[parsed], carried[1]]
 
         return emit, emit_carry
 
-    def _flush_batch(self, pending: dict,
-                     queues: dict[int, list[ParsedFrame]]) -> None:
+    def _flush_batch(self, pending: dict, queues: dict[int, list]) -> None:
         """Write the flow counters and drain the egress queues of one
         batch run (rx counters are flushed by the caller, whose
-        accumulation shape differs per ingress path)."""
+        accumulation shape differs per ingress path).  Each queue
+        carries its byte total alongside the frames, so no second
+        ``wire_len`` pass happens here."""
         table = self.table
         for entry, packets, nbytes in pending.values():
             table.credit(entry, packets, nbytes)
-        for port_no, frames in queues.items():
+        for port_no, (frames, nbytes) in queues.items():
             port = self.ports.get(port_no)
             if port is None:  # removed by a tap/handler mid-batch
                 self.dropped += len(frames)
                 continue
-            port.deliver_out_batch(frames)
+            port.deliver_out_batch(frames, nbytes)
 
     def process_batch(self,
                       batch: "Iterable[tuple[int, EthernetFrame | ParsedFrame]]") -> None:
@@ -288,9 +310,9 @@ class Datapath:
         pending: dict[int, list] = {}
         # in port_no -> [port, packets, bytes]
         rx_pending: dict[int, list] = {}
-        # out port_no -> carried parses, in ingress order
-        queues: dict[int, list[ParsedFrame]] = {}
-        carried: list = [None]
+        # out port_no -> [carried parses in ingress order, byte total]
+        queues: dict[int, list] = {}
+        carried: list = [None, 0]
         emit, emit_carry = self._batch_emit(queues, carried)
 
         try:
@@ -327,6 +349,7 @@ class Datapath:
                     acc[1] += 1
                     acc[2] += size
                 carried[0] = parsed
+                carried[1] = size
                 if compiled:
                     program = entry.compiled
                     program(self, in_port, parsed.eth,
@@ -363,8 +386,8 @@ class Datapath:
         taps = self.taps
         compiled = self.compiled_actions
         pending: dict[int, list] = {}
-        queues: dict[int, list[ParsedFrame]] = {}
-        carried: list = [None]
+        queues: dict[int, list] = {}
+        carried: list = [None, 0]
         emit, emit_carry = self._batch_emit(queues, carried)
         packets = 0
         nbytes = 0
@@ -395,6 +418,7 @@ class Datapath:
                     acc[1] += 1
                     acc[2] += size
                 carried[0] = parsed
+                carried[1] = size
                 if compiled:
                     program = entry.compiled
                     program(self, in_port, parsed.eth,

@@ -266,3 +266,106 @@ def test_rest_injection_error_paths():
     assert app.handle("POST", "/traffic/lan0", b'{}').status == 400
     # Nothing was injected by any rejected request.
     assert node.steering.base.datapath.rx_packets == 0
+
+
+# -- namespace / bridge batch sinks ----------------------------------------------
+
+def _stack_pair(name):
+    """A namespace with one device; returns (namespace, wire side)."""
+    from repro.linuxnet.host import LinuxHost
+
+    host = LinuxHost(hostname=f"h-{name}")
+    ns = host.add_namespace(f"ns-{name}")
+    pair = VethPair(f"{name}-in", f"{name}-wire")
+    ns.add_device(pair.a)
+    pair.a.add_address("10.0.0.2", 24)
+    pair.a.set_up()
+    pair.b.set_up()
+    return ns, pair.b
+
+
+def _udp_to_stack(count):
+    return [make_udp_frame(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2",
+                           3000 + i, 4000, b"p%d" % i)
+            for i in range(count)]
+
+
+def test_namespace_batch_sink_equals_per_frame_path():
+    ns_batch, wire_batch = _stack_pair("ba")
+    ns_single, wire_single = _stack_pair("si")
+    for ns in (ns_batch, ns_single):
+        ns.bind_udp(4000, lambda namespace, packet, dgram: None)
+
+    batch = _udp_to_stack(5) + [
+        # one non-IPv4 frame and one truncated IPv4 payload
+        type(batch_frame := _udp_to_stack(1)[0])(
+            dst=batch_frame.dst, src=batch_frame.src,
+            ethertype=0x86DD, payload=b"v6?"),
+    ]
+    wire_batch.transmit_batch(batch)
+    for frame in batch:
+        wire_single.transmit(frame)
+
+    for attr in ("rx_delivered", "rx_bad_packets", "rx_dropped_filter",
+                 "rx_no_route", "tx_sent"):
+        assert getattr(ns_batch, attr) == getattr(ns_single, attr), attr
+    assert ns_batch.rx_delivered == 5
+    assert ns_batch.rx_bad_packets == 1
+    device_batch = ns_batch.device("ba-in")
+    device_single = ns_single.device("si-in")
+    assert device_batch.rx_packets == device_single.rx_packets
+    assert device_batch.rx_bytes == device_single.rx_bytes
+
+
+def test_bridge_batch_sink_equals_per_frame_path():
+    from repro.linuxnet.bridge import Bridge
+
+    def build(tag):
+        bridge = Bridge(f"br-{tag}")
+        ports = []
+        sinks = []
+        for i in range(3):
+            pair = VethPair(f"{tag}-p{i}", f"{tag}-w{i}")
+            pair.a.set_up()
+            pair.b.set_up()
+            seen = []
+            pair.b.attach_handler(
+                lambda dev, fr, log=seen: log.append(fr))
+            bridge.add_port(pair.a)
+            ports.append(pair.b)
+            sinks.append(seen)
+        return bridge, ports, sinks
+
+    macs = [MacAddress(f"02:bb:00:00:00:0{i}") for i in range(3)]
+
+    def traffic(ports):
+        # Learn every MAC, then a unicast burst plus one flood.
+        for i, port in enumerate(ports):
+            port.transmit(make_udp_frame(macs[i], macs[(i + 1) % 3],
+                                         "10.0.0.1", "10.0.0.2",
+                                         1, 2, b"learn"))
+        return [make_udp_frame(macs[0], macs[1], "10.0.0.1", "10.0.0.2",
+                               10 + i, 20, b"u%d" % i) for i in range(4)] \
+            + [make_udp_frame(macs[0], MacAddress("ff:ff:ff:ff:ff:ff"),
+                              "10.0.0.1", "255.255.255.255", 1, 2,
+                              b"flood")] \
+            + [make_udp_frame(macs[0], macs[2], "10.0.0.1", "10.0.0.2",
+                              30, 40, b"other-port")]
+
+    bridge_b, ports_b, sinks_b = build("ba")
+    burst = traffic(ports_b)
+    ports_b[0].transmit_batch(burst)
+
+    bridge_s, ports_s, sinks_s = build("si")
+    for frame in traffic(ports_s):
+        ports_s[0].transmit(frame)
+
+    assert bridge_b.forwarded == bridge_s.forwarded
+    assert bridge_b.flooded == bridge_s.flooded
+    assert bridge_b.dropped == bridge_s.dropped
+    for seen_b, seen_s in zip(sinks_b, sinks_s):
+        assert [bytes(f.to_bytes()) for f in seen_b] \
+            == [bytes(f.to_bytes()) for f in seen_s]
+    # FDB learned identically.
+    assert {(int(e.mac), e.packets) for e in bridge_b.fdb_entries()} \
+        == {(int(e.mac), e.packets) for e in bridge_s.fdb_entries()}

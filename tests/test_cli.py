@@ -72,3 +72,56 @@ def test_validate_bad_graph(tmp_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+@pytest.fixture
+def served_node():
+    from repro.core.node import ComputeNode
+    from repro.nffg.json_codec import nffg_from_json
+    from repro.rest.server import NodeHttpServer
+
+    node = ComputeNode("cli-served")
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+    server = NodeHttpServer(node, port=0).start()
+    node.deploy(nffg_from_json(nat_graph_json()))
+    try:
+        yield node, server
+    finally:
+        server.stop()
+
+
+def test_graph_events_command(served_node, capsys):
+    node, server = served_node
+    assert main(["graph", "events", "cli-test", "--url", server.url]) == 0
+    out = capsys.readouterr().out
+    assert "desired-set" in out
+    assert "converged" in out
+
+
+def test_graph_reconcile_command(served_node, capsys):
+    node, server = served_node
+    assert main(["graph", "reconcile", "cli-test",
+                 "--url", server.url]) == 0
+    out = capsys.readouterr().out
+    assert "converged" in out
+
+
+def test_graph_status_command(served_node, capsys):
+    node, server = served_node
+    assert main(["graph", "status", "cli-test", "--url", server.url]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["graph-id"] == "cli-test"
+    assert status["converged"] is True
+
+
+def test_graph_events_unknown_graph_exits(served_node):
+    node, server = served_node
+    with pytest.raises(SystemExit, match="404"):
+        main(["graph", "events", "ghost", "--url", server.url])
+
+
+def test_graph_command_unreachable_node_exits():
+    with pytest.raises(SystemExit, match="cannot reach"):
+        main(["graph", "events", "g1",
+              "--url", "http://127.0.0.1:9"])  # discard port: refused

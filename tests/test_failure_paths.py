@@ -175,6 +175,70 @@ def test_agent_reports_codec_errors():
     assert agent.errors_sent == 1
 
 
+def add_dpi(graph):
+    graph.add_nf("dpi1", "dpi", technology="docker")
+    graph.add_flow_rule("r5", "vnf:nat1:wan", "vnf:dpi1:in")
+    graph.add_flow_rule("r6", "vnf:dpi1:out", "endpoint:wan")
+    return graph
+
+
+@pytest.mark.parametrize("fail_at", ["configure", "start"])
+def test_mid_update_failure_is_checkpointed_and_retryable(fail_at):
+    """A driver exploding partway through an update must leave no
+    orphaned allocations, no leaked instances, a consistent status()
+    and a plan that simply re-runs to convergence once the driver
+    recovers."""
+    node = fresh_node()
+    driver = ExplodingDriver(node.host, fail_at="never")
+    node.compute._drivers[Technology.DOCKER] = driver
+    node.deploy(nat_graph())
+    rules_before = {
+        rule_id: realized.segments[:]
+        for rule_id, realized in
+        node.steering.graph_network("g1").installed.items()}
+
+    driver.fail_at = fail_at
+    with pytest.raises(OrchestrationError, match="injected"):
+        node.update(add_dpi(nat_graph()))
+
+    record = node.orchestrator.deployed["g1"]
+    # Every allocation belongs to a live, tracked instance — nothing
+    # orphaned, nothing leaked.
+    owners = sorted(a.owner for a in node.accountant.allocations())
+    tracked = sorted(f"g1/{nf_id}" for nf_id in record.instances)
+    assert owners == tracked
+    assert "g1/dpi1" in owners  # created, checkpointed, kept for retry
+    # status() stays consistent mid-divergence.
+    status = node.orchestrator.status("g1")
+    assert status["nfs"]["nat1"]["state"] == "running"
+    assert status["converged"] is False
+    # Unchanged NF rules were never dropped.
+    network = node.steering.graph_network("g1")
+    for rule_id, segments in rules_before.items():
+        assert network.installed[rule_id].segments == segments
+
+    # The plan is re-runnable: heal the driver and retry the update.
+    driver.fail_at = "never"
+    node.update(add_dpi(nat_graph()))
+    assert node.compute.get("g1-dpi1").is_running
+    assert node.orchestrator.status("g1")["converged"] is True
+    assert sorted(network.installed) == ["r1", "r2", "r3", "r4",
+                                         "r5", "r6"]
+
+
+def test_failed_deploy_journal_survives_rollback():
+    node = fresh_node()
+    node.compute._drivers[Technology.DOCKER] = ExplodingDriver(
+        node.host, fail_at="create")
+    with pytest.raises(OrchestrationError):
+        node.deploy(nat_graph(technology="docker"))
+    assert_pristine(node)
+    kinds = [event.kind for event in node.orchestrator.events("g1")]
+    assert "step-failed" in kinds
+    assert "desired-cleared" in kinds
+    assert "removed" in kinds
+
+
 def test_lifecycle_misuse_through_manager():
     from repro.compute.instances import LifecycleError
     node = fresh_node()

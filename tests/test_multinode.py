@@ -123,3 +123,59 @@ def test_duplicate_node_name_rejected():
     orchestrator = fleet()
     with pytest.raises(ValueError):
         orchestrator.add_node(cpe_node())
+
+
+def test_node_down_replaces_graph_on_another_node():
+    orchestrator = fleet()
+    orchestrator.deploy(nat_graph())
+    assert orchestrator.locate("g1") == "cpe"
+
+    orchestrator.mark_node_down("cpe")
+    moved = orchestrator.reconcile()
+
+    assert moved == ["g1"]
+    assert orchestrator.locate("g1") == "dc"
+    dc = orchestrator.node("dc")
+    assert dc.orchestrator.list_graphs() == ["g1"]
+    assert dc.compute.get("g1-nat1").is_running
+    kinds = [event.kind for event in orchestrator.journal.events("g1")]
+    assert kinds == ["node-down", "re-placed"]
+    status = orchestrator.fleet_status()
+    assert status["nodes"]["cpe"]["up"] is False
+    assert status["graphs"]["g1"] == "dc"
+
+
+def test_down_node_excluded_from_placement():
+    orchestrator = fleet()
+    orchestrator.mark_node_down("cpe")
+    orchestrator.deploy(nat_graph())
+    assert orchestrator.locate("g1") == "dc"
+    with pytest.raises(OrchestrationError, match="marked down"):
+        orchestrator.deploy(nat_graph("g2"), node_name="cpe")
+
+
+def test_replace_with_no_capacity_keeps_graph_booked():
+    orchestrator = MultiNodeOrchestrator()
+    orchestrator.add_node(cpe_node())
+    orchestrator.deploy(nat_graph())
+    orchestrator.mark_node_down("cpe")
+    assert orchestrator.reconcile() == []
+    assert orchestrator.locate("g1") == "cpe"  # still booked on the host
+    kinds = [event.kind for event in orchestrator.journal.events("g1")]
+    assert kinds[-1] == "re-place-failed"
+
+
+def test_returning_node_forgets_replaced_graphs():
+    orchestrator = fleet()
+    orchestrator.deploy(nat_graph())
+    orchestrator.mark_node_down("cpe")
+    orchestrator.reconcile()
+    cpe = orchestrator.node("cpe")
+    assert cpe.orchestrator.list_graphs() == ["g1"]  # stale crash state
+
+    orchestrator.mark_node_up("cpe")
+    assert cpe.orchestrator.list_graphs() == []
+    assert orchestrator.locate("g1") == "dc"
+    # The node is schedulable again.
+    orchestrator.deploy(nat_graph("g2"))
+    assert orchestrator.locate("g2") == "cpe"
