@@ -28,8 +28,13 @@ Subcommands::
     repro graph status GRAPH_ID [--url U]
         Print a running node's status document for one graph.
 
-The ``graph`` subcommands talk HTTP to a node started with
-``repro serve`` (default ``--url http://127.0.0.1:8080``).
+    repro top [--url U] [--watch SECONDS]
+        Per-NF load view of a running node: replica counts, pps,
+        bytes/s, MTTR and heal counts from the telemetry registry.
+        With ``--watch`` it redraws every SECONDS until interrupted.
+
+The ``graph`` and ``top`` subcommands talk HTTP to a node started
+with ``repro serve`` (default ``--url http://127.0.0.1:8080``).
 """
 
 from __future__ import annotations
@@ -81,6 +86,13 @@ def _build_parser() -> argparse.ArgumentParser:
         leaf.add_argument("graph_id", help="graph id on the serving node")
         leaf.add_argument("--url", default="http://127.0.0.1:8080",
                           help="base URL of the node's REST API")
+
+    top = sub.add_parser(
+        "top", help="per-NF load/replica/availability view of a node")
+    top.add_argument("--url", default="http://127.0.0.1:8080",
+                     help="base URL of the node's REST API")
+    top.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                     help="redraw every SECONDS until interrupted")
     return parser
 
 
@@ -180,6 +192,10 @@ def _cmd_graph(args: argparse.Namespace) -> int:
             detail = event.get("detail", "")
             line = f"{event['seq']:>5}  {event['kind']:<15} {target:<12}"
             print(f"{line} {detail}".rstrip())
+        dropped = document.get("dropped", 0)
+        if dropped:
+            print(f"(ring buffer full: {dropped} older event(s) dropped, "
+                  f"max-events={document.get('max-events', '?')})")
         return 0
     if args.graph_command == "reconcile":
         # A non-converging graph surfaces as an HTTP 409 (SystemExit in
@@ -191,6 +207,25 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     document = _http("GET", f"{base}/nffg/{graph_id}/status")
     print(json.dumps(document, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.telemetry.export import render_top
+    base = args.url.rstrip("/")
+    if args.watch is None:
+        print(render_top(_http("GET", f"{base}/metrics.json")))
+        return 0
+    import time as _time
+    try:
+        while True:
+            document = _http("GET", f"{base}/metrics.json")
+            print(f"\033[2J\033[H", end="")  # clear screen, home cursor
+            print(render_top(document))
+            print(f"\n(samples={document.get('samples', 0)}; "
+                  f"refresh every {args.watch:g}s, Ctrl-C to stop)")
+            _time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -214,6 +249,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "validate": _cmd_validate,
     "graph": _cmd_graph,
+    "top": _cmd_top,
 }
 
 

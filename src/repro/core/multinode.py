@@ -42,6 +42,11 @@ __all__ = ["MultiNodeOrchestrator"]
 class _GraphLocation:
     node_name: str
     record: DeployedGraph
+    #: the *raw* (unexpanded) graph as last deployed — the re-place
+    #: fallback when the node's ``desired_raw`` is unreachable.  The
+    #: record's own ``graph`` is rebound to the replica-expanded form
+    #: by reconciler ticks and would fail validation on redeploy.
+    graph: Nffg = None  # type: ignore[assignment]
 
 
 class MultiNodeOrchestrator:
@@ -51,14 +56,37 @@ class MultiNodeOrchestrator:
         self._nodes: dict[str, ComputeNode] = {}
         self._graphs: dict[str, _GraphLocation] = {}
         self._down: set[str] = set()
+        #: graphs whose node-local reconciler gave up healing an NF
+        #: (restart and recreate kept failing) and asked the fleet to
+        #: re-place the whole graph elsewhere; drained by
+        #: :meth:`reconcile`.
+        self._escalated: set[str] = set()
         self.journal = EventJournal()
         self.replacements = 0
+        self.escalations_received = 0
 
     # -- fleet management ----------------------------------------------------------
     def add_node(self, node: ComputeNode) -> None:
         if node.name in self._nodes:
             raise ValueError(f"node {node.name!r} already registered")
         self._nodes[node.name] = node
+        # Node-local heal escalation: the node's reconciler calls back
+        # here when in-place healing keeps failing, so the next fleet
+        # reconcile can re-place the graph without anyone marking the
+        # whole node down.
+        node.orchestrator.reconciler.escalation = \
+            lambda graph_id, nf_id, detail, _name=node.name: \
+            self._record_escalation(_name, graph_id, nf_id, detail)
+
+    def _record_escalation(self, node_name: str, graph_id: str,
+                           nf_id: str, detail: str) -> None:
+        location = self._graphs.get(graph_id)
+        if location is None or location.node_name != node_name:
+            return  # not a fleet-managed graph (or already moved)
+        self.escalations_received += 1
+        self._escalated.add(graph_id)
+        self.journal.append(graph_id, "heal-escalated", nf_id=nf_id,
+                            detail=f"node {node_name}: {detail}")
 
     def node(self, name: str) -> ComputeNode:
         try:
@@ -118,9 +146,9 @@ class MultiNodeOrchestrator:
             except ResolutionError:
                 return False
             impl = decision.implementation
-            cpu += impl.cpu_cores
-            ram += impl.ram_mb
-            disk += impl.disk_mb
+            cpu += impl.cpu_cores * spec.replicas
+            ram += impl.ram_mb * spec.replicas
+            disk += impl.disk_mb * spec.replicas
         for endpoint in graph.endpoints:
             if not node.steering.has_physical_interface(endpoint.interface):
                 return False
@@ -159,7 +187,8 @@ class MultiNodeOrchestrator:
                 continue
             try:
                 templates = [node.repository.get(spec.template)
-                             for spec in graph.nfs]
+                             for spec in graph.nfs
+                             for _ in range(spec.replicas)]
             except KeyError:
                 continue
             try:
@@ -194,11 +223,12 @@ class MultiNodeOrchestrator:
                     f"{graph.graph_id!r}")
         record = candidates[0].deploy(graph)
         self._graphs[graph.graph_id] = _GraphLocation(
-            node_name=candidates[0].name, record=record)
+            node_name=candidates[0].name, record=record, graph=graph)
         return record
 
     def undeploy(self, graph_id: str) -> DeployedGraph:
         location = self._graphs.pop(graph_id, None)
+        self._escalated.discard(graph_id)
         if location is None:
             raise OrchestrationError(f"no deployed graph {graph_id!r}")
         if location.node_name in self._down:
@@ -216,6 +246,34 @@ class MultiNodeOrchestrator:
         return location.node_name
 
     # -- fleet reconciliation ------------------------------------------------------------
+    def _desired_for(self, graph_id: str,
+                     location: _GraphLocation) -> Nffg:
+        """The *raw* graph to redeploy elsewhere.
+
+        The hosting node's ``desired_raw`` is freshest (the autoscaler
+        edits it); the fleet's own copy from deploy time is the
+        fallback.  Never the observed record's graph — ticks rebind it
+        to the replica-expanded form, whose ``@``-ids would fail
+        validation on redeploy.
+        """
+        desired = self.node(location.node_name).orchestrator \
+            .reconciler.desired_raw.get(graph_id)
+        if desired is not None:
+            return desired
+        return (location.graph if location.graph is not None
+                else location.record.graph)
+
+    def _commit_replacement(self, graph_id: str, old_node: str,
+                            target: ComputeNode, record: DeployedGraph,
+                            desired: Nffg, detail: str) -> None:
+        """Book a completed re-placement (both rescue paths share it)."""
+        self._graphs[graph_id] = _GraphLocation(
+            node_name=target.name, record=record, graph=desired)
+        self._escalated.discard(graph_id)
+        self.replacements += 1
+        self.journal.append(graph_id, "re-placed",
+                            detail=f"{old_node} -> {target.name}{detail}")
+
     def reconcile(self) -> list[str]:
         """Re-place every graph stranded on a down node; heal the rest.
 
@@ -228,10 +286,7 @@ class MultiNodeOrchestrator:
         for graph_id, location in list(self._graphs.items()):
             if location.node_name not in self._down:
                 continue
-            desired = self.node(location.node_name).orchestrator \
-                .reconciler.desired.get(graph_id)
-            if desired is None:
-                desired = location.record.graph
+            desired = self._desired_for(graph_id, location)
             target = self._schedule_target(
                 desired, exclude={location.node_name})
             if target is None:
@@ -241,14 +296,13 @@ class MultiNodeOrchestrator:
                            f"{location.node_name} down)")
                 continue
             record = target.deploy(desired)
-            self._graphs[graph_id] = _GraphLocation(
-                node_name=target.name, record=record)
-            self.replacements += 1
+            # Committing also clears any standing node-local
+            # escalation: the rescued copy is healthy.
+            self._commit_replacement(graph_id, location.node_name,
+                                     target, record, desired, "")
             moved.append(graph_id)
-            self.journal.append(
-                graph_id, "re-placed",
-                detail=f"{location.node_name} -> {target.name}")
-        # Per-node healing for the nodes that are up.
+        # Per-node healing for the nodes that are up.  A node whose
+        # heals keep failing escalates into self._escalated here.
         for name, node in self._nodes.items():
             if name in self._down:
                 continue
@@ -257,6 +311,59 @@ class MultiNodeOrchestrator:
                     node.orchestrator.reconcile(graph_id)
                 except OrchestrationError:
                     pass  # journaled by the node's reconciler
+        moved.extend(self._replace_escalated())
+        return moved
+
+    def _replace_escalated(self) -> list[str]:
+        """Re-place graphs whose node-local healing gave up.
+
+        The target copy is deployed *first*; only once it is live is
+        the sick node's copy retired (best-effort teardown — whatever
+        the broken driver cannot release stays as an observed record
+        with no desired state, which the node's own later ticks keep
+        retrying, so nothing leaks silently).  A failed target deploy
+        therefore never costs the existing copy, and never aborts the
+        re-placement of other escalated graphs.  Graphs with no
+        feasible target stay escalated and are retried on the next
+        fleet reconcile.
+        """
+        moved: list[str] = []
+        for graph_id in sorted(self._escalated):
+            location = self._graphs.get(graph_id)
+            if location is None:
+                self._escalated.discard(graph_id)
+                continue
+            if location.node_name in self._down:
+                # The down-node rescue path owns (and already
+                # attempted) this graph's re-placement.
+                continue
+            source = self.node(location.node_name)
+            desired = self._desired_for(graph_id, location)
+            target = self._schedule_target(
+                desired, exclude={location.node_name})
+            if target is None:
+                self.journal.append(
+                    graph_id, "re-place-failed",
+                    detail=f"no feasible node (escalated off "
+                           f"{location.node_name})")
+                continue
+            try:
+                record = target.deploy(desired)
+            except OrchestrationError as exc:
+                self.journal.append(
+                    graph_id, "re-place-failed",
+                    detail=f"deploy on {target.name} failed: {exc}")
+                continue
+            try:
+                source.orchestrator.reconciler.forget(graph_id)
+            except Exception as exc:  # teardown is best-effort
+                self.journal.append(
+                    graph_id, "abandon-failed",
+                    detail=f"teardown on {location.node_name}: {exc}")
+            self._commit_replacement(graph_id, location.node_name,
+                                     target, record, desired,
+                                     " (heal escalation)")
+            moved.append(graph_id)
         return moved
 
     # -- status ------------------------------------------------------------------------

@@ -80,6 +80,12 @@ class ComputeNode:
             placement=self.placement, compute=self.compute,
             steering=self.steering, accountant=self.accountant,
             images=self.images)
+        # Telemetry rides on the counters the dataplane and journal
+        # already maintain; constructing the registry costs nothing
+        # until someone samples it (control loop, REST, `repro top`).
+        from repro.telemetry.metrics import MetricsRegistry
+        self.telemetry = MetricsRegistry(self.steering,
+                                         self.orchestrator.reconciler)
         self._wires: dict[str, NetDevice] = {}
 
     # -- physical interfaces -----------------------------------------------------

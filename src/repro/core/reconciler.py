@@ -42,8 +42,10 @@ module replaces the verbs with a control loop:
 from __future__ import annotations
 
 import itertools
+import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.compute.instances import InstanceSpec, InstanceState, NfInstance
 from repro.compute.manager import ComputeManager
@@ -51,6 +53,7 @@ from repro.core.placement import PlacementDecision, PlacementPolicy
 from repro.core.steering import TrafficSteeringManager
 from repro.nffg.diff import diff_nffg
 from repro.nffg.model import FlowRule, Nffg, NfInstanceSpec
+from repro.nffg.replicas import expand_replicas, is_lb_rule_id, replica_base
 from repro.resources.accounting import ResourceAccountant
 from repro.resources.images import ImageRegistry
 
@@ -66,7 +69,13 @@ class ReconcileError(Exception):
 
 @dataclass(frozen=True)
 class GraphEvent:
-    """One append-only journal entry."""
+    """One append-only journal entry.
+
+    ``time`` is the journal clock's reading at append — wall-monotonic
+    by default, the virtual sim clock under a
+    :class:`~repro.telemetry.loop.ControlLoop` in sim mode — and is
+    what the telemetry layer derives MTTR and convergence times from.
+    """
 
     seq: int
     kind: str
@@ -74,10 +83,11 @@ class GraphEvent:
     nf_id: str = ""
     rule_id: str = ""
     detail: str = ""
+    time: float = 0.0
 
     def to_dict(self) -> dict:
         row = {"seq": self.seq, "kind": self.kind,
-               "graph-id": self.graph_id}
+               "graph-id": self.graph_id, "time": self.time}
         if self.nf_id:
             row["nf-id"] = self.nf_id
         if self.rule_id:
@@ -88,31 +98,53 @@ class GraphEvent:
 
 
 class EventJournal:
-    """Append-only, per-graph bounded event log.
+    """Append-only, per-graph *ring-buffered* event log.
 
     The journal outlives the graphs it describes (post-mortems after an
-    undeploy are the point), but each graph's log is capped so a
-    flapping NF cannot grow memory without bound.
+    undeploy are the point), but each graph's log is a ring of at most
+    ``max_events`` entries so a continuous control loop driving ticks
+    forever cannot grow memory without bound.  Evictions are counted
+    per graph (:meth:`dropped_count`) and reported by the REST/CLI
+    event queries, so a truncated history is never mistaken for a
+    complete one.
+
+    ``clock`` stamps every event (:attr:`GraphEvent.time`); it defaults
+    to ``time.monotonic`` and is rebound to the virtual clock by the
+    sim-mode control loop, which is what makes journal-derived
+    availability metrics (MTTR) deterministic under test.
     """
 
-    def __init__(self, capacity: int = 1000) -> None:
-        self.capacity = capacity
-        self._events: dict[str, list[GraphEvent]] = {}
+    def __init__(self, max_events: int = 1000,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.clock: Callable[[], float] = (clock if clock is not None
+                                           else time.monotonic)
+        self._events: dict[str, deque[GraphEvent]] = {}
+        self._dropped: dict[str, int] = {}
         self._seq = itertools.count(1)
 
     def append(self, graph_id: str, kind: str, nf_id: str = "",
                rule_id: str = "", detail: str = "") -> GraphEvent:
         event = GraphEvent(seq=next(self._seq), kind=kind,
                            graph_id=graph_id, nf_id=nf_id,
-                           rule_id=rule_id, detail=detail)
-        log = self._events.setdefault(graph_id, [])
+                           rule_id=rule_id, detail=detail,
+                           time=self.clock())
+        log = self._events.get(graph_id)
+        if log is None:
+            log = self._events[graph_id] = deque(maxlen=self.max_events)
+        if len(log) == self.max_events:
+            self._dropped[graph_id] = self._dropped.get(graph_id, 0) + 1
         log.append(event)
-        if len(log) > self.capacity:
-            del log[:len(log) - self.capacity]
         return event
 
     def events(self, graph_id: str) -> list[GraphEvent]:
         return list(self._events.get(graph_id, ()))
+
+    def dropped_count(self, graph_id: str) -> int:
+        """Events evicted from the graph's ring since it was created."""
+        return self._dropped.get(graph_id, 0)
 
     def last_kind(self, graph_id: str) -> str:
         log = self._events.get(graph_id)
@@ -123,6 +155,7 @@ class EventJournal:
 
     def forget(self, graph_id: str) -> None:
         self._events.pop(graph_id, None)
+        self._dropped.pop(graph_id, None)
 
 
 # -- plans -----------------------------------------------------------------------
@@ -243,7 +276,16 @@ class DeployedGraph:
 
 def _rule_touches(rule: FlowRule, nf_ids: set[str]) -> bool:
     for ref in (rule.match.port_in, rule.output):
-        if ref.kind == "vnf" and ref.element in nf_ids:
+        if ref.kind != "vnf":
+            continue
+        if ref.element in nf_ids:
+            return True
+        # A load-balancer rule's output names the replica *base* id;
+        # tearing down any replica (nf@k) invalidates the whole hash
+        # spread, so the rule must be reinstalled over the new group.
+        if ref is rule.output and is_lb_rule_id(rule.rule_id) \
+                and any(replica_base(nf_id) == ref.element
+                        for nf_id in nf_ids):
             return True
     return False
 
@@ -263,7 +305,11 @@ class Reconciler:
         self.accountant = accountant
         self.images = images
         self.journal = journal if journal is not None else EventJournal()
+        #: steering-visible desired graphs (replicas expanded)
         self.desired: dict[str, Nffg] = {}
+        #: desired graphs exactly as the caller handed them in —
+        #: replica counts intact; the autoscaler edits *these*.
+        self.desired_raw: dict[str, Nffg] = {}
         self.observed: dict[str, DeployedGraph] = {}
         self.last_plans: dict[str, Plan] = {}
         #: per-(graph, nf) failed heal attempts; escalates restart->recreate
@@ -272,15 +318,30 @@ class Reconciler:
         self.ticks_run = 0
         self.failures_detected = 0
         self.heals = 0
+        #: node-local heal-failure ceiling: once an NF's failed heal
+        #: attempts reach this, the engine calls :attr:`escalation`
+        #: (the fleet layer's hook) so the whole graph can be re-placed
+        #: on another node — one level above restart -> recreate.
+        self.escalate_after = 3
+        #: ``escalation(graph_id, nf_id, detail)`` — set by
+        #: :meth:`repro.core.multinode.MultiNodeOrchestrator.add_node`.
+        self.escalation: Optional[Callable[[str, str, str], None]] = None
 
     # -- desired state -----------------------------------------------------------
     def set_desired(self, graph: Nffg) -> None:
-        self.desired[graph.graph_id] = graph
-        self.journal.append(graph.graph_id, "desired-set",
-                            detail=f"{len(graph.nfs)} NFs, "
-                                   f"{len(graph.flow_rules)} rules")
+        self.desired_raw[graph.graph_id] = graph
+        expanded = expand_replicas(graph)
+        self.desired[graph.graph_id] = expanded
+        detail = (f"{len(graph.nfs)} NFs, "
+                  f"{len(expanded.flow_rules)} rules")
+        if len(expanded.nfs) != len(graph.nfs):
+            detail = (f"{len(graph.nfs)} NFs "
+                      f"({len(expanded.nfs)} replica-expanded), "
+                      f"{len(expanded.flow_rules)} rules")
+        self.journal.append(graph.graph_id, "desired-set", detail=detail)
 
     def clear_desired(self, graph_id: str) -> None:
+        self.desired_raw.pop(graph_id, None)
         if self.desired.pop(graph_id, None) is not None:
             self.journal.append(graph_id, "desired-cleared")
 
@@ -608,10 +669,24 @@ class Reconciler:
                 self.journal.append(graph_id, "step-failed",
                                     nf_id=step.nf_id, rule_id=step.rule_id,
                                     detail=f"{step.kind}: {exc}")
-                if step.detail.startswith("heal") or step.kind == "restart":
-                    key = (graph_id, step.nf_id)
-                    self._heal_attempts[key] = \
-                        self._heal_attempts.get(key, 0) + 1
+                key = (graph_id, step.nf_id)
+                if step.nf_id and (
+                        step.detail.startswith("heal")
+                        or step.kind == "restart"
+                        # A failed recreate leaves the NF looking like a
+                        # plain bring-up next tick; while its heal
+                        # counter is live, those failures are still
+                        # heal failures.
+                        or key in self._heal_attempts):
+                    attempts = self._heal_attempts.get(key, 0) + 1
+                    self._heal_attempts[key] = attempts
+                    if attempts == self.escalate_after \
+                            and self.escalation is not None:
+                        self.journal.append(
+                            graph_id, "heal-escalated", nf_id=step.nf_id,
+                            detail=f"{attempts} failed heal attempts; "
+                                   f"deferring to the fleet layer")
+                        self.escalation(graph_id, step.nf_id, str(exc))
                 break
             step.status = "done"
             self.journal.append(graph_id, "step-ok", nf_id=step.nf_id,

@@ -23,10 +23,18 @@ the trunk port and matches+pops it on traffic coming back.
 
 Every action list this module emits is one of the fused shapes that
 :func:`repro.switch.actions.compile_actions` specializes (``Output``,
-``PushVlan+Output``, ``PopVlan+Output``, ``PopVlan+PushVlan+Output``),
+``PushVlan+Output``, ``PopVlan+Output``, ``PopVlan+PushVlan+Output``,
+and for replica groups ``SelectOutput`` / ``PopVlan+SelectOutput``),
 so installed rules execute as straight-line closures with at most one
 frame copy per hop — the per-hop switching cost the paper's model
 charges stays flat no matter how many segments a rule spans.
+
+Replicated NFs (``replicas=N`` in the graph, expanded by
+:mod:`repro.nffg.replicas`): a rule whose destination is the replica
+group installs a hash select-output over the group's ports in replica
+order — 5-tuple flow affinity via the carried
+:class:`~repro.net.builder.ParsedFrame` (zero extra parsing on the
+batched path).
 """
 
 from __future__ import annotations
@@ -38,10 +46,12 @@ from typing import Optional
 from repro.compute.instances import NfInstance
 from repro.linuxnet.devices import NetDevice
 from repro.nffg.model import FlowRule, Nffg, PortRef
+from repro.nffg.replicas import is_lb_rule_id, replica_group
 from repro.openflow.agent import SwitchAgent
 from repro.openflow.channel import ControlChannel
 from repro.openflow.controller import LsiController
-from repro.switch.actions import Action, Output, PopVlan, PushVlan
+from repro.switch.actions import Action, Output, PopVlan, PushVlan, \
+    SelectOutput
 from repro.switch.datapath import SwitchPort
 from repro.switch.flowtable import FlowMatch
 from repro.switch.lsi import LogicalSwitchInstance, VirtualLink
@@ -310,6 +320,37 @@ class TrafficSteeringManager:
                 f"{network.lsi.name}")
         return Location(lsi=network.lsi, port_no=port.port_no)
 
+    def _resolve_lb_group(self, network: GraphNetwork,
+                          instances: dict[str, NfInstance],
+                          ref: PortRef) -> list[Location]:
+        """Locations of every replica of ``ref.element``, replica order.
+
+        The expansion layer leaves a load-balancer rule's output on the
+        *base* nf_id; the realized destination is the whole replica
+        group (``nf``, ``nf@1``, ...).  Replicas must be dedicated
+        (non-shared) NFs on the graph's own LSI — a shared-NNF trunk
+        multiplexes graphs by VLAN and cannot take a per-frame hash
+        spread.
+        """
+        members = replica_group(instances, ref.element)
+        if not members:
+            raise SteeringError(f"no replica instances for NF "
+                                f"{ref.element!r}")
+        locations: list[Location] = []
+        for nf_id in members:
+            if instances[nf_id].shared:
+                raise SteeringError(
+                    f"replicated NF {ref.element!r} resolved to a shared "
+                    f"NNF ({nf_id}); replicas must be dedicated instances")
+            port = network.nf_ports.get((nf_id, ref.port))
+            if port is None:
+                raise SteeringError(
+                    f"replica {nf_id!r} has no port {ref.port!r} on "
+                    f"{network.lsi.name}")
+            locations.append(Location(lsi=network.lsi,
+                                      port_no=port.port_no))
+        return locations
+
     @staticmethod
     def _match_fields(rule: FlowRule) -> dict:
         spec = rule.match
@@ -337,7 +378,17 @@ class TrafficSteeringManager:
                       instances: dict[str, NfInstance],
                       rule: FlowRule) -> None:
         src = self._resolve(network, graph, instances, rule.match.port_in)
-        dst = self._resolve(network, graph, instances, rule.output)
+        # A load-balancer rule (replica expansion marked its id) spreads
+        # its output over the whole replica group with 5-tuple-hash
+        # affinity; everything else is the single-destination path.
+        if is_lb_rule_id(rule.rule_id) and rule.output.kind == "vnf":
+            group = self._resolve_lb_group(network, instances, rule.output)
+            dst = group[0]
+            spread: "Optional[tuple[int, ...]]" = tuple(
+                location.port_no for location in group)
+        else:
+            dst = self._resolve(network, graph, instances, rule.output)
+            spread = None
         fields = self._match_fields(rule)
         ingress_vid = src.vid if src.vid is not None else rule.match.vlan_id
         realized = InstalledRule(rule=rule)
@@ -353,9 +404,12 @@ class TrafficSteeringManager:
                 actions: list[Action] = []
                 if ingress_vid is not None:
                     actions.append(PopVlan())
-                if dst.vid is not None:
-                    actions.append(PushVlan(dst.vid))
-                actions.append(Output(dst.port_no))
+                if spread is not None:
+                    actions.append(SelectOutput(spread))
+                else:
+                    if dst.vid is not None:
+                        actions.append(PushVlan(dst.vid))
+                    actions.append(Output(dst.port_no))
                 add_segment(self._controller_for(src.lsi),
                             FlowMatch(in_port=src.port_no,
                                       vlan_vid=ingress_vid, **fields),
@@ -380,9 +434,12 @@ class TrafficSteeringManager:
                             first_actions)
 
                 second_actions: list[Action] = [PopVlan()]
-                if dst.vid is not None:
-                    second_actions.append(PushVlan(dst.vid))
-                second_actions.append(Output(dst.port_no))
+                if spread is not None:
+                    second_actions.append(SelectOutput(spread))
+                else:
+                    if dst.vid is not None:
+                        second_actions.append(PushVlan(dst.vid))
+                    second_actions.append(Output(dst.port_no))
                 add_segment(self._controller_for(dst.lsi),
                             FlowMatch(in_port=dst_link_port.port_no,
                                       vlan_vid=tag),

@@ -11,6 +11,7 @@ from repro.nffg.model import Endpoint, FlowRule, NfInstanceSpec, Nffg, PortRef
 from repro.nffg.json_codec import nffg_from_dict, nffg_from_json, nffg_to_dict, nffg_to_json
 from repro.nffg.validate import NffgValidationError, validate_nffg
 from repro.nffg.diff import GraphDiff, diff_nffg
+from repro.nffg.replicas import expand_replicas, replica_base
 
 __all__ = [
     "Endpoint",
@@ -21,6 +22,8 @@ __all__ = [
     "NfInstanceSpec",
     "PortRef",
     "diff_nffg",
+    "expand_replicas",
+    "replica_base",
     "nffg_from_dict",
     "nffg_from_json",
     "nffg_to_dict",

@@ -6,6 +6,7 @@ Document shape::
         "id": "g1", "name": "...",
         "VNFs": [{"id": "fw", "template": "firewall",
                   "technology": "native",               # optional
+                  "replicas": 2,                        # optional (default 1)
                   "configuration": {"key": "value"}}],  # optional
         "end-points": [{"id": "wan", "type": "interface",
                         "interface": "wan0", "vlan-id": 101}],
@@ -44,6 +45,8 @@ def nffg_to_dict(graph: Nffg) -> dict[str, Any]:
             entry["technology"] = spec.technology
         if spec.config:
             entry["configuration"] = spec.config_dict()
+        if spec.replicas != 1:
+            entry["replicas"] = spec.replicas
         vnfs.append(entry)
     endpoints = []
     for endpoint in graph.endpoints:
@@ -89,11 +92,16 @@ def nffg_from_dict(document: dict[str, Any]) -> Nffg:
         config = entry.get("configuration", {})
         if not isinstance(config, dict):
             raise ValueError("NF-FG JSON: configuration must be an object")
+        replicas = entry.get("replicas", 1)
+        if not isinstance(replicas, int) or replicas < 1:
+            raise ValueError("NF-FG JSON: replicas must be a positive "
+                             f"integer, got {replicas!r}")
         graph.nfs.append(NfInstanceSpec.with_config(
             nf_id=str(_require(entry, "id", "VNF")),
             template=str(_require(entry, "template", "VNF")),
             technology=entry.get("technology"),
-            config={str(k): str(v) for k, v in config.items()}))
+            config={str(k): str(v) for k, v in config.items()},
+            replicas=replicas))
     for entry in body.get("end-points", []):
         graph.endpoints.append(Endpoint(
             ep_id=str(_require(entry, "id", "end-point")),

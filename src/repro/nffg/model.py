@@ -55,12 +55,25 @@ class NfInstanceSpec:
     choice to the orchestrator — the paper's default.  ``config`` is the
     NF-specific configuration handed to the driver (and translated by
     the NNF config layer for native components).
+
+    ``replicas`` asks for a horizontally scaled NF: ``N > 1`` makes the
+    reconciler realize N identical instances and the steering layer
+    hash-balance traffic across them with 5-tuple flow affinity (see
+    :mod:`repro.nffg.replicas`).  The default of 1 is the paper's
+    single-instance semantics, byte-for-byte unchanged.
     """
 
     nf_id: str
     template: str
     technology: Optional[str] = None
     config: tuple[tuple[str, str], ...] = ()
+    replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(
+                f"NF {self.nf_id!r}: replicas must be >= 1, "
+                f"got {self.replicas}")
 
     def config_dict(self) -> dict[str, str]:
         return dict(self.config)
@@ -68,9 +81,11 @@ class NfInstanceSpec:
     @classmethod
     def with_config(cls, nf_id: str, template: str,
                     config: Optional[dict[str, str]] = None,
-                    technology: Optional[str] = None) -> "NfInstanceSpec":
+                    technology: Optional[str] = None,
+                    replicas: int = 1) -> "NfInstanceSpec":
         return cls(nf_id=nf_id, template=template, technology=technology,
-                   config=tuple(sorted((config or {}).items())))
+                   config=tuple(sorted((config or {}).items())),
+                   replicas=replicas)
 
 
 @dataclass(frozen=True)
@@ -136,9 +151,10 @@ class Nffg:
     # -- construction helpers -------------------------------------------------
     def add_nf(self, nf_id: str, template: str,
                technology: Optional[str] = None,
-               config: Optional[dict[str, str]] = None) -> NfInstanceSpec:
+               config: Optional[dict[str, str]] = None,
+               replicas: int = 1) -> NfInstanceSpec:
         spec = NfInstanceSpec.with_config(nf_id, template, config,
-                                          technology)
+                                          technology, replicas=replicas)
         self.nfs.append(spec)
         return spec
 

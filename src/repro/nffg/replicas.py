@@ -1,0 +1,122 @@
+"""Replica expansion: one scaled NF becomes N steering-visible NFs.
+
+An :class:`~repro.nffg.model.NfInstanceSpec` with ``replicas = N``
+(N > 1) is a *graph-level* instruction — the reconciler and the
+steering layer only ever see the **expanded** graph this module
+produces:
+
+* **Replica identity.**  Replica 0 keeps the base ``nf_id`` (so
+  scaling an existing single-instance NF out and back never touches
+  the original instance, its flow entries or its counters); replicas
+  1..N-1 are named ``{nf_id}@{k}``.  The ``@`` namespace is reserved
+  by validation, so replica ids can never collide with user NFs.
+
+* **Rules out of the NF** (``match.port_in`` names it) are cloned per
+  replica: replica 0 keeps the original rule untouched, replica k gets
+  ``{rule_id}@{k}`` with the port ref rewritten.
+
+* **Rules into the NF** (``output`` names it) become a single
+  *load-balancer* rule, renamed ``{rule_id}@lb{N}`` with the output
+  ref left on the base id.  The steering layer resolves that base ref
+  to the whole replica group and installs a hash select-output action
+  (5-tuple flow affinity — see
+  :class:`repro.switch.actions.SelectOutput`).  Embedding N in the
+  rule id is what makes scaling *visible to the graph diff*: changing
+  the replica count changes the rule id, so the reconciler deletes the
+  old spread and installs the new one while every per-replica rule
+  that did not change stays installed.
+
+Expansion is pure and deterministic: ``expand_replicas`` never mutates
+its input, and expanding a graph with all-1 replica counts returns an
+equivalent graph (same NF ids, same rule ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.nffg.model import FlowRule, Nffg, PortRef
+
+__all__ = ["expand_replicas", "is_lb_rule_id", "replica_base",
+           "replica_group", "replica_id"]
+
+_LB_MARK = "@lb"
+
+
+def replica_id(nf_id: str, index: int) -> str:
+    """The expanded nf_id of replica ``index`` (0 keeps the base id)."""
+    return nf_id if index == 0 else f"{nf_id}@{index}"
+
+
+def replica_base(nf_id: str) -> str:
+    """The base nf_id an (expanded or plain) instance id belongs to."""
+    return nf_id.split("@", 1)[0]
+
+
+def is_lb_rule_id(rule_id: str) -> bool:
+    """Whether a rule id marks an expansion-generated load-balancer rule."""
+    return _LB_MARK in rule_id
+
+
+def replica_group(nf_ids, base: str) -> list[str]:
+    """The replica ids of ``base`` present in ``nf_ids``, replica order.
+
+    Replica order is (base, base@1, base@2, ...) — the order the hash
+    spread indexes, so a stable sort by replica index keeps affinity
+    deterministic across installs.
+    """
+    members = [nf_id for nf_id in nf_ids if replica_base(nf_id) == base]
+
+    def index(nf_id: str) -> int:
+        return 0 if nf_id == base else int(nf_id.split("@", 1)[1])
+
+    return sorted(members, key=index)
+
+
+def expand_replicas(graph: Nffg) -> Nffg:
+    """The steering-visible graph: every ``replicas=N`` NF spread out.
+
+    Returns ``graph``-equivalent output when nothing is replicated
+    (fresh Nffg object, same specs/rules), so callers can expand
+    unconditionally.
+    """
+    scaled = {spec.nf_id: spec.replicas
+              for spec in graph.nfs if spec.replicas > 1}
+    expanded = Nffg(graph_id=graph.graph_id, name=graph.name,
+                    endpoints=list(graph.endpoints))
+    for spec in graph.nfs:
+        if spec.nf_id not in scaled:
+            expanded.nfs.append(spec)
+            continue
+        for k in range(spec.replicas):
+            expanded.nfs.append(replace(spec, nf_id=replica_id(spec.nf_id, k),
+                                        replicas=1))
+    if not scaled:
+        expanded.flow_rules = list(graph.flow_rules)
+        return expanded
+
+    for rule in graph.flow_rules:
+        src = rule.match.port_in
+        fan_out = (src.kind == "vnf" and src.element in scaled)
+        variants: list[FlowRule] = []
+        if fan_out:
+            for k in range(scaled[src.element]):
+                nf_id = replica_id(src.element, k)
+                variants.append(replace(
+                    rule,
+                    rule_id=rule.rule_id if k == 0
+                    else f"{rule.rule_id}@{k}",
+                    match=replace(rule.match,
+                                  port_in=PortRef(kind="vnf",
+                                                  element=nf_id,
+                                                  port=src.port))))
+        else:
+            variants.append(rule)
+        dst = rule.output
+        if dst.kind == "vnf" and dst.element in scaled:
+            count = scaled[dst.element]
+            variants = [replace(variant,
+                                rule_id=f"{variant.rule_id}{_LB_MARK}{count}")
+                        for variant in variants]
+        expanded.flow_rules.extend(variants)
+    return expanded

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from repro.nffg.model import Nffg, PortRef
 
-__all__ = ["NffgValidationError", "validate_nffg"]
+__all__ = ["MAX_REPLICAS", "NffgValidationError", "validate_nffg"]
+
+#: Per-NF replica ceiling: a hash spread wider than this on one node
+#: says "shard the graph", not "add another replica".
+MAX_REPLICAS = 64
 
 
 class NffgValidationError(Exception):
@@ -46,6 +50,19 @@ def validate_nffg(graph: Nffg,
                 "vm", "docker", "dpdk", "native"):
             problems.append(f"NF {spec.nf_id!r}: unknown technology "
                             f"{spec.technology!r}")
+        # "@" is the replica-expansion namespace (nf@1, rule@lb2 — see
+        # repro.nffg.replicas); user graphs may not claim it.
+        if "@" in spec.nf_id:
+            problems.append(
+                f"NF {spec.nf_id!r}: '@' is reserved for replica ids")
+        if spec.replicas > MAX_REPLICAS:
+            problems.append(
+                f"NF {spec.nf_id!r}: replicas={spec.replicas} exceeds "
+                f"the per-NF cap of {MAX_REPLICAS}")
+    for rule in graph.flow_rules:
+        if "@" in rule.rule_id:
+            problems.append(f"rule {rule.rule_id!r}: '@' is reserved "
+                            "for replica-expanded rule ids")
 
     nf_set = set(nf_ids)
     ep_set = set(ep_ids)

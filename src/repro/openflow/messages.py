@@ -23,6 +23,7 @@ from repro.switch.actions import (
     Output,
     PopVlan,
     PushVlan,
+    SelectOutput,
     SetField,
 )
 from repro.switch.flowtable import FlowMatch
@@ -177,6 +178,9 @@ _AT_SET_ETH_SRC = 3
 _AT_SET_ETH_DST = 4
 _AT_SET_VLAN_VID = 5
 _AT_CONTROLLER = 6
+# OpenFlow 1.1+ "select" group, flattened: the hash-balanced replica
+# port set travels inline as a count-prefixed port list.
+_AT_SELECT = 7
 
 
 def _encode_actions(actions: Sequence[Action]) -> bytes:
@@ -195,6 +199,10 @@ def _encode_actions(actions: Sequence[Action]) -> bytes:
             record(_AT_POP_VLAN)
         elif isinstance(action, Controller):
             record(_AT_CONTROLLER, struct.pack("!H", action.max_len))
+        elif isinstance(action, SelectOutput):
+            record(_AT_SELECT, struct.pack(
+                f"!H{len(action.ports)}H", len(action.ports),
+                *action.ports))
         elif isinstance(action, SetField):
             if action.field == "eth_src":
                 record(_AT_SET_ETH_SRC, MacAddress(action.value).packed)
@@ -232,6 +240,14 @@ def _decode_actions(data: bytes, offset: int) -> tuple[list[Action], int]:
             actions.append(PopVlan())
         elif atype == _AT_CONTROLLER:
             actions.append(Controller(struct.unpack("!H", payload)[0]))
+        elif atype == _AT_SELECT:
+            if len(payload) < 2:
+                raise CodecError("truncated select-output action")
+            (count,) = struct.unpack_from("!H", payload)
+            if count == 0 or len(payload) != 2 + 2 * count:
+                raise CodecError("malformed select-output action")
+            actions.append(SelectOutput(
+                struct.unpack_from(f"!{count}H", payload, 2)))
         elif atype == _AT_SET_ETH_SRC:
             actions.append(SetField("eth_src", MacAddress(payload)))
         elif atype == _AT_SET_ETH_DST:

@@ -34,6 +34,7 @@ absolute speedup targets that need the full best-of-3 sweep.
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
 from dataclasses import asdict, dataclass
@@ -465,6 +466,11 @@ def run_dataplane_bench(sizes=None,
                             repeats=repeats)
     chain = sweep_chain(chain_lengths, packets=chain_packets, seed=seed + 4,
                         repeats=repeats)
+    # The elastic-scaling smoke leg runs in *virtual* time (sim-engine
+    # control loop), so its time-to-scale figures are deterministic in
+    # both quick and full modes; lazy import keeps this module light.
+    from repro.perf.autoscale import run_autoscale_bench
+    autoscale = run_autoscale_bench(quick=quick, seed=seed + 8)
     purity_size = 100 if quick else 1000
     purity_table = build_steering_table(purity_size)
     purity_workload = _steering_frames(purity_size, 200, seed)
@@ -477,6 +483,7 @@ def run_dataplane_bench(sizes=None,
         "lookup": [asdict(point) for point in lookup],
         "actions": [asdict(point) for point in actions],
         "chain": [asdict(point) for point in chain],
+        "autoscale": autoscale,
         "fast_path_parse_cidr_calls": parse_cidr_calls,
         "chain_excess_parse_frame_calls": excess_parse_frame,
         "meta": {
@@ -547,6 +554,24 @@ def check_results(results: dict) -> None:
         assert mean >= 1.0, (
             f"compiled actions slower than interpretation on average "
             f"({mean:.2f}x across shapes)")
+    autoscale = results.get("autoscale")
+    if autoscale is not None:
+        # Virtual-clock figures: deterministic, so the gates are exact.
+        from repro.perf.autoscale import AUTOSCALE_MAX_TICKS_TO_SCALE
+        interval = autoscale["interval_s"]
+        assert autoscale["max_replicas_seen"] >= 2, (
+            "autoscaler never scaled out under a "
+            f"{autoscale['overload_pps']:.0f}-pps overload")
+        assert autoscale["final_replicas"] == 1, (
+            f"autoscaler did not drain back to 1 replica "
+            f"(ended at {autoscale['final_replicas']})")
+        t_scale = autoscale["time_to_scale_s"]
+        assert t_scale is not None and 0 < t_scale <= (
+            AUTOSCALE_MAX_TICKS_TO_SCALE * interval), (
+            f"time-to-scale {t_scale} outside "
+            f"(0, {AUTOSCALE_MAX_TICKS_TO_SCALE} x {interval}s]")
+        assert not autoscale["loop_error"], (
+            f"control loop errored: {autoscale['loop_error']}")
     assert results["fast_path_parse_cidr_calls"] == 0, (
         "fast path called parse_cidr "
         f"{results['fast_path_parse_cidr_calls']} times")
@@ -557,6 +582,9 @@ def check_results(results: dict) -> None:
 
 
 def write_bench_json(results: dict, path: str) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2)
         handle.write("\n")
@@ -587,6 +615,17 @@ def format_results(results: dict) -> str:
                      f"{point['single_pps']:>12.0f} "
                      f"{point['batched_pps']:>13.0f} "
                      f"{point['speedup']:>8.2f}x")
+    autoscale = results.get("autoscale")
+    if autoscale:
+        lines.append("")
+        t_scale = autoscale.get("time_to_scale_s")
+        t_drain = autoscale.get("time_to_drain_s")
+        lines.append(
+            "autoscale (virtual time): "
+            f"scale-out in {t_scale if t_scale is not None else '?'}s, "
+            f"drain in {t_drain if t_drain is not None else '?'}s, "
+            f"peak {autoscale.get('max_replicas_seen')} replicas, "
+            f"final {autoscale.get('final_replicas')}")
     lines.append("")
     lines.append("fast-path parse_cidr calls: "
                  f"{results['fast_path_parse_cidr_calls']}")

@@ -43,11 +43,22 @@ class Request:
 class Response:
     status: int
     body: Any = None
+    #: plain-text payload (Prometheus exposition); mutually exclusive
+    #: with ``body`` — set, it wins and the content type flips.
+    text: Optional[str] = None
 
     def to_bytes(self) -> bytes:
+        if self.text is not None:
+            return self.text.encode()
         if self.body is None:
             return b""
         return json.dumps(self.body, indent=2, sort_keys=True).encode()
+
+    @property
+    def content_type(self) -> str:
+        if self.text is not None:
+            return "text/plain; version=0.0.4; charset=utf-8"
+        return "application/json"
 
     @property
     def ok(self) -> bool:
@@ -108,6 +119,10 @@ class RestApp:
         self.route("POST", "/traffic/{interface}", self._inject_traffic)
         self.route("GET", "/graphs/{graph_id}/events", self._get_events)
         self.route("POST", "/graphs/{graph_id}/reconcile", self._reconcile)
+        self.route("GET", "/metrics", self._get_metrics)
+        self.route("GET", "/metrics.json", self._get_metrics_json)
+        self.route("GET", "/graphs/{graph_id}/metrics",
+                   self._get_graph_metrics)
 
     def _get_root(self, request: Request) -> Response:
         return Response(200, self.node.describe())
@@ -166,8 +181,11 @@ class RestApp:
         if not events \
                 and graph_id not in self.node.orchestrator.deployed:
             raise HttpError(404, f"no events for graph {graph_id!r}")
+        journal = self.node.orchestrator.journal
         return Response(200, {"graph-id": graph_id,
-                              "events": [e.to_dict() for e in events]})
+                              "events": [e.to_dict() for e in events],
+                              "dropped": journal.dropped_count(graph_id),
+                              "max-events": journal.max_events})
 
     def _reconcile(self, request: Request) -> Response:
         """Run the reconciler to convergence for one graph.
@@ -183,6 +201,32 @@ class RestApp:
             raise HttpError(404, f"graph {graph_id!r} is not deployed")
         result = self.node.orchestrator.reconcile(graph_id)
         return Response(200, result.to_dict())
+
+    def _get_metrics(self, request: Request) -> Response:
+        """Node metrics in Prometheus text exposition format.
+
+        Each scrape takes a fresh sample first — a node without a
+        running control loop still reports correct totals, and rates
+        appear from the second scrape on (rate windows are derived
+        between consecutive samples, whoever takes them).
+        """
+        from repro.telemetry.export import render_prometheus
+
+        self.node.telemetry.sample()
+        return Response(200, text=render_prometheus(self.node.telemetry))
+
+    def _get_metrics_json(self, request: Request) -> Response:
+        """The same registry as a JSON document (the `repro top` feed)."""
+        self.node.telemetry.sample()
+        return Response(200, self.node.telemetry.to_dict())
+
+    def _get_graph_metrics(self, request: Request) -> Response:
+        """Per-graph rates, replica counts and availability metrics."""
+        graph_id = request.params["graph_id"]
+        if graph_id not in self.node.orchestrator.deployed:
+            raise HttpError(404, f"graph {graph_id!r} is not deployed")
+        self.node.telemetry.sample()
+        return Response(200, self.node.telemetry.graph_metrics(graph_id))
 
     def _inject_traffic(self, request: Request) -> Response:
         """Inject a batch of frames into a node interface.

@@ -63,6 +63,20 @@ class RestClient:
     def reconcile_graph(self, graph_id: str) -> dict:
         return self._expect(self.post(f"/graphs/{graph_id}/reconcile"), 200)
 
+    def node_metrics(self) -> dict:
+        return self._expect(self.get("/metrics.json"), 200)
+
+    def graph_metrics(self, graph_id: str) -> dict:
+        return self._expect(self.get(f"/graphs/{graph_id}/metrics"), 200)
+
+    def prometheus_metrics(self) -> str:
+        response = self.get("/metrics")
+        if response.status != 200:
+            raise RuntimeError(
+                f"expected HTTP 200, got {response.status}: "
+                f"{response.body}")
+        return response.text or ""
+
     @staticmethod
     def _expect(response: Response, status: int) -> Any:
         if response.status != status:

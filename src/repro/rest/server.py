@@ -27,7 +27,7 @@ def _make_handler(app: RestApp):
             response = app.handle(method, self.path, body)
             payload = response.to_bytes()
             self.send_response(response.status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", response.content_type)
             self.send_header("Content-Length", str(len(payload)))
             self.end_headers()
             if payload:

@@ -21,7 +21,9 @@ from repro.switch.actions import (
     Output,
     PopVlan,
     PushVlan,
+    SelectOutput,
     SetField,
+    flow_hash,
 )
 from repro.switch.datapath import Datapath, SwitchPort
 from repro.switch.flowtable import (
@@ -44,7 +46,9 @@ __all__ = [
     "Output",
     "PopVlan",
     "PushVlan",
+    "SelectOutput",
     "SetField",
     "SwitchPort",
     "VirtualLink",
+    "flow_hash",
 ]

@@ -29,11 +29,12 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Sequence, Union
 
 from repro.net.addresses import MacAddress
+from repro.net.builder import ParsedFrame, parse_frame
 from repro.net.ethernet import EthernetFrame
 
 __all__ = ["Action", "ActionError", "CompiledActions", "Controller",
            "EmitFn", "FLOOD_PORT", "Output", "PopVlan", "PushVlan",
-           "SetField", "compile_actions"]
+           "SelectOutput", "SetField", "compile_actions", "flow_hash"]
 
 #: Pseudo port number: send to every port except ingress.
 FLOOD_PORT = 0xFFFB
@@ -97,6 +98,83 @@ class PopVlan:
         return "pop_vlan"
 
 
+#: 32-bit golden-ratio multiplier (Knuth); the per-step mixer of
+#: :func:`flow_hash`.
+_HASH_MULT = 0x9E3779B1
+
+
+def flow_hash(parsed: ParsedFrame) -> int:
+    """Deterministic 5-tuple hash of a parsed frame.
+
+    Reads the :class:`~repro.net.builder.ParsedFrame`'s cached views —
+    ``ip_ints`` for the addresses, the lazy UDP/TCP decode for the
+    ports — so on the batched pipeline (which carries the parse across
+    every hop) hashing a frame costs a few integer multiplies and **no
+    parsing**.  The value is a pure function of (src, dst, proto,
+    sport, dport): every frame of one flow hashes identically in both
+    directions of the pipeline and across process restarts (no
+    ``hash()`` randomization).  Non-IPv4 frames hash to 0 — ARP and
+    friends pin to replica 0 rather than spraying.
+    """
+    ints = parsed.ip_ints
+    if ints is None:
+        return 0
+    h = ((ints[0] * _HASH_MULT) ^ ints[1]) & 0xFFFFFFFF
+    h = ((h * _HASH_MULT) ^ parsed.ipv4.proto) & 0xFFFFFFFF
+    udp = parsed.udp
+    if udp is not None:
+        l4 = (udp.src_port << 16) | udp.dst_port
+    else:
+        tcp = parsed.tcp
+        l4 = ((tcp.src_port << 16) | tcp.dst_port) if tcp is not None else 0
+    h = ((h ^ l4) * _HASH_MULT) & 0xFFFFFFFF
+    # A modulo by a small replica count reads the low bits; finish with
+    # a fold so they carry entropy from the whole word.
+    return (h ^ (h >> 16)) & 0xFFFF
+
+
+def _carried_parse(dp: Any, frame: EthernetFrame) -> ParsedFrame:
+    """The pipeline's parse of ``frame``, without re-parsing.
+
+    Every datapath ingress path rebinds ``dp.carried[0]`` to the
+    current frame's :class:`ParsedFrame` before actions run, so this
+    is an attribute read plus an identity check.  A caller executing
+    actions *outside* a pipeline pass (OpenFlow packet-out, direct
+    ``execute`` in tests) has no carried parse and pays a one-off
+    ``parse_frame`` — never the fast path.
+    """
+    cell = getattr(dp, "carried", None)
+    if cell is not None:
+        parsed = cell[0]
+        if parsed is not None and parsed.eth is frame:
+            return parsed
+    return parse_frame(frame)
+
+
+@dataclass(frozen=True)
+class SelectOutput:
+    """Hash-select one of several output ports (replica load balancing).
+
+    The steering layer installs this on rules whose destination NF is a
+    replica group: the frame leaves on
+    ``ports[flow_hash(parsed) % len(ports)]``, so every frame of one
+    5-tuple always takes the same port — *flow affinity* — and a
+    stateful replica behind each port sees complete flows.  ``ports``
+    is in replica order; the spread therefore only re-maps flows when
+    the replica set itself changes.
+    """
+
+    ports: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ports", tuple(self.ports))
+        if not self.ports:
+            raise ValueError("select-output needs at least one port")
+
+    def __str__(self) -> str:
+        return "select:" + "|".join(str(port) for port in self.ports)
+
+
 @dataclass(frozen=True)
 class SetField:
     """Rewrite a header field (eth_src / eth_dst / vlan_vid)."""
@@ -124,7 +202,8 @@ class SetField:
         return f"set_{self.field}:{self.value}"
 
 
-Action = Union[Output, Controller, PushVlan, PopVlan, SetField]
+Action = Union[Output, Controller, PushVlan, PopVlan, SetField,
+               SelectOutput]
 
 #: ``emit(out_port, in_port, frame)`` — how a compiled program hands a
 #: frame to the datapath's routing policy (FLOOD expansion, drops).
@@ -132,7 +211,10 @@ EmitFn = Callable[[int, int, EthernetFrame], None]
 
 #: ``compiled(dp, in_port, frame, emit)`` — one call runs the whole
 #: action list for one frame.  ``dp`` is duck-typed: the program only
-#: touches ``packet_in_handler``, ``action_errors`` and ``dropped``.
+#: touches ``packet_in_handler``, ``action_errors``, ``dropped`` and —
+#: for hash-select programs — ``carried``, the two-slot
+#: ``[ParsedFrame, wire_len]`` cell every datapath ingress path rebinds
+#: to the current frame before actions run (see :func:`_carried_parse`).
 #: Every compiled program carries a ``mutates`` attribute: True when the
 #: list contains a frame transform (push/pop/set-field), i.e. when an
 #: emitted frame can be a different object than the input frame.  The
@@ -147,6 +229,7 @@ CompiledActions = Callable[[Any, int, EthernetFrame, EmitFn], None]
 _OP_XFORM = 0   # arg: frame -> frame (may raise ActionError)
 _OP_OUT = 1     # arg: output port number
 _OP_CTRL = 2    # arg: unused (packet-in punt)
+_OP_SELECT = 3  # arg: replica-ordered port tuple (hash-select one)
 
 
 def _compile_transform(action: "PushVlan | PopVlan | SetField"):
@@ -222,7 +305,50 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
                     emit: EmitFn) -> None:
             emit(out, in_port, frame)
         run_out.mutates = False
+        # Pure-output marker: the batched pipeline reads this to skip
+        # the program call (and the carried-cell rebind) entirely and
+        # enqueue the parsed frame straight on the port — the per-emit
+        # specialization of chain hops (see Datapath.process_batch_from).
+        run_out.out_port = out
         return run_out
+
+    if kinds == (SelectOutput,):
+        select_ports = acts[0].ports
+        if len(select_ports) == 1:
+            only = select_ports[0]
+
+            def run_select_one(dp: Any, in_port: int, frame: EthernetFrame,
+                               emit: EmitFn) -> None:
+                emit(only, in_port, frame)
+            run_select_one.mutates = False
+            run_select_one.out_port = only
+            return run_select_one
+        n_ports = len(select_ports)
+
+        def run_select(dp: Any, in_port: int, frame: EthernetFrame,
+                       emit: EmitFn) -> None:
+            parsed = _carried_parse(dp, frame)
+            emit(select_ports[flow_hash(parsed) % n_ports], in_port, frame)
+        run_select.mutates = False
+        return run_select
+
+    if kinds == (PopVlan, SelectOutput):
+        # The LB tail of an inter-LSI segment: strip the internal tag,
+        # hash-spread across the replica ports.  The hash reads the
+        # *carried* parse of the ingress frame — VLAN ops never touch
+        # the 5-tuple, so affinity is computed before the single copy.
+        select_ports, n_ports = acts[1].ports, len(acts[1].ports)
+
+        def run_pop_select(dp: Any, in_port: int, frame: EthernetFrame,
+                           emit: EmitFn) -> None:
+            if frame.vlan is None:
+                dp.action_errors += 1
+                return
+            out = select_ports[flow_hash(_carried_parse(dp, frame))
+                               % n_ports]
+            emit(out, in_port, replace(frame, vlan=None, vlan_pcp=0))
+        run_pop_select.mutates = True
+        return run_pop_select
 
     if kinds == (PushVlan, Output):
         vid, pcp, out = acts[0].vid, acts[0].pcp, acts[1].port
@@ -287,6 +413,9 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
         elif isinstance(action, Controller):
             steps.append((_OP_CTRL, None))
             emits = True
+        elif isinstance(action, SelectOutput):
+            steps.append((_OP_SELECT, action.ports))
+            emits = True
         elif isinstance(action, (PushVlan, PopVlan, SetField)):
             steps.append((_OP_XFORM, _compile_transform(action)))
             mutates = True
@@ -307,6 +436,12 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
                 except ActionError:
                     dp.action_errors += 1
                     return
+            elif op == _OP_SELECT:
+                # Hash on the *ingress* frame's parse: the transforms a
+                # program may have applied are all L2-only, so the
+                # 5-tuple is the carried one either way.
+                parsed = _carried_parse(dp, frame)
+                emit(arg[flow_hash(parsed) % len(arg)], in_port, current)
             else:
                 handler = dp.packet_in_handler
                 if handler is not None:

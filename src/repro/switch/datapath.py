@@ -52,7 +52,9 @@ from repro.switch.actions import (
     Output,
     PopVlan,
     PushVlan,
+    SelectOutput,
     SetField,
+    flow_hash,
 )
 from repro.switch.flowtable import FlowEntry, FlowTable
 
@@ -129,6 +131,15 @@ class Datapath:
         #: False switches execute() to the interpreted reference loop
         #: (perf baseline / property-test oracle).
         self.compiled_actions = True
+        #: ``[ParsedFrame, wire_len]`` of the frame whose actions are
+        #: currently executing.  Every ingress path rebinds slot 0
+        #: before actions run; compiled programs that need header
+        #: fields beyond L2 (hash select-output) read the parse from
+        #: here instead of re-parsing the frame.  Single-threaded by
+        #: design, like the rest of the pipeline; a packet-in handler
+        #: that re-injects mid-program would clobber it, so hash-select
+        #: programs read the cell before any punt.
+        self.carried: list = [None, 0]
 
     # -- port management --------------------------------------------------------
     def add_port(self, name: str, device: Optional[NetDevice] = None,
@@ -197,6 +208,9 @@ class Datapath:
             else:
                 self.dropped += 1
             return
+        carried = self.carried
+        carried[0] = parsed
+        carried[1] = parsed.wire_len
         self.execute(entry, in_port, frame)
 
     def _batch_emit(self, queues: dict[int, list], carried: list):
@@ -220,6 +234,11 @@ class Datapath:
           identity check: such a program only ever emits the ingress
           frame object itself, so the carried parse (and its
           already-known size) is forwarded as-is.
+
+        Pure-output entries (``compiled.out_port`` set) bypass all of
+        this: the batch loops inline the enqueue per entry and never
+        rebind ``carried`` for them; ``enqueue`` is returned so those
+        inline paths can hand cold ports / FLOOD to ``_route``.
         """
         ports = self.ports
 
@@ -265,7 +284,7 @@ class Datapath:
                 return
             queues[out_port] = [[parsed], carried[1]]
 
-        return emit, emit_carry
+        return emit, emit_carry, enqueue
 
     def _flush_batch(self, pending: dict, queues: dict[int, list]) -> None:
         """Write the flow counters and drain the egress queues of one
@@ -305,6 +324,7 @@ class Datapath:
         """
         table = self.table
         taps = self.taps
+        ports = self.ports
         compiled = self.compiled_actions
         # entry_id -> [entry, packets, bytes]
         pending: dict[int, list] = {}
@@ -312,8 +332,8 @@ class Datapath:
         rx_pending: dict[int, list] = {}
         # out port_no -> [carried parses in ingress order, byte total]
         queues: dict[int, list] = {}
-        carried: list = [None, 0]
-        emit, emit_carry = self._batch_emit(queues, carried)
+        carried = self.carried
+        emit, emit_carry, enqueue = self._batch_emit(queues, carried)
 
         try:
             for in_port, frame in batch:
@@ -348,13 +368,29 @@ class Datapath:
                 else:
                     acc[1] += 1
                     acc[2] += size
-                carried[0] = parsed
-                carried[1] = size
                 if compiled:
+                    out_fast = entry.fast_out
+                    if out_fast is not None:
+                        # Pure-output hop: enqueue the carried parse
+                        # directly — no carried rebind, no closure call.
+                        acc = queues.get(out_fast)
+                        if acc is not None:
+                            acc[0].append(parsed)
+                            acc[1] += size
+                        elif out_fast == FLOOD_PORT \
+                                or out_fast not in ports:
+                            self._route(out_fast, in_port, parsed, enqueue)
+                        else:
+                            queues[out_fast] = [[parsed], size]
+                        continue
+                    carried[0] = parsed
+                    carried[1] = size
                     program = entry.compiled
                     program(self, in_port, parsed.eth,
                             emit if program.mutates else emit_carry)
                 else:
+                    carried[0] = parsed
+                    carried[1] = size
                     self.execute_interpreted(entry.actions, in_port,
                                              parsed.eth, emit)
         finally:
@@ -384,11 +420,12 @@ class Datapath:
                 f"frame from unknown port {in_port} on {self.name}")
         table = self.table
         taps = self.taps
+        ports = self.ports
         compiled = self.compiled_actions
         pending: dict[int, list] = {}
         queues: dict[int, list] = {}
-        carried: list = [None, 0]
-        emit, emit_carry = self._batch_emit(queues, carried)
+        carried = self.carried
+        emit, emit_carry, enqueue = self._batch_emit(queues, carried)
         packets = 0
         nbytes = 0
 
@@ -417,13 +454,31 @@ class Datapath:
                 else:
                     acc[1] += 1
                     acc[2] += size
-                carried[0] = parsed
-                carried[1] = size
                 if compiled:
+                    out_fast = entry.fast_out
+                    if out_fast is not None:
+                        # The chain hot path's hot path: a pure-output
+                        # entry forwards the carried parse with one
+                        # dict hit and an append — no carried rebind,
+                        # no program call, no emit closure.
+                        acc = queues.get(out_fast)
+                        if acc is not None:
+                            acc[0].append(parsed)
+                            acc[1] += size
+                        elif out_fast == FLOOD_PORT \
+                                or out_fast not in ports:
+                            self._route(out_fast, in_port, parsed, enqueue)
+                        else:
+                            queues[out_fast] = [[parsed], size]
+                        continue
+                    carried[0] = parsed
+                    carried[1] = size
                     program = entry.compiled
                     program(self, in_port, parsed.eth,
                             emit if program.mutates else emit_carry)
                 else:
+                    carried[0] = parsed
+                    carried[1] = size
                     self.execute_interpreted(entry.actions, in_port,
                                              parsed.eth, emit)
         finally:
@@ -460,6 +515,17 @@ class Datapath:
             if isinstance(action, Output):
                 emitted = True
                 deliver(action.port, in_port, current)
+            elif isinstance(action, SelectOutput):
+                # Reference semantics of hash-select: same 5-tuple hash
+                # as the compiled form, computed from the carried parse
+                # when the pipeline provided one (ingress-frame
+                # identity), from a one-off parse otherwise.
+                emitted = True
+                parsed = self.carried[0]
+                if parsed is None or parsed.eth is not frame:
+                    parsed = parse_frame(frame)
+                deliver(action.ports[flow_hash(parsed) % len(action.ports)],
+                        in_port, current)
             elif isinstance(action, Controller):
                 emitted = True
                 if self.packet_in_handler is not None:

@@ -326,6 +326,12 @@ class FlowEntry:
     def __post_init__(self) -> None:
         self.actions = tuple(self.actions)
         self.compiled: "CompiledActions" = compile_actions(self.actions)
+        #: Egress port of a pure-output program, else None.  The batched
+        #: datapath reads this per matched frame to skip the compiled
+        #: call entirely for plain forwarding hops (the per-entry emit
+        #: specialization), so it is cached here once per install.
+        self.fast_out: "int | None" = getattr(self.compiled, "out_port",
+                                              None)
 
     def invalidate(self) -> None:
         """Recompile after ``entry.actions`` was rebound.
@@ -336,6 +342,7 @@ class FlowEntry:
         """
         self.actions = tuple(self.actions)
         self.compiled = compile_actions(self.actions)
+        self.fast_out = getattr(self.compiled, "out_port", None)
 
     def __getstate__(self):
         # The compiled closure is not picklable; drop it and recompile
@@ -347,6 +354,7 @@ class FlowEntry:
     def __setstate__(self, state) -> None:
         self.__dict__.update(state)
         self.compiled = compile_actions(self.actions)
+        self.fast_out = getattr(self.compiled, "out_port", None)
 
     def describe(self) -> str:
         acts = ",".join(str(a) for a in self.actions) or "drop"

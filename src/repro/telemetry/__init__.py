@@ -1,0 +1,39 @@
+"""Telemetry and elastic scaling: measure the node, then act on it.
+
+The dataplane and the reconciler already *count* everything — flow and
+port counters flushed per batch, an append-only event journal of every
+lifecycle transition.  This package turns those counters into signals
+and the signals into actions:
+
+* :mod:`repro.telemetry.metrics` — a :class:`MetricsRegistry` that
+  samples per-NF port counters and per-LSI totals into ring-buffer
+  time series, derives rates (pps, bytes/s) between samples, and
+  computes journal-derived availability metrics (MTTR, heal counts,
+  convergence and time-to-scale) on demand;
+* :mod:`repro.telemetry.export` — Prometheus text + JSON renderings of
+  a registry (served over ``GET /metrics`` and
+  ``GET /graphs/{id}/metrics``, printed by ``repro top``);
+* :mod:`repro.telemetry.autoscaler` — per-NF scaling policies (target
+  pps per replica, min/max, cooldown) that edit the *desired* replica
+  count and leave convergence to the reconciler;
+* :mod:`repro.telemetry.loop` — the :class:`ControlLoop` driver that
+  runs reconcile ticks, telemetry samples and autoscaler evaluations
+  continuously, on the discrete-event simulator (virtual clock,
+  deterministic tests) or a real background thread.
+"""
+
+from repro.telemetry.autoscaler import Autoscaler, ScalingDecision, \
+    ScalingPolicy
+from repro.telemetry.export import render_prometheus
+from repro.telemetry.loop import ControlLoop
+from repro.telemetry.metrics import MetricsRegistry, SeriesRing
+
+__all__ = [
+    "Autoscaler",
+    "ControlLoop",
+    "MetricsRegistry",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "SeriesRing",
+    "render_prometheus",
+]

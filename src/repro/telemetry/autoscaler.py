@@ -1,0 +1,167 @@
+"""The autoscaler: measured load in, desired replica counts out.
+
+The paper's premise only scales to "heavy traffic from millions of
+users" if a single NF in a chain can become N replicas under load
+(analytical VNF performance models — Prados-Garzon et al. — size
+exactly this).  The autoscaler closes that loop *declaratively*: it
+never creates or destroys anything itself.  Each evaluation reads the
+per-NF load from the :class:`~repro.telemetry.metrics.MetricsRegistry`
+and, when a policy says so, rewrites the **desired** graph's replica
+count through :meth:`Reconciler.set_desired`; the reconciler's next
+ticks plan and execute the convergence (create/steer or drain/destroy)
+with all of its usual checkpointing and healing semantics.
+
+Hysteresis.  Scale-out triggers when the measured per-replica load
+exceeds ``target_pps``; scale-in only when the load would fit at the
+*reduced* count with ``scale_in_headroom`` to spare — the two
+thresholds never overlap, so a load sitting exactly at a boundary
+cannot flap.  ``cooldown_seconds`` additionally rate-limits direction
+changes per NF, and scale-in steps one replica at a time (drain
+gently) while scale-out jumps straight to the needed count (overload
+is the case to hurry for).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.reconciler import Reconciler
+from repro.nffg.model import Nffg
+from repro.nffg.validate import MAX_REPLICAS
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["Autoscaler", "ScalingDecision", "ScalingPolicy"]
+
+
+@dataclass(frozen=True)
+class ScalingPolicy:
+    """How one NF scales: target load per replica plus guard rails."""
+
+    nf_id: str
+    target_pps: float
+    min_replicas: int = 1
+    max_replicas: int = 4
+    #: scale in only if the load would use at most this fraction of the
+    #: reduced group's capacity (hysteresis gap against flapping)
+    scale_in_headroom: float = 0.7
+    #: minimum seconds between replica-count changes for this NF
+    cooldown_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.target_pps <= 0:
+            raise ValueError(f"{self.nf_id}: target_pps must be positive")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError(
+                f"{self.nf_id}: need 1 <= min_replicas <= max_replicas")
+        if self.max_replicas > MAX_REPLICAS:
+            raise ValueError(
+                f"{self.nf_id}: max_replicas exceeds the graph cap "
+                f"of {MAX_REPLICAS}")
+        if not 0 < self.scale_in_headroom <= 1:
+            raise ValueError(
+                f"{self.nf_id}: scale_in_headroom must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One applied replica-count change (the autoscaler's audit row)."""
+
+    at: float
+    graph_id: str
+    nf_id: str
+    from_replicas: int
+    to_replicas: int
+    measured_pps: float
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"at": self.at, "graph-id": self.graph_id,
+                "nf-id": self.nf_id, "from": self.from_replicas,
+                "to": self.to_replicas, "pps": self.measured_pps,
+                "reason": self.reason}
+
+
+@dataclass
+class Autoscaler:
+    """Evaluates scaling policies against measured load."""
+
+    reconciler: Reconciler
+    registry: MetricsRegistry
+    #: (graph_id, nf_id) -> policy
+    policies: dict[tuple[str, str], ScalingPolicy] = field(
+        default_factory=dict)
+    decisions: list[ScalingDecision] = field(default_factory=list)
+    _last_change: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def add_policy(self, graph_id: str, policy: ScalingPolicy) -> None:
+        self.policies[(graph_id, policy.nf_id)] = policy
+
+    def remove_policy(self, graph_id: str, nf_id: str) -> None:
+        self.policies.pop((graph_id, nf_id), None)
+
+    # -- the decision ------------------------------------------------------------
+    def _wanted(self, policy: ScalingPolicy, current: int,
+                pps: float) -> tuple[int, str]:
+        """(desired replica count, reason) under hysteresis."""
+        if pps > policy.target_pps * current:
+            needed = math.ceil(pps / policy.target_pps)
+            want = min(max(needed, current + 1), policy.max_replicas)
+            if want > current:
+                return want, (f"overload: {pps:.0f} pps > "
+                              f"{policy.target_pps:.0f}/replica x {current}")
+        if current > policy.min_replicas:
+            reduced = current - 1
+            fits = policy.target_pps * reduced * policy.scale_in_headroom
+            if pps < fits:
+                return reduced, (f"drain: {pps:.0f} pps fits {reduced} "
+                                 f"replica(s) with headroom")
+        return current, ""
+
+    def evaluate(self, now: Optional[float] = None) -> list[ScalingDecision]:
+        """One pass over every policy; applies and returns the changes.
+
+        Each change rewrites the raw desired graph (replica count only)
+        via ``set_desired`` and journals an ``autoscale`` event — the
+        reconciler converges on its own schedule (the control loop's
+        next tick, or an explicit ``reconcile``).
+        """
+        t = self.registry.now() if now is None else now
+        applied: list[ScalingDecision] = []
+        for (graph_id, nf_id), policy in sorted(self.policies.items()):
+            raw = self.reconciler.desired_raw.get(graph_id)
+            if raw is None:
+                continue
+            try:
+                spec = raw.nf(nf_id)
+            except KeyError:
+                continue
+            pps = self.registry.group_pps(graph_id, nf_id)
+            if pps is None:
+                continue  # fewer than two samples: no rate signal yet
+            current = spec.replicas
+            want, reason = self._wanted(policy, current, pps)
+            if want == current:
+                continue
+            last = self._last_change.get((graph_id, nf_id))
+            if last is not None and t - last < policy.cooldown_seconds:
+                continue
+            new_graph = Nffg(
+                graph_id=raw.graph_id, name=raw.name,
+                nfs=[replace(s, replicas=want) if s.nf_id == nf_id else s
+                     for s in raw.nfs],
+                endpoints=list(raw.endpoints),
+                flow_rules=list(raw.flow_rules))
+            self.reconciler.set_desired(new_graph)
+            self.reconciler.journal.append(
+                graph_id, "autoscale", nf_id=nf_id,
+                detail=f"{current} -> {want} replicas ({reason})")
+            decision = ScalingDecision(
+                at=t, graph_id=graph_id, nf_id=nf_id,
+                from_replicas=current, to_replicas=want,
+                measured_pps=pps, reason=reason)
+            self.decisions.append(decision)
+            applied.append(decision)
+            self._last_change[(graph_id, nf_id)] = t
+        return applied

@@ -1,0 +1,135 @@
+"""Render a :class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+Two consumers, two formats:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``metric{label="v"} value`` rows),
+  served on ``GET /metrics`` so a real scraper can point at a node;
+* :func:`render_top` — the human table behind ``repro top``: one row
+  per NF with replica counts, live rates and availability figures.
+
+Both are pure functions over the registry's current state; neither
+triggers a sample.
+"""
+
+from __future__ import annotations
+
+from repro.nffg.replicas import replica_base
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["render_prometheus", "render_top"]
+
+
+def _label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition."""
+    lines: list[str] = []
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    header("repro_nf_rx_packets_total", "counter",
+           "Frames the switch delivered into the NF (all its ports).")
+    header("repro_nf_rx_bytes_total", "counter",
+           "Bytes the switch delivered into the NF.")
+    header("repro_nf_pps", "gauge",
+           "NF ingress rate over the last sampling window (packets/s).")
+    header("repro_nf_bytes_per_second", "gauge",
+           "NF ingress byte rate over the last sampling window.")
+    header("repro_nf_replicas", "gauge",
+           "Live replica count per base NF.")
+    header("repro_graph_failures_total", "counter",
+           "Health-probe failures the reconciler detected.")
+    header("repro_graph_heals_total", "counter",
+           "Heals (restart or recreate) the reconciler completed.")
+    header("repro_graph_mttr_seconds", "gauge",
+           "Mean time-to-repair derived from the event journal.")
+    header("repro_graph_convergence_seconds", "gauge",
+           "Seconds from the last desired-state change to convergence.")
+    header("repro_graph_time_to_scale_seconds", "gauge",
+           "Seconds from the last autoscale decision to convergence.")
+    header("repro_journal_events_dropped_total", "counter",
+           "Journal events evicted by the per-graph ring buffer.")
+    header("repro_telemetry_samples_total", "counter",
+           "Sampling passes this registry has taken.")
+
+    for graph_id in registry.graphs():
+        graph_label = _label(graph_id)
+        for nf_id, rates in sorted(registry.nf_rates(graph_id).items()):
+            labels = f'graph="{graph_label}",nf="{_label(nf_id)}"'
+            lines.append(f"repro_nf_rx_packets_total{{{labels}}} "
+                         f"{rates['rx-packets-total']}")
+            lines.append(f"repro_nf_rx_bytes_total{{{labels}}} "
+                         f"{rates['rx-bytes-total']}")
+            lines.append(f"repro_nf_pps{{{labels}}} {rates['pps']:.6g}")
+            lines.append(f"repro_nf_bytes_per_second{{{labels}}} "
+                         f"{rates['bytes-per-second']:.6g}")
+        for base, count in sorted(registry.replica_counts(graph_id)
+                                  .items()):
+            lines.append(f'repro_nf_replicas{{graph="{graph_label}",'
+                         f'nf="{_label(base)}"}} {count}')
+        availability = registry.availability(graph_id)
+        glabel = f'graph="{graph_label}"'
+        lines.append(f"repro_graph_failures_total{{{glabel}}} "
+                     f"{availability['failures']}")
+        lines.append(f"repro_graph_heals_total{{{glabel}}} "
+                     f"{availability['heals']}")
+        if availability["mttr-seconds"] is not None:
+            lines.append(f"repro_graph_mttr_seconds{{{glabel}}} "
+                         f"{availability['mttr-seconds']:.6g}")
+        if availability["last-convergence-seconds"] is not None:
+            lines.append(
+                f"repro_graph_convergence_seconds{{{glabel}}} "
+                f"{availability['last-convergence-seconds']:.6g}")
+        if availability["time-to-scale-seconds"] is not None:
+            lines.append(
+                f"repro_graph_time_to_scale_seconds{{{glabel}}} "
+                f"{availability['time-to-scale-seconds']:.6g}")
+        lines.append(f"repro_journal_events_dropped_total{{{glabel}}} "
+                     f"{availability['journal-dropped']}")
+    lines.append(f"repro_telemetry_samples_total "
+                 f"{registry.samples_taken}")
+    return "\n".join(lines) + "\n"
+
+
+def render_top(document: dict) -> str:
+    """The ``repro top`` table from a node metrics JSON document.
+
+    Takes the *document* (not the registry) so the CLI can render what
+    a remote node answered over HTTP.
+    """
+    lines = [f"{'GRAPH':<12} {'NF':<16} {'REPLICAS':>8} {'PPS':>12} "
+             f"{'BYTES/S':>12} {'MTTR':>8} {'HEALS':>6}"]
+    graphs = document.get("graphs", {})
+    for graph_id in sorted(graphs):
+        graph = graphs[graph_id]
+        replicas = graph.get("replicas", {})
+        availability = graph.get("availability", {})
+        mttr = availability.get("mttr-seconds")
+        mttr_text = f"{mttr:.3f}" if mttr is not None else "-"
+        heals = availability.get("heals", 0)
+        nfs = graph.get("nfs", {})
+        bases: dict[str, list] = {}
+        for nf_id, rates in nfs.items():
+            base = replica_base(nf_id)
+            acc = bases.setdefault(base, [0.0, 0.0])
+            acc[0] += rates.get("pps", 0.0)
+            acc[1] += rates.get("bytes-per-second", 0.0)
+        first = True
+        for base in sorted(bases):
+            pps, bps = bases[base]
+            lines.append(
+                f"{graph_id if first else '':<12} {base:<16} "
+                f"{replicas.get(base, 1):>8} {pps:>12.1f} {bps:>12.1f} "
+                f"{mttr_text if first else '':>8} "
+                f"{heals if first else '':>6}")
+            first = False
+        if not bases:
+            lines.append(f"{graph_id:<12} {'(no samples)':<16}")
+    if len(lines) == 1:
+        lines.append("(no deployed graphs)")
+    return "\n".join(lines)

@@ -57,6 +57,29 @@ class TestCodec:
         assert message.match == FlowMatch()
         assert message.actions == []
 
+    def test_select_output_roundtrip(self):
+        from repro.switch import SelectOutput
+        actions = (PopVlan(), SelectOutput((4, 9, 17)))
+        data = encode_flow_mod(3, FlowModCommand.ADD,
+                               FlowMatch(in_port=1), actions)
+        message = decode_message(data)
+        assert tuple(message.actions) == actions
+
+    def test_malformed_select_output_raises_codec_error(self):
+        # An empty (count=0) or truncated select record must surface
+        # as a CodecError (the malformed-wire contract), never a
+        # ValueError escaping from the action constructor.
+        import struct
+        from repro.openflow import messages
+        empty_select = struct.pack("!H", 4) \
+            + struct.pack("!BB", 7, 2) + b"\x00\x00"
+        with pytest.raises(CodecError):
+            messages._decode_actions(empty_select, 0)
+        truncated = struct.pack("!H", 3) \
+            + struct.pack("!BB", 7, 1) + b"\x00"
+        with pytest.raises(CodecError):
+            messages._decode_actions(truncated, 0)
+
     def test_negative_vlan_sentinels_roundtrip(self):
         from repro.switch.flowtable import ANY_VLAN, NO_VLAN
         for sentinel in (ANY_VLAN, NO_VLAN):

@@ -1,0 +1,318 @@
+"""Telemetry: ring buffers, sampled rates, journal-derived MTTR, export.
+
+The journal-derived figures are asserted *exactly* — the sim clock
+drives every timestamp, so MTTR and convergence times are replays of
+the event log, not wall-clock approximations.
+"""
+
+import pytest
+
+from repro.catalog.templates import Technology
+from repro.compute.base import ComputeDriver, DriverError, Health
+from repro.core import ComputeNode
+from repro.core.reconciler import EventJournal
+from repro.net import MacAddress, make_udp_frame
+from repro.nffg.model import Nffg
+from repro.resources.capabilities import NodeCapabilities
+from repro.rest.app import RestApp
+from repro.rest.client import RestClient
+from repro.sim.engine import Simulator
+from repro.telemetry import ControlLoop, MetricsRegistry, SeriesRing, \
+    render_prometheus
+from repro.telemetry.export import render_top
+
+SRC = MacAddress("02:aa:00:00:00:01")
+DST = MacAddress("02:aa:00:00:00:02")
+
+
+class SickableDriver(ComputeDriver):
+    """Docker-flavored driver with injectable health/restart failures."""
+
+    technology = Technology.DOCKER
+    netns_prefix = "sick"
+
+    def __init__(self, host, restartable=True):
+        super().__init__(host)
+        self.sick = set()
+        self.restartable = restartable
+
+    def create(self, spec):
+        instance = super().create(spec)
+        self.sick.discard(spec.instance_id)
+        return instance
+
+    def restart(self, instance):
+        if not self.restartable:
+            raise DriverError("injected: core dump on restart")
+        super().restart(instance)
+        self.sick.discard(instance.instance_id)
+
+    def health(self, instance):
+        if instance.instance_id in self.sick:
+            return Health(False, "injected crash")
+        return super().health(instance)
+
+
+def make_node(restartable=True):
+    node = ComputeNode("telemetry-test",
+                       capabilities=NodeCapabilities.datacenter_server())
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+    driver = SickableDriver(node.host, restartable=restartable)
+    node.compute._drivers[Technology.DOCKER] = driver
+    return node, driver
+
+
+def dpi_graph(replicas=1):
+    graph = Nffg(graph_id="tg", name="telemetry graph")
+    graph.add_nf("dpi", "dpi", technology="docker", replicas=replicas)
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r1", "endpoint:lan", "vnf:dpi:in")
+    graph.add_flow_rule("r2", "vnf:dpi:out", "endpoint:wan")
+    return graph
+
+
+def flows(count, frames_per_flow=1):
+    out = []
+    for f in range(count):
+        for _ in range(frames_per_flow):
+            out.append(make_udp_frame(SRC, DST, f"10.0.{f % 5}.{f % 31}",
+                                      "10.1.0.1", 5000 + f, 53, b"t"))
+    return out
+
+
+# -- ring buffers ------------------------------------------------------------------
+
+def test_series_ring_bounds_and_evicts():
+    ring = SeriesRing(capacity=3)
+    for i in range(5):
+        ring.append(float(i), float(i * 10))
+    assert len(ring) == 3
+    assert ring.items() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+    assert ring.last == (4.0, 40.0)
+    with pytest.raises(ValueError):
+        SeriesRing(capacity=0)
+
+
+def test_event_journal_ring_reports_dropped():
+    journal = EventJournal(max_events=4, clock=lambda: 7.5)
+    for i in range(10):
+        journal.append("g", f"kind-{i}")
+    events = journal.events("g")
+    assert len(events) == 4
+    assert [e.kind for e in events] == ["kind-6", "kind-7", "kind-8",
+                                       "kind-9"]
+    assert journal.dropped_count("g") == 6
+    assert all(e.time == 7.5 for e in events)
+    journal.forget("g")
+    assert journal.dropped_count("g") == 0
+    with pytest.raises(ValueError):
+        EventJournal(max_events=0)
+
+
+def test_rest_events_report_ring_bound_and_dropped():
+    node, _ = make_node()
+    node.orchestrator.reconciler.journal.max_events = 5
+    # Rebuild rings at the new bound by using a fresh journal instead.
+    journal = EventJournal(max_events=5)
+    node.orchestrator.reconciler.journal = journal
+    node.telemetry.reconciler = node.orchestrator.reconciler
+    client = RestClient(RestApp(node))
+    node.deploy(dpi_graph())
+    for _ in range(4):
+        node.orchestrator.reconcile("tg")
+    reply = client.get("/graphs/tg/events")
+    assert reply.status == 200
+    assert reply.body["max-events"] == 5
+    assert len(reply.body["events"]) == 5
+    assert reply.body["dropped"] > 0
+
+
+# -- sampled rates -----------------------------------------------------------------
+
+def test_registry_derives_per_nf_rates_between_samples():
+    node, _ = make_node()
+    node.deploy(dpi_graph())
+    registry = node.telemetry
+    registry.sample(now=0.0)
+    node.steering.inject_batch("lan0", flows(10, frames_per_flow=4))
+    registry.sample(now=2.0)
+    rates = registry.nf_rates("tg")
+    assert rates["dpi"]["pps"] == pytest.approx(20.0)  # 40 frames / 2 s
+    assert rates["dpi"]["rx-packets-total"] == 40
+    assert rates["dpi"]["bytes-per-second"] > 0
+    assert registry.group_pps("tg", "dpi") == pytest.approx(20.0)
+
+
+def test_registry_aggregates_replica_groups():
+    node, _ = make_node()
+    node.deploy(dpi_graph(replicas=3))
+    registry = node.telemetry
+    registry.sample(now=0.0)
+    node.steering.inject_batch("lan0", flows(30, frames_per_flow=2))
+    registry.sample(now=1.0)
+    assert registry.replica_counts("tg") == {"dpi": 3}
+    rates = registry.nf_rates("tg")
+    assert set(rates) == {"dpi", "dpi@1", "dpi@2"}
+    assert registry.group_pps("tg", "dpi") == pytest.approx(60.0)
+    # Each replica saw a non-trivial share of the hash spread.
+    for nf_id in rates:
+        assert rates[nf_id]["pps"] > 0
+
+
+def test_counter_reset_on_recreate_never_yields_negative_rates():
+    """A heal-recreate gives the NF fresh LSI ports (counters back to
+    0); the next sample must re-base instead of deriving a negative
+    pps that would read as a drain signal."""
+    node, driver = make_node(restartable=False)
+    node.deploy(dpi_graph())
+    registry = node.telemetry
+    registry.sample(now=0.0)
+    node.steering.inject_batch("lan0", flows(10, frames_per_flow=5))
+    registry.sample(now=1.0)
+    assert registry.nf_rates("tg")["dpi"]["pps"] == pytest.approx(50.0)
+    driver.sick.add("tg-dpi")
+    node.orchestrator.reconcile("tg")  # restart fails -> recreate
+    registry.sample(now=2.0)
+    rates = registry.nf_rates("tg")["dpi"]
+    assert rates["pps"] >= 0
+    assert rates["rx-packets-total"] == 0  # fresh ports, rebased
+    node.steering.inject_batch("lan0", flows(4, frames_per_flow=2))
+    registry.sample(now=3.0)
+    assert registry.nf_rates("tg")["dpi"]["pps"] == pytest.approx(8.0)
+
+
+def test_ad_hoc_scrapes_do_not_shorten_rate_windows():
+    """REST-style samples between control-loop iterations refresh
+    totals but never derive a rate over a tiny window (the autoscaler
+    would otherwise see ~0 pps on a loaded NF)."""
+    node, _ = make_node()
+    node.deploy(dpi_graph())
+    registry = node.telemetry
+    registry.min_rate_window = 0.5  # what ControlLoop(interval=1.0) sets
+    registry.sample(now=10.0)
+    node.steering.inject_batch("lan0", flows(20, frames_per_flow=5))
+    registry.sample(now=10.95)      # scrape: 0.95 >= 0.5, fine
+    assert registry.nf_rates("tg")["dpi"]["pps"] > 0
+    node.steering.inject_batch("lan0", flows(20, frames_per_flow=5))
+    registry.sample(now=10.99)      # scrape right before the loop tick
+    registry.sample(now=11.0)       # loop tick: window still 10.95->11.0?
+    # The 0.04 s and 0.01 s windows were both refused; the rate stands
+    # on the last full window and the totals are fresh.
+    rates = registry.nf_rates("tg")["dpi"]
+    assert rates["rx-packets-total"] == 200
+    assert rates["pps"] > 50  # not the ~0 a 10 ms empty window would give
+    assert ControlLoop(node.orchestrator, registry,
+                       interval=2.0).registry.min_rate_window == 1.0
+
+
+def test_registry_drops_state_for_undeployed_graphs():
+    node, _ = make_node()
+    node.deploy(dpi_graph())
+    node.telemetry.sample(now=0.0)
+    assert node.telemetry.graphs() == ["tg"]
+    node.undeploy("tg")
+    node.telemetry.sample(now=1.0)
+    assert node.telemetry.graphs() == []
+
+
+# -- journal-derived availability ---------------------------------------------------
+
+def test_mttr_is_deterministic_under_the_sim_clock():
+    node, driver = make_node(restartable=False)
+    sim = Simulator()
+    loop = ControlLoop(node.orchestrator, node.telemetry, interval=1.0)
+    loop.run_sim(sim)
+    node.deploy(dpi_graph())
+
+    def injector():
+        yield sim.timeout(3.5)
+        driver.sick.add("tg-dpi")
+
+    sim.process(injector(), name="chaos")
+    sim.run(until=10.0)
+    availability = node.telemetry.availability("tg")
+    assert availability["failures"] == 1
+    assert availability["heals"] == 1
+    # Detected on the tick at t=4.0; the in-place restart fails there,
+    # and the recreate on the next tick (t=5.0) completes the repair:
+    # MTTR is exactly one control interval, every run.
+    assert availability["mttr-seconds"] == pytest.approx(1.0)
+    assert availability["journal-dropped"] == 0
+
+
+def test_availability_reports_convergence_and_scale_times():
+    node, _ = make_node()
+    journal = node.orchestrator.reconciler.journal
+    clock = [0.0]
+    journal.clock = lambda: clock[0]
+    node.deploy(dpi_graph())
+    availability = node.telemetry.availability("tg")
+    assert availability["mean-convergence-seconds"] is not None
+    assert availability["time-to-scale-seconds"] is None
+
+
+# -- export -------------------------------------------------------------------------
+
+def test_prometheus_export_and_rest_metrics():
+    node, driver = make_node(restartable=False)
+    sim = Simulator()
+    loop = ControlLoop(node.orchestrator, node.telemetry, interval=1.0)
+    loop.run_sim(sim)
+    node.deploy(dpi_graph())
+
+    def chaos():
+        yield sim.timeout(2.5)
+        driver.sick.add("tg-dpi")
+
+    def traffic():
+        while True:
+            node.steering.inject_batch("lan0", flows(8, frames_per_flow=3))
+            yield sim.timeout(1.0)
+
+    sim.process(chaos(), name="chaos")
+    sim.process(traffic(), name="traffic")
+    sim.run(until=8.0)
+
+    client = RestClient(RestApp(node))
+    text = client.prometheus_metrics()
+    assert "# TYPE repro_nf_pps gauge" in text
+    pps_values = [float(line.rsplit(" ", 1)[1]) for line in text.splitlines()
+                  if line.startswith("repro_nf_pps{")]
+    assert pps_values and any(value > 0 for value in pps_values)
+    mttr_lines = [line for line in text.splitlines()
+                  if line.startswith("repro_graph_mttr_seconds")]
+    assert len(mttr_lines) == 1
+    mttr = float(mttr_lines[0].rsplit(" ", 1)[1])
+    assert mttr == pytest.approx(1.0)  # finite, and exact under sim time
+
+    document = client.graph_metrics("tg")
+    assert document["availability"]["heals"] == 1
+    assert document["nfs"]["dpi"]["pps"] > 0
+    reply = client.get("/metrics")
+    assert reply.content_type.startswith("text/plain")
+    assert client.get("/graphs/nope/metrics").status == 404
+
+
+def test_render_top_table():
+    node, _ = make_node()
+    node.deploy(dpi_graph(replicas=2))
+    node.telemetry.sample(now=0.0)
+    node.steering.inject_batch("lan0", flows(12, frames_per_flow=2))
+    node.telemetry.sample(now=1.0)
+    text = render_top(node.telemetry.to_dict())
+    assert "GRAPH" in text and "tg" in text and "dpi" in text
+    # Replicas aggregate back onto the base NF row.
+    assert "dpi@1" not in text
+    line = next(line for line in text.splitlines() if " dpi " in line)
+    assert " 2 " in line  # replica count column
+
+
+def test_render_prometheus_escapes_and_counts_samples():
+    node, _ = make_node()
+    node.deploy(dpi_graph())
+    node.telemetry.sample(now=0.0)
+    text = render_prometheus(node.telemetry)
+    assert text.endswith("\n")
+    assert "repro_telemetry_samples_total 1" in text
