@@ -222,6 +222,9 @@ class TrafficSteeringManager:
 
     def remove_graph_network(self, graph_id: str) -> None:
         network = self._network(graph_id)
+        # Fused programs first: nothing stale may run while the graph's
+        # rules, ports and link are being torn down underneath it.
+        self.invalidate_fusion()
         network.controller.flow_delete_by_cookie(network.cookie)
         self.base_controller.flow_delete_by_cookie(network.cookie)
         network.installed.clear()
@@ -274,14 +277,27 @@ class TrafficSteeringManager:
                 self.uninstall_rule(graph.graph_id, rule.rule_id)
             self._install_rule(network, graph, instances, rule)
             installed += 1
+        if installed:
+            # New segments may extend chains that previously dead-ended
+            # (negative-cached traces): bump the engines so ingress
+            # entries re-trace against the post-install rule set.
+            self.invalidate_fusion()
         return installed
 
     def uninstall_rule(self, graph_id: str, rule_id: str) -> bool:
-        """Strict-delete every segment of one realized rule."""
+        """Strict-delete every segment of one realized rule.
+
+        Fused-chain programs are dropped *before* the first strict
+        delete reaches any table: a chain compiled through this rule's
+        segments must never run again once any part of the rule is
+        gone, even if a batch is mid-flight when the flow-mod lands
+        (the remaining frames fall back to the per-hop path).
+        """
         network = self._network(graph_id)
         realized = network.installed.pop(rule_id, None)
         if realized is None:
             return False
+        self.invalidate_fusion()
         for controller, match, priority in realized.segments:
             controller.flow_delete(match, cookie=network.cookie,
                                    strict=True, priority=priority)
@@ -501,6 +517,31 @@ class TrafficSteeringManager:
             self.inject_batch(interface, batch)
             total += len(batch)
         return total
+
+    # -- chain fusion -------------------------------------------------------------
+    def invalidate_fusion(self) -> int:
+        """Drop every fused-chain program on every LSI of this node;
+        returns how many live programs were dropped.
+
+        This is the steering-level half of the fusion-invalidation
+        contract (:mod:`repro.switch.fusion`): any rule install/
+        uninstall, replica change (which goes through install/
+        uninstall) or graph teardown calls it *before* the change
+        reaches the tables, so no program compiled against the old
+        rule set can run afterwards.  The flush-time validity check
+        remains as the backstop for direct table writes.
+        """
+        dropped = self.base.datapath.fusion.invalidate()
+        for network in self.graphs.values():
+            dropped += network.lsi.datapath.fusion.invalidate()
+        return dropped
+
+    def fusion_stats(self) -> dict[str, dict]:
+        """Per-LSI fused-chain counters (telemetry view)."""
+        stats = {"LSI-0": self.base.datapath.fusion.stats()}
+        for network in self.graphs.values():
+            stats[network.lsi.name] = network.lsi.datapath.fusion.stats()
+        return stats
 
     # -- inspection ---------------------------------------------------------------
     def flow_counts(self) -> dict[str, int]:

@@ -15,11 +15,13 @@ Three sweeps:
   steering shape.
 
 * **Chain** — wires N datapaths in a row with virtual links (the
-  Figure-1 LSI chain) and times per-frame :meth:`Datapath.process`
-  with *interpreted* actions (the pre-PR cost model) against
-  :meth:`Datapath.process_batch_from` with compiled actions, per-batch
-  flow/port counters and zero-reparse ``ParsedFrame`` carry across the
-  links.
+  Figure-1 LSI chain) and times three cost models: per-frame
+  :meth:`Datapath.process` with *interpreted* actions (the pre-PR
+  cost model), :meth:`Datapath.process_batch_from` with compiled
+  actions and zero-reparse ``ParsedFrame`` carry but fusion disabled
+  (the per-hop batch path), and the production configuration with
+  chain fusion on (:mod:`repro.switch.fusion` — one straight-line
+  program per batch group, a single lookup at chain ingress).
 
 ``run_dataplane_bench`` bundles the sweeps into a JSON-serializable
 dict; benches write it to ``BENCH_dataplane.json`` so later PRs can
@@ -57,11 +59,13 @@ __all__ = [
     "ActionPoint",
     "ChainPoint",
     "CHAIN_BATCH_TARGET",
+    "FUSED_CHAIN_TARGET_AT_4",
     "LookupPoint",
     "SMALL_TABLE_FLOOR",
     "SPEEDUP_TARGET_AT_1K",
     "CHAIN_BATCH_TARGET_AT_4",
     "build_steering_table",
+    "check_fused_invalidation",
     "check_results",
     "count_chain_excess_parse_frame",
     "count_fast_path_parse_cidr",
@@ -84,6 +88,10 @@ CHAIN_BATCH_TARGET_AT_4 = 1.8
 #: Regression floor for *every* chain length: batching must never be
 #: meaningfully slower than the per-frame path.
 CHAIN_POINT_FLOOR = 0.9
+#: Acceptance target at chain length 4 for the *fused* leg: whole-chain
+#: straight-line programs vs per-frame interpretation.  The per-hop
+#: batch path sits at ~3.25x; fusion must roughly double it.
+FUSED_CHAIN_TARGET_AT_4 = 6.0
 #: Acceptance floor: small tables (<= bypass threshold) must not lose
 #: to the bare reference linear scan.
 SMALL_TABLE_FLOOR = 1.0
@@ -120,8 +128,13 @@ class ChainPoint:
 
     ``single_pps`` is per-frame :meth:`Datapath.process` with
     interpreted actions (the pre-compilation cost model);
-    ``batched_pps`` is :meth:`Datapath.process_batch` with compiled
-    actions and per-batch counters.
+    ``batched_pps`` is :meth:`Datapath.process_batch_from` with
+    compiled actions and per-batch counters but fusion disabled (the
+    per-hop batch path); ``fused_pps`` re-enables chain fusion — the
+    production configuration.  ``fused_hits`` counts frames the
+    ingress engine actually delivered through fused programs during
+    the fused leg (0 at chain length 1, where single-hop "chains"
+    stay on the already-optimal per-hop path by design).
     """
 
     chain_length: int
@@ -129,6 +142,9 @@ class ChainPoint:
     single_pps: float
     batched_pps: float
     speedup: float
+    fused_pps: float = 0.0
+    fused_speedup: float = 0.0
+    fused_hits: int = 0
 
 
 @dataclass
@@ -317,11 +333,14 @@ def _build_chain(length: int) -> list[Datapath]:
 
 def sweep_chain(lengths=(1, 2, 4), packets: int = 1000,
                 seed: int = 11, repeats: int = 3) -> list[ChainPoint]:
-    """Time per-frame interpreted vs batched compiled chain traversal.
+    """Time the three chain cost models at each length.
 
-    The per-frame leg disables ``compiled_actions`` on every hop so the
-    baseline reproduces the pre-compilation cost model; the batched leg
-    re-enables it, which is the production configuration.
+    Three legs per length, same frames, same wiring: per-frame
+    interpreted :meth:`Datapath.process` (the pre-compilation cost
+    model), per-hop batched with compiled actions but fusion *off*
+    (the pre-fusion cost model, and the fusion fallback path), and the
+    production configuration — batched with chain fusion on, where the
+    whole chain runs as one straight-line program per batch group.
     """
     rng = random.Random(seed)
     frames = [make_udp_frame(_MAC_A, _MAC_B, "10.0.0.1", "10.0.0.2",
@@ -349,15 +368,24 @@ def sweep_chain(lengths=(1, 2, 4), packets: int = 1000,
 
         for hop in hops:
             hop.compiled_actions = True
+            hop.fusion.enabled = False
         batched_elapsed = _best_elapsed(run_batched, repeats)
 
-        assert sink.tx_packets == len(warmup) + 2 * repeats * packets, \
+        for hop in hops:
+            hop.fusion.enabled = True
+        fused_elapsed = _best_elapsed(run_batched, repeats)
+        fused_hits = first.fusion.hits
+
+        assert sink.tx_packets == len(warmup) + 3 * repeats * packets, \
             f"chain {length}: sink saw {sink.tx_packets} frames"
         single_pps = packets / single_elapsed
         batched_pps = packets / batched_elapsed
+        fused_pps = packets / fused_elapsed
         points.append(ChainPoint(
             chain_length=length, packets=packets, single_pps=single_pps,
-            batched_pps=batched_pps, speedup=batched_pps / single_pps))
+            batched_pps=batched_pps, speedup=batched_pps / single_pps,
+            fused_pps=fused_pps, fused_speedup=fused_pps / single_pps,
+            fused_hits=fused_hits))
     return points
 
 
@@ -390,16 +418,19 @@ def count_fast_path_parse_cidr(table: FlowTable, workload) -> int:
 
 
 def count_chain_excess_parse_frame(length: int, packets: int = 50,
-                                   seed: int = 23) -> int:
+                                   seed: int = 23,
+                                   fused: bool = False) -> int:
     """``parse_frame`` calls beyond one per frame on an untouched chain.
 
     Builds a plain-``Output`` chain of ``length`` hops (no action
     rewrites any frame), runs one batch of raw frames through it while
     counting every ``parse_frame`` call the datapath makes, and returns
     the excess over the unavoidable one-parse-per-frame at ingress.
-    The zero-reparse pipeline must return 0 at every chain length:
-    the carried :class:`ParsedFrame` makes re-parsing at hops 2..N
-    structurally impossible for untouched frames.
+    Must return 0 at every chain length on both paths: ``fused=False``
+    pins the per-hop batch pipeline (carried :class:`ParsedFrame`
+    views make re-parsing at hops 2..N structurally impossible),
+    ``fused=True`` the production fused path (downstream hops do not
+    even see the frames until the terminal).
     """
     from repro.switch import datapath as datapath_module
 
@@ -408,6 +439,8 @@ def count_chain_excess_parse_frame(length: int, packets: int = 50,
                              4000 + rng.randrange(1000), 5001, b"x")
               for _ in range(packets)]
     hops = _build_chain(length)
+    for hop in hops:
+        hop.fusion.enabled = fused
     calls = [0]
     original = datapath_module.parse_frame
 
@@ -423,7 +456,61 @@ def count_chain_excess_parse_frame(length: int, packets: int = 50,
     sink = hops[-1].port_by_name("sink")
     assert sink.tx_packets == packets, \
         f"chain {length}: sink saw {sink.tx_packets}/{packets} frames"
+    if fused and length >= 2:
+        assert hops[0].fusion.hits == packets, \
+            f"chain {length}: fusion engaged for only " \
+            f"{hops[0].fusion.hits}/{packets} frames"
     return calls[0] - packets
+
+
+def check_fused_invalidation(packets: int = 40, seed: int = 29) -> dict:
+    """Behavioral gate on the fusion-invalidation contract.
+
+    Runs a chain-2 batch (which fuses), lands a flow-mod *directly* on
+    the downstream table — the worst case: no steering-level
+    invalidation fires, only the flush-time validity check stands
+    between the stale program and the wire — then batches again.  The
+    second batch must take the fallback path to the *new* terminal
+    (zero frames may reach the old sink), and a third batch must
+    re-fuse against the new rule set.  Returned counters are asserted
+    by :func:`check_results` in quick and full mode alike.
+    """
+    rng = random.Random(seed)
+    frames = [make_udp_frame(_MAC_A, _MAC_B, "10.0.0.1", "10.0.0.2",
+                             4000 + rng.randrange(1000), 5001, b"x")
+              for _ in range(packets)]
+    hops = _build_chain(2)
+    first, last = hops[0], hops[-1]
+    engine = first.fusion
+    old_sink = last.port_by_name("sink")
+
+    first.process_batch_from(1, frames)
+    fused_before = engine.hits
+    old_before = old_sink.tx_packets
+
+    # The flow-mod: retarget the terminal entry at a new sink port via
+    # a direct table write (add() strict-deletes the old entry).
+    new_sink = last.add_port("sink2")
+    entry = next(iter(last.table))
+    last.install(FlowEntry(match=entry.match,
+                           actions=(Output(new_sink.port_no),),
+                           priority=entry.priority))
+
+    first.process_batch_from(1, frames)
+    stale = old_sink.tx_packets - old_before
+    fallback = new_sink.tx_packets
+    invalidations = engine.invalidations
+    hits_before_retrace = engine.hits
+
+    first.process_batch_from(1, frames)
+    return {
+        "packets": packets,
+        "fused_before_flowmod": fused_before,
+        "stale_frames_delivered": stale,
+        "fallback_delivered": fallback,
+        "invalidations": invalidations,
+        "refused_after_retrace": engine.hits - hits_before_retrace,
+    }
 
 
 def run_dataplane_bench(sizes=None,
@@ -479,13 +566,19 @@ def run_dataplane_bench(sizes=None,
     excess_parse_frame = max(
         (count_chain_excess_parse_frame(length, seed=seed + 6)
          for length in chain_lengths), default=0)
+    fused_excess_parse_frame = max(
+        (count_chain_excess_parse_frame(length, seed=seed + 6, fused=True)
+         for length in chain_lengths), default=0)
+    fusion_invalidation = check_fused_invalidation(seed=seed + 10)
     return {
         "lookup": [asdict(point) for point in lookup],
         "actions": [asdict(point) for point in actions],
         "chain": [asdict(point) for point in chain],
         "autoscale": autoscale,
+        "fusion_invalidation": fusion_invalidation,
         "fast_path_parse_cidr_calls": parse_cidr_calls,
         "chain_excess_parse_frame_calls": excess_parse_frame,
+        "fused_chain_excess_parse_frame_calls": fused_excess_parse_frame,
         "meta": {
             "lookup_packets": lookup_packets,
             "chain_packets": chain_packets,
@@ -544,10 +637,29 @@ def check_results(results: dict) -> None:
                     f"zero-reparse chain only {at_four['speedup']:.2f}x "
                     f"over per-frame interpretation at length 4 "
                     f"(target {CHAIN_BATCH_TARGET_AT_4}x)")
+                fused_at_four = at_four.get("fused_speedup")
+                if fused_at_four:
+                    assert fused_at_four >= FUSED_CHAIN_TARGET_AT_4, (
+                        f"fused chain only {fused_at_four:.2f}x over "
+                        f"per-frame interpretation at length 4 "
+                        f"(target {FUSED_CHAIN_TARGET_AT_4}x)")
         for point in chain:
             assert point["speedup"] >= CHAIN_POINT_FLOOR, (
                 f"batched chain regressed at length "
                 f"{point['chain_length']}: {point['speedup']:.2f}x")
+            fused_speedup = point.get("fused_speedup")
+            if fused_speedup:
+                # Fusion-active smoke (quick and full mode): a fused
+                # leg that measured anything must have actually fused
+                # at every multi-hop length, and must never regress
+                # below the per-frame path.
+                assert fused_speedup >= CHAIN_POINT_FLOOR, (
+                    f"fused chain regressed at length "
+                    f"{point['chain_length']}: {fused_speedup:.2f}x")
+                if point["chain_length"] >= 2:
+                    assert point.get("fused_hits", 0) > 0, (
+                        f"fusion never engaged at chain length "
+                        f"{point['chain_length']} (0 fused hits)")
     action_speedups = [p["speedup"] for p in results.get("actions", [])]
     if action_speedups:
         mean = sum(action_speedups) / len(action_speedups)
@@ -572,6 +684,27 @@ def check_results(results: dict) -> None:
             f"(0, {AUTOSCALE_MAX_TICKS_TO_SCALE} x {interval}s]")
         assert not autoscale["loop_error"], (
             f"control loop errored: {autoscale['loop_error']}")
+    invalidation = results.get("fusion_invalidation")
+    if invalidation is not None:
+        # Invalidation-fallback gate (quick and full mode): a flow-mod
+        # between batches must never replay a stale fused chain.
+        packets = invalidation["packets"]
+        assert invalidation["fused_before_flowmod"] == packets, (
+            f"fusion delivered only "
+            f"{invalidation['fused_before_flowmod']}/{packets} frames "
+            "before the flow-mod")
+        assert invalidation["stale_frames_delivered"] == 0, (
+            f"{invalidation['stale_frames_delivered']} frames ran a "
+            "stale fused chain after a flow-mod")
+        assert invalidation["fallback_delivered"] == packets, (
+            f"fallback delivered only "
+            f"{invalidation['fallback_delivered']}/{packets} frames "
+            "to the post-flow-mod terminal")
+        assert invalidation["invalidations"] >= 1, (
+            "the stale fused program was never counted as invalidated")
+        assert invalidation["refused_after_retrace"] == packets, (
+            "the chain did not re-fuse after the invalidation "
+            f"({invalidation['refused_after_retrace']}/{packets} hits)")
     assert results["fast_path_parse_cidr_calls"] == 0, (
         "fast path called parse_cidr "
         f"{results['fast_path_parse_cidr_calls']} times")
@@ -579,6 +712,10 @@ def check_results(results: dict) -> None:
     assert excess == 0, (
         f"untouched frames were re-parsed {excess} times beyond the "
         "one ingress parse (zero-reparse carry is broken)")
+    fused_excess = results.get("fused_chain_excess_parse_frame_calls", 0)
+    assert fused_excess == 0, (
+        f"fused path re-parsed frames {fused_excess} times beyond the "
+        "one ingress parse")
 
 
 def write_bench_json(results: dict, path: str) -> None:
@@ -609,12 +746,16 @@ def format_results(results: dict) -> str:
                          f"{point['speedup']:>8.2f}x")
     lines.append("")
     lines.append(f"{'chain':>6} {'single pps':>12} {'batched pps':>13} "
-                 f"{'speedup':>9}")
+                 f"{'speedup':>9} {'fused pps':>12} {'fused':>8}")
     for point in results["chain"]:
+        fused_pps = point.get("fused_pps", 0.0)
+        fused_speedup = point.get("fused_speedup", 0.0)
         lines.append(f"{point['chain_length']:>6} "
                      f"{point['single_pps']:>12.0f} "
                      f"{point['batched_pps']:>13.0f} "
-                     f"{point['speedup']:>8.2f}x")
+                     f"{point['speedup']:>8.2f}x "
+                     f"{fused_pps:>12.0f} "
+                     f"{fused_speedup:>7.2f}x")
     autoscale = results.get("autoscale")
     if autoscale:
         lines.append("")
@@ -626,9 +767,21 @@ def format_results(results: dict) -> str:
             f"drain in {t_drain if t_drain is not None else '?'}s, "
             f"peak {autoscale.get('max_replicas_seen')} replicas, "
             f"final {autoscale.get('final_replicas')}")
+    invalidation = results.get("fusion_invalidation")
+    if invalidation:
+        lines.append("")
+        lines.append(
+            "fusion invalidation: "
+            f"{invalidation.get('fused_before_flowmod')} fused before "
+            f"flow-mod, {invalidation.get('stale_frames_delivered')} "
+            f"stale, {invalidation.get('fallback_delivered')} fell "
+            f"back, {invalidation.get('refused_after_retrace')} "
+            "re-fused after")
     lines.append("")
     lines.append("fast-path parse_cidr calls: "
                  f"{results['fast_path_parse_cidr_calls']}")
     lines.append("chain excess parse_frame calls: "
                  f"{results.get('chain_excess_parse_frame_calls', 0)}")
+    lines.append("fused-chain excess parse_frame calls: "
+                 f"{results.get('fused_chain_excess_parse_frame_calls', 0)}")
     return "\n".join(lines)

@@ -11,6 +11,9 @@ traffic, all programmed over OpenFlow.  This package provides:
   controller actions;
 * :mod:`repro.switch.datapath` — the pipeline: ports, lookup, action
   execution, packet-in on miss;
+* :mod:`repro.switch.fusion` — chain fusion: whole stable LSI chains
+  compiled into straight-line programs, one ingress lookup per batch
+  group;
 * :mod:`repro.switch.lsi` — the LSI wrapper and inter-LSI virtual
   links (the "Virtual Link among LSIs" of Figure 1).
 """
@@ -32,6 +35,7 @@ from repro.switch.flowtable import (
     FlowTable,
     FlowTableOracleError,
 )
+from repro.switch.fusion import FusedChain, FusionEngine
 from repro.switch.lsi import LogicalSwitchInstance, VirtualLink
 
 __all__ = [
@@ -42,6 +46,8 @@ __all__ = [
     "FlowMatch",
     "FlowTable",
     "FlowTableOracleError",
+    "FusedChain",
+    "FusionEngine",
     "LogicalSwitchInstance",
     "Output",
     "PopVlan",

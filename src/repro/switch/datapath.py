@@ -35,6 +35,25 @@ cached closure (one call — see
 ``datapath.compiled_actions = False`` to fall back to the interpreted
 reference loop (:meth:`Datapath.execute_interpreted`), which the perf
 sweep uses as its baseline and the property suite as its oracle.
+
+One level further up sits *chain fusion*
+(:mod:`repro.switch.fusion`): when an ingress entry's whole chain —
+pure-output/rewrite hops over ``carry_parsed`` links to a terminal
+egress — is statically determined, the batch paths collect its frames
+into one group and settle the entire traversal at flush through a
+:class:`~repro.switch.fusion.FusedChain`: a single ingress lookup, no
+intermediate ``carry_batch``/``process_batch_from`` round-trips, all
+per-hop counters accumulated arithmetically.  Fused programs are
+re-validated immediately before running, so any mid-batch change
+along the chain falls the group back to the per-hop batch path, which
+stays the differential oracle (``datapath.fusion.enabled = False``
+pins it).
+
+Batch contracts (both batch paths): the ingress port is resolved once
+per same-port run (not per frame), taps run in a pre-pass over the
+run's frames before any lookup, and rx counters flush once per run —
+a packet-in handler therefore sees pre-run rx totals, pre-batch
+flow/tx totals.
 """
 
 from __future__ import annotations
@@ -57,6 +76,7 @@ from repro.switch.actions import (
     flow_hash,
 )
 from repro.switch.flowtable import FlowEntry, FlowTable
+from repro.switch.fusion import FusedChain, FusionEngine
 
 __all__ = ["Datapath", "SwitchPort"]
 
@@ -112,6 +132,22 @@ class SwitchPort:
         return f"<SwitchPort {self.port_no}:{self.name}>"
 
 
+class _BatchState:
+    """Shared mutable state of one batch invocation: the flow-counter
+    accumulator and egress queues every ingress run feeds, the emit
+    closures bound to them, and — when fusion is engaged — the fused
+    groups awaiting settlement in :meth:`Datapath._finish_batch`.
+
+    ``fusion`` is the ingress datapath's engine when fusion is live
+    for this batch (enabled, compiled mode, no taps), else ``None``.
+    ``fused`` maps ingress ``entry_id`` to
+    ``[program, frames, nbytes, in_port]`` groups.
+    """
+
+    __slots__ = ("pending", "queues", "emit", "emit_carry", "enqueue",
+                 "fusion", "fused")
+
+
 class Datapath:
     """Single-table software switch."""
 
@@ -140,6 +176,11 @@ class Datapath:
         #: that re-injects mid-program would clobber it, so hash-select
         #: programs read the cell before any punt.
         self.carried: list = [None, 0]
+        #: Chain-fusion engine for chains whose *ingress* is this LSI
+        #: (see :mod:`repro.switch.fusion`).  On by default; the perf
+        #: sweep's per-hop leg and the differential oracle disable it
+        #: per instance.
+        self.fusion = FusionEngine(self)
 
     # -- port management --------------------------------------------------------
     def add_port(self, name: str, device: Optional[NetDevice] = None,
@@ -302,130 +343,59 @@ class Datapath:
                 continue
             port.deliver_out_batch(frames, nbytes)
 
-    def process_batch(self,
-                      batch: "Iterable[tuple[int, EthernetFrame | ParsedFrame]]") -> None:
-        """Run a batch of ``(in_port, frame)`` through the pipeline.
+    def _begin_batch(self) -> _BatchState:
+        """Build the shared state of one batch invocation."""
+        state = _BatchState()
+        state.pending = {}
+        state.queues = {}
+        state.emit, state.emit_carry, state.enqueue = \
+            self._batch_emit(state.queues, self.carried)
+        engine = self.fusion
+        # Fusion engages only when the chain hot path itself would run
+        # unobserved: compiled mode and no taps (a tap must see every
+        # frame per hop, which a fused chain by design does not do).
+        state.fusion = (engine if engine.enabled and self.compiled_actions
+                        and not self.taps else None)
+        state.fused = {}
+        return state
 
-        Behaviorally equivalent to calling :meth:`process` per frame,
-        except that side effects are amortized: flow/table counters and
-        port rx counters are flushed once at the end (a tap or packet-in
-        handler that inspects counters mid-batch sees pre-batch values),
-        and egress is coalesced per output port (virtual links forward
-        one batch to the far LSI instead of recursing per frame, and tx
-        counters are written once per port).  Per-port egress order is
-        preserved among *matched* frames; frames for different output
-        ports are not interleaved.  A packet-in handler that re-injects
-        via :meth:`process` delivers immediately, i.e. ahead of frames
-        still queued for the batch flush.
+    def _run_ingress(self, in_port: int,
+                     frames: "Iterable[EthernetFrame | ParsedFrame]",
+                     state: _BatchState) -> None:
+        """The one batch inner loop: run a same-ingress-port run of
+        frames into the batch state.  Both batch entry points reduce
+        to calls of this (their only difference is how runs are
+        segmented), so the fusion fallback has exactly one per-hop body
+        to stay equivalent to.
 
-        Frames may be raw :class:`EthernetFrame` objects or
-        :class:`ParsedFrame` views carried from an upstream hop; the
-        latter are *not* re-parsed (see the module docstring).
-        """
-        table = self.table
-        taps = self.taps
-        ports = self.ports
-        compiled = self.compiled_actions
-        # entry_id -> [entry, packets, bytes]
-        pending: dict[int, list] = {}
-        # in port_no -> [port, packets, bytes]
-        rx_pending: dict[int, list] = {}
-        # out port_no -> [carried parses in ingress order, byte total]
-        queues: dict[int, list] = {}
-        carried = self.carried
-        emit, emit_carry, enqueue = self._batch_emit(queues, carried)
-
-        try:
-            for in_port, frame in batch:
-                port = self.ports.get(in_port)
-                if port is None:
-                    raise KeyError(
-                        f"frame from unknown port {in_port} on {self.name}")
-                parsed = (frame if type(frame) is ParsedFrame
-                          else parse_frame(frame))
-                size = parsed.wire_len
-                acc = rx_pending.get(in_port)
-                if acc is None:
-                    rx_pending[in_port] = [port, 1, size]
-                else:
-                    acc[1] += 1
-                    acc[2] += size
-                if taps:
-                    eth = parsed.eth
-                    for tap in taps:
-                        tap(in_port, eth)
-                entry = table.lookup(in_port, parsed, count=False)
-                if entry is None:
-                    self.table_misses += 1
-                    if self.packet_in_handler is not None:
-                        self.packet_in_handler(self, in_port, parsed.eth)
-                    else:
-                        self.dropped += 1
-                    continue
-                acc = pending.get(entry.entry_id)
-                if acc is None:
-                    pending[entry.entry_id] = [entry, 1, size]
-                else:
-                    acc[1] += 1
-                    acc[2] += size
-                if compiled:
-                    out_fast = entry.fast_out
-                    if out_fast is not None:
-                        # Pure-output hop: enqueue the carried parse
-                        # directly — no carried rebind, no closure call.
-                        acc = queues.get(out_fast)
-                        if acc is not None:
-                            acc[0].append(parsed)
-                            acc[1] += size
-                        elif out_fast == FLOOD_PORT \
-                                or out_fast not in ports:
-                            self._route(out_fast, in_port, parsed, enqueue)
-                        else:
-                            queues[out_fast] = [[parsed], size]
-                        continue
-                    carried[0] = parsed
-                    carried[1] = size
-                    program = entry.compiled
-                    program(self, in_port, parsed.eth,
-                            emit if program.mutates else emit_carry)
-                else:
-                    carried[0] = parsed
-                    carried[1] = size
-                    self.execute_interpreted(entry.actions, in_port,
-                                             parsed.eth, emit)
-        finally:
-            # A bad frame or raising tap must not lose the prefix of the
-            # batch: flush whatever was matched and queued so far.
-            for port, packets, nbytes in rx_pending.values():
-                self.rx_packets += packets
-                port.rx_packets += packets
-                port.rx_bytes += nbytes
-            self._flush_batch(pending, queues)
-
-    def process_batch_from(
-            self, in_port: int,
-            frames: "Iterable[EthernetFrame | ParsedFrame]") -> None:
-        """Run a batch of frames arriving on one ingress port.
-
-        Semantically ``process_batch((in_port, f) for f in frames)``,
-        but the single-port shape — what a virtual link carries to the
-        next LSI and what a batch-aware :class:`NetDevice` hands its
-        handler — lets the port lookup and the rx accounting move out
-        of the per-frame loop entirely, and no ``(port, frame)`` tuples
-        are built.  This is the chain hot path.
+        Taps run in a pre-pass (frames are parsed once, here or in the
+        loop, never twice); rx counters flush in this method's
+        ``finally``, once per run, covering exactly the frames pulled
+        from the iterator.
         """
         port = self.ports.get(in_port)
         if port is None:
             raise KeyError(
                 f"frame from unknown port {in_port} on {self.name}")
-        table = self.table
         taps = self.taps
+        if taps:
+            frames = [frame if type(frame) is ParsedFrame
+                      else parse_frame(frame) for frame in frames]
+            for parsed in frames:
+                eth = parsed.eth
+                for tap in taps:
+                    tap(in_port, eth)
+        table = self.table
         ports = self.ports
         compiled = self.compiled_actions
-        pending: dict[int, list] = {}
-        queues: dict[int, list] = {}
+        pending = state.pending
+        queues = state.queues
+        emit = state.emit
+        emit_carry = state.emit_carry
+        enqueue = state.enqueue
+        fusion = state.fusion
+        fused = state.fused
         carried = self.carried
-        emit, emit_carry, enqueue = self._batch_emit(queues, carried)
         packets = 0
         nbytes = 0
 
@@ -436,10 +406,6 @@ class Datapath:
                 size = parsed.wire_len
                 packets += 1
                 nbytes += size
-                if taps:
-                    eth = parsed.eth
-                    for tap in taps:
-                        tap(in_port, eth)
                 entry = table.lookup(in_port, parsed, count=False)
                 if entry is None:
                     self.table_misses += 1
@@ -454,13 +420,29 @@ class Datapath:
                 else:
                     acc[1] += 1
                     acc[2] += size
+                if fusion is not None:
+                    program = entry.fused
+                    if program.__class__ is not FusedChain and (
+                            program is None or program != fusion.epoch):
+                        program = fusion.trace(entry)
+                    if program.__class__ is FusedChain:
+                        # Whole-chain hop: park the frame for one
+                        # straight-line settlement at flush instead of
+                        # walking it hop by hop.
+                        group = fused.get(entry.entry_id)
+                        if group is None:
+                            fused[entry.entry_id] = [program, [parsed],
+                                                     size, in_port]
+                        else:
+                            group[1].append(parsed)
+                            group[2] += size
+                        continue
                 if compiled:
                     out_fast = entry.fast_out
                     if out_fast is not None:
-                        # The chain hot path's hot path: a pure-output
-                        # entry forwards the carried parse with one
-                        # dict hit and an append — no carried rebind,
-                        # no program call, no emit closure.
+                        # Pure-output hop: enqueue the carried parse
+                        # with one dict hit and an append — no carried
+                        # rebind, no program call, no emit closure.
                         acc = queues.get(out_fast)
                         if acc is not None:
                             acc[0].append(parsed)
@@ -482,10 +464,136 @@ class Datapath:
                     self.execute_interpreted(entry.actions, in_port,
                                              parsed.eth, emit)
         finally:
+            # A bad frame or raising handler must not lose the run's
+            # prefix: account what was actually pulled and processed.
             self.rx_packets += packets
             port.rx_packets += packets
             port.rx_bytes += nbytes
-            self._flush_batch(pending, queues)
+
+    def _fused_fallback(self, entry: FlowEntry, frames: list[ParsedFrame],
+                        in_port: int, state: _BatchState) -> None:
+        """Per-hop execution of a fused group whose program went stale
+        between collection and flush (mid-batch flow-mod, port removal,
+        tap attach...).  The frames' ingress rx and flow counters are
+        already accounted; this replays only the execution arm of
+        :meth:`_run_ingress` into the live queues, after which the
+        normal flush carries them to the (possibly changed) next hop.
+        """
+        queues = state.queues
+        ports = self.ports
+        carried = self.carried
+        if not self.compiled_actions:  # flipped mid-batch
+            for parsed in frames:
+                carried[0] = parsed
+                carried[1] = parsed.wire_len
+                self.execute_interpreted(entry.actions, in_port,
+                                         parsed.eth, state.emit)
+            return
+        out_fast = entry.fast_out
+        if out_fast is not None:
+            for parsed in frames:
+                size = parsed.wire_len
+                acc = queues.get(out_fast)
+                if acc is not None:
+                    acc[0].append(parsed)
+                    acc[1] += size
+                elif out_fast == FLOOD_PORT or out_fast not in ports:
+                    self._route(out_fast, in_port, parsed, state.enqueue)
+                else:
+                    queues[out_fast] = [[parsed], size]
+            return
+        program = entry.compiled
+        deliver = state.emit if program.mutates else state.emit_carry
+        for parsed in frames:
+            carried[0] = parsed
+            carried[1] = parsed.wire_len
+            program(self, in_port, parsed.eth, deliver)
+
+    def _finish_batch(self, state: _BatchState) -> None:
+        """Settle one batch: run (or fall back) the fused groups, then
+        flush flow counters and drain the egress queues.
+
+        Every fused program is re-validated *immediately before*
+        running, so a mid-batch change anywhere along its chain —
+        flow-mod, replica change, port removal, tap attach, link
+        rewire — can never run a stale program: the group takes the
+        per-hop path and the program is dropped for re-tracing.
+        """
+        fusion = state.fusion
+        if fusion is not None:
+            hits = 0
+            for program, frames, nbytes, in_port in state.fused.values():
+                if program.valid():
+                    program.run(frames, nbytes)
+                    hits += len(frames)
+                else:
+                    fusion.invalidations += 1
+                    program.ingress_entry.fused = None
+                    self._fused_fallback(program.ingress_entry, frames,
+                                         in_port, state)
+            matched = 0
+            for acc in state.pending.values():
+                matched += acc[1]
+            fusion.hits += hits
+            fusion.misses += matched - hits
+        self._flush_batch(state.pending, state.queues)
+
+    def process_batch(self,
+                      batch: "Iterable[tuple[int, EthernetFrame | ParsedFrame]]") -> None:
+        """Run a batch of ``(in_port, frame)`` through the pipeline.
+
+        Behaviorally equivalent to calling :meth:`process` per frame,
+        except that side effects are amortized: the batch is segmented
+        into runs of consecutive same-``in_port`` frames, each handed
+        to the shared inner loop (:meth:`_run_ingress` — port resolved
+        once per run, taps in a pre-pass, rx counters flushed once per
+        run), while flow counters and egress queues span the whole
+        batch and flush once at the end (a tap or packet-in handler
+        that inspects them mid-batch sees pre-batch values).  Egress is
+        coalesced per output port — virtual links forward one batch to
+        the far LSI instead of recursing per frame — and whole-chain
+        fused entries settle straight to the terminal at flush.
+        Per-port egress order is preserved among matched frames of any
+        one flow entry.  A packet-in handler that re-injects via
+        :meth:`process` delivers immediately, i.e. ahead of frames
+        still queued for the batch flush.
+
+        Frames may be raw :class:`EthernetFrame` objects or
+        :class:`ParsedFrame` views carried from an upstream hop; the
+        latter are *not* re-parsed (see the module docstring).
+        """
+        state = self._begin_batch()
+        run_port: Optional[int] = None
+        run: list = []
+        try:
+            for in_port, frame in batch:
+                if in_port != run_port and run:
+                    flushing, run = run, []
+                    self._run_ingress(run_port, flushing, state)
+                run_port = in_port
+                run.append(frame)
+            if run:
+                self._run_ingress(run_port, run, state)
+        finally:
+            self._finish_batch(state)
+
+    def process_batch_from(
+            self, in_port: int,
+            frames: "Iterable[EthernetFrame | ParsedFrame]") -> None:
+        """Run a batch of frames arriving on one ingress port.
+
+        Semantically ``process_batch((in_port, f) for f in frames)``,
+        but the single-port shape — what a virtual link carries to the
+        next LSI and what a batch-aware :class:`NetDevice` hands its
+        handler — is exactly one run of the shared inner loop: no
+        ``(port, frame)`` tuples and no segmentation scan.  This is
+        the chain hot path.
+        """
+        state = self._begin_batch()
+        try:
+            self._run_ingress(in_port, frames, state)
+        finally:
+            self._finish_batch(state)
 
     def execute(self, entry: FlowEntry, in_port: int,
                 frame: EthernetFrame, emit: Optional[EmitFn] = None) -> None:

@@ -332,6 +332,13 @@ class FlowEntry:
         #: specialization), so it is cached here once per install.
         self.fast_out: "int | None" = getattr(self.compiled, "out_port",
                                               None)
+        #: Chain-fusion cache (see :mod:`repro.switch.fusion`).
+        #: Tri-state: ``None`` — never traced; a
+        #: :class:`~repro.switch.fusion.FusedChain` — the straight-line
+        #: program for the whole chain starting at this entry; an
+        #: ``int`` — "not fuseable", stamped with the tracing engine's
+        #: epoch so a steering-level invalidation retries the trace.
+        self.fused = None
 
     def invalidate(self) -> None:
         """Recompile after ``entry.actions`` was rebound.
@@ -343,18 +350,22 @@ class FlowEntry:
         self.actions = tuple(self.actions)
         self.compiled = compile_actions(self.actions)
         self.fast_out = getattr(self.compiled, "out_port", None)
+        self.fused = None
 
     def __getstate__(self):
         # The compiled closure is not picklable; drop it and recompile
-        # on unpickle (mirrors FlowMatch.__reduce__).
+        # on unpickle (mirrors FlowMatch.__reduce__).  The fused-chain
+        # cache references live ports and tables, so it never travels.
         state = self.__dict__.copy()
         del state["compiled"]
+        state["fused"] = None
         return state
 
     def __setstate__(self, state) -> None:
         self.__dict__.update(state)
         self.compiled = compile_actions(self.actions)
         self.fast_out = getattr(self.compiled, "out_port", None)
+        self.fused = None
 
     def describe(self) -> str:
         acts = ",".join(str(a) for a in self.actions) or "drop"
@@ -399,6 +410,14 @@ class FlowTable:
         self._wild: list[FlowEntry] = []
         self.lookups = 0
         self.matches = 0
+        #: Monotonic generation counter, bumped on every add/delete/
+        #: clear that changes the entry set.  Fused chain programs
+        #: (:mod:`repro.switch.fusion`) record the version of every
+        #: table they traversed and refuse to run against a table that
+        #: has moved on — this is what makes a flow-mod anywhere along
+        #: a fused chain an immediate, safe fallback to the per-hop
+        #: path, even when the mod lands mid-batch.
+        self.version = 0
         #: When True every lookup is cross-checked against the linear scan.
         self.oracle = False
 
@@ -444,6 +463,7 @@ class FlowTable:
     def add(self, entry: FlowEntry) -> None:
         """Install; replaces an entry with identical match+priority."""
         self.delete(match=entry.match, priority=entry.priority, strict=True)
+        self.version += 1
         insort(self._entries, entry, key=_sort_key)
         insort(self._bucket(entry.match), entry, key=_sort_key)
 
@@ -466,6 +486,7 @@ class FlowTable:
         victims = [entry for entry in self._entries if doomed(entry)]
         if not victims:
             return 0
+        self.version += 1
         victim_ids = {entry.entry_id for entry in victims}
         self._entries = [entry for entry in self._entries
                          if entry.entry_id not in victim_ids]
@@ -475,6 +496,8 @@ class FlowTable:
 
     def clear(self) -> int:
         count = len(self._entries)
+        if count:
+            self.version += 1
         self._entries.clear()
         self._exact.clear()
         self._by_port.clear()

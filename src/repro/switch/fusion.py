@@ -1,0 +1,427 @@
+"""Chain fusion: compile whole LSI chains into straight-line programs.
+
+The batched pipeline already amortizes per-frame overheads *within*
+one LSI, but a chain of LSIs (Figure 1: LSI-0 classifies into a graph
+LSI, which steers through the NFs) still pays Python per hop: lookup,
+compiled closure, egress queue, ``carry_batch``, and another full
+``process_batch_from`` on the far side.  Steering rules are stable
+between flow-mods, so that whole traversal is a *constant* per flow
+entry — the same observation that let :func:`compile_actions` fuse an
+action list one level down.
+
+:class:`FusionEngine` (one per :class:`~repro.switch.datapath.Datapath`,
+created in ``Datapath.__init__``) traces the chain a flow entry's
+frames would take — ingress lookup, pure-output/rewrite hops over
+virtual links, terminal egress — and lowers it into one
+:class:`FusedChain`: a straight-line program that runs a **single**
+table lookup at the chain ingress, crosses every link with zero
+intermediate ``carry_batch``/``process_batch_from`` round-trips,
+applies the *composed* header rewrite once per frame, and settles
+every per-hop counter (flow packets/bytes, table lookups/matches,
+port rx/tx, link ``carried``, datapath rx) arithmetically at flush.
+
+Fuseability.  A hop fuses when its winning entry's actions are VLAN /
+MAC transforms followed by exactly one concrete ``Output``, and the
+*next* hop's winner is frame-independent: the first entry of the far
+table compatible with ``(in_port, vlan-state)`` must match on those
+two fields alone (``FlowMatch._port_vlan_only``) and must be the same
+entry for every alive VLAN branch.  Anything else — SelectOutput
+replica spreads, FLOOD, drops, punts, taps on a datapath,
+``carry_parsed=False`` links, interpreted mode, table misses, cycles —
+bails the trace, and the entry simply stays on the per-hop batch path
+(which remains the differential oracle for every fused program).
+
+VLAN state is tracked *symbolically* with up to two branches: an
+ingress match with a wildcard VLAN admits both initially-tagged and
+initially-untagged frames, whose wire lengths diverge by 4 bytes the
+moment a push/pop happens.  Each hop records per-branch byte deltas,
+so the settled byte counters are exact: frames are classified once at
+run time (tagged vs untagged) only when the branches actually differ.
+
+Invalidation.  A fused program records the ``version`` of every
+:class:`~repro.switch.flowtable.FlowTable` it traversed plus the
+identity of every port/link/closure it relies on, and re-validates all
+of it at flush time, immediately before running — so a flow-mod, port
+removal, tap attach or replica change *anywhere* along the chain
+(even mid-batch, from a packet-in handler) can never run a stale
+program: the group falls back to the per-hop path and the program is
+dropped for re-tracing.  The steering layer additionally drops every
+program *before* its strict deletes reach the tables
+(:meth:`~repro.core.steering.TrafficSteeringManager.invalidate_fusion`),
+so the window where a stale positive exists at all is confined to
+direct table writes, which the version check covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.net.addresses import MacAddress
+from repro.net.builder import ParsedFrame
+from repro.switch.actions import (
+    FLOOD_PORT,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+)
+from repro.switch.flowtable import ANY_VLAN, NO_VLAN, FlowEntry, FlowTable
+
+__all__ = ["FusedChain", "FusionEngine", "MAX_CHAIN_DEPTH"]
+
+#: Trace depth cap: chains longer than this stay per-hop.  Real
+#: steering chains are 2-3 hops; the cap only guards degenerate wiring.
+MAX_CHAIN_DEPTH = 32
+
+#: Wire-length delta of gaining/losing an 802.1Q tag.
+_TAG_BYTES = 4
+
+#: VLAN id of a tagged branch whose concrete id is not statically known
+#: (wildcard/ANY_VLAN ingress match).  Distinct from every real id and
+#: from ``None`` (untagged).
+_UNKNOWN = object()
+
+
+class _Hop:
+    """One traversed hop of a fused chain: identities to re-validate
+    and the counter deltas to settle.
+
+    ``in_dt``/``in_du`` are the wire-length offsets (vs the ingress
+    frame) of frames *arriving* at this hop, per branch (initially-
+    tagged / initially-untagged); ``out_dt``/``out_du`` after this
+    hop's transforms.  ``link``/``far_port``/``far_dp`` are ``None``
+    on the terminal hop.
+    """
+
+    __slots__ = ("dp", "table", "version", "entry", "compiled",
+                 "in_dt", "in_du", "out_no", "out_port",
+                 "out_dt", "out_du", "link", "far_port", "far_dp")
+
+
+class FusedChain:
+    """The straight-line program for one (ingress entry, chain) pair."""
+
+    __slots__ = ("hops", "kwargs", "two_branch", "ingress_entry",
+                 "device")
+
+    def __init__(self, hops: list[_Hop], kwargs: dict,
+                 two_branch: bool) -> None:
+        self.hops = tuple(hops)
+        #: Composition of every transform along the chain, applied once
+        #: per frame at the terminal (``replace(eth, **kwargs)``); empty
+        #: for identity chains, where frames forward untouched.
+        self.kwargs = kwargs
+        self.two_branch = two_branch
+        self.ingress_entry = hops[0].entry
+        self.device = hops[-1].out_port.device
+
+    def valid(self) -> bool:
+        """Cheap staleness check, run per group immediately before
+        :meth:`run`: every traversed table is at its traced version and
+        every identity the trace relied on still holds."""
+        for hop in self.hops:
+            dp = hop.dp
+            if (hop.table.version != hop.version
+                    or hop.entry.compiled is not hop.compiled
+                    or dp.taps or not dp.compiled_actions
+                    or dp.ports.get(hop.out_no) is not hop.out_port
+                    or hop.out_port.peer_link is not hop.link):
+                return False
+            link = hop.link
+            if link is not None and (
+                    not link.carry_parsed
+                    or hop.far_port.datapath is not hop.far_dp):
+                return False
+        return self.hops[-1].out_port.device is self.device
+
+    def run(self, frames: list[ParsedFrame], nbytes: int) -> None:
+        """Run the whole chain for one batch group: settle every
+        per-hop counter arithmetically, then deliver at the terminal.
+
+        ``frames`` all matched the ingress entry (whose own flow/rx
+        counters the ingress loop accounted, exactly as on the per-hop
+        path); everything downstream of the ingress lookup is settled
+        here.  Per-flow egress order is preserved — frames of one
+        ingress entry leave the terminal port in arrival order.
+        """
+        n = len(frames)
+        nu = 0
+        if self.two_branch:
+            for parsed in frames:
+                if parsed.eth.vlan is None:
+                    nu += 1
+        nt = n - nu
+        first = True
+        for hop in self.hops:
+            if first:
+                first = False
+            else:
+                # Downstream hop bookkeeping the per-hop path would do
+                # in process_batch_from: datapath + port rx (the port rx
+                # was settled by the previous hop's link segment below),
+                # one lookup+match per frame, and the flow counters with
+                # the frames' wire length *as they arrived here*.
+                hop.dp.rx_packets += n
+                table = hop.table
+                table.lookups += n
+                table.matches += n
+                entry = hop.entry
+                entry.packets += n
+                entry.bytes += nbytes + nt * hop.in_dt + nu * hop.in_du
+            out_bytes = nbytes + nt * hop.out_dt + nu * hop.out_du
+            port = hop.out_port
+            port.tx_packets += n
+            port.tx_bytes += out_bytes
+            link = hop.link
+            if link is not None:
+                link.carried += n
+                far = hop.far_port
+                far.rx_packets += n
+                far.rx_bytes += out_bytes
+        kwargs = self.kwargs
+        if kwargs:
+            frames = [parsed.derive(replace(parsed.eth, **kwargs))
+                      for parsed in frames]
+        device = self.device
+        if device is not None:
+            device.transmit_batch([parsed.eth for parsed in frames])
+
+
+def _ingress_branches(vlan_vid: Optional[int]) -> list[list]:
+    """Symbolic VLAN state(s) admitted by the ingress match.
+
+    Branch = ``[tagged, vid, delta]``; when two branches exist the
+    first is always the initially-tagged one (run-time classification
+    keys on ``eth.vlan is None``).
+    """
+    if vlan_vid is None:
+        return [[True, _UNKNOWN, 0], [False, None, 0]]
+    if vlan_vid == ANY_VLAN:
+        return [[True, _UNKNOWN, 0]]
+    if vlan_vid == NO_VLAN:
+        return [[False, None, 0]]
+    return [[True, vlan_vid, 0]]
+
+
+def _resolve_next(table: FlowTable, in_port: int,
+                  branches: list[list]) -> Optional[FlowEntry]:
+    """The unique frame-independent winner of the far table's lookup.
+
+    Walks the priority-sorted entries once; an entry is the winner for
+    a branch when it is the first one compatible with ``(in_port,
+    vlan-state)``.  Any compatible candidate that also matches frame
+    fields (not ``_port_vlan_only``), an undecidable comparison
+    (unknown tagged vid vs a concrete match), a branch with no winner
+    (table miss), or branches disagreeing on the winner → ``None``.
+    """
+    winners: list = [None] * len(branches)
+    unassigned = len(branches)
+    for entry in table:
+        match = entry.match
+        want_port = match.in_port
+        if want_port is not None and want_port != in_port:
+            continue
+        want_vid = match.vlan_vid
+        pending = []
+        for index, branch in enumerate(branches):
+            if winners[index] is not None:
+                continue
+            tagged, vid = branch[0], branch[1]
+            if want_vid is None:
+                ok = True
+            elif want_vid == NO_VLAN:
+                ok = not tagged
+            elif want_vid == ANY_VLAN:
+                ok = tagged
+            elif not tagged:
+                ok = False
+            elif vid is _UNKNOWN:
+                return None
+            else:
+                ok = vid == want_vid
+            if ok:
+                pending.append(index)
+        if not pending:
+            continue
+        if not match._port_vlan_only:
+            return None
+        for index in pending:
+            winners[index] = entry
+        unassigned -= len(pending)
+        if not unassigned:
+            break
+    if unassigned:
+        return None
+    first = winners[0]
+    for winner in winners:
+        if winner is not first:
+            return None
+    return first
+
+
+class FusionEngine:
+    """Per-datapath fusion state: tracing, caching, counters.
+
+    An engine traces chains whose *ingress* is its datapath; programs
+    are cached on the ingress :class:`FlowEntry` (``entry.fused``).
+    Failed traces are negative-cached with the engine's ``epoch`` —
+    :meth:`invalidate` bumps it, so a steering-level change retries
+    every trace while per-frame cost for unfuseable entries stays at
+    one attribute read and an int compare.
+    """
+
+    __slots__ = ("dp", "enabled", "epoch", "hits", "misses",
+                 "invalidations", "programs_built")
+
+    def __init__(self, dp) -> None:
+        self.dp = dp
+        #: Production default is on; the perf sweep's per-hop leg and
+        #: the differential suites flip it per instance.
+        self.enabled = True
+        self.epoch = 1
+        #: Frames delivered through fused programs.
+        self.hits = 0
+        #: Matched frames that took the per-hop path while fusion was
+        #: engaged for the batch (unfuseable entries and fallbacks).
+        self.misses = 0
+        #: Fused programs dropped — proactive (steering invalidate) or
+        #: reactive (flush-time validity failure → per-hop fallback).
+        self.invalidations = 0
+        self.programs_built = 0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations,
+                "programs-built": self.programs_built,
+                "enabled": self.enabled}
+
+    def invalidate(self) -> int:
+        """Drop every cached program/verdict traced from this LSI's
+        entries; returns how many live programs went.  Bumping the
+        epoch also retires negative caches, so entries re-trace against
+        the post-change rule set."""
+        self.epoch += 1
+        dropped = 0
+        for entry in self.dp.table:
+            cached = entry.fused
+            if cached is not None:
+                if cached.__class__ is FusedChain:
+                    dropped += 1
+                entry.fused = None
+        self.invalidations += dropped
+        return dropped
+
+    def trace(self, entry: FlowEntry):
+        """Trace from ``entry`` and cache the outcome on it: a
+        :class:`FusedChain`, or the current epoch (not fuseable)."""
+        program = self._trace(entry)
+        if program is None:
+            result = self.epoch
+        else:
+            self.programs_built += 1
+            result = program
+        entry.fused = result
+        return result
+
+    def _trace(self, entry: FlowEntry) -> Optional[FusedChain]:
+        dp = self.dp
+        branches = _ingress_branches(entry.match.vlan_vid)
+        kwargs: dict = {}
+        hops: list[_Hop] = []
+        seen: set = set()
+        in_dt = in_du = 0
+        while True:
+            if len(hops) >= MAX_CHAIN_DEPTH:
+                return None
+            key = (id(dp), entry.entry_id)
+            if key in seen:  # cycle
+                return None
+            seen.add(key)
+            if dp.taps or not dp.compiled_actions:
+                return None
+            actions = entry.actions
+            if not actions:  # drop rule
+                return None
+            last = actions[-1]
+            if type(last) is not Output or last.port == FLOOD_PORT:
+                return None
+            out_no = last.port
+            port = dp.ports.get(out_no)
+            if port is None:
+                return None
+            for action in actions[:-1]:
+                kind = type(action)
+                if kind is PushVlan:
+                    for branch in branches:
+                        if not branch[0]:
+                            branch[2] += _TAG_BYTES
+                        branch[0] = True
+                        branch[1] = action.vid
+                    kwargs["vlan"] = action.vid
+                    kwargs["vlan_pcp"] = action.pcp
+                elif kind is PopVlan:
+                    for branch in branches:
+                        if not branch[0]:  # would be an action error
+                            return None
+                        branch[2] -= _TAG_BYTES
+                        branch[0] = False
+                        branch[1] = None
+                    kwargs["vlan"] = None
+                    kwargs["vlan_pcp"] = 0
+                elif kind is SetField:
+                    field = action.field
+                    if field == "vlan_vid":
+                        vid = int(action.value)
+                        for branch in branches:
+                            if not branch[0]:
+                                return None
+                            branch[1] = vid
+                        kwargs["vlan"] = vid
+                    elif field == "eth_src":
+                        kwargs["src"] = MacAddress(action.value)
+                    else:
+                        kwargs["dst"] = MacAddress(action.value)
+                else:  # Controller / SelectOutput / extra Output
+                    return None
+            hop = _Hop()
+            hop.dp = dp
+            hop.table = dp.table
+            hop.version = dp.table.version
+            hop.entry = entry
+            hop.compiled = entry.compiled
+            hop.in_dt, hop.in_du = in_dt, in_du
+            hop.out_no = out_no
+            hop.out_port = port
+            hop.out_dt = branches[0][2]
+            hop.out_du = branches[-1][2]
+            hop.link = None
+            hop.far_port = None
+            hop.far_dp = None
+            hops.append(hop)
+            link = port.peer_link
+            if link is None:
+                break  # terminal: device egress or counting sink
+            if not link.carry_parsed:
+                return None
+            far = link._far(port)
+            if far is None or far.datapath is None:
+                return None
+            hop.link = link
+            hop.far_port = far
+            hop.far_dp = far.datapath
+            next_entry = _resolve_next(far.datapath.table, far.port_no,
+                                       branches)
+            if next_entry is None:
+                return None
+            in_dt, in_du = hop.out_dt, hop.out_du
+            dp = far.datapath
+            entry = next_entry
+        if len(hops) < 2:
+            # Single-hop "chains" are already optimal on the per-hop
+            # path (the fast_out specialization); fusing them would
+            # only add bookkeeping.
+            return None
+        two_branch = any(hop.in_dt != hop.in_du or hop.out_dt != hop.out_du
+                         for hop in hops)
+        return FusedChain(hops, kwargs, two_branch)

@@ -77,13 +77,24 @@ class VirtualLink:
         self.b = port_b
         port_a.peer_link = self
         port_b.peer_link = self
+        self._invalidate_fusion()
 
     def detach(self) -> None:
         for port in (self.a, self.b):
             if port is not None:
                 port.peer_link = None
+        self._invalidate_fusion()
         self.a = None
         self.b = None
+
+    def _invalidate_fusion(self) -> None:
+        """Rewiring a link changes chain topology: drop fused programs
+        on both endpoints' datapaths.  (Chains *through* these LSIs
+        whose ingress lies elsewhere are caught by the flush-time
+        validity check — ``peer_link`` identity is part of it.)"""
+        for port in (self.a, self.b):
+            if port is not None and port.datapath is not None:
+                port.datapath.fusion.invalidate()
 
     def _far(self, from_port: SwitchPort) -> Optional[SwitchPort]:
         if from_port is self.a:

@@ -54,8 +54,26 @@ def render_prometheus(registry: MetricsRegistry) -> str:
            "Seconds from the last autoscale decision to convergence.")
     header("repro_journal_events_dropped_total", "counter",
            "Journal events evicted by the per-graph ring buffer.")
+    header("repro_fusion_hits_total", "counter",
+           "Frames delivered through fused-chain programs, per LSI.")
+    header("repro_fusion_misses_total", "counter",
+           "Matched frames that took the per-hop path while fusion "
+           "was engaged, per LSI.")
+    header("repro_fusion_invalidations_total", "counter",
+           "Fused-chain programs dropped (flow-mods, replica changes, "
+           "stale-at-flush fallbacks), per LSI.")
     header("repro_telemetry_samples_total", "counter",
            "Sampling passes this registry has taken.")
+
+    for lsi_name, stats in sorted(
+            registry.steering.fusion_stats().items()):
+        label = f'lsi="{_label(lsi_name)}"'
+        lines.append(f"repro_fusion_hits_total{{{label}}} "
+                     f"{stats['hits']}")
+        lines.append(f"repro_fusion_misses_total{{{label}}} "
+                     f"{stats['misses']}")
+        lines.append(f"repro_fusion_invalidations_total{{{label}}} "
+                     f"{stats['invalidations']}")
 
     for graph_id in registry.graphs():
         graph_label = _label(graph_id)
@@ -103,7 +121,7 @@ def render_top(document: dict) -> str:
     a remote node answered over HTTP.
     """
     lines = [f"{'GRAPH':<12} {'NF':<16} {'REPLICAS':>8} {'PPS':>12} "
-             f"{'BYTES/S':>12} {'MTTR':>8} {'HEALS':>6}"]
+             f"{'BYTES/S':>12} {'MTTR':>8} {'HEALS':>6} {'FUSED':>6}"]
     graphs = document.get("graphs", {})
     for graph_id in sorted(graphs):
         graph = graphs[graph_id]
@@ -112,6 +130,12 @@ def render_top(document: dict) -> str:
         mttr = availability.get("mttr-seconds")
         mttr_text = f"{mttr:.3f}" if mttr is not None else "-"
         heals = availability.get("heals", 0)
+        # Fused-chain hit rate of the graph's LSI ("-" before any
+        # batched traffic, or from a node predating the fusion layer).
+        fusion = graph.get("fusion") or {}
+        fused_frames = fusion.get("hits", 0) + fusion.get("misses", 0)
+        fused_text = (f"{100.0 * fusion['hits'] / fused_frames:.0f}%"
+                      if fused_frames else "-")
         nfs = graph.get("nfs", {})
         bases: dict[str, list] = {}
         for nf_id, rates in nfs.items():
@@ -126,7 +150,8 @@ def render_top(document: dict) -> str:
                 f"{graph_id if first else '':<12} {base:<16} "
                 f"{replicas.get(base, 1):>8} {pps:>12.1f} {bps:>12.1f} "
                 f"{mttr_text if first else '':>8} "
-                f"{heals if first else '':>6}")
+                f"{heals if first else '':>6} "
+                f"{fused_text if first else '':>6}")
             first = False
         if not bases:
             lines.append(f"{graph_id:<12} {'(no samples)':<16}")

@@ -281,13 +281,19 @@ class MetricsRegistry:
     # -- document view -----------------------------------------------------------
     def graph_metrics(self, graph_id: str) -> dict:
         """JSON-ready per-graph metrics document."""
-        return {
+        document = {
             "graph-id": graph_id,
             "nfs": self.nf_rates(graph_id),
             "replicas": self.replica_counts(graph_id),
             "availability": self.availability(graph_id),
             "samples": self.samples_taken,
         }
+        # Fused-chain counters of the graph's own LSI (a graph being
+        # torn down may already have left the steering table).
+        network = self.steering.graphs.get(graph_id)
+        if network is not None:
+            document["fusion"] = network.lsi.datapath.fusion.stats()
+        return document
 
     def to_dict(self) -> dict:
         """JSON-ready node-wide metrics document."""
@@ -296,6 +302,7 @@ class MetricsRegistry:
         return {
             "samples": self.samples_taken,
             "flow-counts": self.steering.flow_counts(),
+            "fusion": self.steering.fusion_stats(),
             "graphs": {graph_id: self.graph_metrics(graph_id)
                        for graph_id in graph_ids},
         }

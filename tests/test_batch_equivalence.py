@@ -1,8 +1,8 @@
-"""Differential harness: the three chain-traversal modes are identical.
+"""Differential harness: the four chain-traversal modes are identical.
 
 Hypothesis generates flow tables (random per-hop action shapes, VLAN
 matching, low-priority CIDR fallbacks) and frame batches, then runs the
-same workload through three independently-built copies of the same LSI
+same workload through four independently-built copies of the same LSI
 chain (lengths 1, 2 and 4):
 
 1. **per-frame** — :meth:`Datapath.process` for every frame, the
@@ -10,14 +10,18 @@ chain (lengths 1, 2 and 4):
 2. **reparse batch** — the batched pipeline with ``carry_parsed=False``
    on every virtual link, i.e. the old re-parse-at-every-hop cost
    model;
-3. **zero-reparse batch** — the production configuration:
-   :meth:`Datapath.process_batch_from` with ``ParsedFrame`` carry
-   across the links.
+3. **per-hop zero-reparse batch** — ``ParsedFrame`` carry across the
+   links with chain fusion pinned off: the fusion fallback path, and
+   the fused path's differential oracle;
+4. **fused** — the production configuration: chain fusion on, stable
+   chains compiled into straight-line programs
+   (:mod:`repro.switch.fusion`) with all per-hop counters settled
+   arithmetically at flush.
 
-Every observable must agree across all three: egress frames
+Every observable must agree across all four: egress frames
 byte-for-byte at every capture point, per-port rx/tx packet and byte
-counters, per-entry flow counters, table miss / drop / action-error
-counts, and controller punts.
+counters, per-entry flow counters, table lookup/match totals, miss /
+drop / action-error counts, and controller punts.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -170,7 +174,7 @@ def _frames(frame_specs):
                           max_size=max(CHAIN_LENGTHS)),
        frame_specs=st.lists(frame_spec, min_size=1, max_size=6))
 @settings(max_examples=60, deadline=None)
-def test_three_traversal_modes_are_identical(hop_specs, frame_specs):
+def test_four_traversal_modes_are_identical(hop_specs, frame_specs):
     for length in CHAIN_LENGTHS:
         specs = hop_specs[:length]
 
@@ -185,11 +189,17 @@ def test_three_traversal_modes_are_identical(hop_specs, frame_specs):
             [(1, frame) for frame in _frames(frame_specs)])
 
         zero_reparse = ChainInstance(length, specs)
+        for hop in zero_reparse.hops:
+            hop.fusion.enabled = False
         zero_reparse.hops[0].process_batch_from(1, _frames(frame_specs))
+
+        fused = ChainInstance(length, specs)
+        fused.hops[0].process_batch_from(1, _frames(frame_specs))
 
         reference = per_frame.observe()
         assert reparse.observe() == reference, f"chain length {length}"
         assert zero_reparse.observe() == reference, f"chain length {length}"
+        assert fused.observe() == reference, f"chain length {length}"
 
 
 def test_interpreted_batch_mode_matches_too():
@@ -210,3 +220,69 @@ def test_interpreted_batch_mode_matches_too():
     interpreted.hops[0].process_batch_from(1, _frames(frame_specs))
 
     assert interpreted.observe() == compiled.observe()
+
+
+def _mid_batch_flow_mod_instance():
+    """A chain-2 whose packet-in handler retargets the downstream hop
+    mid-batch: frame 2 (tagged) misses the untagged-only ingress entry,
+    punts, and the punt handler flow-mods hop1's forwarding entry to a
+    fresh capture port — while frames 1 and 3 are still in flight."""
+    specs = [{"shape": "out", "vid": 1, "match_vlan": "none",
+              "match_vid": 1, "cidr": None},
+             {"shape": "out", "vid": 1, "match_vlan": "wild",
+              "match_vid": 1, "cidr": None}]
+    chain = ChainInstance(2, specs)
+    hop1 = chain.hops[1]
+    retarget_port, retarget_rx = _capture(hop1, "retarget")
+    chain.captures["retarget"] = retarget_rx
+    victim = next(e for e in hop1.table if e.priority == 100)
+    record_punt = chain.hops[0].packet_in_handler
+
+    def punt_and_flow_mod(dp, port, frame):
+        record_punt(dp, port, frame)
+        hop1.install(FlowEntry(match=victim.match,
+                               actions=(Output(retarget_port.port_no),),
+                               priority=victim.priority))
+
+    chain.hops[0].packet_in_handler = punt_and_flow_mod
+    return chain
+
+
+def test_mid_batch_flow_mod_forces_fallback_and_matches_per_hop():
+    """A flow-mod landing *mid-batch* (from a packet-in handler) must
+    invalidate the fused chain at flush and fall back to the per-hop
+    path — byte-for-byte and counter-for-counter identical to the
+    per-hop batch mode, with every frame reaching the *new* terminal.
+
+    (Per-frame mode legitimately differs here: it would deliver frame
+    1 to the old terminal before the flow-mod lands.  Batch semantics
+    flush egress after handlers run, in both batch modes alike.)
+    """
+    frame_specs = [{"vlan": None, "sport": 1000, "dst_net": 10,
+                    "payload": b"a"},
+                   {"vlan": 3, "sport": 1001, "dst_net": 10,
+                    "payload": b"b"},
+                   {"vlan": None, "sport": 1002, "dst_net": 10,
+                    "payload": b"c"}]
+
+    fused = _mid_batch_flow_mod_instance()
+    fused.hops[0].process_batch_from(1, _frames(frame_specs))
+
+    per_hop = _mid_batch_flow_mod_instance()
+    for hop in per_hop.hops:
+        hop.fusion.enabled = False
+    per_hop.hops[0].process_batch_from(1, _frames(frame_specs))
+
+    assert fused.observe() == per_hop.observe()
+    # Both untagged frames took the new terminal; none the old one.
+    assert len(fused.captures["retarget"]) == 2
+    assert fused.captures["final"] == []
+    # The fused instance really fused, went stale, and fell back.
+    engine = fused.hops[0].fusion
+    assert engine.invalidations == 1
+    assert engine.hits == 0 and engine.misses == 2
+    # The chain re-fuses against the new rule set on the next batch.
+    fused.hops[0].process_batch_from(
+        1, _frames([frame_specs[0]]))
+    assert engine.hits == 1
+    assert len(fused.captures["retarget"]) == 3

@@ -1,0 +1,281 @@
+"""Chain-fusion unit tests: tracing, settlement, invalidation.
+
+The hypothesis differential (``test_batch_equivalence``) pins fused
+behavior against the per-hop oracle across random scenarios; these
+tests pin the *mechanism* — what fuses and what must not, how the
+tri-state cache behaves, that settled counters match the per-hop twin
+bit-for-bit including two-branch VLAN byte deltas, and that the
+steering layer drops programs before any strict delete lands.
+"""
+
+import pickle
+
+from repro.linuxnet import VethPair
+from repro.net import MacAddress, make_udp_frame
+from repro.perf.dataplane import _build_chain
+from repro.switch import (
+    Datapath,
+    FlowEntry,
+    FlowMatch,
+    FusedChain,
+    Output,
+    PopVlan,
+    PushVlan,
+    VirtualLink,
+)
+from repro.switch.actions import Controller
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+
+
+def _frames(count, vlans=(None,)):
+    return [make_udp_frame(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2",
+                           4000 + i, 5001, bytes([i % 251]),
+                           vlan=vlans[i % len(vlans)])
+            for i in range(count)]
+
+
+def _vlan_chain():
+    """push(100) -> forward -> pop, with a byte-capturing terminal.
+
+    An untagged ingress frame grows 4 bytes mid-chain and shrinks
+    back; a tagged one keeps its length throughout — the two-branch
+    wire-length case the fused byte counters must settle exactly.
+    """
+    hops = [Datapath(0x7000 + i, name=f"vhop{i}") for i in range(3)]
+    hops[0].add_port("ingress")
+    link01 = VirtualLink.connect(hops[0], hops[1], name="vl01")
+    link12 = VirtualLink.connect(hops[1], hops[2], name="vl12")
+    pair = VethPair("final-sw", "final-wire")
+    received = []
+    pair.b.set_up()
+    pair.b.attach_handler(lambda dev, fr: received.append(fr.to_bytes()))
+    final = hops[2].add_port("final", device=pair.a)
+    hops[0].install(FlowEntry(
+        match=FlowMatch(in_port=1),
+        actions=(PushVlan(100), Output(link01.far_port(hops[0]).port_no))))
+    hops[1].install(FlowEntry(
+        match=FlowMatch(in_port=link01.far_port(hops[1]).port_no),
+        actions=(Output(link12.far_port(hops[1]).port_no),)))
+    hops[2].install(FlowEntry(
+        match=FlowMatch(in_port=link12.far_port(hops[2]).port_no),
+        actions=(PopVlan(), Output(final.port_no))))
+    return hops, (link01, link12), received
+
+
+def _snapshot(hops, links):
+    state = {}
+    for hop in hops:
+        state[hop.name] = {
+            "rx": hop.rx_packets, "dropped": hop.dropped,
+            "lookups": hop.table.lookups, "matches": hop.table.matches,
+            "flows": [(e.priority, e.match.describe(),
+                       e.packets, e.bytes) for e in hop.table],
+            "ports": {n: (p.rx_packets, p.rx_bytes,
+                          p.tx_packets, p.tx_bytes)
+                      for n, p in hop.ports.items()},
+        }
+    state["links"] = [link.carried for link in links]
+    return state
+
+
+def test_two_branch_vlan_chain_counters_match_per_hop_twin():
+    frames = _frames(20, vlans=(None, 5, 7))
+    fused_hops, fused_links, fused_rx = _vlan_chain()
+    fused_hops[0].process_batch_from(1, frames)
+    perhop_hops, perhop_links, perhop_rx = _vlan_chain()
+    for hop in perhop_hops:
+        hop.fusion.enabled = False
+    perhop_hops[0].process_batch_from(1, frames)
+
+    assert fused_hops[0].fusion.hits == 20
+    assert fused_rx == perhop_rx
+    assert _snapshot(fused_hops, fused_links) == \
+        _snapshot(perhop_hops, perhop_links)
+
+
+def test_fused_program_shape():
+    hops, _links, _rx = _vlan_chain()
+    hops[0].process_batch_from(1, _frames(2, vlans=(None, 5)))
+    entry = next(iter(hops[0].table))
+    program = entry.fused
+    assert isinstance(program, FusedChain)
+    assert len(program.hops) == 3
+    assert program.two_branch  # push on an untagged branch grows it
+    assert program.kwargs == {"vlan": None, "vlan_pcp": 0}
+    assert program.valid()
+
+
+def test_single_hop_chain_is_not_fused():
+    hops = _build_chain(1)
+    hops[0].process_batch_from(1, _frames(5))
+    engine = hops[0].fusion
+    assert engine.hits == 0 and engine.programs_built == 0
+    # Negative-cached: one attribute read per frame from here on.
+    entry = next(iter(hops[0].table))
+    assert entry.fused == engine.epoch
+
+
+def test_unfuseable_shapes_negative_cache_and_epoch_retrace():
+    hops = _build_chain(2)
+    first = hops[0]
+    engine = first.fusion
+    # Make the downstream hop unfuseable: punt instead of forwarding.
+    last = hops[-1]
+    victim = next(iter(last.table))
+    last.install(FlowEntry(match=victim.match, actions=(Controller(),),
+                           priority=victim.priority))
+    first.process_batch_from(1, _frames(4))
+    entry = next(iter(first.table))
+    assert entry.fused == engine.epoch
+    assert engine.misses == 4 and engine.hits == 0
+    # Restore a forwardable terminal; the stale negative verdict holds
+    # until an epoch bump (steering-level invalidation) retries it.
+    sink = last.port_by_name("sink")
+    last.install(FlowEntry(match=victim.match,
+                           actions=(Output(sink.port_no),),
+                           priority=victim.priority))
+    first.process_batch_from(1, _frames(4))
+    assert engine.hits == 0
+    engine.invalidate()
+    first.process_batch_from(1, _frames(4))
+    assert engine.hits == 4 and engine.programs_built == 1
+
+
+def test_taps_keep_fusion_off():
+    hops = _build_chain(2)
+    hops[0].taps.append(lambda port, frame: None)
+    hops[0].process_batch_from(1, _frames(6))
+    assert hops[0].fusion.hits == 0
+    assert hops[0].fusion.misses == 0  # fusion never engaged at all
+    assert hops[-1].port_by_name("sink").tx_packets == 6
+
+
+def test_frame_dependent_downstream_candidate_bails_trace():
+    hops = _build_chain(2)
+    last = hops[-1]
+    in_no = next(iter(last.table)).match.in_port
+    side = last.add_port("side")
+    # A higher-priority CIDR entry on the far table: the next-hop
+    # winner now depends on frame payload, so the chain must not fuse.
+    last.install(FlowEntry(
+        match=FlowMatch(in_port=in_no, ip_dst="10.9.0.0/16"),
+        actions=(Output(side.port_no),), priority=200))
+    first = hops[0]
+    first.process_batch_from(1, _frames(5))
+    assert first.fusion.hits == 0
+    assert next(iter(first.table)).fused == first.fusion.epoch
+    assert last.port_by_name("sink").tx_packets == 5
+
+
+def test_flow_mod_invalidates_then_refuses():
+    hops = _build_chain(4)
+    first = hops[0]
+    engine = first.fusion
+    first.process_batch_from(1, _frames(8))
+    assert engine.hits == 8
+    # Direct flow-mod on a mid-chain table (no steering hook fires):
+    # the flush-time validity check must catch the version bump.
+    mid = hops[2]
+    victim = next(iter(mid.table))
+    mid.install(FlowEntry(match=victim.match, actions=victim.actions,
+                          priority=victim.priority))
+    first.process_batch_from(1, _frames(8))
+    assert engine.invalidations == 1
+    assert engine.hits == 8  # second batch fell back
+    first.process_batch_from(1, _frames(8))
+    assert engine.hits == 16  # re-traced against the new table
+    assert hops[-1].port_by_name("sink").tx_packets == 24
+
+
+def test_link_rewire_invalidates_ingress_program():
+    hops = _build_chain(2)
+    first = hops[0]
+    first.process_batch_from(1, _frames(3))
+    entry = next(iter(first.table))
+    assert isinstance(entry.fused, FusedChain)
+    link = first.ports[2].peer_link
+    link.detach()
+    # Proactive: the endpoint datapaths' engines dropped their caches.
+    assert entry.fused is None
+    first.process_batch_from(1, _frames(3))
+    assert first.fusion.hits == 3  # still only the first batch
+
+
+def test_pickled_entries_shed_fused_programs():
+    hops = _build_chain(2)
+    hops[0].process_batch_from(1, _frames(2))
+    entry = next(iter(hops[0].table))
+    assert isinstance(entry.fused, FusedChain)
+    clone = pickle.loads(pickle.dumps(entry))
+    assert clone.fused is None
+    assert clone.match.describe() == entry.match.describe()
+
+
+def test_steering_uninstall_drops_programs_before_strict_deletes():
+    """Satellite contract: by the time any ``flow_delete`` reaches a
+    table, no fused program may be alive anywhere on the node."""
+    from test_core_steering import (
+        fake_instance,
+        manager_with_interfaces,
+        simple_graph,
+    )
+
+    manager, wires = manager_with_interfaces("lan0", "wan0")
+    graph = simple_graph()
+    manager.create_graph_network("g1")
+    instance = fake_instance("nat1")
+    manager.attach_instances("g1", {"nat1": instance})
+    manager.install_graph_rules(graph, {"nat1": instance})
+
+    datapaths = [manager.base.datapath,
+                 manager.graphs["g1"].lsi.datapath]
+
+    def live_programs():
+        return [entry for dp in datapaths for entry in dp.table
+                if isinstance(entry.fused, FusedChain)]
+
+    manager.inject_batch("lan0", _frames(10))
+    assert manager.base.datapath.fusion.hits == 10
+    assert live_programs(), "the steering chain should have fused"
+
+    seen = []
+    for network_controller in (manager.base_controller,
+                               manager.graphs["g1"].controller):
+        original = network_controller.flow_delete
+
+        def spying(*args, _original=original, **kwargs):
+            seen.append(len(live_programs()))
+            return _original(*args, **kwargs)
+
+        network_controller.flow_delete = spying
+
+    assert manager.uninstall_rule("g1", "r1")
+    assert seen, "uninstall_rule issued no strict deletes"
+    assert all(count == 0 for count in seen), (
+        "fused programs were still live when a strict delete landed")
+
+
+def test_steering_stats_and_metrics_surface_fusion():
+    from test_core_steering import (
+        fake_instance,
+        manager_with_interfaces,
+        simple_graph,
+    )
+
+    manager, wires = manager_with_interfaces("lan0", "wan0")
+    graph = simple_graph()
+    manager.create_graph_network("g1")
+    instance = fake_instance("nat1")
+    manager.attach_instances("g1", {"nat1": instance})
+    manager.install_graph_rules(graph, {"nat1": instance})
+    manager.inject_batch("lan0", _frames(4))
+
+    stats = manager.fusion_stats()
+    assert set(stats) == {"LSI-0", "LSI-g1"}
+    assert stats["LSI-0"]["hits"] == 4
+    assert stats["LSI-0"]["programs-built"] == 1
+    for lsi_stats in stats.values():
+        assert set(lsi_stats) == {"hits", "misses", "invalidations",
+                                  "programs-built", "enabled"}

@@ -13,6 +13,7 @@ import pytest
 
 from repro.perf.dataplane import (
     build_steering_table,
+    check_fused_invalidation,
     check_results,
     count_chain_excess_parse_frame,
     count_fast_path_parse_cidr,
@@ -39,6 +40,11 @@ def test_sweep_chain_delivers_everything():
     assert [p.chain_length for p in points] == [1, 3]
     for point in points:
         assert point.single_pps > 0 and point.batched_pps > 0
+        assert point.fused_pps > 0
+    # The multi-hop point must have gone through fused programs; the
+    # single-hop point must not (fast_out is already optimal there).
+    assert points[0].fused_hits == 0
+    assert points[1].fused_hits > 0
 
 
 def test_fast_path_parse_cidr_free():
@@ -49,9 +55,22 @@ def test_fast_path_parse_cidr_free():
 
 def test_chain_never_reparses_untouched_frames():
     """Structural zero-reparse: one parse_frame per frame per chain,
-    counted, at every chain depth."""
+    counted, at every chain depth, on the per-hop and fused paths."""
     for length in (1, 2, 4):
         assert count_chain_excess_parse_frame(length, packets=25) == 0
+        assert count_chain_excess_parse_frame(length, packets=25,
+                                              fused=True) == 0
+
+
+def test_fused_invalidation_check_is_clean():
+    """The invalidation-fallback probe: no stale frames, full
+    fallback delivery, and a re-fuse afterwards."""
+    outcome = check_fused_invalidation(packets=30)
+    assert outcome["fused_before_flowmod"] == 30
+    assert outcome["stale_frames_delivered"] == 0
+    assert outcome["fallback_delivered"] == 30
+    assert outcome["invalidations"] >= 1
+    assert outcome["refused_after_retrace"] == 30
 
 
 def test_quick_smoke_no_regression_gates():
@@ -79,6 +98,22 @@ def test_quick_gates_catch_lookup_regression():
         point["speedup"] = 0.05
     with pytest.raises(AssertionError, match="lookup regressed"):
         check_results(results)
+
+
+def test_quick_gates_catch_fusion_regressions():
+    """The fused gates are real even in quick mode: a chain point with
+    zero fused hits, and a stale-frame leak in the invalidation probe,
+    must both fail."""
+    results = run_dataplane_bench(quick=True)
+    doctored = json.loads(json.dumps(results))
+    for point in doctored["chain"]:
+        point["fused_hits"] = 0
+    with pytest.raises(AssertionError, match="fusion never engaged"):
+        check_results(doctored)
+    doctored = json.loads(json.dumps(results))
+    doctored["fusion_invalidation"]["stale_frames_delivered"] = 7
+    with pytest.raises(AssertionError, match="stale fused chain"):
+        check_results(doctored)
 
 
 def test_results_serialize_and_format():

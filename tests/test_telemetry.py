@@ -287,9 +287,18 @@ def test_prometheus_export_and_rest_metrics():
     mttr = float(mttr_lines[0].rsplit(" ", 1)[1])
     assert mttr == pytest.approx(1.0)  # finite, and exact under sim time
 
+    fusion_lines = [line for line in text.splitlines()
+                    if line.startswith("repro_fusion_hits_total{")]
+    assert any('lsi="LSI-0"' in line for line in fusion_lines)
+    assert "# TYPE repro_fusion_invalidations_total counter" in text
+
     document = client.graph_metrics("tg")
     assert document["availability"]["heals"] == 1
     assert document["nfs"]["dpi"]["pps"] > 0
+    assert set(document["fusion"]) == {"hits", "misses", "invalidations",
+                                       "programs-built", "enabled"}
+    node_document = client.node_metrics()
+    assert "LSI-0" in node_document["fusion"]
     reply = client.get("/metrics")
     assert reply.content_type.startswith("text/plain")
     assert client.get("/graphs/nope/metrics").status == 404
@@ -303,10 +312,20 @@ def test_render_top_table():
     node.telemetry.sample(now=1.0)
     text = render_top(node.telemetry.to_dict())
     assert "GRAPH" in text and "tg" in text and "dpi" in text
+    assert "FUSED" in text  # fused-chain hit-rate column
     # Replicas aggregate back onto the base NF row.
     assert "dpi@1" not in text
     line = next(line for line in text.splitlines() if " dpi " in line)
     assert " 2 " in line  # replica count column
+    # Batched injection through LSI-0 fused: the graph row shows a
+    # hit rate, and a document without fusion data renders "-".
+    assert line.rstrip().endswith("%")
+    bare = node.telemetry.to_dict()
+    for graph in bare["graphs"].values():
+        graph.pop("fusion", None)
+    legacy = render_top(bare)
+    legacy_line = next(l for l in legacy.splitlines() if " dpi " in l)
+    assert legacy_line.rstrip().endswith("-")
 
 
 def test_render_prometheus_escapes_and_counts_samples():
