@@ -46,7 +46,7 @@ from typing import Optional
 from repro.compute.instances import NfInstance
 from repro.linuxnet.devices import NetDevice
 from repro.nffg.model import FlowRule, Nffg, PortRef
-from repro.nffg.replicas import is_lb_rule_id, replica_group
+from repro.nffg.replicas import is_lb_rule_id, lb_state_group, replica_group
 from repro.openflow.agent import SwitchAgent
 from repro.openflow.channel import ControlChannel
 from repro.openflow.controller import LsiController
@@ -402,9 +402,22 @@ class TrafficSteeringManager:
             dst = group[0]
             spread: "Optional[tuple[int, ...]]" = tuple(
                 location.port_no for location in group)
+            # Stateful spread: the select consults a per-flow state
+            # table keyed on what stays constant across scale events,
+            # so established flows keep their owning replica when the
+            # count changes.  Flows that predate the first scale-out
+            # (no entry, but provably established) belong to replica 0
+            # — the member that kept the base identity and the
+            # pre-spread connection state.
+            state_group = lb_state_group(network.graph_id,
+                                         rule.output.element,
+                                         rule.output.port)
+            table = network.lsi.datapath.flow_state.table(state_group)
+            table.default_owner = spread[0]
         else:
             dst = self._resolve(network, graph, instances, rule.output)
             spread = None
+            state_group = None
         fields = self._match_fields(rule)
         ingress_vid = src.vid if src.vid is not None else rule.match.vlan_id
         realized = InstalledRule(rule=rule)
@@ -421,7 +434,7 @@ class TrafficSteeringManager:
                 if ingress_vid is not None:
                     actions.append(PopVlan())
                 if spread is not None:
-                    actions.append(SelectOutput(spread))
+                    actions.append(SelectOutput(spread, group=state_group))
                 else:
                     if dst.vid is not None:
                         actions.append(PushVlan(dst.vid))
@@ -451,7 +464,8 @@ class TrafficSteeringManager:
 
                 second_actions: list[Action] = [PopVlan()]
                 if spread is not None:
-                    second_actions.append(SelectOutput(spread))
+                    second_actions.append(SelectOutput(spread,
+                                                       group=state_group))
                 else:
                     if dst.vid is not None:
                         second_actions.append(PushVlan(dst.vid))
@@ -542,6 +556,34 @@ class TrafficSteeringManager:
         for network in self.graphs.values():
             stats[network.lsi.name] = network.lsi.datapath.fusion.stats()
         return stats
+
+    # -- per-flow state ------------------------------------------------------------
+    def flow_state_stats(self) -> dict[str, dict]:
+        """Per-LSI flow-state counters (telemetry view).
+
+        Pinned / remapped / churned speak for replica affinity the way
+        fusion hits speak for the fast path: a scale event that broke
+        affinity shows up as remapped flows here before any NF notices.
+        """
+        stats = {"LSI-0": self.base.datapath.flow_state.stats()}
+        for network in self.graphs.values():
+            stats[network.lsi.name] = \
+                network.lsi.datapath.flow_state.stats()
+        return stats
+
+    def set_state_clock(self, clock) -> None:
+        """Rebind every LSI's flow-state aging clock (sim drivers).
+
+        The same contract as the journal clock: a sim-driven control
+        loop moves state aging onto virtual time so entry lifetimes in
+        scale-cycle scenarios are deterministic.  Applies to existing
+        registries and, because graph LSIs created later copy nothing
+        from here, callers driving long simulations should invoke this
+        after deploying new graphs too (ControlLoop.run_sim does).
+        """
+        self.base.datapath.flow_state.clock = clock
+        for network in self.graphs.values():
+            network.lsi.datapath.flow_state.clock = clock
 
     # -- inspection ---------------------------------------------------------------
     def flow_counts(self) -> dict[str, int]:

@@ -37,10 +37,24 @@ from dataclasses import replace
 
 from repro.nffg.model import FlowRule, Nffg, PortRef
 
-__all__ = ["expand_replicas", "is_lb_rule_id", "replica_base",
-           "replica_group", "replica_id"]
+__all__ = ["expand_replicas", "is_lb_rule_id", "lb_state_group",
+           "replica_base", "replica_group", "replica_id"]
 
 _LB_MARK = "@lb"
+
+
+def lb_state_group(graph_id: str, nf_id: str, port: str) -> str:
+    """The flow-state group id of one load-balanced destination.
+
+    Derived from what stays *constant* across scale events — the
+    graph, the base NF and the logical port — and deliberately not
+    from the rule id (which embeds the replica count and changes with
+    every scale decision).  The steering layer stamps this on the
+    ``SelectOutput`` it installs; the datapath keys its per-flow state
+    table on it, so established-flow ownership survives the LB rule
+    being deleted and reinstalled at the new count.
+    """
+    return f"{graph_id}/{replica_base(nf_id)}:{port}"
 
 
 def replica_id(nf_id: str, index: int) -> str:

@@ -200,9 +200,15 @@ def _encode_actions(actions: Sequence[Action]) -> bytes:
         elif isinstance(action, Controller):
             record(_AT_CONTROLLER, struct.pack("!H", action.max_len))
         elif isinstance(action, SelectOutput):
+            # Count-prefixed port list, then the (possibly empty)
+            # state-group id: the group names a per-flow state table
+            # on the executing datapath, so it must survive the wire
+            # hop from controller to agent like any other action field.
+            group = (action.group or "").encode("utf-8")
             record(_AT_SELECT, struct.pack(
                 f"!H{len(action.ports)}H", len(action.ports),
-                *action.ports))
+                *action.ports) + struct.pack("!B", 1 if action.group
+                                             is not None else 0) + group)
         elif isinstance(action, SetField):
             if action.field == "eth_src":
                 record(_AT_SET_ETH_SRC, MacAddress(action.value).packed)
@@ -244,10 +250,21 @@ def _decode_actions(data: bytes, offset: int) -> tuple[list[Action], int]:
             if len(payload) < 2:
                 raise CodecError("truncated select-output action")
             (count,) = struct.unpack_from("!H", payload)
-            if count == 0 or len(payload) != 2 + 2 * count:
+            ports_end = 2 + 2 * count
+            if count == 0 or len(payload) < ports_end:
                 raise CodecError("malformed select-output action")
-            actions.append(SelectOutput(
-                struct.unpack_from(f"!{count}H", payload, 2)))
+            ports = struct.unpack_from(f"!{count}H", payload, 2)
+            group: "str | None" = None
+            tail = payload[ports_end:]
+            if tail:
+                # Flagged state-group id (absent in records encoded
+                # before stateful selects existed — those decode to a
+                # stateless spread, which is what they meant).
+                if tail[0] == 1:
+                    group = tail[1:].decode("utf-8")
+                elif tail[0] != 0 or len(tail) > 1:
+                    raise CodecError("malformed select-output group")
+            actions.append(SelectOutput(ports, group=group))
         elif atype == _AT_SET_ETH_SRC:
             actions.append(SetField("eth_src", MacAddress(payload)))
         elif atype == _AT_SET_ETH_DST:

@@ -1,0 +1,224 @@
+"""Churn bench: remap fractions per scale step + a stateful scale cycle.
+
+Two legs, both deterministic (seeded flow populations, no timing):
+
+* **Remap sweep** — :func:`measure_replica_churn` drives
+  :func:`repro.switch.actions.rendezvous_select` over a seeded flow
+  population through a replica ladder (1 -> 2 -> ... -> N -> ... -> 1)
+  and records, per step, the fraction of flows whose selected port
+  changed.  Rendezvous hashing bounds that fraction at ``1/min(N_from,
+  N_to)`` in expectation — the consistent-hashing contract that
+  replaced the modulo spread (where *every* step remapped ~(N-1)/N of
+  flows).  The gate allows :data:`CHURN_EPSILON` of sampling slack.
+
+* **Scale-cycle probe** — :func:`run_scale_cycle_probe` pushes TCP
+  flows through a real :class:`~repro.switch.datapath.Datapath` whose
+  forwarding mirrors the steering layer across a 1 -> 3 -> 1 replica
+  cycle: plain ``Output`` at one replica, a stateful ``SelectOutput``
+  (group + ``default_owner``) at three.  Each replica port feeds a
+  NAT-style capture: a replica only knows flows whose SYN it saw, and
+  any non-SYN frame landing on a replica without state is a **broken
+  connection**.  The gate is zero.
+
+``run_churn_bench`` bundles both into the dict
+:func:`repro.perf.dataplane.run_dataplane_bench` embeds under the
+``churn`` key of ``BENCH_dataplane.json``;
+:func:`repro.perf.dataplane.check_results` gates on it in quick and
+full mode alike (everything here is exact, not a timing).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["CHURN_EPSILON", "measure_replica_churn", "run_churn_bench",
+           "run_scale_cycle_probe"]
+
+#: Slack over the 1/min(N_from, N_to) expected remap fraction — covers
+#: the sampling variance of a finite (seeded) flow population.
+CHURN_EPSILON = 0.05
+
+
+def measure_replica_churn(flows: int = 20000, max_replicas: int = 6,
+                          seed: int = 17, base_port: int = 10) -> dict:
+    """Remap fraction per replica-set step on a seeded flow population.
+
+    Walks the ladder ``[p0] -> [p0,p1] -> ... -> [p0..pN-1]`` and back
+    down, comparing each flow's rendezvous choice before and after
+    every step.  Returns per-step records plus the worst margin over
+    the theoretical bound (negative = under the bound everywhere).
+    """
+    from repro.switch.actions import rendezvous_select
+
+    rng = random.Random(seed)
+    population = [rng.randrange(1 << 32) for _ in range(flows)]
+    ports = tuple(base_port + i for i in range(max_replicas))
+    ladder = [ports[:n] for n in range(1, max_replicas + 1)]
+    ladder += [ports[:n] for n in range(max_replicas - 1, 0, -1)]
+
+    steps = []
+    worst_margin = float("-inf")
+    owners = [rendezvous_select(ladder[0], flow) for flow in population]
+    for live in ladder[1:]:
+        new_owners = [rendezvous_select(live, flow) for flow in population]
+        moved = sum(1 for old, new in zip(owners, new_owners)
+                    if old != new)
+        previous_n = len(ladder[len(steps)])
+        fraction = moved / flows
+        bound = 1.0 / min(previous_n, len(live))
+        worst_margin = max(worst_margin, fraction - bound)
+        steps.append({
+            "from_replicas": previous_n,
+            "to_replicas": len(live),
+            "flows": flows,
+            "moved": moved,
+            "fraction": fraction,
+            "bound": bound,
+        })
+        owners = new_owners
+    return {
+        "flows": flows,
+        "max_replicas": max_replicas,
+        "seed": seed,
+        "steps": steps,
+        "worst_margin": worst_margin,
+    }
+
+
+def run_scale_cycle_probe(phase1_flows: int = 60, phase2_flows: int = 120,
+                          data_frames: int = 3, seed: int = 19) -> dict:
+    """A 1 -> 3 -> 1 replica cycle against NAT-style per-replica state.
+
+    The datapath mirrors what the steering layer installs at each
+    replica count (plain ``Output`` at one, stateful ``SelectOutput``
+    at three, ``default_owner`` = the replica keeping the base
+    identity).  Replica captures enforce the stateful-NF contract: a
+    data frame is only deliverable where its SYN created state.
+    """
+    from repro.net import MacAddress, parse_frame
+    from repro.net.builder import make_tcp_frame
+    from repro.linuxnet.devices import VethPair
+    from repro.switch import (
+        Datapath, FlowEntry, FlowMatch, Output, SelectOutput, flow_key,
+    )
+
+    group = "churn-probe/nat:out"
+    dp = Datapath(0xC000, name="churnprobe")
+    dp.add_port("ingress")
+
+    replica_ports: list[int] = []
+    nat_state: list[dict] = []
+    delivered: list[int] = []
+    broken: list[tuple] = []
+
+    def make_capture(index: int):
+        known = nat_state[index]
+
+        def capture(device, frame) -> None:
+            parsed = parse_frame(frame)
+            key = flow_key(parsed)
+            tcp = parsed.tcp
+            if tcp is not None and tcp.flags & 0x02:  # SYN creates state
+                known[key] = True
+            elif key not in known:
+                broken.append((index, key))
+            delivered[index] += 1
+        return capture
+
+    for index in range(3):
+        nat_state.append({})
+        delivered.append(0)
+        pair = VethPair(f"cp{index}-sw", f"cp{index}-nf")
+        port = dp.add_port(f"replica{index}", device=pair.a)
+        pair.b.attach_handler(make_capture(index))
+        pair.b.set_up()
+        replica_ports.append(port.port_no)
+
+    src = MacAddress("02:cd:00:00:00:01")
+    dst = MacAddress("02:cd:00:00:00:02")
+    rng = random.Random(seed)
+
+    def flow_frames(index: int, flags: int) -> bytes:
+        return make_tcp_frame(
+            src, dst, f"10.{index % 200}.{index // 200}.1", "10.99.0.1",
+            2000 + index, 80, b"d" if flags & 0x10 else b"",
+            flags=flags)
+
+    def send(frames) -> None:
+        for frame in frames:
+            dp.process(1, frame)
+
+    def install_single() -> None:
+        dp.install(FlowEntry(match=FlowMatch(in_port=1),
+                             actions=(Output(replica_ports[0]),)))
+
+    def install_spread() -> None:
+        table = dp.flow_state.table(group)
+        table.default_owner = replica_ports[0]
+        dp.install(FlowEntry(
+            match=FlowMatch(in_port=1),
+            actions=(SelectOutput(tuple(replica_ports), group=group),)))
+
+    phase1 = list(range(phase1_flows))
+    phase2 = list(range(phase1_flows, phase1_flows + phase2_flows))
+
+    # Phase A: one replica.  S1 handshakes land on replica 0 only.
+    install_single()
+    send(flow_frames(i, 0x02) for i in phase1)          # SYN
+    send(flow_frames(i, 0x10) for i in phase1)          # first data
+
+    # Phase B: scale-out to three.  S1 continues mid-connection (must
+    # be adopted to replica 0 — its NAT state lives nowhere else);
+    # S2 opens, talks and *finishes* across the spread.
+    install_spread()
+    for _ in range(data_frames):
+        sequence = phase1[:]
+        rng.shuffle(sequence)
+        send(flow_frames(i, 0x10) for i in sequence)
+    send(flow_frames(i, 0x02) for i in phase2)          # S2 SYN
+    for _ in range(data_frames):
+        sequence = phase2[:]
+        rng.shuffle(sequence)
+        send(flow_frames(i, 0x18) for i in sequence)
+    send(flow_frames(i, 0x11) for i in phase2)          # S2 FIN/ACK
+
+    spread_counts = list(delivered)
+
+    # Phase C: drain back to one replica.  S2 is done; S1 keeps
+    # talking and must still land on replica 0, state intact.
+    install_single()
+    send(flow_frames(i, 0x10) for i in phase1)
+
+    stats = dp.flow_state.table(group).stats()
+    return {
+        "phase1_flows": phase1_flows,
+        "phase2_flows": phase2_flows,
+        "data_frames": data_frames,
+        "seed": seed,
+        "broken_connections": len(broken),
+        "frames_per_replica": list(delivered),
+        "spread_frames_per_replica": spread_counts,
+        "replicas_used_during_spread":
+            sum(1 for count in spread_counts if count),
+        "state": stats,
+    }
+
+
+def run_churn_bench(quick: bool = False, seed: int = 17) -> dict:
+    """Both legs, JSON-ready (the ``churn`` key of the bench dict)."""
+    if quick:
+        flows, max_replicas = 4000, 4
+        phase1, phase2, data = 40, 80, 2
+    else:
+        flows, max_replicas = 20000, 6
+        phase1, phase2, data = 100, 200, 3
+    return {
+        "epsilon": CHURN_EPSILON,
+        "remap": measure_replica_churn(flows=flows,
+                                       max_replicas=max_replicas,
+                                       seed=seed),
+        "cycle": run_scale_cycle_probe(phase1_flows=phase1,
+                                       phase2_flows=phase2,
+                                       data_frames=data, seed=seed + 2),
+        "quick": quick,
+    }

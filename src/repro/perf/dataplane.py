@@ -558,6 +558,10 @@ def run_dataplane_bench(sizes=None,
     # both quick and full modes; lazy import keeps this module light.
     from repro.perf.autoscale import run_autoscale_bench
     autoscale = run_autoscale_bench(quick=quick, seed=seed + 8)
+    # Consistent-hash churn + the stateful scale-cycle probe: seeded
+    # and timing-free, so the gates are exact in both modes too.
+    from repro.perf.churn import run_churn_bench
+    churn = run_churn_bench(quick=quick, seed=seed + 10)
     purity_size = 100 if quick else 1000
     purity_table = build_steering_table(purity_size)
     purity_workload = _steering_frames(purity_size, 200, seed)
@@ -575,6 +579,7 @@ def run_dataplane_bench(sizes=None,
         "actions": [asdict(point) for point in actions],
         "chain": [asdict(point) for point in chain],
         "autoscale": autoscale,
+        "churn": churn,
         "fusion_invalidation": fusion_invalidation,
         "fast_path_parse_cidr_calls": parse_cidr_calls,
         "chain_excess_parse_frame_calls": excess_parse_frame,
@@ -684,6 +689,32 @@ def check_results(results: dict) -> None:
             f"(0, {AUTOSCALE_MAX_TICKS_TO_SCALE} x {interval}s]")
         assert not autoscale["loop_error"], (
             f"control loop errored: {autoscale['loop_error']}")
+    churn = results.get("churn")
+    if churn is not None:
+        # Consistent-hashing gates (quick and full mode): seeded flow
+        # populations, so the figures are exact per seed, not timings.
+        from repro.perf.churn import CHURN_EPSILON
+        epsilon = churn.get("epsilon", CHURN_EPSILON)
+        for step in churn["remap"]["steps"]:
+            assert step["fraction"] <= step["bound"] + epsilon, (
+                f"replica step {step['from_replicas']} -> "
+                f"{step['to_replicas']} remapped "
+                f"{100 * step['fraction']:.1f}% of flows (bound "
+                f"{100 * step['bound']:.1f}% + {100 * epsilon:.0f}%)")
+        cycle = churn["cycle"]
+        assert cycle["broken_connections"] == 0, (
+            f"{cycle['broken_connections']} connections broke across "
+            "the 1 -> 3 -> 1 scale cycle (data frames reached a "
+            "replica without their NAT state)")
+        assert cycle["replicas_used_during_spread"] == 3, (
+            "the stateful spread balanced over only "
+            f"{cycle['replicas_used_during_spread']}/3 replicas")
+        state = cycle["state"]
+        assert state["adopted"] == cycle["phase1_flows"], (
+            f"only {state['adopted']}/{cycle['phase1_flows']} "
+            "pre-scale-out flows were adopted to the base replica")
+        assert state["pinned"] > 0, (
+            "the state table never pinned an established flow")
     invalidation = results.get("fusion_invalidation")
     if invalidation is not None:
         # Invalidation-fallback gate (quick and full mode): a flow-mod
@@ -767,6 +798,23 @@ def format_results(results: dict) -> str:
             f"drain in {t_drain if t_drain is not None else '?'}s, "
             f"peak {autoscale.get('max_replicas_seen')} replicas, "
             f"final {autoscale.get('final_replicas')}")
+    churn = results.get("churn")
+    if churn:
+        lines.append("")
+        lines.append(f"{'replicas':>10} {'moved':>8} {'fraction':>9} "
+                     f"{'bound':>7}")
+        for step in churn["remap"]["steps"]:
+            lines.append(
+                f"{step['from_replicas']:>4} -> {step['to_replicas']:>3} "
+                f"{step['moved']:>8} {100 * step['fraction']:>8.1f}% "
+                f"{100 * step['bound']:>6.1f}%")
+        cycle = churn["cycle"]
+        state = cycle["state"]
+        lines.append(
+            "scale cycle 1->3->1: "
+            f"{cycle['broken_connections']} broken connections, "
+            f"{state['adopted']} adopted, {state['pinned']} pinned, "
+            f"spread {cycle['spread_frames_per_replica']}")
     invalidation = results.get("fusion_invalidation")
     if invalidation:
         lines.append("")

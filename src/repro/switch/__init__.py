@@ -14,6 +14,9 @@ traffic, all programmed over OpenFlow.  This package provides:
 * :mod:`repro.switch.fusion` — chain fusion: whole stable LSI chains
   compiled into straight-line programs, one ingress lookup per batch
   group;
+* :mod:`repro.switch.state` — per-flow state tables (OpenState-style
+  match -> state -> action) giving load-balanced hops replica
+  affinity that survives scale events;
 * :mod:`repro.switch.lsi` — the LSI wrapper and inter-LSI virtual
   links (the "Virtual Link among LSIs" of Figure 1).
 """
@@ -27,6 +30,8 @@ from repro.switch.actions import (
     SelectOutput,
     SetField,
     flow_hash,
+    flow_key,
+    rendezvous_select,
 )
 from repro.switch.datapath import Datapath, SwitchPort
 from repro.switch.flowtable import (
@@ -37,6 +42,7 @@ from repro.switch.flowtable import (
 )
 from repro.switch.fusion import FusedChain, FusionEngine
 from repro.switch.lsi import LogicalSwitchInstance, VirtualLink
+from repro.switch.state import FlowStateRegistry, FlowStateTable
 
 __all__ = [
     "ActionError",
@@ -44,6 +50,8 @@ __all__ = [
     "Datapath",
     "FlowEntry",
     "FlowMatch",
+    "FlowStateRegistry",
+    "FlowStateTable",
     "FlowTable",
     "FlowTableOracleError",
     "FusedChain",
@@ -57,4 +65,6 @@ __all__ = [
     "SwitchPort",
     "VirtualLink",
     "flow_hash",
+    "flow_key",
+    "rendezvous_select",
 ]

@@ -34,7 +34,8 @@ from repro.net.ethernet import EthernetFrame
 
 __all__ = ["Action", "ActionError", "CompiledActions", "Controller",
            "EmitFn", "FLOOD_PORT", "Output", "PopVlan", "PushVlan",
-           "SelectOutput", "SetField", "compile_actions", "flow_hash"]
+           "SelectOutput", "SetField", "compile_actions", "flow_hash",
+           "flow_key", "rendezvous_select", "resolve_select"]
 
 #: Pseudo port number: send to every port except ingress.
 FLOOD_PORT = 0xFFFB
@@ -113,12 +114,19 @@ def flow_hash(parsed: ParsedFrame) -> int:
     parsing**.  The value is a pure function of (src, dst, proto,
     sport, dport): every frame of one flow hashes identically in both
     directions of the pipeline and across process restarts (no
-    ``hash()`` randomization).  Non-IPv4 frames hash to 0 — ARP and
-    friends pin to replica 0 rather than spraying.
+    ``hash()`` randomization).  Non-IPv4 frames (ARP, raw L2) hash
+    their (src MAC, dst MAC, ethertype): every L2 conversation gets a
+    stable value of its own instead of all collapsing to 0 — so
+    L2-only traffic both spreads across a replica group *and* keeps
+    per-conversation affinity.  Never raises, whatever the payload.
     """
     ints = parsed.ip_ints
     if ints is None:
-        return 0
+        eth = parsed.eth
+        h = ((int(eth.src) * _HASH_MULT) ^ int(eth.dst)) & 0xFFFFFFFF
+        h = ((h * _HASH_MULT) ^ eth.ethertype) & 0xFFFFFFFF
+        h = (h * _HASH_MULT) & 0xFFFFFFFF
+        return (h ^ (h >> 16)) & 0xFFFF
     h = ((ints[0] * _HASH_MULT) ^ ints[1]) & 0xFFFFFFFF
     h = ((h * _HASH_MULT) ^ parsed.ipv4.proto) & 0xFFFFFFFF
     udp = parsed.udp
@@ -128,9 +136,77 @@ def flow_hash(parsed: ParsedFrame) -> int:
         tcp = parsed.tcp
         l4 = ((tcp.src_port << 16) | tcp.dst_port) if tcp is not None else 0
     h = ((h ^ l4) * _HASH_MULT) & 0xFFFFFFFF
-    # A modulo by a small replica count reads the low bits; finish with
-    # a fold so they carry entropy from the whole word.
+    # Small replica counts read few bits; finish with a fold so every
+    # bit carries entropy from the whole word.
     return (h ^ (h >> 16)) & 0xFFFF
+
+
+def flow_key(parsed: ParsedFrame) -> tuple:
+    """Exact flow identity of a frame (state-table key).
+
+    Where :func:`flow_hash` folds the flow down to 16 bits for the
+    rendezvous weights, the *state* table needs collision-free
+    identity: a hash collision between two flows must never glue their
+    connection state together.  IPv4 frames key on the full 5-tuple
+    ints; everything else keys on the L2 conversation (src MAC, dst
+    MAC, ethertype).  Pure function of the frame, never raises.
+    """
+    ints = parsed.ip_ints
+    if ints is None:
+        eth = parsed.eth
+        return (int(eth.src), int(eth.dst), eth.ethertype)
+    udp = parsed.udp
+    if udp is not None:
+        l4 = (udp.src_port << 16) | udp.dst_port
+    else:
+        tcp = parsed.tcp
+        l4 = ((tcp.src_port << 16) | tcp.dst_port) if tcp is not None else 0
+    return (ints[0], ints[1], parsed.ipv4.proto, l4)
+
+
+def _port_seed(port: int) -> int:
+    """Per-port rendezvous seed: a 32-bit avalanche of the port number.
+
+    Computed once per compiled program (or once per selection for the
+    uncompiled reference path) — never per frame per port.
+    """
+    x = (port + 0x9E3779B9) & 0xFFFFFFFF
+    x = ((x ^ (x >> 16)) * 0x85EBCA6B) & 0xFFFFFFFF
+    x = ((x ^ (x >> 13)) * 0xC2B2AE35) & 0xFFFFFFFF
+    return (x ^ (x >> 16)) & 0xFFFFFFFF
+
+
+def rendezvous_select(ports: "tuple[int, ...]", flow: int,
+                      seeds: "tuple[int, ...] | None" = None) -> int:
+    """Highest-random-weight (rendezvous) port choice for a flow.
+
+    Every (flow, port) pair gets an independent 32-bit weight; the
+    port with the highest weight wins (ties break to the lowest port
+    number, deterministically).  The defining property — what replaces
+    the old ``ports[hash % N]`` — is *minimal churn*: adding a port
+    moves exactly the flows the new port now wins (≈1/(N+1) of them),
+    removing a port moves exactly the flows it owned (≈1/N), and every
+    other flow keeps its port.  Pure integer arithmetic on
+    :func:`flow_hash` output: deterministic across process restarts.
+
+    ``seeds`` is the precomputed :func:`_port_seed` tuple aligned with
+    ``ports``; hot paths pass it, one-shot callers may omit it.
+    """
+    if seeds is None:
+        seeds = tuple(_port_seed(port) for port in ports)
+    best = ports[0]
+    x = (flow ^ seeds[0]) & 0xFFFFFFFF
+    x = ((x ^ (x >> 16)) * 0x85EBCA6B) & 0xFFFFFFFF
+    best_weight = (x ^ (x >> 13)) & 0xFFFFFFFF
+    for i in range(1, len(ports)):
+        x = (flow ^ seeds[i]) & 0xFFFFFFFF
+        x = ((x ^ (x >> 16)) * 0x85EBCA6B) & 0xFFFFFFFF
+        weight = (x ^ (x >> 13)) & 0xFFFFFFFF
+        if weight > best_weight or (weight == best_weight
+                                    and ports[i] < best):
+            best_weight = weight
+            best = ports[i]
+    return best
 
 
 def _carried_parse(dp: Any, frame: EthernetFrame) -> ParsedFrame:
@@ -156,15 +232,25 @@ class SelectOutput:
     """Hash-select one of several output ports (replica load balancing).
 
     The steering layer installs this on rules whose destination NF is a
-    replica group: the frame leaves on
-    ``ports[flow_hash(parsed) % len(ports)]``, so every frame of one
-    5-tuple always takes the same port — *flow affinity* — and a
-    stateful replica behind each port sees complete flows.  ``ports``
-    is in replica order; the spread therefore only re-maps flows when
-    the replica set itself changes.
+    replica group: the frame leaves on the *rendezvous* winner of its
+    flow hash over ``ports`` (:func:`rendezvous_select`), so every
+    frame of one 5-tuple always takes the same port — *flow affinity* —
+    and a stateful replica behind each port sees complete flows.  When
+    the replica set changes, rendezvous hashing bounds the damage to
+    ~1/N of flows (the old modulo remapped nearly all of them).
+
+    ``group``, when set, names a per-flow *state table* on the
+    executing datapath (:mod:`repro.switch.state`): established flows
+    then stick to the replica that owns their state even across
+    replica-set changes, not just across hash-stable ones.  The group
+    id is codec-serializable (it rides the OpenFlow flow-mod) and is
+    chosen by the steering layer to be stable across scale events —
+    that stability is what carries ownership from one replica set to
+    the next.
     """
 
     ports: tuple[int, ...]
+    group: "str | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "ports", tuple(self.ports))
@@ -172,7 +258,8 @@ class SelectOutput:
             raise ValueError("select-output needs at least one port")
 
     def __str__(self) -> str:
-        return "select:" + "|".join(str(port) for port in self.ports)
+        text = "select:" + "|".join(str(port) for port in self.ports)
+        return text if self.group is None else f"{text}@{self.group}"
 
 
 @dataclass(frozen=True)
@@ -202,6 +289,51 @@ class SetField:
         return f"set_{self.field}:{self.value}"
 
 
+def resolve_select(dp: Any, action: SelectOutput,
+                   parsed: ParsedFrame) -> int:
+    """Reference semantics of :class:`SelectOutput` for one frame.
+
+    The interpreted action loop (and anything else outside a compiled
+    program) resolves the output port through here, so the compiled
+    shapes have exactly one oracle: stateless selects are pure
+    rendezvous over the flow hash; stateful selects (``group`` set)
+    consult the executing datapath's per-flow state table
+    (:mod:`repro.switch.state`).
+    """
+    if action.group is None:
+        return rendezvous_select(action.ports, flow_hash(parsed))
+    table = dp.flow_state.table(action.group)
+    return table.steer(parsed, action.ports, frozenset(action.ports))
+
+
+def _compile_select(action: SelectOutput):
+    """The per-frame port picker of one SelectOutput, constants hoisted.
+
+    Returns ``pick(dp, parsed) -> port`` with everything derivable
+    from the action — per-port rendezvous seeds, the live-port set,
+    the group name — computed here, once per install.  A stateful
+    picker resolves its datapath's state table on first use and caches
+    it (a compiled program only ever runs on the datapath whose table
+    holds its entry).
+    """
+    ports = action.ports
+    seeds = tuple(_port_seed(port) for port in ports)
+    group = action.group
+    if group is None:
+        def pick(dp: Any, parsed: ParsedFrame) -> int:
+            return rendezvous_select(ports, flow_hash(parsed), seeds)
+        return pick
+    port_set = frozenset(ports)
+    cache: list = [None, None]
+
+    def pick_stateful(dp: Any, parsed: ParsedFrame) -> int:
+        if cache[0] is not dp:
+            cache[0] = dp
+            cache[1] = dp.flow_state.table(group)
+        return cache[1].steer(parsed, ports, port_set, seeds)
+    return pick_stateful
+
+
 Action = Union[Output, Controller, PushVlan, PopVlan, SetField,
                SelectOutput]
 
@@ -229,7 +361,7 @@ CompiledActions = Callable[[Any, int, EthernetFrame, EmitFn], None]
 _OP_XFORM = 0   # arg: frame -> frame (may raise ActionError)
 _OP_OUT = 1     # arg: output port number
 _OP_CTRL = 2    # arg: unused (packet-in punt)
-_OP_SELECT = 3  # arg: replica-ordered port tuple (hash-select one)
+_OP_SELECT = 3  # arg: the SelectOutput action (rendezvous-select one port)
 
 
 def _compile_transform(action: "PushVlan | PopVlan | SetField"):
@@ -323,29 +455,27 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
             run_select_one.mutates = False
             run_select_one.out_port = only
             return run_select_one
-        n_ports = len(select_ports)
+        pick = _compile_select(acts[0])
 
         def run_select(dp: Any, in_port: int, frame: EthernetFrame,
                        emit: EmitFn) -> None:
-            parsed = _carried_parse(dp, frame)
-            emit(select_ports[flow_hash(parsed) % n_ports], in_port, frame)
+            emit(pick(dp, _carried_parse(dp, frame)), in_port, frame)
         run_select.mutates = False
         return run_select
 
     if kinds == (PopVlan, SelectOutput):
         # The LB tail of an inter-LSI segment: strip the internal tag,
-        # hash-spread across the replica ports.  The hash reads the
-        # *carried* parse of the ingress frame — VLAN ops never touch
-        # the 5-tuple, so affinity is computed before the single copy.
-        select_ports, n_ports = acts[1].ports, len(acts[1].ports)
+        # rendezvous-spread across the replica ports.  The hash reads
+        # the *carried* parse of the ingress frame — VLAN ops never
+        # touch the 5-tuple, so affinity is computed before the copy.
+        pick = _compile_select(acts[1])
 
         def run_pop_select(dp: Any, in_port: int, frame: EthernetFrame,
                            emit: EmitFn) -> None:
             if frame.vlan is None:
                 dp.action_errors += 1
                 return
-            out = select_ports[flow_hash(_carried_parse(dp, frame))
-                               % n_ports]
+            out = pick(dp, _carried_parse(dp, frame))
             emit(out, in_port, replace(frame, vlan=None, vlan_pcp=0))
         run_pop_select.mutates = True
         return run_pop_select
@@ -414,7 +544,7 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
             steps.append((_OP_CTRL, None))
             emits = True
         elif isinstance(action, SelectOutput):
-            steps.append((_OP_SELECT, action.ports))
+            steps.append((_OP_SELECT, _compile_select(action)))
             emits = True
         elif isinstance(action, (PushVlan, PopVlan, SetField)):
             steps.append((_OP_XFORM, _compile_transform(action)))
@@ -441,7 +571,7 @@ def compile_actions(actions: Sequence[Action]) -> CompiledActions:
                 # program may have applied are all L2-only, so the
                 # 5-tuple is the carried one either way.
                 parsed = _carried_parse(dp, frame)
-                emit(arg[flow_hash(parsed) % len(arg)], in_port, current)
+                emit(arg(dp, parsed), in_port, current)
             else:
                 handler = dp.packet_in_handler
                 if handler is not None:

@@ -73,10 +73,11 @@ from repro.switch.actions import (
     PushVlan,
     SelectOutput,
     SetField,
-    flow_hash,
+    resolve_select,
 )
 from repro.switch.flowtable import FlowEntry, FlowTable
 from repro.switch.fusion import FusedChain, FusionEngine
+from repro.switch.state import FlowStateRegistry
 
 __all__ = ["Datapath", "SwitchPort"]
 
@@ -181,6 +182,12 @@ class Datapath:
         #: sweep's per-hop leg and the differential oracle disable it
         #: per instance.
         self.fusion = FusionEngine(self)
+        #: Per-flow state tables consulted by stateful select-output
+        #: actions (``SelectOutput.group``); see
+        #: :mod:`repro.switch.state`.  Tables outlive the flow entries
+        #: that consult them — replica-affinity state survives the
+        #: rule churn of a scale event by design.
+        self.flow_state = FlowStateRegistry(name=self.name)
 
     # -- port management --------------------------------------------------------
     def add_port(self, name: str, device: Optional[NetDevice] = None,
@@ -624,15 +631,16 @@ class Datapath:
                 emitted = True
                 deliver(action.port, in_port, current)
             elif isinstance(action, SelectOutput):
-                # Reference semantics of hash-select: same 5-tuple hash
-                # as the compiled form, computed from the carried parse
-                # when the pipeline provided one (ingress-frame
+                # Reference semantics of hash-select: the same
+                # rendezvous / state-table resolution as the compiled
+                # form (resolve_select), computed from the carried
+                # parse when the pipeline provided one (ingress-frame
                 # identity), from a one-off parse otherwise.
                 emitted = True
                 parsed = self.carried[0]
                 if parsed is None or parsed.eth is not frame:
                     parsed = parse_frame(frame)
-                deliver(action.ports[flow_hash(parsed) % len(action.ports)],
+                deliver(resolve_select(self, action, parsed),
                         in_port, current)
             elif isinstance(action, Controller):
                 emitted = True

@@ -1,0 +1,274 @@
+"""Per-flow state tables: match -> state -> action for the datapath.
+
+The stateful-forwarding abstraction (OpenState, arXiv:1611.02853)
+keeps flow state *in the switch*: a lookup keyed on the flow precedes
+the action, the action may update the state, and aging reclaims idle
+entries.  Here the abstraction serves one job the paper's NFV node
+needs badly: **replica affinity across scale events**.  A rendezvous
+hash (:func:`repro.switch.actions.rendezvous_select`) already bounds
+churn to ~1/N of flows per replica-set change — but a stateful NF
+(NAT, firewall, IPsec) cannot afford even that for *established*
+connections.  So every load-balancing hop with a ``group`` consults a
+:class:`FlowStateTable`:
+
+* **match** — the exact flow key (:func:`repro.switch.actions.flow_key`:
+  full 5-tuple ints for IPv4, the L2 conversation otherwise);
+* **state** — the owning replica port plus last-seen time;
+* **action** — emit on the owner if it is still in the live port set
+  (*pinned*); rendezvous-reselect when the owner left (*remapped*) or
+  the entry idled out (*churned* if the fresh choice differs); insert
+  on first sight.
+
+First sight of an *established* TCP flow (ACK set, SYN clear) is
+special: it predates the state table — the destination was a single
+instance before the group first scaled out, so the flow's connection
+state lives on the replica that kept the base identity.  The steering
+layer records that port as :attr:`FlowStateTable.default_owner` when
+it installs a spread, and unknown-but-established flows are adopted
+to it instead of being sprayed.  New flows (SYN, or anything the
+frame cannot prove established) take the rendezvous choice — that is
+the load balancing.
+
+Aging runs on a pluggable clock: wall-monotonic by default, rebound
+to the virtual clock by sim-driven control loops (the same contract
+as the event journal), so state lifetimes in tests are deterministic.
+Tables are bounded (``capacity``); overflow evicts idle entries
+first, then the least-recently-seen.
+
+Fusion interplay: chain fusion never traces through a
+``SelectOutput`` hop, so a state decision can never be baked into a
+fused program; the steering layer still drops fused chains around
+every LB-rule install/uninstall exactly like any other flow-mod.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.net.builder import ParsedFrame
+from repro.switch.actions import flow_hash, flow_key, rendezvous_select
+
+__all__ = ["FlowStateEntry", "FlowStateRegistry", "FlowStateTable"]
+
+#: Seconds of inactivity before a flow's state entry ages out.
+DEFAULT_IDLE_TIMEOUT = 120.0
+#: Entries per table before eviction kicks in.
+DEFAULT_CAPACITY = 65536
+
+# TCP flag masks for the established test (ACK set, SYN clear).
+_TCP_SYN = 0x02
+_TCP_ACK = 0x10
+
+
+class FlowStateEntry:
+    """State of one flow: owning port + timestamps."""
+
+    __slots__ = ("port", "born", "last_seen")
+
+    def __init__(self, port: int, now: float) -> None:
+        self.port = port
+        self.born = now
+        self.last_seen = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlowStateEntry port={self.port} seen={self.last_seen}>"
+
+
+def _established(parsed: ParsedFrame) -> bool:
+    """Whether the frame proves an already-established connection.
+
+    Only TCP can: ACK without SYN means both ends completed the
+    handshake before this frame.  UDP/L2 traffic has no handshake to
+    read, so a state-table miss there is treated as a new flow.
+    """
+    tcp = parsed.tcp
+    return (tcp is not None
+            and (tcp.flags & (_TCP_SYN | _TCP_ACK)) == _TCP_ACK)
+
+
+class FlowStateTable:
+    """One group's flow-state store (see the module docstring)."""
+
+    __slots__ = ("name", "idle_timeout", "capacity", "default_owner",
+                 "_entries", "_now", "pinned", "remapped", "churned",
+                 "adopted", "inserted", "expired", "evicted")
+
+    def __init__(self, name: str = "",
+                 idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+                 capacity: int = DEFAULT_CAPACITY,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive: {idle_timeout}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.name = name
+        self.idle_timeout = idle_timeout
+        self.capacity = capacity
+        #: The port that owned every flow before this group first
+        #: scaled out (replica 0's port); unknown-but-established
+        #: flows are adopted here.  None disables adoption.
+        self.default_owner: Optional[int] = None
+        self._entries: dict = {}
+        self._now = clock if clock is not None else time.monotonic
+        self.pinned = 0
+        self.remapped = 0
+        self.churned = 0
+        self.adopted = 0
+        self.inserted = 0
+        self.expired = 0
+        self.evicted = 0
+
+    # -- the hot path -----------------------------------------------------------
+    def steer(self, parsed: ParsedFrame, ports: "tuple[int, ...]",
+              port_set: frozenset,
+              seeds: "tuple[int, ...] | None" = None) -> int:
+        """match -> state -> action for one frame; returns the port.
+
+        ``ports``/``port_set``/``seeds`` describe the live replica set
+        of the select action consulting the table (the caller hoists
+        them out of the per-frame path).
+        """
+        now = self._now()
+        key = flow_key(parsed)
+        entries = self._entries
+        entry = entries.get(key)
+        old_port: Optional[int] = None
+        if entry is not None:
+            if now - entry.last_seen > self.idle_timeout:
+                # Aged out mid-conversation gap: forget the owner and
+                # treat the flow as fresh (it re-enters below).
+                old_port = entry.port
+                del entries[key]
+                self.expired += 1
+            elif entry.port in port_set:
+                entry.last_seen = now
+                self.pinned += 1
+                return entry.port
+            else:
+                # The owner left the replica set (scale-in, heal):
+                # the flow must move; rendezvous picks its new home.
+                port = rendezvous_select(ports, flow_hash(parsed), seeds)
+                entry.port = port
+                entry.last_seen = now
+                self.remapped += 1
+                self.churned += 1
+                return port
+        if (self.default_owner is not None
+                and self.default_owner in port_set
+                and _established(parsed)):
+            port = self.default_owner
+            self.adopted += 1
+        else:
+            port = rendezvous_select(ports, flow_hash(parsed), seeds)
+        if old_port is not None and port != old_port:
+            self.churned += 1
+        self._insert(key, port, now)
+        return port
+
+    def _insert(self, key, port: int, now: float) -> None:
+        entries = self._entries
+        if len(entries) >= self.capacity:
+            self.expire(now)
+            if len(entries) >= self.capacity:
+                oldest = min(entries, key=lambda k: entries[k].last_seen)
+                del entries[oldest]
+                self.evicted += 1
+        entries[key] = FlowStateEntry(port, now)
+        self.inserted += 1
+
+    # -- lifecycle --------------------------------------------------------------
+    def expire(self, now: Optional[float] = None) -> int:
+        """Sweep idle entries; returns how many aged out."""
+        if now is None:
+            now = self._now()
+        horizon = now - self.idle_timeout
+        entries = self._entries
+        dead = [key for key, entry in entries.items()
+                if entry.last_seen < horizon]
+        for key in dead:
+            del entries[key]
+        self.expired += len(dead)
+        return len(dead)
+
+    def owner(self, parsed: ParsedFrame) -> Optional[int]:
+        """The recorded owner port of a frame's flow (inspection)."""
+        entry = self._entries.get(flow_key(parsed))
+        return entry.port if entry is not None else None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "flows": len(self._entries),
+            "pinned": self.pinned,
+            "remapped": self.remapped,
+            "churned": self.churned,
+            "adopted": self.adopted,
+            "inserted": self.inserted,
+            "expired": self.expired,
+            "evicted": self.evicted,
+        }
+
+
+class FlowStateRegistry:
+    """A datapath's state tables, one per select group.
+
+    Tables are created on first consultation and *persist across rule
+    installs* — that persistence is the whole point: the LB rule id
+    changes with every replica count (``@lbN``), but the group id does
+    not, so established-flow ownership survives the reinstall.  The
+    registry's :attr:`clock` is read dynamically by every table it
+    owns; rebinding it (sim-driven control loops) rebases aging for
+    all of them at once.
+    """
+
+    def __init__(self, name: str = "",
+                 idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self.name = name
+        self.idle_timeout = idle_timeout
+        self.capacity = capacity
+        self.clock: Callable[[], float] = time.monotonic
+        self._tables: dict[str, FlowStateTable] = {}
+
+    def _now(self) -> float:
+        return self.clock()
+
+    def table(self, group: str) -> FlowStateTable:
+        table = self._tables.get(group)
+        if table is None:
+            table = FlowStateTable(name=group,
+                                   idle_timeout=self.idle_timeout,
+                                   capacity=self.capacity,
+                                   clock=self._now)
+            self._tables[group] = table
+        return table
+
+    def tables(self) -> "dict[str, FlowStateTable]":
+        return dict(self._tables)
+
+    def drop(self, group: str) -> bool:
+        """Forget one group's state entirely (graph teardown)."""
+        return self._tables.pop(group, None) is not None
+
+    def expire(self, now: Optional[float] = None) -> int:
+        """Sweep idle entries in every table; returns total aged out."""
+        return sum(table.expire(now) for table in self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def stats(self) -> dict:
+        """Aggregated counters over every group (telemetry view)."""
+        totals = {"groups": len(self._tables), "flows": 0, "pinned": 0,
+                  "remapped": 0, "churned": 0, "adopted": 0,
+                  "inserted": 0, "expired": 0, "evicted": 0}
+        for table in self._tables.values():
+            for key, value in table.stats().items():
+                totals[key] += value
+        return totals

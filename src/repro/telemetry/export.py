@@ -62,6 +62,20 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     header("repro_fusion_invalidations_total", "counter",
            "Fused-chain programs dropped (flow-mods, replica changes, "
            "stale-at-flush fallbacks), per LSI.")
+    header("repro_flow_state_flows", "gauge",
+           "Live per-flow state entries (replica affinity), per LSI.")
+    header("repro_flow_state_pinned_total", "counter",
+           "Frames steered to the replica that owns their flow state, "
+           "per LSI.")
+    header("repro_flow_state_remapped_total", "counter",
+           "Established flows moved because their owning replica left "
+           "the set, per LSI.")
+    header("repro_flow_state_churned_total", "counter",
+           "Flows whose owner changed (remap or post-expiry "
+           "re-selection), per LSI.")
+    header("repro_flow_state_adopted_total", "counter",
+           "Established flows adopted to the pre-scale-out owner on "
+           "first sight, per LSI.")
     header("repro_telemetry_samples_total", "counter",
            "Sampling passes this registry has taken.")
 
@@ -74,6 +88,20 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                      f"{stats['misses']}")
         lines.append(f"repro_fusion_invalidations_total{{{label}}} "
                      f"{stats['invalidations']}")
+
+    for lsi_name, stats in sorted(
+            registry.steering.flow_state_stats().items()):
+        label = f'lsi="{_label(lsi_name)}"'
+        lines.append(f"repro_flow_state_flows{{{label}}} "
+                     f"{stats['flows']}")
+        lines.append(f"repro_flow_state_pinned_total{{{label}}} "
+                     f"{stats['pinned']}")
+        lines.append(f"repro_flow_state_remapped_total{{{label}}} "
+                     f"{stats['remapped']}")
+        lines.append(f"repro_flow_state_churned_total{{{label}}} "
+                     f"{stats['churned']}")
+        lines.append(f"repro_flow_state_adopted_total{{{label}}} "
+                     f"{stats['adopted']}")
 
     for graph_id in registry.graphs():
         graph_label = _label(graph_id)
@@ -121,7 +149,8 @@ def render_top(document: dict) -> str:
     a remote node answered over HTTP.
     """
     lines = [f"{'GRAPH':<12} {'NF':<16} {'REPLICAS':>8} {'PPS':>12} "
-             f"{'BYTES/S':>12} {'MTTR':>8} {'HEALS':>6} {'FUSED':>6}"]
+             f"{'BYTES/S':>12} {'MTTR':>8} {'HEALS':>6} {'FUSED':>6} "
+             f"{'PIN%':>6}"]
     graphs = document.get("graphs", {})
     for graph_id in sorted(graphs):
         graph = graphs[graph_id]
@@ -136,6 +165,13 @@ def render_top(document: dict) -> str:
         fused_frames = fusion.get("hits", 0) + fusion.get("misses", 0)
         fused_text = (f"{100.0 * fusion['hits'] / fused_frames:.0f}%"
                       if fused_frames else "-")
+        # Replica-affinity pin rate of the LB hops: pinned frames over
+        # every state-table decision ("-" before any stateful spread).
+        state = graph.get("flow-state") or {}
+        state_total = (state.get("pinned", 0) + state.get("inserted", 0)
+                       + state.get("remapped", 0))
+        pinned_text = (f"{100.0 * state['pinned'] / state_total:.0f}%"
+                       if state_total else "-")
         nfs = graph.get("nfs", {})
         bases: dict[str, list] = {}
         for nf_id, rates in nfs.items():
@@ -151,7 +187,8 @@ def render_top(document: dict) -> str:
                 f"{replicas.get(base, 1):>8} {pps:>12.1f} {bps:>12.1f} "
                 f"{mttr_text if first else '':>8} "
                 f"{heals if first else '':>6} "
-                f"{fused_text if first else '':>6}")
+                f"{fused_text if first else '':>6} "
+                f"{pinned_text if first else '':>6}")
             first = False
         if not bases:
             lines.append(f"{graph_id:<12} {'(no samples)':<16}")

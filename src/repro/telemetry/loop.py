@@ -91,14 +91,21 @@ class ControlLoop:
         The reconciler journal's clock is rebound to ``sim.now`` so
         every event timestamp, rate window, MTTR and time-to-scale is
         in virtual seconds — run ``sim.run(until=...)`` to advance.
-        The process never terminates on its own; the ``until`` bound
-        (or :meth:`Simulator.stop`) ends it.
+        Flow-state aging (:mod:`repro.switch.state`) moves onto the
+        same axis: every LSI's state clock is rebound each tick, so
+        graphs deployed mid-simulation age their flow entries in
+        virtual time too.  The process never terminates on its own;
+        the ``until`` bound (or :meth:`Simulator.stop`) ends it.
         """
-        self.orchestrator.reconciler.journal.clock = lambda: sim.now
+        clock = lambda: sim.now  # noqa: E731 - one shared rebindable clock
+        self.orchestrator.reconciler.journal.clock = clock
+        steering = getattr(self.orchestrator, "steering", None)
 
         def ticker():
             while True:
                 try:
+                    if steering is not None:
+                        steering.set_state_clock(clock)
                     self.step(sim.now)
                 except Exception as exc:  # keep the loop alive; record
                     self.last_error = str(exc)

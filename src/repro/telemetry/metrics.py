@@ -288,11 +288,14 @@ class MetricsRegistry:
             "availability": self.availability(graph_id),
             "samples": self.samples_taken,
         }
-        # Fused-chain counters of the graph's own LSI (a graph being
-        # torn down may already have left the steering table).
+        # Fused-chain and flow-state counters of the graph's own LSI
+        # (a graph being torn down may already have left the steering
+        # table).
         network = self.steering.graphs.get(graph_id)
         if network is not None:
             document["fusion"] = network.lsi.datapath.fusion.stats()
+            document["flow-state"] = \
+                network.lsi.datapath.flow_state.stats()
         return document
 
     def to_dict(self) -> dict:
@@ -303,6 +306,7 @@ class MetricsRegistry:
             "samples": self.samples_taken,
             "flow-counts": self.steering.flow_counts(),
             "fusion": self.steering.fusion_stats(),
+            "flow-state": self.steering.flow_state_stats(),
             "graphs": {graph_id: self.graph_metrics(graph_id)
                        for graph_id in graph_ids},
         }

@@ -36,6 +36,7 @@ from repro.switch import (
     Output,
     PopVlan,
     PushVlan,
+    SelectOutput,
     SetField,
     VirtualLink,
 )
@@ -63,6 +64,14 @@ _SHAPES = {
     "setvid_out": lambda fwd, tee, vid: (SetField("vlan_vid", vid),
                                          Output(fwd)),
     "tee_out": lambda fwd, tee, vid: (Output(tee), Output(fwd)),
+    # Hash-LB hops: the rendezvous spread (stateless) and the stateful
+    # per-flow table in front of it.  Both split the batch per flow —
+    # and neither may ever be baked into a fused program.
+    "select_out": lambda fwd, tee, vid: (SelectOutput((fwd, tee)),),
+    "pin_select_out": lambda fwd, tee, vid: (
+        SelectOutput((fwd, tee), group="eq/lb:in"),),
+    "pop_select_out": lambda fwd, tee, vid: (PopVlan(),
+                                             SelectOutput((fwd, tee))),
     "drop": lambda fwd, tee, vid: (),
     "punt": lambda fwd, tee, vid: (Controller(),),
 }
@@ -286,3 +295,47 @@ def test_mid_batch_flow_mod_forces_fallback_and_matches_per_hop():
         1, _frames([frame_specs[0]]))
     assert engine.hits == 1
     assert len(fused.captures["retarget"]) == 3
+
+
+def test_select_output_bails_fusion_and_modes_still_agree():
+    """A chain ending in a hash-LB hop must never fuse — a per-flow
+    (let alone stateful) decision cannot be baked into a straight-line
+    program — yet all four traversal modes stay identical."""
+    for terminal in ("select_out", "pin_select_out"):
+        specs = [{"shape": "out", "vid": 1, "match_vlan": "wild",
+                  "match_vid": 1, "cidr": None},
+                 {"shape": terminal, "vid": 1, "match_vlan": "wild",
+                  "match_vid": 1, "cidr": None}]
+        frame_specs = [{"vlan": None, "sport": 1000 + i,
+                        "dst_net": 10 + i % 3, "payload": bytes([i])}
+                       for i in range(8)]
+
+        per_frame = ChainInstance(2, specs)
+        for frame in _frames(frame_specs):
+            per_frame.hops[0].process(1, frame)
+
+        reparse = ChainInstance(2, specs)
+        for link in reparse.links:
+            link.carry_parsed = False
+        reparse.hops[0].process_batch(
+            [(1, frame) for frame in _frames(frame_specs)])
+
+        zero_reparse = ChainInstance(2, specs)
+        for hop in zero_reparse.hops:
+            hop.fusion.enabled = False
+        zero_reparse.hops[0].process_batch_from(1, _frames(frame_specs))
+
+        fused = ChainInstance(2, specs)
+        fused.hops[0].process_batch_from(1, _frames(frame_specs))
+
+        reference = per_frame.observe()
+        assert reparse.observe() == reference, terminal
+        assert zero_reparse.observe() == reference, terminal
+        assert fused.observe() == reference, terminal
+        # The production instance really declined to fuse: zero frames
+        # went through a fused program.
+        assert fused.hops[0].fusion.hits == 0, terminal
+        # The spread actually split the batch: both the forward port
+        # (-> final capture) and the tee saw traffic.
+        assert reference["captures"]["final"], terminal
+        assert reference["captures"]["tee1"], terminal

@@ -112,11 +112,23 @@ def test_flow_hash_is_deterministic_and_spreads():
                       for flow in range(64)]
     buckets = {h % 3 for h in hashes}
     assert buckets == {0, 1, 2}  # 64 distinct flows hit every replica
-    # Non-IP frames pin to bucket 0 instead of spraying.
+    # Non-IP frames hash their L2 conversation: stable per (src, dst,
+    # ethertype), never raising, and distinct conversations spread
+    # instead of all collapsing onto one replica (the old behavior
+    # hashed every ARP to 0).
+    from repro.net.addresses import MacAddress
     from repro.net.ethernet import EthernetFrame
     arp = parse_frame(EthernetFrame(dst=DST, src=SRC, ethertype=0x0806,
                                     payload=b"\x00" * 28))
-    assert flow_hash(arp) == 0
+    again = parse_frame(EthernetFrame(dst=DST, src=SRC, ethertype=0x0806,
+                                      payload=b"\xff" * 28))
+    assert flow_hash(arp) == flow_hash(again)  # payload-independent
+    l2_hashes = {
+        flow_hash(parse_frame(EthernetFrame(
+            dst=DST, src=MacAddress(f"02:ab:00:00:01:{i:02x}"),
+            ethertype=0x0806, payload=b"\x00" * 28)))
+        for i in range(16)}
+    assert len(l2_hashes) > 1  # distinct L2 sources spread
 
 
 def test_every_frame_of_a_flow_hits_the_same_replica():

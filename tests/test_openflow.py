@@ -65,6 +65,35 @@ class TestCodec:
         message = decode_message(data)
         assert tuple(message.actions) == actions
 
+    def test_select_output_group_roundtrip(self):
+        # The state-group id travels the wire with the port list —
+        # including non-ASCII group names — and its absence decodes to
+        # a stateless (group=None) spread.
+        from repro.switch import SelectOutput
+        for group in ("eg/dpi:in", "gräph/nf:0"):
+            actions = (SelectOutput((4, 9, 17), group=group),)
+            data = encode_flow_mod(3, FlowModCommand.ADD,
+                                   FlowMatch(in_port=1), actions)
+            message = decode_message(data)
+            assert tuple(message.actions) == actions
+            assert message.actions[0].group == group
+        stateless = (SelectOutput((4, 9)),)
+        message = decode_message(encode_flow_mod(
+            4, FlowModCommand.ADD, FlowMatch(in_port=1), stateless))
+        assert message.actions[0].group is None
+
+    def test_select_output_malformed_group_raises_codec_error(self):
+        # A trailing-garbage or bad-flag group tail is a wire error.
+        import struct
+        from repro.openflow import messages
+        two_ports = struct.pack("!HH", 4, 9)
+        for tail in (b"\x02abc", b"\x00junk"):
+            payload = struct.pack("!H", 2) + two_ports + tail
+            record = struct.pack("!BB", 7, len(payload)) + payload
+            data = struct.pack("!H", len(record)) + record
+            with pytest.raises(CodecError):
+                messages._decode_actions(data, 0)
+
     def test_malformed_select_output_raises_codec_error(self):
         # An empty (count=0) or truncated select record must surface
         # as a CodecError (the malformed-wire contract), never a

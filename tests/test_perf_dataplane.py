@@ -116,6 +116,43 @@ def test_quick_gates_catch_fusion_regressions():
         check_results(doctored)
 
 
+def test_quick_gates_catch_churn_regressions():
+    """The churn gates are real even in quick mode: a remap fraction
+    over the 1/min(N,N') bound, and any broken connection in the
+    scale-cycle probe, must both fail."""
+    results = run_dataplane_bench(quick=True)
+    doctored = json.loads(json.dumps(results))
+    doctored["churn"]["remap"]["steps"][1]["fraction"] = 0.9
+    with pytest.raises(AssertionError, match="remapped"):
+        check_results(doctored)
+    doctored = json.loads(json.dumps(results))
+    doctored["churn"]["cycle"]["broken_connections"] = 3
+    with pytest.raises(AssertionError, match="connections broke"):
+        check_results(doctored)
+    doctored = json.loads(json.dumps(results))
+    doctored["churn"]["cycle"]["state"]["adopted"] = 0
+    with pytest.raises(AssertionError, match="adopted"):
+        check_results(doctored)
+
+
+def test_churn_bench_legs_directly():
+    from repro.perf.churn import (
+        measure_replica_churn,
+        run_scale_cycle_probe,
+    )
+    remap = measure_replica_churn(flows=600, max_replicas=3, seed=3)
+    # Ladder 1 -> 2 -> 3 -> 2 -> 1: four steps, every one in bound.
+    assert len(remap["steps"]) == 4
+    assert remap["worst_margin"] <= 0.05
+    for step in remap["steps"]:
+        assert step["moved"] <= step["flows"]
+    cycle = run_scale_cycle_probe(phase1_flows=10, phase2_flows=20,
+                                  data_frames=1, seed=3)
+    assert cycle["broken_connections"] == 0
+    assert cycle["state"]["adopted"] == 10
+    assert cycle["replicas_used_during_spread"] == 3
+
+
 def test_results_serialize_and_format():
     results = run_dataplane_bench(sizes=(4,), chain_lengths=(1,),
                                   lookup_packets=30, chain_packets=20)

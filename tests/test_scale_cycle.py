@@ -1,0 +1,176 @@
+"""Scale-cycle differential: 1 -> 3 -> 1 with live stateful flows.
+
+The acceptance scenario for consistent-hash steering + flow state at
+the *node* level: a stateful (NAT-style) chain NF is deployed at one
+replica, established connections open, the graph scales out to three
+replicas mid-conversation, new connections open and finish across the
+spread, and the graph drains back to one replica — all while the
+original connections keep talking.
+
+Three invariants, checked byte-for-byte against a never-scaled oracle
+node receiving the identical traffic:
+
+* **zero connection breakage** — replaying each replica's ingress in
+  delivery order against NAT semantics (a replica only knows flows
+  whose SYN it saw), no data frame may land on a replica without its
+  connection state;
+* **established flows stay home** — every frame of every phase-1 flow
+  lands on replica 0 (``dpi``), whose NAT table predates the spread:
+  unknown-but-established flows are adopted, not sprayed;
+* **nothing lost, nothing altered** — the multiset of frames delivered
+  into NFs across the whole cycle equals the oracle's exactly.
+"""
+
+from repro.net import MacAddress, parse_frame
+from repro.net.builder import make_tcp_frame
+from repro.switch import flow_key
+
+from tests.test_elastic_scaling import dpi_graph, make_node
+
+SRC = MacAddress("02:5c:00:00:00:01")
+DST = MacAddress("02:5c:00:00:00:02")
+
+SYN, DATA, FIN = 0x02, 0x18, 0x11
+
+PHASE1_FLOWS = 20
+PHASE2_FLOWS = 30
+
+
+def _frame(flow: int, flags: int) -> bytes:
+    payload = bytes([flow % 251, flags]) * 5 if flags & 0x10 else b""
+    return make_tcp_frame(
+        SRC, DST, f"10.6.{flow % 200}.{1 + flow // 200}", "10.7.0.1",
+        5000 + flow, 8080, payload, flags=flags)
+
+
+def _capture_into(node, graph_id, captured):
+    """Like ``capture_nf_ingress`` but cumulative: existing sinks keep
+    their frames across scale events, new replicas get fresh sinks."""
+    record = node.orchestrator.deployed[graph_id]
+    for nf_id, instance in record.instances.items():
+        sink = captured.setdefault(nf_id, [])
+        for device in instance.unique_switch_devices():
+            inner = device.peer
+            inner.detach_handler()
+            inner.attach_handler(
+                lambda dev, frame, s=sink: s.append(frame.to_bytes()),
+                batch_handler=lambda dev, frames, s=sink:
+                    s.extend(frame.to_bytes() for frame in frames))
+    return captured
+
+
+def _drive(node, captured):
+    """The full cycle's traffic; scale events only on the given node
+    when it was deployed with ``scale=True``."""
+    scale = node.__dict__.get("_cycle_scales", False)
+    phase1 = range(PHASE1_FLOWS)
+    phase2 = range(PHASE1_FLOWS, PHASE1_FLOWS + PHASE2_FLOWS)
+
+    def send(frames):
+        node.steering.inject_batch("lan0", list(frames))
+
+    # Phase A (1 replica): S1 handshakes + first data.
+    send(_frame(flow, SYN) for flow in phase1)
+    send(_frame(flow, DATA) for flow in phase1)
+
+    # Phase B: scale out to 3 mid-conversation.
+    if scale:
+        node.update(dpi_graph(replicas=3))
+        _capture_into(node, "eg", captured)
+    send(_frame(flow, DATA) for flow in phase1)      # S1 continues
+    send(_frame(flow, SYN) for flow in phase2)       # S2 opens
+    send(_frame(flow, DATA) for flow in phase2)
+    send(_frame(flow, DATA) for flow in phase1)      # interleaved S1
+    send(_frame(flow, DATA) for flow in phase2)
+    send(_frame(flow, FIN) for flow in phase2)       # S2 finishes
+
+    # Phase C: drain back to 1; S1 still mid-conversation.
+    if scale:
+        node.update(dpi_graph(replicas=1))
+    send(_frame(flow, DATA) for flow in phase1)
+
+
+def _replay_nat(captured):
+    """Per-replica NAT replay: (broken, owner-by-flow, frames-by-flow)."""
+    broken = []
+    owners: dict = {}
+    touched: dict = {}
+    for nf_id, frames in captured.items():
+        known = set()
+        for raw in frames:
+            parsed = parse_frame(raw)
+            key = flow_key(parsed)
+            touched.setdefault(key, set()).add(nf_id)
+            if parsed.tcp.flags & 0x02:
+                known.add(key)
+                owners[key] = nf_id
+            elif key not in known:
+                broken.append((nf_id, key))
+    return broken, owners, touched
+
+
+def test_scale_cycle_differential_against_single_replica_oracle():
+    scaled = make_node("cycle-scaled")
+    scaled.deploy(dpi_graph())
+    scaled.__dict__["_cycle_scales"] = True
+    scaled_captured = _capture_into(scaled, "eg", {})
+
+    oracle = make_node("cycle-oracle")
+    oracle.deploy(dpi_graph())
+    oracle_captured = _capture_into(oracle, "eg", {})
+
+    _drive(scaled, scaled_captured)
+    _drive(oracle, oracle_captured)
+
+    # Per phase-1 flow: SYN + 4 data; per phase-2 flow: SYN + 2 data
+    # + FIN.
+    total_frames = PHASE1_FLOWS * 5 + PHASE2_FLOWS * 4
+
+    # Byte-for-byte: the union of replica ingress on the scaled node
+    # is exactly the oracle's single-replica ingress (order aside).
+    scaled_all = sorted(raw for frames in scaled_captured.values()
+                        for raw in frames)
+    oracle_all = sorted(raw for frames in oracle_captured.values()
+                        for raw in frames)
+    assert len(oracle_all) == total_frames
+    assert scaled_all == oracle_all
+
+    # NAT replay: zero breakage on either node.
+    broken, owners, touched = _replay_nat(scaled_captured)
+    assert broken == [], f"{len(broken)} connection-breaking frames"
+    oracle_broken, _, _ = _replay_nat(oracle_captured)
+    assert oracle_broken == []
+
+    # Every phase-1 flow lived its whole life on replica 0: its SYN
+    # predates the spread, so adoption (not rendezvous) must route it.
+    for flow in range(PHASE1_FLOWS):
+        key = flow_key(parse_frame(_frame(flow, DATA)))
+        assert owners[key] == "dpi"
+        assert touched[key] == {"dpi"}, (
+            f"phase-1 flow {flow} strayed to {touched[key]}")
+
+    # The spread really load-balanced: phase-2 flows used >1 replica.
+    phase2_replicas = set()
+    for flow in range(PHASE1_FLOWS, PHASE1_FLOWS + PHASE2_FLOWS):
+        key = flow_key(parse_frame(_frame(flow, SYN)))
+        replicas = touched[key]
+        assert len(replicas) == 1, f"flow {flow} split across {replicas}"
+        phase2_replicas |= replicas
+    assert len(phase2_replicas) >= 2
+
+    # The state table saw it all: phase-1 flows adopted once each,
+    # everything else pinned after first sight, nothing remapped (no
+    # replica died mid-spread).
+    stats = scaled.steering.flow_state_stats()
+    totals = {key: sum(s[key] for s in stats.values())
+              for key in ("adopted", "pinned", "remapped")}
+    assert totals["adopted"] == PHASE1_FLOWS
+    assert totals["pinned"] > 0
+    assert totals["remapped"] == 0
+
+    # The oracle never consulted a state table (no LB rule at 1
+    # replica) — the differential really compares against plain
+    # single-instance forwarding.
+    oracle_stats = oracle.steering.flow_state_stats()
+    assert all(s["inserted"] == 0 and s["adopted"] == 0
+               for s in oracle_stats.values())

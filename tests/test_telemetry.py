@@ -292,13 +292,23 @@ def test_prometheus_export_and_rest_metrics():
     assert any('lsi="LSI-0"' in line for line in fusion_lines)
     assert "# TYPE repro_fusion_invalidations_total counter" in text
 
+    # Flow-state counters export per LSI too (a single-replica graph
+    # has no LB hop, so they read zero — but the series exist).
+    assert "# TYPE repro_flow_state_flows gauge" in text
+    assert "# TYPE repro_flow_state_pinned_total counter" in text
+    state_lines = [line for line in text.splitlines()
+                   if line.startswith("repro_flow_state_flows{")]
+    assert any('lsi="LSI-0"' in line for line in state_lines)
+
     document = client.graph_metrics("tg")
     assert document["availability"]["heals"] == 1
     assert document["nfs"]["dpi"]["pps"] > 0
     assert set(document["fusion"]) == {"hits", "misses", "invalidations",
                                        "programs-built", "enabled"}
+    assert document["flow-state"]["groups"] == 0  # no LB at 1 replica
     node_document = client.node_metrics()
     assert "LSI-0" in node_document["fusion"]
+    assert "LSI-0" in node_document["flow-state"]
     reply = client.get("/metrics")
     assert reply.content_type.startswith("text/plain")
     assert client.get("/graphs/nope/metrics").status == 404
@@ -313,19 +323,25 @@ def test_render_top_table():
     text = render_top(node.telemetry.to_dict())
     assert "GRAPH" in text and "tg" in text and "dpi" in text
     assert "FUSED" in text  # fused-chain hit-rate column
+    assert "PIN%" in text   # replica-affinity pin-rate column
     # Replicas aggregate back onto the base NF row.
     assert "dpi@1" not in text
     line = next(line for line in text.splitlines() if " dpi " in line)
     assert " 2 " in line  # replica count column
-    # Batched injection through LSI-0 fused: the graph row shows a
-    # hit rate, and a document without fusion data renders "-".
-    assert line.rstrip().endswith("%")
+    # Batched injection through LSI-0 fused and the replicated spread
+    # consulted its state table: both rate columns show percentages,
+    # and a document without either block renders "-".
+    fused_col, pin_col = line.rstrip().rsplit(None, 2)[-2:]
+    assert fused_col.endswith("%") and pin_col.endswith("%")
     bare = node.telemetry.to_dict()
     for graph in bare["graphs"].values():
         graph.pop("fusion", None)
+        graph.pop("flow-state", None)
     legacy = render_top(bare)
     legacy_line = next(l for l in legacy.splitlines() if " dpi " in l)
     assert legacy_line.rstrip().endswith("-")
+    legacy_fused = legacy_line.rstrip().rsplit(None, 2)[-2]
+    assert legacy_fused == "-"
 
 
 def test_render_prometheus_escapes_and_counts_samples():
