@@ -12,8 +12,10 @@ Subcommands::
     repro node
         Print the node description a fresh CPE answers on GET /.
 
-    repro serve [--port P]
-        Start a CPE node and expose its REST API on localhost.
+    repro serve [--port P] [--interval S] [--shards N] [--no-loop]
+        Start a CPE node, expose its REST API on localhost, and run
+        the sharded control loop (reconcile ticks + telemetry +
+        autoscaling of persisted scaling policies).
 
     repro validate GRAPH.json
         Validate an NF-FG document without deploying it.
@@ -34,7 +36,9 @@ Subcommands::
         With ``--watch`` it redraws every SECONDS until interrupted.
 
 The ``graph`` and ``top`` subcommands talk HTTP to a node started
-with ``repro serve`` (default ``--url http://127.0.0.1:8080``).
+with ``repro serve`` (default ``--url http://127.0.0.1:8080``); their
+``--timeout`` flag bounds each request (default 30s — reconciling a
+loaded node legitimately takes longer than a short connect timeout).
 """
 
 from __future__ import annotations
@@ -72,6 +76,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help="serve the REST API on localhost")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--interval", type=float, default=1.0,
+                       help="control-loop period in seconds "
+                            "(tick + sample + autoscale)")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="reconcile-loop worker shards "
+                            "(graphs hash to a shard; 1 disables)")
+    serve.add_argument("--no-loop", action="store_true",
+                       help="serve REST only, without the control loop")
 
     validate = sub.add_parser("validate", help="validate an NF-FG document")
     validate.add_argument("graph", help="path to the NF-FG JSON file")
@@ -86,6 +98,9 @@ def _build_parser() -> argparse.ArgumentParser:
         leaf.add_argument("graph_id", help="graph id on the serving node")
         leaf.add_argument("--url", default="http://127.0.0.1:8080",
                           help="base URL of the node's REST API")
+        leaf.add_argument("--timeout", type=float, default=30.0,
+                          help="HTTP timeout in seconds (reconcile on a "
+                               "loaded node can exceed short timeouts)")
 
     top = sub.add_parser(
         "top", help="per-NF load/replica/availability view of a node")
@@ -93,6 +108,8 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="base URL of the node's REST API")
     top.add_argument("--watch", type=float, default=None, metavar="SECONDS",
                      help="redraw every SECONDS until interrupted")
+    top.add_argument("--timeout", type=float, default=30.0,
+                     help="HTTP timeout in seconds")
     return parser
 
 
@@ -149,26 +166,44 @@ def _cmd_node(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.rest.server import serve_node
     node = _fresh_node()
+    loop = None
+    if not args.no_loop:
+        # The control loop is what makes persisted scaling policies
+        # live: any graph PUT with "scaling-policies" (or a later
+        # PUT /graphs/{id}/policies) autoscales with no driver script.
+        from repro.telemetry.autoscaler import Autoscaler
+        from repro.telemetry.loop import ControlLoop
+        autoscaler = Autoscaler(reconciler=node.orchestrator.reconciler,
+                                registry=node.telemetry)
+        loop = ControlLoop(node.orchestrator, node.telemetry,
+                           autoscaler=autoscaler, interval=args.interval,
+                           shards=max(1, args.shards)).start()
     server = serve_node(node, port=args.port)
-    print(f"serving node {node.name!r} on {server.url} (Ctrl-C to stop)")
+    loop_note = ("no control loop" if loop is None else
+                 f"control loop every {args.interval:g}s, "
+                 f"{max(1, args.shards)} shard(s)")
+    print(f"serving node {node.name!r} on {server.url} "
+          f"({loop_note}; Ctrl-C to stop)")
     try:
         import time
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
+        if loop is not None:
+            loop.stop()
         server.stop()
         print("stopped")
     return 0
 
 
-def _http(method: str, url: str):
+def _http(method: str, url: str, timeout: float = 30.0):
     """One JSON request against a serving node; exits on refusal."""
     import urllib.error
     import urllib.request
 
     request = urllib.request.Request(url, method=method)
     try:
-        with urllib.request.urlopen(request, timeout=10) as reply:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
             return json.loads(reply.read() or b"null")
     except urllib.error.HTTPError as exc:
         try:
@@ -185,8 +220,10 @@ def _http(method: str, url: str):
 def _cmd_graph(args: argparse.Namespace) -> int:
     base = args.url.rstrip("/")
     graph_id = args.graph_id
+    timeout = args.timeout
     if args.graph_command == "events":
-        document = _http("GET", f"{base}/graphs/{graph_id}/events")
+        document = _http("GET", f"{base}/graphs/{graph_id}/events",
+                         timeout=timeout)
         for event in document["events"]:
             target = event.get("nf-id") or event.get("rule-id") or ""
             detail = event.get("detail", "")
@@ -200,11 +237,13 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     if args.graph_command == "reconcile":
         # A non-converging graph surfaces as an HTTP 409 (SystemExit in
         # _http); a 200 reply always means convergence.
-        document = _http("POST", f"{base}/graphs/{graph_id}/reconcile")
+        document = _http("POST", f"{base}/graphs/{graph_id}/reconcile",
+                         timeout=timeout)
         print(f"graph {graph_id!r}: converged after {document['ticks']} "
               f"tick(s), {document['steps-executed']} step(s) executed")
         return 0
-    document = _http("GET", f"{base}/nffg/{graph_id}/status")
+    document = _http("GET", f"{base}/nffg/{graph_id}/status",
+                     timeout=timeout)
     print(json.dumps(document, indent=2, sort_keys=True))
     return 0
 
@@ -213,12 +252,14 @@ def _cmd_top(args: argparse.Namespace) -> int:
     from repro.telemetry.export import render_top
     base = args.url.rstrip("/")
     if args.watch is None:
-        print(render_top(_http("GET", f"{base}/metrics.json")))
+        print(render_top(_http("GET", f"{base}/metrics.json",
+                               timeout=args.timeout)))
         return 0
     import time as _time
     try:
         while True:
-            document = _http("GET", f"{base}/metrics.json")
+            document = _http("GET", f"{base}/metrics.json",
+                             timeout=args.timeout)
             print(f"\033[2J\033[H", end="")  # clear screen, home cursor
             print(render_top(document))
             print(f"\n(samples={document.get('samples', 0)}; "

@@ -122,6 +122,10 @@ class ComputeNode:
     def update(self, graph: Nffg) -> DeployedGraph:
         return self.orchestrator.update(graph)
 
+    def apply(self, graph: Nffg) -> "tuple[DeployedGraph, bool]":
+        """Deploy-or-update atomically; returns ``(record, created)``."""
+        return self.orchestrator.apply(graph)
+
     # -- description (REST: "node description, capabilities, resources") ---------------
     def describe(self) -> dict:
         return {

@@ -82,6 +82,10 @@ class LocalOrchestrator:
 
     # -- deploy -----------------------------------------------------------------
     def deploy(self, graph: Nffg) -> DeployedGraph:
+        with self.reconciler.lock(graph.graph_id):
+            return self._deploy_locked(graph)
+
+    def _deploy_locked(self, graph: Nffg) -> DeployedGraph:
         started = time.perf_counter()
         if graph.graph_id in self.reconciler.desired:
             raise OrchestrationError(
@@ -116,14 +120,15 @@ class LocalOrchestrator:
 
     # -- undeploy ------------------------------------------------------------------
     def undeploy(self, graph_id: str) -> DeployedGraph:
-        record = self._record(graph_id)
-        self.reconciler.clear_desired(graph_id)
-        try:
-            self.reconciler.reconcile(graph_id)
-        except ReconcileError as exc:
-            raise OrchestrationError(
-                f"undeploying {graph_id!r} failed: {exc}") from exc
-        return record
+        with self.reconciler.lock(graph_id):
+            record = self._record(graph_id)
+            self.reconciler.clear_desired(graph_id)
+            try:
+                self.reconciler.reconcile(graph_id)
+            except ReconcileError as exc:
+                raise OrchestrationError(
+                    f"undeploying {graph_id!r} failed: {exc}") from exc
+            return record
 
     # -- update --------------------------------------------------------------------
     def update(self, new_graph: Nffg) -> DeployedGraph:
@@ -133,30 +138,58 @@ class LocalOrchestrator:
         never reinstalled.  On a mid-plan failure the applied prefix is
         kept (checkpointed), the error is raised, and the same update
         can simply be retried (or driven via :meth:`reconcile`).
+
+        An update document without scaling policies keeps the graph's
+        persisted ones: policies are durable graph state edited through
+        ``PUT /graphs/{id}/policies``, and a plain NF-FG re-PUT must
+        not silently disable autoscaling.  A document that *does* carry
+        policies replaces them wholesale.
         """
-        record = self._record(new_graph.graph_id)
-        self._validate(new_graph)
-        self.reconciler.set_desired(new_graph)
-        try:
-            self.reconciler.reconcile(new_graph.graph_id)
-        except ReconcileError as exc:
-            raise OrchestrationError(
-                f"updating {new_graph.graph_id!r} failed: {exc} "
-                "(desired state kept; retry with update or reconcile)"
-            ) from exc
-        return record
+        with self.reconciler.lock(new_graph.graph_id):
+            record = self._record(new_graph.graph_id)
+            previous = self.reconciler.desired_raw.get(new_graph.graph_id)
+            if not new_graph.policies and previous is not None \
+                    and previous.policies:
+                new_graph.policies = list(previous.policies)
+            self._validate(new_graph)
+            self.reconciler.set_desired(new_graph)
+            try:
+                self.reconciler.reconcile(new_graph.graph_id)
+            except ReconcileError as exc:
+                raise OrchestrationError(
+                    f"updating {new_graph.graph_id!r} failed: {exc} "
+                    "(desired state kept; retry with update or reconcile)"
+                ) from exc
+            return record
+
+    # -- apply (upsert) --------------------------------------------------------------
+    def apply(self, graph: Nffg) -> "tuple[DeployedGraph, bool]":
+        """Deploy-or-update under the graph lock; returns (record, created).
+
+        The REST ``PUT /nffg/{id}`` handler used to check ``deployed``
+        and then call deploy or update *outside* any lock — two
+        concurrent PUTs could both see "not deployed", race into
+        ``deploy``, and the loser surfaced a spurious 409 (a lost
+        update).  Holding the graph lock across the check and the verb
+        makes the decision and its execution one atomic step.
+        """
+        with self.reconciler.lock(graph.graph_id):
+            if graph.graph_id in self.reconciler.desired:
+                return self.update(graph), False
+            return self.deploy(graph), True
 
     # -- reconcile / heal ------------------------------------------------------------
     def reconcile(self, graph_id: str) -> ReconcileResult:
         """Run the engine to convergence for one graph (heals too)."""
-        if graph_id not in self.reconciler.desired \
-                and graph_id not in self.deployed:
-            raise OrchestrationError(f"no deployed graph {graph_id!r}")
-        try:
-            return self.reconciler.reconcile(graph_id)
-        except ReconcileError as exc:
-            raise OrchestrationError(
-                f"reconciling {graph_id!r} failed: {exc}") from exc
+        with self.reconciler.lock(graph_id):
+            if graph_id not in self.reconciler.desired \
+                    and graph_id not in self.deployed:
+                raise OrchestrationError(f"no deployed graph {graph_id!r}")
+            try:
+                return self.reconciler.reconcile(graph_id)
+            except ReconcileError as exc:
+                raise OrchestrationError(
+                    f"reconciling {graph_id!r} failed: {exc}") from exc
 
     def tick(self, graph_id: str) -> Plan:
         """One reconciliation pass (detect failures, execute one plan)."""

@@ -42,7 +42,9 @@ module replaces the verbs with a control loop:
 from __future__ import annotations
 
 import itertools
+import threading
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -57,12 +59,56 @@ from repro.nffg.replicas import expand_replicas, is_lb_rule_id, replica_base
 from repro.resources.accounting import ResourceAccountant
 from repro.resources.images import ImageRegistry
 
-__all__ = ["DeployedGraph", "EventJournal", "GraphEvent", "Plan",
-           "PlanStep", "ReconcileError", "ReconcileResult", "Reconciler"]
+__all__ = ["DeployedGraph", "EventJournal", "GraphEvent", "GraphLockRegistry",
+           "Plan", "PlanStep", "ReconcileError", "ReconcileResult",
+           "Reconciler", "ShardedEventJournal", "shard_of_graph"]
 
 
 class ReconcileError(Exception):
     """The engine could not make progress towards the desired state."""
+
+
+def shard_of_graph(graph_id: str, shards: int) -> int:
+    """Stable graph_id -> shard mapping shared by the control loop and
+    the sharded journal.
+
+    CRC32, not :func:`hash`: the built-in string hash is randomized per
+    process (``PYTHONHASHSEED``), and a shard assignment that moved
+    between runs would make sharded sim traces non-reproducible and
+    per-shard journal exports impossible to correlate across restarts.
+    """
+    if shards <= 1:
+        return 0
+    return zlib.crc32(graph_id.encode()) % shards
+
+
+class GraphLockRegistry:
+    """Per-graph reentrant locks, created on demand.
+
+    The control plane's concurrency unit is the graph: REST handler
+    threads (deploy/update/undeploy/reconcile), the control loop's tick
+    workers and the fleet layer all serialize *per graph_id* — two
+    callers touching different graphs never contend, two touching the
+    same graph never interleave.  Locks are reentrant because the call
+    graph nests (``deploy`` -> ``reconcile`` -> ``tick`` all take the
+    same graph's lock), and they are never discarded: a lock object per
+    distinct graph_id ever seen is bounded and cheap, while deleting one
+    under a waiter would hand two threads "the" lock for one graph.
+    """
+
+    def __init__(self) -> None:
+        self._locks: dict[str, threading.RLock] = {}
+        self._registry_lock = threading.Lock()
+
+    def get(self, graph_id: str) -> threading.RLock:
+        lock = self._locks.get(graph_id)
+        if lock is None:
+            with self._registry_lock:
+                lock = self._locks.setdefault(graph_id, threading.RLock())
+        return lock
+
+    def __len__(self) -> int:
+        return len(self._locks)
 
 
 # -- journal ---------------------------------------------------------------------
@@ -112,10 +158,20 @@ class EventJournal:
     to ``time.monotonic`` and is rebound to the virtual clock by the
     sim-mode control loop, which is what makes journal-derived
     availability metrics (MTTR) deterministic under test.
+
+    Appends are thread-safe: REST handler threads, control-loop shard
+    workers and the fleet layer all journal concurrently, and the
+    ring-full check (``len(log) == max_events``) racing the append used
+    to undercount drops.  One mutex per journal covers the
+    check-then-append and the dropped-counter increment as a unit; the
+    read side snapshots under the same mutex so an export never sees a
+    half-applied eviction.  ``seq`` may be a shared counter so several
+    shard journals allocate from one sequence.
     """
 
     def __init__(self, max_events: int = 1000,
-                 clock: Optional[Callable[[], float]] = None) -> None:
+                 clock: Optional[Callable[[], float]] = None,
+                 seq: "Optional[itertools.count]" = None) -> None:
         if max_events < 1:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.max_events = max_events
@@ -123,39 +179,154 @@ class EventJournal:
                                            else time.monotonic)
         self._events: dict[str, deque[GraphEvent]] = {}
         self._dropped: dict[str, int] = {}
-        self._seq = itertools.count(1)
+        self._seq = seq if seq is not None else itertools.count(1)
+        self._lock = threading.Lock()
 
     def append(self, graph_id: str, kind: str, nf_id: str = "",
                rule_id: str = "", detail: str = "") -> GraphEvent:
-        event = GraphEvent(seq=next(self._seq), kind=kind,
-                           graph_id=graph_id, nf_id=nf_id,
-                           rule_id=rule_id, detail=detail,
-                           time=self.clock())
-        log = self._events.get(graph_id)
-        if log is None:
-            log = self._events[graph_id] = deque(maxlen=self.max_events)
-        if len(log) == self.max_events:
-            self._dropped[graph_id] = self._dropped.get(graph_id, 0) + 1
-        log.append(event)
-        return event
+        with self._lock:
+            event = GraphEvent(seq=next(self._seq), kind=kind,
+                               graph_id=graph_id, nf_id=nf_id,
+                               rule_id=rule_id, detail=detail,
+                               time=self.clock())
+            log = self._events.get(graph_id)
+            if log is None:
+                log = self._events[graph_id] = deque(maxlen=self.max_events)
+            if len(log) == self.max_events:
+                self._dropped[graph_id] = self._dropped.get(graph_id, 0) + 1
+            log.append(event)
+            return event
 
     def events(self, graph_id: str) -> list[GraphEvent]:
-        return list(self._events.get(graph_id, ()))
+        with self._lock:
+            return list(self._events.get(graph_id, ()))
 
     def dropped_count(self, graph_id: str) -> int:
         """Events evicted from the graph's ring since it was created."""
-        return self._dropped.get(graph_id, 0)
+        with self._lock:
+            return self._dropped.get(graph_id, 0)
 
     def last_kind(self, graph_id: str) -> str:
-        log = self._events.get(graph_id)
-        return log[-1].kind if log else ""
+        with self._lock:
+            log = self._events.get(graph_id)
+            return log[-1].kind if log else ""
 
     def graphs(self) -> list[str]:
-        return sorted(self._events)
+        with self._lock:
+            return sorted(self._events)
 
     def forget(self, graph_id: str) -> None:
-        self._events.pop(graph_id, None)
-        self._dropped.pop(graph_id, None)
+        with self._lock:
+            self._events.pop(graph_id, None)
+            self._dropped.pop(graph_id, None)
+
+
+class ShardedEventJournal:
+    """N per-shard :class:`EventJournal` rings behind one interface.
+
+    Scaling the reconcile loop out puts every shard worker on the
+    journal at once; even a thread-safe single ring then serializes all
+    workers on one mutex.  This variant routes each graph to the shard
+    :func:`shard_of_graph` names — the *same* mapping the sharded
+    control loop uses for tick workers, so within a shard the journal
+    is effectively single-writer again and cross-shard appends never
+    contend.  Sequence numbers come from one shared counter, so merged
+    exports still interleave in global append order.
+
+    The public surface mirrors :class:`EventJournal` exactly (append /
+    events / dropped_count / last_kind / graphs / forget /
+    ``max_events`` / ``clock``) — the reconciler, REST export, CLI and
+    telemetry layers cannot tell the difference.  Reads route to the
+    owning shard; :meth:`graphs` and :meth:`merged_events` merge across
+    shards for fleet-wide export.
+    """
+
+    def __init__(self, shards: int = 2, max_events: int = 1000,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.max_events = max_events
+        self._clock: Callable[[], float] = (clock if clock is not None
+                                            else time.monotonic)
+        seq = itertools.count(1)
+        self.shards: list[EventJournal] = [
+            EventJournal(max_events=max_events, clock=self._clock, seq=seq)
+            for _ in range(shards)]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._clock
+
+    @clock.setter
+    def clock(self, clock: Callable[[], float]) -> None:
+        # Rebinding (sim mode) must reach every shard ring, or merged
+        # exports would mix virtual and wall timestamps.
+        self._clock = clock
+        for shard in self.shards:
+            shard.clock = clock
+
+    def shard_for(self, graph_id: str) -> EventJournal:
+        return self.shards[shard_of_graph(graph_id, len(self.shards))]
+
+    def adopt(self, journal: EventJournal) -> None:
+        """Migrate an existing single-ring journal's history in.
+
+        Used when a sharded control loop takes over a node that already
+        journaled deploys through the default ring — post-mortems must
+        not lose the pre-sharding prefix.  Events keep their original
+        seq/time stamps; drop counters carry over.
+        """
+        with journal._lock:
+            entries = {graph_id: list(log)
+                       for graph_id, log in journal._events.items()}
+            dropped = dict(journal._dropped)
+        for graph_id, events in entries.items():
+            shard = self.shard_for(graph_id)
+            with shard._lock:
+                log = shard._events.setdefault(
+                    graph_id, deque(maxlen=shard.max_events))
+                log.extend(events)
+                if dropped.get(graph_id):
+                    shard._dropped[graph_id] = \
+                        shard._dropped.get(graph_id, 0) + dropped[graph_id]
+
+    # -- EventJournal surface (routed) --------------------------------------------
+    def append(self, graph_id: str, kind: str, nf_id: str = "",
+               rule_id: str = "", detail: str = "") -> GraphEvent:
+        return self.shard_for(graph_id).append(graph_id, kind, nf_id=nf_id,
+                                               rule_id=rule_id, detail=detail)
+
+    def events(self, graph_id: str) -> list[GraphEvent]:
+        return self.shard_for(graph_id).events(graph_id)
+
+    def dropped_count(self, graph_id: str) -> int:
+        return self.shard_for(graph_id).dropped_count(graph_id)
+
+    def last_kind(self, graph_id: str) -> str:
+        return self.shard_for(graph_id).last_kind(graph_id)
+
+    def graphs(self) -> list[str]:
+        merged: set[str] = set()
+        for shard in self.shards:
+            merged.update(shard.graphs())
+        return sorted(merged)
+
+    def forget(self, graph_id: str) -> None:
+        self.shard_for(graph_id).forget(graph_id)
+
+    # -- merged export -------------------------------------------------------------
+    def merged_events(self) -> list[GraphEvent]:
+        """Every shard's events in one list, global append (seq) order."""
+        merged: list[GraphEvent] = []
+        for shard in self.shards:
+            for graph_id in shard.graphs():
+                merged.extend(shard.events(graph_id))
+        merged.sort(key=lambda event: event.seq)
+        return merged
 
 
 # -- plans -----------------------------------------------------------------------
@@ -305,6 +476,15 @@ class Reconciler:
         self.accountant = accountant
         self.images = images
         self.journal = journal if journal is not None else EventJournal()
+        #: per-graph reentrant locks — REST handler threads, control-loop
+        #: shard workers and the fleet layer all serialize through these
+        #: (see :meth:`lock`); no global lock on the *read/plan* path.
+        self.locks = GraphLockRegistry()
+        #: node-wide mutex for plan *execution* only: structural steps
+        #: mutate shared node layers (accountant, LSI-0 ports, steering
+        #: registries, drivers) that per-graph locks cannot cover.
+        #: Empty-plan ticks — the steady-state majority — never take it.
+        self.execution_lock = threading.Lock()
         #: steering-visible desired graphs (replicas expanded)
         self.desired: dict[str, Nffg] = {}
         #: desired graphs exactly as the caller handed them in —
@@ -327,23 +507,41 @@ class Reconciler:
         #: :meth:`repro.core.multinode.MultiNodeOrchestrator.add_node`.
         self.escalation: Optional[Callable[[str, str, str], None]] = None
 
+    # -- locking -----------------------------------------------------------------
+    def lock(self, graph_id: str) -> threading.RLock:
+        """The graph's control-plane lock (``with reconciler.lock(id):``).
+
+        Reentrant, so the natural call nesting — orchestrator verb ->
+        :meth:`reconcile` -> :meth:`tick` — takes it once per thread.
+        Every mutation path through the engine (tick, reconcile,
+        set/clear desired, forget) acquires it; REST handlers and the
+        autoscaler take it around their own check-then-act sequences so
+        decisions and the state they were decided on cannot be torn
+        apart by a concurrent tick.
+        """
+        return self.locks.get(graph_id)
+
     # -- desired state -----------------------------------------------------------
     def set_desired(self, graph: Nffg) -> None:
-        self.desired_raw[graph.graph_id] = graph
-        expanded = expand_replicas(graph)
-        self.desired[graph.graph_id] = expanded
-        detail = (f"{len(graph.nfs)} NFs, "
-                  f"{len(expanded.flow_rules)} rules")
-        if len(expanded.nfs) != len(graph.nfs):
-            detail = (f"{len(graph.nfs)} NFs "
-                      f"({len(expanded.nfs)} replica-expanded), "
+        with self.lock(graph.graph_id):
+            self.desired_raw[graph.graph_id] = graph
+            expanded = expand_replicas(graph)
+            self.desired[graph.graph_id] = expanded
+            detail = (f"{len(graph.nfs)} NFs, "
                       f"{len(expanded.flow_rules)} rules")
-        self.journal.append(graph.graph_id, "desired-set", detail=detail)
+            if len(expanded.nfs) != len(graph.nfs):
+                detail = (f"{len(graph.nfs)} NFs "
+                          f"({len(expanded.nfs)} replica-expanded), "
+                          f"{len(expanded.flow_rules)} rules")
+            if graph.policies:
+                detail += f", {len(graph.policies)} scaling policies"
+            self.journal.append(graph.graph_id, "desired-set", detail=detail)
 
     def clear_desired(self, graph_id: str) -> None:
-        self.desired_raw.pop(graph_id, None)
-        if self.desired.pop(graph_id, None) is not None:
-            self.journal.append(graph_id, "desired-cleared")
+        with self.lock(graph_id):
+            self.desired_raw.pop(graph_id, None)
+            if self.desired.pop(graph_id, None) is not None:
+                self.journal.append(graph_id, "desired-cleared")
 
     # -- observed state ----------------------------------------------------------
     def _observed_graph(self, record: DeployedGraph) -> Nffg:
@@ -647,7 +845,17 @@ class Reconciler:
 
     # -- the loop ----------------------------------------------------------------
     def tick(self, graph_id: str) -> Plan:
-        """One detect-plan-execute pass; returns the (annotated) plan."""
+        """One detect-plan-execute pass; returns the (annotated) plan.
+
+        Serialized per graph: a REST deploy, the control loop's shard
+        worker and a manual ``repro graph reconcile`` can all tick the
+        same graph_id, and interleaved plan executions would double-run
+        steps compiled against a state another thread already changed.
+        """
+        with self.lock(graph_id):
+            return self._tick_locked(graph_id)
+
+    def _tick_locked(self, graph_id: str) -> Plan:
         self.ticks_run += 1
         record = self.observed.get(graph_id)
         if record is not None:
@@ -660,6 +868,43 @@ class Reconciler:
         self.last_plans[graph_id] = plan
         if plan.steps:
             self.journal.append(graph_id, "plan", detail=plan.summary())
+            # Executing steps touches *node-shared* layers — the
+            # resource accountant, LSI-0's port table, the steering
+            # registries, the drivers — which per-graph locks do not
+            # cover when two shard workers execute structural steps for
+            # different graphs at once.  One node-wide mutex around
+            # execution closes that; the common steady-state tick (all
+            # converged, empty plan) never takes it, so a sharded fleet
+            # still probes and plans in parallel.
+            with self.execution_lock:
+                self._execute_steps(graph_id, record, plan)
+        else:
+            self._execute_steps(graph_id, record, plan)
+        desired = self.desired.get(graph_id)
+        if record is not None and desired is not None:
+            record.graph = desired
+        if plan.converged and record is not None:
+            # All instances passed this tick's health probe: forget the
+            # escalation counters (a RUNNING state alone is not enough —
+            # a half-successful restart leaves RUNNING but unhealthy).
+            for nf_id in record.instances:
+                self._heal_attempts.pop((graph_id, nf_id), None)
+        if desired is None and record is not None \
+                and not record.instances \
+                and graph_id not in self.steering.graphs \
+                and plan.failed_step is None:
+            del self.observed[graph_id]
+            self._drop_heal_attempts(graph_id)
+            self.journal.append(graph_id, "removed")
+        if plan.converged and self.journal.last_kind(graph_id) \
+                not in ("", "converged"):
+            # A re-probe of an already-converged graph is not news.
+            self.journal.append(graph_id, "converged")
+        return plan
+
+    def _execute_steps(self, graph_id: str,
+                       record: "Optional[DeployedGraph]",
+                       plan: Plan) -> None:
         for step in plan.steps:
             try:
                 self._execute(record, step)
@@ -691,31 +936,21 @@ class Reconciler:
             step.status = "done"
             self.journal.append(graph_id, "step-ok", nf_id=step.nf_id,
                                 rule_id=step.rule_id, detail=step.describe())
-        if record is not None and desired is not None:
-            record.graph = desired
-        if plan.converged and record is not None:
-            # All instances passed this tick's health probe: forget the
-            # escalation counters (a RUNNING state alone is not enough —
-            # a half-successful restart leaves RUNNING but unhealthy).
-            for nf_id in record.instances:
-                self._heal_attempts.pop((graph_id, nf_id), None)
-        if desired is None and record is not None \
-                and not record.instances \
-                and graph_id not in self.steering.graphs \
-                and plan.failed_step is None:
-            del self.observed[graph_id]
-            self._drop_heal_attempts(graph_id)
-            self.journal.append(graph_id, "removed")
-        if plan.converged and self.journal.last_kind(graph_id) \
-                not in ("", "converged"):
-            # A re-probe of an already-converged graph is not news.
-            self.journal.append(graph_id, "converged")
-        return plan
 
     def reconcile(self, graph_id: str,
                   max_ticks: Optional[int] = None) -> ReconcileResult:
         """Tick until converged; raises :class:`ReconcileError` when a
-        tick makes no progress or the budget runs out."""
+        tick makes no progress or the budget runs out.
+
+        Holds the graph lock across the whole convergence run, so a
+        caller that was promised "converged" cannot have the goalposts
+        moved mid-run by a concurrent desired-state write.
+        """
+        with self.lock(graph_id):
+            return self._reconcile_locked(graph_id, max_ticks)
+
+    def _reconcile_locked(self, graph_id: str,
+                          max_ticks: Optional[int]) -> ReconcileResult:
         budget = max_ticks if max_ticks is not None else self.max_ticks
         executed = 0
         last_failure: Optional[tuple] = None
@@ -759,6 +994,10 @@ class Reconciler:
         record dropped regardless).  Returns True once the record is
         gone.
         """
+        with self.lock(graph_id):
+            return self._forget_locked(graph_id, teardown)
+
+    def _forget_locked(self, graph_id: str, teardown: bool) -> bool:
         self.clear_desired(graph_id)
         if teardown:
             try:

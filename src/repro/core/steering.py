@@ -89,6 +89,9 @@ class InstalledRule:
     rule: FlowRule
     segments: list[tuple[LsiController, FlowMatch, int]] = \
         field(default_factory=list)
+    #: internal vlink tag held by this rule (cross-LSI rules only);
+    #: released back to the graph's pool on uninstall
+    tag: Optional[int] = None
 
 
 @dataclass
@@ -104,6 +107,23 @@ class GraphNetwork:
     base_link_port: Optional[SwitchPort] = None
     #: rule_id -> realized segments, the per-rule install registry
     installed: dict[str, InstalledRule] = field(default_factory=dict)
+    #: internal tags currently marking frames on *this graph's* vlink.
+    #: Tags only need to be unique per link (each graph has its own),
+    #: so the pool is per-network — a global allocator capped the node
+    #: at ~500 deployed graphs, which is exactly the fleet scale the
+    #: control plane is meant to handle.
+    used_tags: set[int] = field(default_factory=set)
+
+    def allocate_tag(self) -> int:
+        for tag in range(_INTERNAL_TAG_BASE, _INTERNAL_TAG_LIMIT + 1):
+            if tag not in self.used_tags:
+                self.used_tags.add(tag)
+                return tag
+        raise SteeringError("internal steering tag space exhausted")
+
+    def release_tag(self, tag: Optional[int]) -> None:
+        if tag is not None:
+            self.used_tags.discard(tag)
 
     @property
     def rules_installed(self) -> int:
@@ -121,7 +141,6 @@ class TrafficSteeringManager:
         self.graphs: dict[str, GraphNetwork] = {}
         self._physical_ports: dict[str, SwitchPort] = {}
         self._trunk_ports: dict[str, SwitchPort] = {}
-        self._tags = itertools.count(_INTERNAL_TAG_BASE)
         self._cookies = itertools.count(1)
 
     # -- wiring helpers ---------------------------------------------------------
@@ -301,6 +320,7 @@ class TrafficSteeringManager:
         for controller, match, priority in realized.segments:
             controller.flow_delete(match, cookie=network.cookie,
                                    strict=True, priority=priority)
+        network.release_tag(realized.tag)
         return True
 
     def installed_rules(self, graph_id: str) -> dict[str, FlowRule]:
@@ -445,10 +465,8 @@ class TrafficSteeringManager:
                             actions)
             else:
                 # Two segments across the graph's virtual link.
-                tag = next(self._tags)
-                if tag > _INTERNAL_TAG_LIMIT:
-                    raise SteeringError(
-                        "internal steering tag space exhausted")
+                tag = network.allocate_tag()
+                realized.tag = tag
                 src_link_port = network.link.far_port(src.lsi.datapath)
                 dst_link_port = network.link.far_port(dst.lsi.datapath)
 
@@ -480,6 +498,7 @@ class TrafficSteeringManager:
             for controller, match, priority in realized.segments:
                 controller.flow_delete(match, cookie=network.cookie,
                                        strict=True, priority=priority)
+            network.release_tag(realized.tag)
             raise
         network.installed[rule.rule_id] = realized
 

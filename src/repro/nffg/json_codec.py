@@ -13,7 +13,10 @@ Document shape::
         "big-switch": {"flow-rules": [
             {"id": "r1", "priority": 100,
              "match": {"port_in": "endpoint:wan", "ip_dst": "10.0.0.0/24"},
-             "action": {"output": "vnf:fw:wan"}}]}}}
+             "action": {"output": "vnf:fw:wan"}}]},
+        "scaling-policies": [                       # optional
+            {"nf": "fw", "target-pps": 50000.0,
+             "min-replicas": 1, "max-replicas": 4}]}}
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from repro.nffg.model import (
     Nffg,
     NfInstanceSpec,
     PortRef,
+    ScalingPolicy,
 )
 
 __all__ = ["nffg_from_dict", "nffg_from_json", "nffg_to_dict",
@@ -65,13 +69,16 @@ def nffg_to_dict(graph: Nffg) -> dict[str, Any]:
         rules.append({"id": rule.rule_id, "priority": rule.priority,
                       "match": match,
                       "action": {"output": str(rule.output)}})
-    return {"forwarding-graph": {
+    body: dict[str, Any] = {
         "id": graph.graph_id,
         "name": graph.name,
         "VNFs": vnfs,
         "end-points": endpoints,
         "big-switch": {"flow-rules": rules},
-    }}
+    }
+    if graph.policies:
+        body["scaling-policies"] = [p.to_dict() for p in graph.policies]
+    return {"forwarding-graph": body}
 
 
 def nffg_to_json(graph: Nffg, indent: int = 2) -> str:
@@ -124,6 +131,11 @@ def nffg_from_dict(document: dict[str, Any]) -> Nffg:
             match=match,
             output=PortRef.parse(str(_require(action, "output",
                                               "flow-rule action")))))
+    policies = body.get("scaling-policies", [])
+    if not isinstance(policies, list):
+        raise ValueError("NF-FG JSON: scaling-policies must be an array")
+    for entry in policies:
+        graph.policies.append(ScalingPolicy.from_dict(entry))
     return graph
 
 

@@ -3,9 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
-__all__ = ["Endpoint", "FlowRule", "NfInstanceSpec", "Nffg", "PortRef"]
+__all__ = ["Endpoint", "FlowRule", "MAX_REPLICAS", "NfInstanceSpec",
+           "Nffg", "PortRef", "ScalingPolicy"]
+
+#: Per-NF replica ceiling: a hash spread wider than this on one node
+#: says "shard the graph", not "add another replica".  (Re-exported by
+#: :mod:`repro.nffg.validate` for historical imports.)
+MAX_REPLICAS = 64
 
 
 @dataclass(frozen=True)
@@ -111,6 +117,83 @@ class Endpoint:
 
 
 @dataclass(frozen=True)
+class ScalingPolicy:
+    """How one NF scales: target load per replica plus guard rails.
+
+    Part of the *graph*, not of any driver process: policies serialize
+    with the NF-FG (``"scaling-policies"`` in the JSON document, or
+    ``PUT /graphs/{id}/policies`` on a live graph), live in the
+    reconciler's durable desired state, and are honored by any node's
+    control loop — ``repro serve`` autoscales a policy-carrying graph
+    with no Python driver script attached (the RDCL-style
+    service-description model: everything needed to *run* the service
+    rides in its description).
+    """
+
+    nf_id: str
+    target_pps: float
+    min_replicas: int = 1
+    max_replicas: int = 4
+    #: scale in only if the load would use at most this fraction of the
+    #: reduced group's capacity (hysteresis gap against flapping)
+    scale_in_headroom: float = 0.7
+    #: minimum seconds between replica-count changes for this NF
+    cooldown_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.nf_id:
+            raise ValueError("scaling policy needs a non-empty nf id")
+        if self.target_pps <= 0:
+            raise ValueError(f"{self.nf_id}: target_pps must be positive")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError(
+                f"{self.nf_id}: need 1 <= min_replicas <= max_replicas")
+        if self.max_replicas > MAX_REPLICAS:
+            raise ValueError(
+                f"{self.nf_id}: max_replicas exceeds the graph cap "
+                f"of {MAX_REPLICAS}")
+        if not 0 < self.scale_in_headroom <= 1:
+            raise ValueError(
+                f"{self.nf_id}: scale_in_headroom must be in (0, 1]")
+        if self.cooldown_seconds < 0:
+            raise ValueError(
+                f"{self.nf_id}: cooldown_seconds must be >= 0")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"nf": self.nf_id, "target-pps": self.target_pps,
+                "min-replicas": self.min_replicas,
+                "max-replicas": self.max_replicas,
+                "scale-in-headroom": self.scale_in_headroom,
+                "cooldown-seconds": self.cooldown_seconds}
+
+    @classmethod
+    def from_dict(cls, entry: dict[str, Any]) -> "ScalingPolicy":
+        if not isinstance(entry, dict):
+            raise ValueError("scaling policy must be an object")
+        if "nf" not in entry or "target-pps" not in entry:
+            raise ValueError(
+                "scaling policy needs at least 'nf' and 'target-pps'")
+        known = {"nf", "target-pps", "min-replicas", "max-replicas",
+                 "scale-in-headroom", "cooldown-seconds"}
+        unknown = sorted(set(entry) - known)
+        if unknown:
+            raise ValueError(
+                f"scaling policy has unknown keys: {', '.join(unknown)}")
+        try:
+            return cls(
+                nf_id=str(entry["nf"]),
+                target_pps=float(entry["target-pps"]),
+                min_replicas=int(entry.get("min-replicas", 1)),
+                max_replicas=int(entry.get("max-replicas", 4)),
+                scale_in_headroom=float(
+                    entry.get("scale-in-headroom", 0.7)),
+                cooldown_seconds=float(
+                    entry.get("cooldown-seconds", 5.0)))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad scaling policy: {exc}") from exc
+
+
+@dataclass(frozen=True)
 class FlowMatchSpec:
     """Match half of a big-switch flow rule (port_in plus optional L2-L4)."""
 
@@ -147,6 +230,9 @@ class Nffg:
     nfs: list[NfInstanceSpec] = field(default_factory=list)
     endpoints: list[Endpoint] = field(default_factory=list)
     flow_rules: list[FlowRule] = field(default_factory=list)
+    #: scaling policies persisted with the graph (durable state the
+    #: autoscaler reads — no driver process needed to keep them alive)
+    policies: list[ScalingPolicy] = field(default_factory=list)
 
     # -- construction helpers -------------------------------------------------
     def add_nf(self, nf_id: str, template: str,
@@ -166,6 +252,13 @@ class Nffg:
                             interface=interface, vlan_id=vlan_id)
         self.endpoints.append(endpoint)
         return endpoint
+
+    def add_policy(self, nf_id: str, target_pps: float,
+                   **fields_) -> ScalingPolicy:
+        policy = ScalingPolicy(nf_id=nf_id, target_pps=target_pps,
+                               **fields_)
+        self.policies.append(policy)
+        return policy
 
     def add_flow_rule(self, rule_id: str, port_in: str, output: str,
                       priority: int = 100, **match_fields) -> FlowRule:

@@ -97,7 +97,8 @@ def expand_replicas(graph: Nffg) -> Nffg:
     scaled = {spec.nf_id: spec.replicas
               for spec in graph.nfs if spec.replicas > 1}
     expanded = Nffg(graph_id=graph.graph_id, name=graph.name,
-                    endpoints=list(graph.endpoints))
+                    endpoints=list(graph.endpoints),
+                    policies=list(graph.policies))
     for spec in graph.nfs:
         if spec.nf_id not in scaled:
             expanded.nfs.append(spec)

@@ -2,13 +2,9 @@
 
 from __future__ import annotations
 
-from repro.nffg.model import Nffg, PortRef
+from repro.nffg.model import MAX_REPLICAS, Nffg, PortRef
 
 __all__ = ["MAX_REPLICAS", "NffgValidationError", "validate_nffg"]
-
-#: Per-NF replica ceiling: a hash spread wider than this on one node
-#: says "shard the graph", not "add another replica".
-MAX_REPLICAS = 64
 
 
 class NffgValidationError(Exception):
@@ -89,6 +85,14 @@ def validate_nffg(graph: Nffg,
         if spec.nf_id not in referenced:
             problems.append(
                 f"NF {spec.nf_id!r} is not referenced by any flow rule")
+
+    policy_nfs = [policy.nf_id for policy in graph.policies]
+    if len(set(policy_nfs)) != len(policy_nfs):
+        problems.append("duplicate scaling policies for one NF")
+    for policy in graph.policies:
+        if policy.nf_id not in nf_set:
+            problems.append(
+                f"scaling policy targets unknown NF {policy.nf_id!r}")
 
     for endpoint in graph.endpoints:
         if endpoint.vlan_id is not None and not (

@@ -118,6 +118,8 @@ class RestApp:
         self.route("GET", "/nnfs", self._list_nnfs)
         self.route("POST", "/traffic/{interface}", self._inject_traffic)
         self.route("GET", "/graphs/{graph_id}/events", self._get_events)
+        self.route("GET", "/graphs/{graph_id}/policies", self._get_policies)
+        self.route("PUT", "/graphs/{graph_id}/policies", self._put_policies)
         self.route("POST", "/graphs/{graph_id}/reconcile", self._reconcile)
         self.route("GET", "/metrics", self._get_metrics)
         self.route("GET", "/metrics.json", self._get_metrics_json)
@@ -131,6 +133,15 @@ class RestApp:
         return Response(200, {"nffgs": self.node.orchestrator.list_graphs()})
 
     def _put_graph(self, request: Request) -> Response:
+        """Deploy-or-update (upsert) one NF-FG.
+
+        Delegates the deployed-or-not decision to
+        :meth:`LocalOrchestrator.apply`, which holds the graph lock
+        across the check *and* the verb — the handler-side
+        check-then-act this used to do raced concurrent PUTs of the
+        same graph into spurious 409s (both threads saw "not deployed",
+        both called deploy, one lost).
+        """
         document = request.json()
         try:
             graph = nffg_from_dict(document)
@@ -140,11 +151,9 @@ class RestApp:
         if graph.graph_id != graph_id:
             raise HttpError(400, f"graph id {graph.graph_id!r} in body "
                                  f"does not match URL {graph_id!r}")
-        if graph_id in self.node.orchestrator.deployed:
-            record = self.node.update(graph)
-            return Response(200, self.node.orchestrator.status(graph_id))
-        record = self.node.deploy(graph)
-        return Response(201, self.node.orchestrator.status(graph_id))
+        _, created = self.node.apply(graph)
+        return Response(201 if created else 200,
+                        self.node.orchestrator.status(graph_id))
 
     def _get_graph(self, request: Request) -> Response:
         graph_id = request.params["graph_id"]
@@ -186,6 +195,62 @@ class RestApp:
                               "events": [e.to_dict() for e in events],
                               "dropped": journal.dropped_count(graph_id),
                               "max-events": journal.max_events})
+
+    def _get_policies(self, request: Request) -> Response:
+        """The graph's persisted scaling policies (durable graph state)."""
+        graph_id = request.params["graph_id"]
+        raw = self.node.orchestrator.reconciler.desired_raw.get(graph_id)
+        if raw is None:
+            raise HttpError(404, f"graph {graph_id!r} is not deployed")
+        return Response(200, {"graph-id": graph_id,
+                              "scaling-policies": [p.to_dict()
+                                                   for p in raw.policies]})
+
+    def _put_policies(self, request: Request) -> Response:
+        """Replace the graph's scaling policies wholesale.
+
+        Body: ``{"scaling-policies": [...]}`` or a bare policy array;
+        an empty array clears autoscaling for the graph.  Policies land
+        in the reconciler's durable desired state — they serialize with
+        the NF-FG, survive plain graph re-PUTs, and the control loop
+        honors them with no driver script attached.
+        """
+        from repro.nffg.model import Nffg, ScalingPolicy
+        from repro.nffg.validate import NffgValidationError, validate_nffg
+
+        document = request.json()
+        if isinstance(document, dict):
+            entries = document.get("scaling-policies")
+        else:
+            entries = document
+        if not isinstance(entries, list):
+            raise HttpError(400, 'body must be {"scaling-policies": [...]} '
+                                 "or a policy array")
+        try:
+            policies = [ScalingPolicy.from_dict(entry) for entry in entries]
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+        graph_id = request.params["graph_id"]
+        reconciler = self.node.orchestrator.reconciler
+        # The read-modify-write of the desired graph must not interleave
+        # with a concurrent PUT /nffg/{id} or an autoscaler evaluation.
+        with reconciler.lock(graph_id):
+            raw = reconciler.desired_raw.get(graph_id)
+            if raw is None:
+                raise HttpError(404, f"graph {graph_id!r} is not deployed")
+            new_graph = Nffg(graph_id=raw.graph_id, name=raw.name,
+                             nfs=list(raw.nfs),
+                             endpoints=list(raw.endpoints),
+                             flow_rules=list(raw.flow_rules),
+                             policies=policies)
+            try:
+                validate_nffg(new_graph)
+            except NffgValidationError as exc:
+                raise HttpError(400, f"invalid policies: {exc}") from exc
+            reconciler.set_desired(new_graph)
+        return Response(200, {"graph-id": graph_id,
+                              "scaling-policies": [p.to_dict()
+                                                   for p in policies]})
 
     def _reconcile(self, request: Request) -> Response:
         """Run the reconciler to convergence for one graph.

@@ -63,6 +63,17 @@ class RestClient:
     def reconcile_graph(self, graph_id: str) -> dict:
         return self._expect(self.post(f"/graphs/{graph_id}/reconcile"), 200)
 
+    def graph_policies(self, graph_id: str) -> list[dict]:
+        return self._expect(self.get(f"/graphs/{graph_id}/policies"),
+                            200)["scaling-policies"]
+
+    def set_graph_policies(self, graph_id: str,
+                           policies: list[dict]) -> list[dict]:
+        return self._expect(
+            self.put(f"/graphs/{graph_id}/policies",
+                     {"scaling-policies": policies}),
+            200)["scaling-policies"]
+
     def node_metrics(self) -> dict:
         return self._expect(self.get("/metrics.json"), 200)
 

@@ -28,40 +28,13 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.core.reconciler import Reconciler
-from repro.nffg.model import Nffg
-from repro.nffg.validate import MAX_REPLICAS
+from repro.nffg.model import Nffg, ScalingPolicy
 from repro.telemetry.metrics import MetricsRegistry
 
+# ScalingPolicy moved into repro.nffg.model when policies became durable
+# graph state (serialized with the NF-FG); re-exported here because this
+# was its historical home.
 __all__ = ["Autoscaler", "ScalingDecision", "ScalingPolicy"]
-
-
-@dataclass(frozen=True)
-class ScalingPolicy:
-    """How one NF scales: target load per replica plus guard rails."""
-
-    nf_id: str
-    target_pps: float
-    min_replicas: int = 1
-    max_replicas: int = 4
-    #: scale in only if the load would use at most this fraction of the
-    #: reduced group's capacity (hysteresis gap against flapping)
-    scale_in_headroom: float = 0.7
-    #: minimum seconds between replica-count changes for this NF
-    cooldown_seconds: float = 5.0
-
-    def __post_init__(self) -> None:
-        if self.target_pps <= 0:
-            raise ValueError(f"{self.nf_id}: target_pps must be positive")
-        if not 1 <= self.min_replicas <= self.max_replicas:
-            raise ValueError(
-                f"{self.nf_id}: need 1 <= min_replicas <= max_replicas")
-        if self.max_replicas > MAX_REPLICAS:
-            raise ValueError(
-                f"{self.nf_id}: max_replicas exceeds the graph cap "
-                f"of {MAX_REPLICAS}")
-        if not 0 < self.scale_in_headroom <= 1:
-            raise ValueError(
-                f"{self.nf_id}: scale_in_headroom must be in (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -101,6 +74,22 @@ class Autoscaler:
     def remove_policy(self, graph_id: str, nf_id: str) -> None:
         self.policies.pop((graph_id, nf_id), None)
 
+    def _policy_sources(self) -> dict[tuple[str, str], ScalingPolicy]:
+        """Graph-embedded policies merged with explicit ones.
+
+        Policies persisted in the desired graph (``scaling-policies``
+        in the NF-FG document, ``PUT /graphs/{id}/policies``) autoscale
+        with no driver attached; a policy registered directly through
+        :meth:`add_policy` overrides the persisted one for the same
+        (graph, NF) — the explicit caller knows best.
+        """
+        merged: dict[tuple[str, str], ScalingPolicy] = {}
+        for graph_id, raw in list(self.reconciler.desired_raw.items()):
+            for policy in raw.policies:
+                merged[(graph_id, policy.nf_id)] = policy
+        merged.update(self.policies)
+        return merged
+
     # -- the decision ------------------------------------------------------------
     def _wanted(self, policy: ScalingPolicy, current: int,
                 pps: float) -> tuple[int, str]:
@@ -129,39 +118,52 @@ class Autoscaler:
         """
         t = self.registry.now() if now is None else now
         applied: list[ScalingDecision] = []
-        for (graph_id, nf_id), policy in sorted(self.policies.items()):
-            raw = self.reconciler.desired_raw.get(graph_id)
-            if raw is None:
-                continue
-            try:
-                spec = raw.nf(nf_id)
-            except KeyError:
-                continue
-            pps = self.registry.group_pps(graph_id, nf_id)
-            if pps is None:
-                continue  # fewer than two samples: no rate signal yet
-            current = spec.replicas
-            want, reason = self._wanted(policy, current, pps)
-            if want == current:
-                continue
-            last = self._last_change.get((graph_id, nf_id))
-            if last is not None and t - last < policy.cooldown_seconds:
-                continue
-            new_graph = Nffg(
-                graph_id=raw.graph_id, name=raw.name,
-                nfs=[replace(s, replicas=want) if s.nf_id == nf_id else s
-                     for s in raw.nfs],
-                endpoints=list(raw.endpoints),
-                flow_rules=list(raw.flow_rules))
-            self.reconciler.set_desired(new_graph)
-            self.reconciler.journal.append(
-                graph_id, "autoscale", nf_id=nf_id,
-                detail=f"{current} -> {want} replicas ({reason})")
-            decision = ScalingDecision(
-                at=t, graph_id=graph_id, nf_id=nf_id,
-                from_replicas=current, to_replicas=want,
-                measured_pps=pps, reason=reason)
-            self.decisions.append(decision)
-            applied.append(decision)
-            self._last_change[(graph_id, nf_id)] = t
+        for (graph_id, nf_id), policy in sorted(
+                self._policy_sources().items()):
+            # The check (read replicas, decide) and the act
+            # (set_desired) must be one atomic step against REST
+            # updates and other shards' ticks on the same graph.
+            with self.reconciler.lock(graph_id):
+                decision = self._evaluate_one(graph_id, nf_id, policy, t)
+            if decision is not None:
+                applied.append(decision)
         return applied
+
+    def _evaluate_one(self, graph_id: str, nf_id: str,
+                      policy: ScalingPolicy,
+                      t: float) -> Optional[ScalingDecision]:
+        raw = self.reconciler.desired_raw.get(graph_id)
+        if raw is None:
+            return None
+        try:
+            spec = raw.nf(nf_id)
+        except KeyError:
+            return None
+        pps = self.registry.group_pps(graph_id, nf_id)
+        if pps is None:
+            return None  # fewer than two samples: no rate signal yet
+        current = spec.replicas
+        want, reason = self._wanted(policy, current, pps)
+        if want == current:
+            return None
+        last = self._last_change.get((graph_id, nf_id))
+        if last is not None and t - last < policy.cooldown_seconds:
+            return None
+        new_graph = Nffg(
+            graph_id=raw.graph_id, name=raw.name,
+            nfs=[replace(s, replicas=want) if s.nf_id == nf_id else s
+                 for s in raw.nfs],
+            endpoints=list(raw.endpoints),
+            flow_rules=list(raw.flow_rules),
+            policies=list(raw.policies))
+        self.reconciler.set_desired(new_graph)
+        self.reconciler.journal.append(
+            graph_id, "autoscale", nf_id=nf_id,
+            detail=f"{current} -> {want} replicas ({reason})")
+        decision = ScalingDecision(
+            at=t, graph_id=graph_id, nf_id=nf_id,
+            from_replicas=current, to_replicas=want,
+            measured_pps=pps, reason=reason)
+        self.decisions.append(decision)
+        self._last_change[(graph_id, nf_id)] = t
+        return decision
