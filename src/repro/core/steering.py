@@ -553,16 +553,19 @@ class TrafficSteeringManager:
 
     # -- chain fusion -------------------------------------------------------------
     def invalidate_fusion(self) -> int:
-        """Drop every fused-chain program on every LSI of this node;
-        returns how many live programs were dropped.
+        """Drop every fused-chain program — and every per-port
+        dispatch table — on every LSI of this node; returns how many
+        live programs were dropped.
 
         This is the steering-level half of the fusion-invalidation
         contract (:mod:`repro.switch.fusion`): any rule install/
         uninstall, replica change (which goes through install/
         uninstall) or graph teardown calls it *before* the change
         reaches the tables, so no program compiled against the old
-        rule set can run afterwards.  The flush-time validity check
-        remains as the backstop for direct table writes.
+        rule set — and no dispatch slot still pointing at one — can
+        run afterwards.  The flush-time validity check and the
+        per-frame dispatch version stamp remain as the backstop for
+        direct table writes.
         """
         dropped = self.base.datapath.fusion.invalidate()
         for network in self.graphs.values():

@@ -35,7 +35,8 @@ from repro.net.ethernet import EthernetFrame
 __all__ = ["Action", "ActionError", "CompiledActions", "Controller",
            "EmitFn", "FLOOD_PORT", "Output", "PopVlan", "PushVlan",
            "SelectOutput", "SetField", "compile_actions", "flow_hash",
-           "flow_key", "rendezvous_select", "resolve_select"]
+           "flow_key", "hoisted_select", "rendezvous_select",
+           "resolve_select"]
 
 #: Pseudo port number: send to every port except ingress.
 FLOOD_PORT = 0xFFFB
@@ -306,24 +307,36 @@ def resolve_select(dp: Any, action: SelectOutput,
     return table.steer(parsed, action.ports, frozenset(action.ports))
 
 
+def hoisted_select(action: SelectOutput) -> tuple:
+    """``(ports, seeds, port_set, group)`` of one SelectOutput, hoisted.
+
+    Everything a per-frame replica pick needs that is derivable from
+    the action alone: the port tuple, the aligned rendezvous seed
+    tuple (:func:`_port_seed`), the frozen live-port set the stateful
+    steer consults, and the state-group name.  Computed once — at
+    compile time by :func:`_compile_select`, at trace time by the
+    chain-fusion select tail (:mod:`repro.switch.fusion`) — so both
+    consumers pick replicas from identical constants.
+    """
+    ports = action.ports
+    return (ports, tuple(_port_seed(port) for port in ports),
+            frozenset(ports), action.group)
+
+
 def _compile_select(action: SelectOutput):
     """The per-frame port picker of one SelectOutput, constants hoisted.
 
     Returns ``pick(dp, parsed) -> port`` with everything derivable
-    from the action — per-port rendezvous seeds, the live-port set,
-    the group name — computed here, once per install.  A stateful
-    picker resolves its datapath's state table on first use and caches
-    it (a compiled program only ever runs on the datapath whose table
-    holds its entry).
+    from the action (see :func:`hoisted_select`) computed here, once
+    per install.  A stateful picker resolves its datapath's state
+    table on first use and caches it (a compiled program only ever
+    runs on the datapath whose table holds its entry).
     """
-    ports = action.ports
-    seeds = tuple(_port_seed(port) for port in ports)
-    group = action.group
+    ports, seeds, port_set, group = hoisted_select(action)
     if group is None:
         def pick(dp: Any, parsed: ParsedFrame) -> int:
             return rendezvous_select(ports, flow_hash(parsed), seeds)
         return pick
-    port_set = frozenset(ports)
     cache: list = [None, None]
 
     def pick_stateful(dp: Any, parsed: ParsedFrame) -> int:

@@ -142,11 +142,21 @@ class _BatchState:
     ``fusion`` is the ingress datapath's engine when fusion is live
     for this batch (enabled, compiled mode, no taps), else ``None``.
     ``fused`` maps ingress ``entry_id`` to
-    ``[program, frames, nbytes, in_port]`` groups.
+    ``[program, frames, nbytes, in_port, disp_n, disp_bytes]``
+    groups — ``disp_n``/``disp_bytes`` count the group's frames that
+    arrived through a dispatch slot and therefore still owe their
+    ingress lookup/flow counters at flush (lookup-path frames settled
+    theirs through ``pending``).  One group per entry regardless of
+    arrival path, so per-entry egress order survives a mid-batch mix
+    of dispatch hits and lookup hits.  ``dispatch_engaged`` records
+    whether the per-port dispatch layer was live for this batch (it
+    additionally requires ``fusion.dispatch_enabled`` and the table's
+    oracle mode off — dispatch skips ``lookup()``, which would
+    silently bypass the oracle cross-check).
     """
 
     __slots__ = ("pending", "queues", "emit", "emit_carry", "enqueue",
-                 "fusion", "fused")
+                 "fusion", "fused", "dispatch_engaged")
 
 
 class Datapath:
@@ -364,6 +374,7 @@ class Datapath:
         state.fusion = (engine if engine.enabled and self.compiled_actions
                         and not self.taps else None)
         state.fused = {}
+        state.dispatch_engaged = False
         return state
 
     def _run_ingress(self, in_port: int,
@@ -403,16 +414,65 @@ class Datapath:
         fusion = state.fusion
         fused = state.fused
         carried = self.carried
+        dispatch = None
+        if fusion is not None and fusion.dispatch_enabled \
+                and not table.oracle:
+            dispatch = fusion.dispatch.get(in_port)
+            if dispatch is None:
+                dispatch = fusion.dispatch[in_port] = {}
+            state.dispatch_engaged = True
         packets = 0
         nbytes = 0
 
         try:
             for frame in frames:
-                parsed = (frame if type(frame) is ParsedFrame
-                          else parse_frame(frame))
-                size = parsed.wire_len
-                packets += 1
-                nbytes += size
+                if dispatch is not None:
+                    # Dispatch fast path: one dict probe and a version
+                    # compare takes the frame straight to its fused
+                    # program — no table walk, no pending bookkeeping,
+                    # and (for raw ingress frames) no ``ParsedFrame``
+                    # allocation at all: the frame is parked as-is and
+                    # the program normalizes at delivery, so a plain
+                    # fused chain never decodes past L2.  The group's
+                    # dispatch counters settle the ingress lookup/flow
+                    # totals at flush.  The version is checked per
+                    # frame so a mid-batch flow-mod re-resolves the
+                    # slice immediately.
+                    if type(frame) is ParsedFrame:
+                        eth = frame.eth
+                        size = frame.wire_len
+                    else:
+                        if frame.__class__ is bytes:
+                            frame = EthernetFrame.from_bytes(frame)
+                        eth = frame
+                        size = len(frame)
+                    packets += 1
+                    nbytes += size
+                    slot = dispatch.get(eth.vlan)
+                    if slot is None or slot[0] != table.version:
+                        slot = fusion.build_slot(dispatch, in_port,
+                                                 eth.vlan)
+                    entry = slot[1]
+                    if entry is not None:
+                        group = fused.get(entry.entry_id)
+                        if group is None:
+                            fused[entry.entry_id] = [slot[2], [frame],
+                                                     size, in_port,
+                                                     1, size]
+                        else:
+                            group[1].append(frame)
+                            group[2] += size
+                            group[4] += 1
+                            group[5] += size
+                        continue
+                    parsed = (frame if type(frame) is ParsedFrame
+                              else parse_frame(frame))
+                else:
+                    parsed = (frame if type(frame) is ParsedFrame
+                              else parse_frame(frame))
+                    size = parsed.wire_len
+                    packets += 1
+                    nbytes += size
                 entry = table.lookup(in_port, parsed, count=False)
                 if entry is None:
                     self.table_misses += 1
@@ -429,17 +489,20 @@ class Datapath:
                     acc[2] += size
                 if fusion is not None:
                     program = entry.fused
-                    if program.__class__ is not FusedChain and (
-                            program is None or program != fusion.epoch):
+                    if type(program) is int:
+                        program = (None if program != fusion.epoch
+                                   else program)
+                    if program is None:
                         program = fusion.trace(entry)
-                    if program.__class__ is FusedChain:
+                    if type(program) is not int:
                         # Whole-chain hop: park the frame for one
                         # straight-line settlement at flush instead of
                         # walking it hop by hop.
                         group = fused.get(entry.entry_id)
                         if group is None:
                             fused[entry.entry_id] = [program, [parsed],
-                                                     size, in_port]
+                                                     size, in_port,
+                                                     0, 0]
                         else:
                             group[1].append(parsed)
                             group[2] += size
@@ -485,10 +548,16 @@ class Datapath:
         already accounted; this replays only the execution arm of
         :meth:`_run_ingress` into the live queues, after which the
         normal flush carries them to the (possibly changed) next hop.
+
+        Dispatch-hit frames were parked *raw* (no ingress parse); they
+        get their one ``ParsedFrame`` here — the same single parse per
+        frame the per-hop path would have paid at ingress.
         """
         queues = state.queues
         ports = self.ports
         carried = self.carried
+        frames = [parsed if type(parsed) is ParsedFrame
+                  else parse_frame(parsed) for parsed in frames]
         if not self.compiled_actions:  # flipped mid-batch
             for parsed in frames:
                 carried[0] = parsed
@@ -529,20 +598,46 @@ class Datapath:
         fusion = state.fusion
         if fusion is not None:
             hits = 0
-            for program, frames, nbytes, in_port in state.fused.values():
+            dispatched = 0
+            table = self.table
+            for group in state.fused.values():
+                program, frames, nbytes, in_port, disp_n, disp_bytes = \
+                    group
+                if disp_n:
+                    # Dispatch-hit frames skipped table.lookup() and
+                    # the pending accumulator; settle the ingress
+                    # lookup/match/flow counters they owe *before*
+                    # running or falling back, so both arms start from
+                    # per-hop-identical counter state.
+                    dispatched += disp_n
+                    table.lookups += disp_n
+                    table.credit(program.ingress_entry, disp_n,
+                                 disp_bytes)
                 if program.valid():
                     program.run(frames, nbytes)
                     hits += len(frames)
                 else:
                     fusion.invalidations += 1
-                    program.ingress_entry.fused = None
-                    self._fused_fallback(program.ingress_entry, frames,
-                                         in_port, state)
-            matched = 0
+                    entry = program.ingress_entry
+                    entry.fused = None
+                    slots = entry.dispatch
+                    if slots:
+                        # No slice may keep dispatching to a program
+                        # that just failed validation.
+                        for slot in slots:
+                            slot[0] = -1
+                            slot[1] = None
+                            slot[2] = None
+                        del slots[:]
+                    self._fused_fallback(entry, frames, in_port, state)
+            matched = dispatched
             for acc in state.pending.values():
                 matched += acc[1]
             fusion.hits += hits
             fusion.misses += matched - hits
+            if state.dispatch_engaged:
+                fusion.dispatch_hits += dispatched
+                fusion.dispatch_misses += matched - dispatched
         self._flush_batch(state.pending, state.queues)
 
     def process_batch(self,

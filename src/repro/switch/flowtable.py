@@ -339,6 +339,12 @@ class FlowEntry:
         #: ``int`` — "not fuseable", stamped with the tracing engine's
         #: epoch so a steering-level invalidation retries the trace.
         self.fused = None
+        #: Back-references to the dispatch-table slots that resolve to
+        #: this entry (see :class:`~repro.switch.fusion.FusionEngine`
+        #: ``dispatch``).  When this entry's fused program is dropped
+        #: reactively, the slots are stamped stale through this list so
+        #: no ``(in_port, vlan)`` slice keeps dispatching to it.
+        self.dispatch: list = []
 
     def invalidate(self) -> None:
         """Recompile after ``entry.actions`` was rebound.
@@ -351,14 +357,23 @@ class FlowEntry:
         self.compiled = compile_actions(self.actions)
         self.fast_out = getattr(self.compiled, "out_port", None)
         self.fused = None
+        for slot in self.dispatch:
+            slot[0] = -1
+            slot[1] = None
+            slot[2] = None
+        del self.dispatch[:]
 
     def __getstate__(self):
         # The compiled closure is not picklable; drop it and recompile
         # on unpickle (mirrors FlowMatch.__reduce__).  The fused-chain
-        # cache references live ports and tables, so it never travels.
+        # cache and the dispatch-slot back-references point at live
+        # ports, tables and slot lists, so neither ever travels — a
+        # round-tripped entry must come back cold, not pointing into
+        # some other process's dispatch state.
         state = self.__dict__.copy()
         del state["compiled"]
         state["fused"] = None
+        state["dispatch"] = []
         return state
 
     def __setstate__(self, state) -> None:
@@ -366,6 +381,7 @@ class FlowEntry:
         self.compiled = compile_actions(self.actions)
         self.fast_out = getattr(self.compiled, "out_port", None)
         self.fused = None
+        self.dispatch = []
 
     def describe(self) -> str:
         acts = ",".join(str(a) for a in self.actions) or "drop"
@@ -615,6 +631,42 @@ class FlowTable:
         for entry in self._entries:
             if entry.match.hits_reference(in_port, parsed):
                 return entry
+        return None
+
+    def slice_winner(self, in_port: int,
+                     vlan: Optional[int]) -> Optional[FlowEntry]:
+        """The frame-independent lookup winner of one ``(in_port, vlan)``
+        traffic slice, or ``None`` when the slice's winner depends on
+        frame contents (or the slice misses entirely).
+
+        This is the dispatch-fusion analogue of the per-chain
+        ``_resolve_next`` check (:mod:`repro.switch.fusion`), applied
+        at the *ingress* table: walk the priority order once and stop
+        at the first entry whose port/VLAN constraints admit the slice.
+        If that entry matches on port and VLAN alone
+        (``FlowMatch._port_vlan_only``) it wins every lookup any frame
+        of the slice could run; if it also matches frame fields, some
+        frames may fall through it to a different entry, so the slice
+        cannot be dispatched.  ``vlan`` is the frame's tag state
+        (``eth.vlan``): a concrete vid or ``None`` for untagged.
+        """
+        for entry in self._entries:
+            match = entry.match
+            want_port = match.in_port
+            if want_port is not None and want_port != in_port:
+                continue
+            want_vid = match.vlan_vid
+            if want_vid is not None:
+                if want_vid >= 0:
+                    if vlan != want_vid:
+                        continue
+                elif want_vid == NO_VLAN:
+                    if vlan is not None:
+                        continue
+                else:  # ANY_VLAN
+                    if vlan is None:
+                        continue
+            return entry if match._port_vlan_only else None
         return None
 
     def credit(self, entry: FlowEntry, packets: int, nbytes: int) -> None:

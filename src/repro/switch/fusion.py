@@ -25,11 +25,40 @@ MAC transforms followed by exactly one concrete ``Output``, and the
 *next* hop's winner is frame-independent: the first entry of the far
 table compatible with ``(in_port, vlan-state)`` must match on those
 two fields alone (``FlowMatch._port_vlan_only``) and must be the same
-entry for every alive VLAN branch.  Anything else — SelectOutput
-replica spreads, FLOOD, drops, punts, taps on a datapath,
+entry for every alive VLAN branch.  A chain may also *end* in a
+``SelectOutput`` replica spread over device-backed ports: the trace
+then lowers into a :class:`FusedSelectChain`, which settles the
+prefix hops arithmetically and runs the per-frame replica pick — the
+same ``rendezvous_select`` / :class:`~repro.switch.state.FlowStateTable`
+pin lookup the compiled shapes use, constants hoisted at trace time —
+inside the fused program instead of bailing to the interpreter.
+Anything else — FLOOD, drops, punts, taps on a datapath,
 ``carry_parsed=False`` links, interpreted mode, table misses, cycles —
 bails the trace, and the entry simply stays on the per-hop batch path
 (which remains the differential oracle for every fused program).
+
+Terminal delivery is a *byte splice*: the composed header rewrite of
+the whole chain is precomputed at trace time into a field-merge
+closure that builds each egress :class:`EthernetFrame` directly
+(``__new__`` + dict splice), skipping both the per-hop
+``replace``/``__post_init__`` validation chain and the terminal
+``ParsedFrame.derive`` entirely — the rewrite constants were
+validated once, when the splice was compiled.
+
+Dispatch.  On top of per-entry programs, the engine keeps a per-port
+**dispatch table**: ``in_port -> {vlan-state -> slot}`` where a slot
+pins the frame-independent lookup winner of that ``(in_port, vlan)``
+traffic slice (:meth:`~repro.switch.flowtable.FlowTable.slice_winner`)
+together with its fused program.  When a slot is live, the batch
+ingress loop jumps straight from frame to program — no ``FlowTable``
+walk, no per-frame pending bookkeeping (ingress lookup/match/flow
+counters settle arithmetically at flush, like every downstream hop).
+Slots are stamped with ``FlowTable.version`` and re-checked per frame,
+so a mid-batch flow-mod re-resolves the slice immediately; steering
+invalidation and reactive fallbacks tear slots down through the
+``FlowEntry.dispatch`` back-references.  Slices whose winner depends
+on frame fields (or whose winner is not fused) hold a *negative* slot
+and take the normal lookup path at one dict probe of extra cost.
 
 VLAN state is tracked *symbolically* with up to two branches: an
 ingress match with a wildcard VLAN admits both initially-tagged and
@@ -54,21 +83,26 @@ direct table writes, which the version check covers.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional
 
 from repro.net.addresses import MacAddress
-from repro.net.builder import ParsedFrame
+from repro.net.builder import ParsedFrame, parse_frame
+from repro.net.ethernet import EthernetFrame
 from repro.switch.actions import (
     FLOOD_PORT,
     Output,
     PopVlan,
     PushVlan,
+    SelectOutput,
     SetField,
+    flow_hash,
+    hoisted_select,
+    rendezvous_select,
 )
 from repro.switch.flowtable import ANY_VLAN, NO_VLAN, FlowEntry, FlowTable
 
-__all__ = ["FusedChain", "FusionEngine", "MAX_CHAIN_DEPTH"]
+__all__ = ["FusedChain", "FusedSelectChain", "FusionEngine",
+           "MAX_CHAIN_DEPTH"]
 
 #: Trace depth cap: chains longer than this stay per-hop.  Real
 #: steering chains are 2-3 hops; the cap only guards degenerate wiring.
@@ -99,19 +133,56 @@ class _Hop:
                  "out_dt", "out_du", "link", "far_port", "far_dp")
 
 
+def _compile_splice(kwargs: dict):
+    """The byte-splice closure for one composed rewrite, or ``None``.
+
+    ``replace(eth, **kwargs)`` runs the dataclass constructor — and
+    its ``__post_init__`` range checks — once per frame.  The fused
+    terminal already validated the rewrite constants at trace time
+    (:func:`_splice_fields_valid`), so the splice builds the egress
+    frame structurally: allocate with ``__new__`` and merge the field
+    dict.  One dict splice per frame, no validation re-run.
+    """
+    if not kwargs:
+        return None
+    fields = dict(kwargs)
+
+    def splice(eth: EthernetFrame, _new=EthernetFrame.__new__,
+               _cls=EthernetFrame, _fields=fields) -> EthernetFrame:
+        out = _new(_cls)
+        out.__dict__ = {**eth.__dict__, **_fields}
+        return out
+    return splice
+
+
+def _splice_fields_valid(kwargs: dict) -> bool:
+    """Whether the composed rewrite passes the ``EthernetFrame``
+    constructor checks for every frame.  A constant the constructor
+    would reject must keep the chain on the per-hop path, where the
+    per-frame ``replace`` raises exactly as it always did."""
+    vlan = kwargs.get("vlan")
+    if vlan is not None and not 0 <= vlan <= 0xFFF:
+        return False
+    pcp = kwargs.get("vlan_pcp")
+    if pcp is not None and not 0 <= pcp <= 7:
+        return False
+    return True
+
+
 class FusedChain:
     """The straight-line program for one (ingress entry, chain) pair."""
 
-    __slots__ = ("hops", "kwargs", "two_branch", "ingress_entry",
-                 "device")
+    __slots__ = ("hops", "kwargs", "splice", "two_branch",
+                 "ingress_entry", "device")
 
     def __init__(self, hops: list[_Hop], kwargs: dict,
                  two_branch: bool) -> None:
         self.hops = tuple(hops)
-        #: Composition of every transform along the chain, applied once
-        #: per frame at the terminal (``replace(eth, **kwargs)``); empty
-        #: for identity chains, where frames forward untouched.
+        #: Composition of every transform along the chain; empty for
+        #: identity chains, where frames forward untouched.  Applied
+        #: once per frame at the terminal through :attr:`splice`.
         self.kwargs = kwargs
+        self.splice = _compile_splice(kwargs)
         self.two_branch = two_branch
         self.ingress_entry = hops[0].entry
         self.device = hops[-1].out_port.device
@@ -135,7 +206,7 @@ class FusedChain:
                 return False
         return self.hops[-1].out_port.device is self.device
 
-    def run(self, frames: list[ParsedFrame], nbytes: int) -> None:
+    def run(self, frames: list, nbytes: int) -> None:
         """Run the whole chain for one batch group: settle every
         per-hop counter arithmetically, then deliver at the terminal.
 
@@ -144,12 +215,20 @@ class FusedChain:
         path); everything downstream of the ingress lookup is settled
         here.  Per-flow egress order is preserved — frames of one
         ingress entry leave the terminal port in arrival order.
+
+        A group may mix :class:`ParsedFrame` views (lookup-path or
+        carried arrivals) with *raw* ``EthernetFrame`` objects (the
+        dispatch fast path parks frames unparsed — a plain fused chain
+        never needs anything past L2, so the parse is skipped, not
+        deferred).
         """
         n = len(frames)
         nu = 0
         if self.two_branch:
             for parsed in frames:
-                if parsed.eth.vlan is None:
+                eth = parsed.eth if parsed.__class__ is ParsedFrame \
+                    else parsed
+                if eth.vlan is None:
                     nu += 1
         nt = n - nu
         first = True
@@ -179,13 +258,199 @@ class FusedChain:
                 far = hop.far_port
                 far.rx_packets += n
                 far.rx_bytes += out_bytes
-        kwargs = self.kwargs
-        if kwargs:
-            frames = [parsed.derive(replace(parsed.eth, **kwargs))
-                      for parsed in frames]
         device = self.device
-        if device is not None:
-            device.transmit_batch([parsed.eth for parsed in frames])
+        if device is None:
+            # Counting sink: counters are settled, nothing materializes.
+            return
+        splice = self.splice
+        if splice is None:
+            device.transmit_batch([
+                parsed.eth if parsed.__class__ is ParsedFrame else parsed
+                for parsed in frames])
+        else:
+            device.transmit_batch([
+                splice(parsed.eth if parsed.__class__ is ParsedFrame
+                       else parsed)
+                for parsed in frames])
+
+
+class FusedSelectChain:
+    """A fused chain ending in a ``SelectOutput`` replica spread.
+
+    The prefix hops settle exactly like a :class:`FusedChain`; the
+    tail hop then runs the per-frame replica pick *inside* the fused
+    program: ``rendezvous_select`` over trace-hoisted seeds for
+    stateless spreads, the datapath's
+    :class:`~repro.switch.state.FlowStateTable` ``steer`` (pin /
+    remap / adopt, identical counter evolution) for stateful ones —
+    in frame arrival order, so state-table side effects match the
+    per-hop path bit for bit.  Frames bucket per chosen replica and
+    leave through the terminal byte splice.
+
+    Validity additionally pins the replica ports: any port removal,
+    device rebind, or a replica port growing a virtual link (the
+    trace only accepts device/sink replicas) fails :meth:`valid` and
+    the group falls back per-hop.  A replica-set or state-group
+    change arrives as a rule reinstall, which the steering layer
+    precedes with a full invalidation; direct table writes are caught
+    by the tail's table-version stamp.
+    """
+
+    __slots__ = ("hops", "kwargs", "splice", "two_branch",
+                 "ingress_entry", "dp", "table", "version", "entry",
+                 "compiled", "in_dt", "in_du", "out_dt", "out_du",
+                 "ports", "seeds", "port_set", "group", "state",
+                 "replicas")
+
+    def __init__(self, hops: list[_Hop], kwargs: dict, two_branch: bool,
+                 tail_dp, tail_entry: FlowEntry, in_dt: int, in_du: int,
+                 out_dt: int, out_du: int, select: SelectOutput,
+                 state, replicas: dict) -> None:
+        self.hops = tuple(hops)
+        self.kwargs = kwargs
+        self.splice = _compile_splice(kwargs)
+        self.two_branch = two_branch
+        self.ingress_entry = hops[0].entry
+        self.dp = tail_dp
+        self.table = tail_dp.table
+        self.version = tail_dp.table.version
+        self.entry = tail_entry
+        self.compiled = tail_entry.compiled
+        self.in_dt, self.in_du = in_dt, in_du
+        self.out_dt, self.out_du = out_dt, out_du
+        self.ports, self.seeds, self.port_set, self.group = \
+            hoisted_select(select)
+        #: The state table resolved at trace time (``group`` spreads);
+        #: identity is re-checked in :meth:`valid` so a dropped-and-
+        #: recreated group (graph teardown) can never run against the
+        #: stale table object.
+        self.state = state
+        #: ``out_no -> (SwitchPort, device)`` for every replica.
+        self.replicas = replicas
+
+    def valid(self) -> bool:
+        for hop in self.hops:
+            dp = hop.dp
+            if (hop.table.version != hop.version
+                    or hop.entry.compiled is not hop.compiled
+                    or dp.taps or not dp.compiled_actions
+                    or dp.ports.get(hop.out_no) is not hop.out_port
+                    or hop.out_port.peer_link is not hop.link):
+                return False
+            link = hop.link
+            if link is not None and (
+                    not link.carry_parsed
+                    or hop.far_port.datapath is not hop.far_dp):
+                return False
+        dp = self.dp
+        if (self.table.version != self.version
+                or self.entry.compiled is not self.compiled
+                or dp.taps or not dp.compiled_actions):
+            return False
+        if self.group is not None and \
+                dp.flow_state.peek(self.group) is not self.state:
+            return False
+        ports = dp.ports
+        for out_no, (port, device) in self.replicas.items():
+            if (ports.get(out_no) is not port
+                    or port.peer_link is not None
+                    or port.device is not device):
+                return False
+        return True
+
+    def run(self, frames: list, nbytes: int) -> None:
+        # The replica pick hashes L3/L4, so this program *does* need
+        # full parses; frames the dispatch fast path parked raw get
+        # their one ParsedFrame here (same single parse per frame the
+        # per-hop path pays at ingress).
+        frames = [parsed if parsed.__class__ is ParsedFrame
+                  else parse_frame(parsed) for parsed in frames]
+        n = len(frames)
+        nu = 0
+        two_branch = self.two_branch
+        if two_branch:
+            for parsed in frames:
+                if parsed.eth.vlan is None:
+                    nu += 1
+        nt = n - nu
+        first = True
+        for hop in self.hops:
+            if first:
+                first = False
+            else:
+                hop.dp.rx_packets += n
+                table = hop.table
+                table.lookups += n
+                table.matches += n
+                entry = hop.entry
+                entry.packets += n
+                entry.bytes += nbytes + nt * hop.in_dt + nu * hop.in_du
+            out_bytes = nbytes + nt * hop.out_dt + nu * hop.out_du
+            port = hop.out_port
+            port.tx_packets += n
+            port.tx_bytes += out_bytes
+            link = hop.link
+            if link is not None:
+                link.carried += n
+                far = hop.far_port
+                far.rx_packets += n
+                far.rx_bytes += out_bytes
+        # Tail-hop arrival bookkeeping (the prefix's last link segment
+        # settled the far port's rx above).
+        self.dp.rx_packets += n
+        table = self.table
+        table.lookups += n
+        table.matches += n
+        entry = self.entry
+        entry.packets += n
+        entry.bytes += nbytes + nt * self.in_dt + nu * self.in_du
+        # Per-frame replica pick, in arrival order; buckets keep
+        # insertion order, so per-replica egress order matches the
+        # per-hop queues exactly.
+        ports = self.ports
+        seeds = self.seeds
+        state = self.state
+        out_dt = self.out_dt
+        out_du = self.out_du
+        buckets: dict = {}
+        if state is None:
+            for parsed in frames:
+                out = rendezvous_select(ports, flow_hash(parsed), seeds)
+                size = parsed.wire_len + (
+                    out_dt if not two_branch or parsed.eth.vlan is not None
+                    else out_du)
+                acc = buckets.get(out)
+                if acc is None:
+                    buckets[out] = [[parsed], size]
+                else:
+                    acc[0].append(parsed)
+                    acc[1] += size
+        else:
+            port_set = self.port_set
+            for parsed in frames:
+                out = state.steer(parsed, ports, port_set, seeds)
+                size = parsed.wire_len + (
+                    out_dt if not two_branch or parsed.eth.vlan is not None
+                    else out_du)
+                acc = buckets.get(out)
+                if acc is None:
+                    buckets[out] = [[parsed], size]
+                else:
+                    acc[0].append(parsed)
+                    acc[1] += size
+        splice = self.splice
+        replicas = self.replicas
+        for out, (bucket, bucket_bytes) in buckets.items():
+            port, device = replicas[out]
+            port.tx_packets += len(bucket)
+            port.tx_bytes += bucket_bytes
+            if device is None:  # counting sink
+                continue
+            if splice is None:
+                device.transmit_batch([parsed.eth for parsed in bucket])
+            else:
+                device.transmit_batch([splice(parsed.eth)
+                                       for parsed in bucket])
 
 
 def _ingress_branches(vlan_vid: Optional[int]) -> list[list]:
@@ -271,20 +536,40 @@ class FusionEngine:
     one attribute read and an int compare.
     """
 
-    __slots__ = ("dp", "enabled", "epoch", "hits", "misses",
-                 "invalidations", "programs_built")
+    __slots__ = ("dp", "enabled", "dispatch_enabled", "epoch",
+                 "dispatch", "hits", "misses", "dispatch_hits",
+                 "dispatch_misses", "invalidations", "programs_built")
 
     def __init__(self, dp) -> None:
         self.dp = dp
         #: Production default is on; the perf sweep's per-hop leg and
         #: the differential suites flip it per instance.
         self.enabled = True
+        #: Per-port dispatch over fused programs (see module
+        #: docstring).  Separately togglable so the perf sweep can
+        #: time plain fusion against dispatch fusion; production runs
+        #: with both on.
+        self.dispatch_enabled = True
         self.epoch = 1
+        #: ``in_port -> {vlan-state -> [version, entry, program]}``
+        #: dispatch slots.  ``vlan-state`` is the frame's tag state
+        #: (concrete vid or ``None``).  A slot whose version is stale
+        #: is rebuilt by :meth:`build_slot`; ``entry is None`` marks a
+        #: negative slot (the slice cannot be dispatched at this table
+        #: version) and sends frames down the normal lookup path.
+        self.dispatch: dict = {}
         #: Frames delivered through fused programs.
         self.hits = 0
         #: Matched frames that took the per-hop path while fusion was
         #: engaged for the batch (unfuseable entries and fallbacks).
         self.misses = 0
+        #: Matched frames that skipped the ingress ``FlowTable`` walk
+        #: entirely via a live dispatch slot / matched frames that ran
+        #: the lookup while dispatch was engaged.  Cumulative, like
+        #: every other telemetry counter; :meth:`invalidate` tears the
+        #: dispatch *table* down but never rewinds these.
+        self.dispatch_hits = 0
+        self.dispatch_misses = 0
         #: Fused programs dropped — proactive (steering invalidate) or
         #: reactive (flush-time validity failure → per-hop fallback).
         self.invalidations = 0
@@ -292,25 +577,68 @@ class FusionEngine:
 
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
+                "dispatch-hits": self.dispatch_hits,
+                "dispatch-misses": self.dispatch_misses,
                 "invalidations": self.invalidations,
                 "programs-built": self.programs_built,
                 "enabled": self.enabled}
 
     def invalidate(self) -> int:
         """Drop every cached program/verdict traced from this LSI's
-        entries; returns how many live programs went.  Bumping the
-        epoch also retires negative caches, so entries re-trace against
-        the post-change rule set."""
+        entries, and the whole dispatch table with them; returns how
+        many live programs went.  Bumping the epoch also retires
+        negative caches, so entries re-trace against the post-change
+        rule set."""
         self.epoch += 1
+        self.dispatch.clear()
         dropped = 0
         for entry in self.dp.table:
+            slots = entry.dispatch
+            if slots:
+                # A batch loop that hoisted a per-port slot dict before
+                # this invalidation ran (packet-in handler mid-batch)
+                # still holds these slots; stamp them stale so not one
+                # more frame dispatches through them.
+                for slot in slots:
+                    slot[0] = -1
+                    slot[1] = None
+                    slot[2] = None
+                del slots[:]
             cached = entry.fused
             if cached is not None:
-                if cached.__class__ is FusedChain:
+                if type(cached) is not int:
                     dropped += 1
                 entry.fused = None
         self.invalidations += dropped
         return dropped
+
+    def build_slot(self, port_dispatch: dict, in_port: int,
+                   vlan: Optional[int]) -> list:
+        """(Re)build the dispatch slot of one ``(in_port, vlan)`` slice.
+
+        Called from the batch ingress loop when a slice has no slot or
+        its version stamp went stale.  Resolves the slice's frame-
+        independent winner, traces it if needed, and installs a
+        ``[version, entry, program]`` slot — positive only when the
+        winner exists *and* fused, negative otherwise.  Positive slots
+        register on ``entry.dispatch`` so reactive teardown reaches
+        them without scanning the table.
+        """
+        table = self.dp.table
+        slot = [table.version, None, None]
+        entry = table.slice_winner(in_port, vlan)
+        if entry is not None:
+            program = entry.fused
+            if type(program) is int:
+                program = None if program != self.epoch else program
+            if program is None:
+                program = self.trace(entry)
+            if type(program) is not int:
+                slot[1] = entry
+                slot[2] = program
+                entry.dispatch.append(slot)
+        port_dispatch[vlan] = slot
+        return slot
 
     def trace(self, entry: FlowEntry):
         """Trace from ``entry`` and cache the outcome on it: a
@@ -344,15 +672,37 @@ class FusionEngine:
             if not actions:  # drop rule
                 return None
             last = actions[-1]
-            if type(last) is not Output or last.port == FLOOD_PORT:
+            tail_select: Optional[SelectOutput] = None
+            kind = type(last)
+            if kind is Output:
+                out_no = last.port
+            elif kind is SelectOutput:
+                if len(last.ports) == 1:
+                    # Degenerate spread: the compiled form is a plain
+                    # output (run_select_one), treat it the same here.
+                    out_no = last.ports[0]
+                elif hops:
+                    tail_select = last
+                    out_no = None
+                else:
+                    # A spread at the chain ingress is a single-hop
+                    # "chain" — already optimal per-hop.
+                    return None
+            else:
                 return None
-            out_no = last.port
-            port = dp.ports.get(out_no)
-            if port is None:
-                return None
+            if tail_select is None:
+                if out_no == FLOOD_PORT:
+                    return None
+                port = dp.ports.get(out_no)
+                if port is None:
+                    return None
             for action in actions[:-1]:
                 kind = type(action)
                 if kind is PushVlan:
+                    if not 0 <= action.pcp <= 7:
+                        # The frame constructor would reject it; the
+                        # per-hop path must keep raising per frame.
+                        return None
                     for branch in branches:
                         if not branch[0]:
                             branch[2] += _TAG_BYTES
@@ -373,6 +723,10 @@ class FusionEngine:
                     field = action.field
                     if field == "vlan_vid":
                         vid = int(action.value)
+                        if not 0 <= vid <= 0xFFF:
+                            # Out-of-range retag: the per-frame replace
+                            # raises in the constructor; stay per-hop.
+                            return None
                         for branch in branches:
                             if not branch[0]:
                                 return None
@@ -384,6 +738,10 @@ class FusionEngine:
                         kwargs["dst"] = MacAddress(action.value)
                 else:  # Controller / SelectOutput / extra Output
                     return None
+            if tail_select is not None:
+                return self._finish_select(dp, entry, tail_select,
+                                           branches, in_dt, in_du,
+                                           hops, kwargs)
             hop = _Hop()
             hop.dp = dp
             hop.table = dp.table
@@ -422,6 +780,46 @@ class FusionEngine:
             # path (the fast_out specialization); fusing them would
             # only add bookkeeping.
             return None
+        if not _splice_fields_valid(kwargs):
+            return None
         two_branch = any(hop.in_dt != hop.in_du or hop.out_dt != hop.out_du
                          for hop in hops)
         return FusedChain(hops, kwargs, two_branch)
+
+    def _finish_select(self, dp, entry: FlowEntry, select: SelectOutput,
+                       branches: list[list], in_dt: int, in_du: int,
+                       hops: list[_Hop],
+                       kwargs: dict) -> Optional[FusedSelectChain]:
+        """Lower a select-terminated trace into a
+        :class:`FusedSelectChain`, or bail (``None``) when the tail
+        cannot be replicated exactly.
+
+        Bails when: any replica port is missing, is FLOOD, or leads to
+        a virtual link (the tail delivers straight to devices/sinks —
+        a linked replica would need its own downstream trace *per
+        frame*); or the composed rewrite touches MAC fields (non-IPv4
+        frames hash their L2 conversation, so a MAC rewrite upstream
+        changes the flow hash the per-hop path would compute at the
+        select hop — not reproducible from the ingress parse).
+        """
+        if "src" in kwargs or "dst" in kwargs:
+            return None
+        if not _splice_fields_valid(kwargs):
+            return None
+        replicas: dict = {}
+        for out_no in select.ports:
+            if out_no == FLOOD_PORT:
+                return None
+            port = dp.ports.get(out_no)
+            if port is None or port.peer_link is not None:
+                return None
+            replicas[out_no] = (port, port.device)
+        group = select.group
+        state = dp.flow_state.table(group) if group is not None else None
+        out_dt, out_du = branches[0][2], branches[-1][2]
+        two_branch = (any(hop.in_dt != hop.in_du
+                          or hop.out_dt != hop.out_du for hop in hops)
+                      or in_dt != in_du or out_dt != out_du)
+        return FusedSelectChain(hops, kwargs, two_branch, dp, entry,
+                                in_dt, in_du, out_dt, out_du, select,
+                                state, replicas)

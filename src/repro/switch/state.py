@@ -35,10 +35,16 @@ as the event journal), so state lifetimes in tests are deterministic.
 Tables are bounded (``capacity``); overflow evicts idle entries
 first, then the least-recently-seen.
 
-Fusion interplay: chain fusion never traces through a
-``SelectOutput`` hop, so a state decision can never be baked into a
-fused program; the steering layer still drops fused chains around
-every LB-rule install/uninstall exactly like any other flow-mod.
+Fusion interplay: chain fusion traces *into* a terminal
+``SelectOutput`` hop (:class:`repro.switch.fusion.FusedSelectChain`),
+but the state decision itself is never baked in — the fused program
+calls :meth:`FlowStateTable.steer` per frame in arrival order, on the
+very table object the compiled picker would consult, so pins, remaps
+and adoptions evolve identically on both paths.  The program holds
+that table by identity and refuses to run if the registry dropped or
+recreated the group; the steering layer still drops fused chains
+around every LB-rule install/uninstall exactly like any other
+flow-mod.
 """
 
 from __future__ import annotations
@@ -248,6 +254,16 @@ class FlowStateRegistry:
                                    clock=self._now)
             self._tables[group] = table
         return table
+
+    def peek(self, group: str) -> "FlowStateTable | None":
+        """The group's table if it exists, without creating it.
+
+        Fused select tails (:mod:`repro.switch.fusion`) resolve their
+        state table once at trace time and re-check its *identity*
+        here on every run — a dropped-and-recreated group must fail
+        the check rather than silently steer against forgotten state.
+        """
+        return self._tables.get(group)
 
     def tables(self) -> "dict[str, FlowStateTable]":
         return dict(self._tables)

@@ -62,6 +62,12 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     header("repro_fusion_invalidations_total", "counter",
            "Fused-chain programs dropped (flow-mods, replica changes, "
            "stale-at-flush fallbacks), per LSI.")
+    header("repro_fusion_dispatch_hits_total", "counter",
+           "Matched frames that skipped the ingress flow-table walk "
+           "through a per-port dispatch slot, per LSI.")
+    header("repro_fusion_dispatch_misses_total", "counter",
+           "Matched frames that ran the ingress lookup while dispatch "
+           "was engaged, per LSI.")
     header("repro_flow_state_flows", "gauge",
            "Live per-flow state entries (replica affinity), per LSI.")
     header("repro_flow_state_pinned_total", "counter",
@@ -88,6 +94,10 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                      f"{stats['misses']}")
         lines.append(f"repro_fusion_invalidations_total{{{label}}} "
                      f"{stats['invalidations']}")
+        lines.append(f"repro_fusion_dispatch_hits_total{{{label}}} "
+                     f"{stats.get('dispatch-hits', 0)}")
+        lines.append(f"repro_fusion_dispatch_misses_total{{{label}}} "
+                     f"{stats.get('dispatch-misses', 0)}")
 
     for lsi_name, stats in sorted(
             registry.steering.flow_state_stats().items()):
@@ -150,7 +160,7 @@ def render_top(document: dict) -> str:
     """
     lines = [f"{'GRAPH':<12} {'NF':<16} {'REPLICAS':>8} {'PPS':>12} "
              f"{'BYTES/S':>12} {'MTTR':>8} {'HEALS':>6} {'FUSED':>6} "
-             f"{'PIN%':>6}"]
+             f"{'DISP':>6} {'PIN%':>6}"]
     graphs = document.get("graphs", {})
     for graph_id in sorted(graphs):
         graph = graphs[graph_id]
@@ -165,6 +175,12 @@ def render_top(document: dict) -> str:
         fused_frames = fusion.get("hits", 0) + fusion.get("misses", 0)
         fused_text = (f"{100.0 * fusion['hits'] / fused_frames:.0f}%"
                       if fused_frames else "-")
+        # Dispatch hit rate: frames that skipped the ingress table
+        # walk entirely ("-" before any dispatch traffic).
+        disp_frames = (fusion.get("dispatch-hits", 0)
+                       + fusion.get("dispatch-misses", 0))
+        disp_text = (f"{100.0 * fusion['dispatch-hits'] / disp_frames:.0f}%"
+                     if disp_frames else "-")
         # Replica-affinity pin rate of the LB hops: pinned frames over
         # every state-table decision ("-" before any stateful spread).
         state = graph.get("flow-state") or {}
@@ -188,6 +204,7 @@ def render_top(document: dict) -> str:
                 f"{mttr_text if first else '':>8} "
                 f"{heals if first else '':>6} "
                 f"{fused_text if first else '':>6} "
+                f"{disp_text if first else '':>6} "
                 f"{pinned_text if first else '':>6}")
             first = False
         if not bases:

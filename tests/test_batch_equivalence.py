@@ -1,8 +1,8 @@
-"""Differential harness: the four chain-traversal modes are identical.
+"""Differential harness: the five chain-traversal modes are identical.
 
 Hypothesis generates flow tables (random per-hop action shapes, VLAN
 matching, low-priority CIDR fallbacks) and frame batches, then runs the
-same workload through four independently-built copies of the same LSI
+same workload through five independently-built copies of the same LSI
 chain (lengths 1, 2 and 4):
 
 1. **per-frame** — :meth:`Datapath.process` for every frame, the
@@ -13,12 +13,15 @@ chain (lengths 1, 2 and 4):
 3. **per-hop zero-reparse batch** — ``ParsedFrame`` carry across the
    links with chain fusion pinned off: the fusion fallback path, and
    the fused path's differential oracle;
-4. **fused** — the production configuration: chain fusion on, stable
-   chains compiled into straight-line programs
-   (:mod:`repro.switch.fusion`) with all per-hop counters settled
-   arithmetically at flush.
+4. **fused** — chain fusion on with per-port dispatch pinned off:
+   stable chains compiled into straight-line programs
+   (:mod:`repro.switch.fusion`) behind the normal ingress lookup,
+   with all per-hop counters settled arithmetically at flush;
+5. **dispatch-fused** — the production configuration: fusion *and*
+   the per-port dispatch layer, so eligible ``(in_port, vlan)``
+   slices skip the ingress ``FlowTable`` walk entirely.
 
-Every observable must agree across all four: egress frames
+Every observable must agree across all five: egress frames
 byte-for-byte at every capture point, per-port rx/tx packet and byte
 counters, per-entry flow counters, table lookup/match totals, miss /
 drop / action-error counts, and controller punts.
@@ -65,8 +68,9 @@ _SHAPES = {
                                          Output(fwd)),
     "tee_out": lambda fwd, tee, vid: (Output(tee), Output(fwd)),
     # Hash-LB hops: the rendezvous spread (stateless) and the stateful
-    # per-flow table in front of it.  Both split the batch per flow —
-    # and neither may ever be baked into a fused program.
+    # per-flow table in front of it.  Both split the batch per flow;
+    # as chain *terminals* they fuse per-replica (FusedSelectChain),
+    # with the pick itself still computed per frame.
     "select_out": lambda fwd, tee, vid: (SelectOutput((fwd, tee)),),
     "pin_select_out": lambda fwd, tee, vid: (
         SelectOutput((fwd, tee), group="eq/lb:in"),),
@@ -183,7 +187,7 @@ def _frames(frame_specs):
                           max_size=max(CHAIN_LENGTHS)),
        frame_specs=st.lists(frame_spec, min_size=1, max_size=6))
 @settings(max_examples=60, deadline=None)
-def test_four_traversal_modes_are_identical(hop_specs, frame_specs):
+def test_five_traversal_modes_are_identical(hop_specs, frame_specs):
     for length in CHAIN_LENGTHS:
         specs = hop_specs[:length]
 
@@ -203,12 +207,18 @@ def test_four_traversal_modes_are_identical(hop_specs, frame_specs):
         zero_reparse.hops[0].process_batch_from(1, _frames(frame_specs))
 
         fused = ChainInstance(length, specs)
+        for hop in fused.hops:
+            hop.fusion.dispatch_enabled = False
         fused.hops[0].process_batch_from(1, _frames(frame_specs))
+
+        dispatch = ChainInstance(length, specs)
+        dispatch.hops[0].process_batch_from(1, _frames(frame_specs))
 
         reference = per_frame.observe()
         assert reparse.observe() == reference, f"chain length {length}"
         assert zero_reparse.observe() == reference, f"chain length {length}"
         assert fused.observe() == reference, f"chain length {length}"
+        assert dispatch.observe() == reference, f"chain length {length}"
 
 
 def test_interpreted_batch_mode_matches_too():
@@ -297,10 +307,11 @@ def test_mid_batch_flow_mod_forces_fallback_and_matches_per_hop():
     assert len(fused.captures["retarget"]) == 3
 
 
-def test_select_output_bails_fusion_and_modes_still_agree():
-    """A chain ending in a hash-LB hop must never fuse — a per-flow
-    (let alone stateful) decision cannot be baked into a straight-line
-    program — yet all four traversal modes stay identical."""
+def test_select_output_fuses_per_replica_and_modes_agree():
+    """A chain ending in a hash-LB hop fuses per-replica
+    (:class:`~repro.switch.fusion.FusedSelectChain`): the per-flow —
+    even stateful — replica pick runs *inside* the fused program, and
+    all five traversal modes stay identical."""
     for terminal in ("select_out", "pin_select_out"):
         specs = [{"shape": "out", "vid": 1, "match_vlan": "wild",
                   "match_vid": 1, "cidr": None},
@@ -332,10 +343,97 @@ def test_select_output_bails_fusion_and_modes_still_agree():
         assert reparse.observe() == reference, terminal
         assert zero_reparse.observe() == reference, terminal
         assert fused.observe() == reference, terminal
-        # The production instance really declined to fuse: zero frames
-        # went through a fused program.
-        assert fused.hops[0].fusion.hits == 0, terminal
+        # The production instance really fused the LB chain: every
+        # frame went through the per-replica fused program.
+        engine = fused.hops[0].fusion
+        assert engine.hits == len(frame_specs), terminal
+        assert engine.programs_built == 1, terminal
+        assert engine.dispatch_hits > 0, terminal
         # The spread actually split the batch: both the forward port
         # (-> final capture) and the tee saw traffic.
         assert reference["captures"]["final"], terminal
         assert reference["captures"]["tee1"], terminal
+
+
+def _replica_change_instance():
+    """A chain-2 ending in a stateful spread whose replica set grows
+    mid-batch: a tagged frame misses the untagged-only ingress entry,
+    punts, and the punt handler reinstalls hop1's LB entry with a
+    third replica port — while fused-select frames are in flight."""
+    specs = [{"shape": "out", "vid": 1, "match_vlan": "none",
+              "match_vid": 1, "cidr": None},
+             {"shape": "pin_select_out", "vid": 1, "match_vlan": "wild",
+              "match_vid": 1, "cidr": None}]
+    chain = ChainInstance(2, specs)
+    hop1 = chain.hops[1]
+    extra_port, extra_rx = _capture(hop1, "extra")
+    chain.captures["extra"] = extra_rx
+    victim = next(e for e in hop1.table if e.priority == 100)
+    old_ports = victim.actions[0].ports
+    record_punt = chain.hops[0].packet_in_handler
+
+    def punt_and_scale_out(dp, port, frame):
+        record_punt(dp, port, frame)
+        hop1.install(FlowEntry(
+            match=victim.match,
+            actions=(SelectOutput(old_ports + (extra_port.port_no,),
+                                  group="eq/lb:in"),),
+            priority=victim.priority))
+
+    chain.hops[0].packet_in_handler = punt_and_scale_out
+    return chain
+
+
+def test_mid_stream_replica_change_falls_back_then_refuses_with_pins():
+    """A replica-set change landing mid-batch must invalidate the
+    per-replica fused program at flush with zero frames through the
+    stale spread, stay identical to the per-hop twin, re-fuse against
+    the new replica set on the next batch — and preserve every
+    existing flow's state-table pin across all of it."""
+    flows = [{"vlan": None, "sport": 1000 + i, "dst_net": 10,
+              "payload": b"one-%d" % i} for i in range(6)]
+    punt_frame = {"vlan": 3, "sport": 1999, "dst_net": 10,
+                  "payload": b"scale"}
+    batch2 = [dict(flows[0], payload=b"two-0"), punt_frame,
+              dict(flows[1], payload=b"two-1")]
+    batch3 = [dict(spec, payload=b"three-%d" % i)
+              for i, spec in enumerate(flows)]
+    new_flows = [{"vlan": None, "sport": 3000 + i, "dst_net": 11,
+                  "payload": b"new-%d" % i} for i in range(12)]
+
+    fused = _replica_change_instance()
+    per_hop = _replica_change_instance()
+    for hop in per_hop.hops:
+        hop.fusion.enabled = False
+    for chain in (fused, per_hop):
+        first = chain.hops[0]
+        first.process_batch_from(1, _frames(flows))
+        first.process_batch_from(1, _frames(batch2))
+        first.process_batch_from(1, _frames(batch3 + new_flows))
+
+    assert fused.observe() == per_hop.observe()
+    engine = fused.hops[0].fusion
+    # Batch 1 fused; the mid-batch reinstall invalidated at flush and
+    # both matched frames of batch 2 fell back per-hop (zero frames
+    # through the stale program); batch 3 re-fused per-replica against
+    # the grown set.
+    assert engine.invalidations == 1
+    assert engine.programs_built == 2
+    assert engine.hits == len(flows) + len(batch3) + len(new_flows)
+    assert engine.misses == 2
+    # Pins survived the replica change: each established flow's
+    # batch-3 frame egressed on the same replica as its batch-1 frame,
+    # whatever rendezvous over the grown set would now say.
+    captures = fused.captures
+    for i in range(len(flows)):
+        owner = [name for name in ("final", "tee1", "extra")
+                 if any(b"one-%d" % i in fr for fr in captures[name])]
+        after = [name for name in ("final", "tee1", "extra")
+                 if any(b"three-%d" % i in fr for fr in captures[name])]
+        assert owner == after, f"flow {i} moved: {owner} -> {after}"
+    state = fused.hops[1].flow_state.table("eq/lb:in")
+    stats = state.stats()
+    assert stats["pinned"] >= len(batch3)
+    assert stats["remapped"] == 0
+    # The new replica actually takes traffic from the new flows.
+    assert captures["extra"], "grown replica never engaged"

@@ -21,9 +21,11 @@ from repro.switch import (
     Output,
     PopVlan,
     PushVlan,
+    SelectOutput,
     VirtualLink,
 )
 from repro.switch.actions import Controller
+from repro.switch.fusion import FusedSelectChain
 
 MAC_A = MacAddress("02:00:00:00:00:01")
 MAC_B = MacAddress("02:00:00:00:00:02")
@@ -203,14 +205,153 @@ def test_link_rewire_invalidates_ingress_program():
     assert first.fusion.hits == 3  # still only the first batch
 
 
-def test_pickled_entries_shed_fused_programs():
+def test_pickled_entries_shed_fused_programs_and_dispatch_slots():
     hops = _build_chain(2)
     hops[0].process_batch_from(1, _frames(2))
     entry = next(iter(hops[0].table))
     assert isinstance(entry.fused, FusedChain)
+    assert entry.dispatch, "the batch should have built a dispatch slot"
     clone = pickle.loads(pickle.dumps(entry))
     assert clone.fused is None
+    assert clone.dispatch == []
     assert clone.match.describe() == entry.match.describe()
+    # The live entry's slot registration is untouched by the round
+    # trip, and the clone's list is its own object.
+    assert entry.dispatch
+    assert clone.dispatch is not entry.dispatch
+
+
+def test_dispatch_skips_ingress_walk():
+    hops = _build_chain(2)
+    first = hops[0]
+    engine = first.fusion
+    first.process_batch_from(1, _frames(5))
+    # Every matched frame of the batch came through the dispatch slot
+    # (the slot is built by the first frame, before any lookup runs).
+    assert engine.dispatch_hits == 5 and engine.dispatch_misses == 0
+    assert engine.hits == 5
+    slot = engine.dispatch[1][None]
+    assert slot[0] == first.table.version
+    assert slot[1] is next(iter(first.table))
+    assert slot[2] is slot[1].fused
+    assert slot in slot[1].dispatch
+    # Ingress lookup totals settled exactly as if lookup() had run.
+    assert first.table.lookups == 5 and first.table.matches == 5
+    assert hops[-1].port_by_name("sink").tx_packets == 5
+
+
+def test_frame_dependent_slice_gets_negative_slot():
+    hops = _build_chain(2)
+    first = hops[0]
+    primary = next(iter(first.table))
+    side = first.add_port("side")
+    # A higher-priority CIDR entry on the *ingress* table: the slice
+    # winner now depends on frame payload, so the slice must not
+    # dispatch — but the chain still fuses through the lookup path.
+    first.install(FlowEntry(
+        match=FlowMatch(in_port=1, ip_dst="10.99.0.0/16"),
+        actions=(Output(side.port_no),), priority=200))
+    first.process_batch_from(1, _frames(6))
+    engine = first.fusion
+    assert engine.dispatch_hits == 0 and engine.dispatch_misses == 6
+    assert engine.hits == 6
+    slot = engine.dispatch[1][None]
+    assert slot[1] is None and slot[0] == first.table.version
+    assert primary.dispatch == []
+
+
+def test_invalidate_tears_down_dispatch_but_keeps_counters():
+    hops = _build_chain(2)
+    first = hops[0]
+    engine = first.fusion
+    first.process_batch_from(1, _frames(4))
+    entry = next(iter(first.table))
+    slot = engine.dispatch[1][None]
+    assert entry.dispatch
+    engine.invalidate()
+    # The dispatch *table* is gone and every slot is stamped stale —
+    # including ones a mid-batch loop may still hold — but the
+    # dispatch hit/miss counters are cumulative telemetry and never
+    # rewind.
+    assert engine.dispatch == {}
+    assert entry.dispatch == []
+    assert slot[0] == -1 and slot[1] is None and slot[2] is None
+    assert engine.dispatch_hits == 4 and engine.dispatch_misses == 0
+    first.process_batch_from(1, _frames(4))
+    assert engine.dispatch_hits == 8
+
+
+def _select_chain(group=None):
+    """forward hop -> stateless/stateful spread over two captures."""
+    hops = [Datapath(0x7100 + i, name=f"sel{i}") for i in range(2)]
+    hops[0].add_port("ingress")
+    link = VirtualLink.connect(hops[0], hops[1], name="sl01")
+    captures = []
+    for name in ("r0", "r1"):
+        pair = VethPair(f"{name}-sw", f"{name}-wire")
+        received = []
+        pair.b.set_up()
+        pair.b.attach_handler(
+            lambda dev, fr, rx=received: rx.append(fr.to_bytes()))
+        hops[1].add_port(name, device=pair.a)
+        captures.append(received)
+    replica_ports = tuple(hops[1].port_by_name(n).port_no
+                          for n in ("r0", "r1"))
+    hops[0].install(FlowEntry(
+        match=FlowMatch(in_port=1),
+        actions=(Output(link.far_port(hops[0]).port_no),)))
+    hops[1].install(FlowEntry(
+        match=FlowMatch(in_port=link.far_port(hops[1]).port_no),
+        actions=(SelectOutput(replica_ports, group=group),)))
+    return hops, captures
+
+
+def test_select_terminal_fuses_per_replica():
+    hops, captures = _select_chain()
+    hops[0].process_batch_from(1, _frames(20))
+    engine = hops[0].fusion
+    assert engine.hits == 20 and engine.programs_built == 1
+    program = next(iter(hops[0].table)).fused
+    assert isinstance(program, FusedSelectChain)
+    assert len(program.hops) == 1 and program.state is None
+    assert program.valid()
+    # The spread really split the batch across both replicas, and
+    # every frame landed somewhere.
+    assert captures[0] and captures[1]
+    assert len(captures[0]) + len(captures[1]) == 20
+
+
+def test_select_chain_refuses_stale_state_table():
+    hops, _captures = _select_chain(group="t/lb")
+    hops[0].process_batch_from(1, _frames(8))
+    program = next(iter(hops[0].table)).fused
+    assert isinstance(program, FusedSelectChain)
+    assert program.state is hops[1].flow_state.peek("t/lb")
+    assert program.valid()
+    # Dropping the group (graph teardown) recreates the table on next
+    # consultation; the program must refuse to steer against the
+    # forgotten state and fall back.
+    hops[1].flow_state.drop("t/lb")
+    assert not program.valid()
+    engine = hops[0].fusion
+    before = engine.invalidations
+    hops[0].process_batch_from(1, _frames(4))
+    assert engine.invalidations == before + 1
+    assert hops[0].rx_packets == 12  # every frame still delivered
+
+
+def test_splice_terminal_matches_replace_semantics():
+    hops, _links, received = _vlan_chain()
+    program_frames = _frames(3, vlans=(None, 5, 7))
+    hops[0].process_batch_from(1, program_frames)
+    entry = next(iter(hops[0].table))
+    program = entry.fused
+    # push(100) then pop composes to an identity-tag rewrite; the
+    # splice applies it without running the frame constructor.
+    assert program.splice is not None
+    spliced = [program.splice(frame) for frame in program_frames]
+    assert [fr.to_bytes() for fr in spliced] == received[:3]
+    assert all(fr.vlan is None and fr.vlan_pcp == 0 for fr in spliced)
 
 
 def test_steering_uninstall_drops_programs_before_strict_deletes():
@@ -276,6 +417,11 @@ def test_steering_stats_and_metrics_surface_fusion():
     assert set(stats) == {"LSI-0", "LSI-g1"}
     assert stats["LSI-0"]["hits"] == 4
     assert stats["LSI-0"]["programs-built"] == 1
+    # The injected frames all share one (port, vlan) slice, so once
+    # the slot exists every matched frame is a dispatch hit.
+    assert stats["LSI-0"]["dispatch-hits"] == 4
+    assert stats["LSI-0"]["dispatch-misses"] == 0
     for lsi_stats in stats.values():
-        assert set(lsi_stats) == {"hits", "misses", "invalidations",
+        assert set(lsi_stats) == {"hits", "misses", "dispatch-hits",
+                                  "dispatch-misses", "invalidations",
                                   "programs-built", "enabled"}

@@ -54,12 +54,18 @@ def test_fast_path_parse_cidr_free():
 
 
 def test_chain_never_reparses_untouched_frames():
-    """Structural zero-reparse: one parse_frame per frame per chain,
-    counted, at every chain depth, on the per-hop and fused paths."""
+    """Structural zero-reparse: one parse_frame per frame per chain on
+    the per-hop path, and *at most* one on the fused path — dispatch-hit
+    frames are parked raw, so a plain fused chain delivers all 25 frames
+    with zero parses (excess == -packets)."""
     for length in (1, 2, 4):
         assert count_chain_excess_parse_frame(length, packets=25) == 0
-        assert count_chain_excess_parse_frame(length, packets=25,
-                                              fused=True) == 0
+        fused_excess = count_chain_excess_parse_frame(length, packets=25,
+                                                      fused=True)
+        expected = 0 if length == 1 else -25
+        assert fused_excess == expected, (
+            "dispatch-hit frames should reach the terminal unparsed, "
+            f"got excess {fused_excess} at length {length}")
 
 
 def test_fused_invalidation_check_is_clean():

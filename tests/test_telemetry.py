@@ -303,8 +303,10 @@ def test_prometheus_export_and_rest_metrics():
     document = client.graph_metrics("tg")
     assert document["availability"]["heals"] == 1
     assert document["nfs"]["dpi"]["pps"] > 0
-    assert set(document["fusion"]) == {"hits", "misses", "invalidations",
+    assert set(document["fusion"]) == {"hits", "misses", "dispatch-hits",
+                                       "dispatch-misses", "invalidations",
                                        "programs-built", "enabled"}
+    assert "# TYPE repro_fusion_dispatch_hits_total counter" in text
     assert document["flow-state"]["groups"] == 0  # no LB at 1 replica
     node_document = client.node_metrics()
     assert "LSI-0" in node_document["fusion"]
@@ -328,11 +330,17 @@ def test_render_top_table():
     assert "dpi@1" not in text
     line = next(line for line in text.splitlines() if " dpi " in line)
     assert " 2 " in line  # replica count column
-    # Batched injection through LSI-0 fused and the replicated spread
-    # consulted its state table: both rate columns show percentages,
-    # and a document without either block renders "-".
-    fused_col, pin_col = line.rstrip().rsplit(None, 2)[-2:]
-    assert fused_col.endswith("%") and pin_col.endswith("%")
+    # The whole chain — including the replicated spread — now fuses at
+    # the *node ingress* LSI, so the graph LSI's own engine never sees
+    # a frame: its FUSED and DISP columns render "-", while the spread
+    # still consulted the graph's state table per frame (PIN% shows a
+    # percentage) and the hits sit on LSI-0 in the node document.
+    fused_col, disp_col, pin_col = line.rstrip().rsplit(None, 3)[-3:]
+    assert fused_col == "-" and disp_col == "-"
+    assert pin_col.endswith("%")
+    node_fusion = node.telemetry.to_dict()["fusion"]["LSI-0"]
+    assert node_fusion["hits"] == 24
+    assert node_fusion["dispatch-hits"] == 24
     bare = node.telemetry.to_dict()
     for graph in bare["graphs"].values():
         graph.pop("fusion", None)
