@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Flight-recorder tracing: sample a chain-4 batch, capture a heal.
+
+The tracer rides both planes: sampled dataplane batches become span
+trees (ingress -> dispatch -> fused chain -> per-hop -> egress), and
+reconcile plans/steps become spans carrying the journal seq of the
+event they logged.  A bounded flight recorder keeps the recent past;
+an anomaly — here, an induced NF crash that the reconciler heals —
+freezes it into a dump.  This example:
+
+1. deploys a chain of four Docker DPIs and turns sampling up to 1/1
+   (production default is 1/64 — unsampled batches pay one counter
+   compare);
+2. pushes traffic and prints the span tree of a sampled batch;
+3. crashes one NF mid-chain and reconciles: the heal freezes a flight
+   dump whose trigger seq and span seqs line up with the event
+   journal;
+4. prints the dump and the p50/p95/p99 of the batch-latency histogram.
+
+Run:  PYTHONPATH=src python examples/trace_chain.py
+"""
+
+from repro import ComputeNode, Nffg
+from repro.net import MacAddress, make_udp_frame
+from repro.resources.capabilities import NodeCapabilities
+
+CLIENT = MacAddress("02:aa:00:00:00:01")
+GATEWAY = MacAddress("02:aa:00:00:00:02")
+
+
+def build_chain4() -> Nffg:
+    graph = Nffg(graph_id="c4", name="chain of four DPIs")
+    names = ["a", "b", "c", "d"]
+    for name in names:
+        graph.add_nf(name, "dpi", technology="docker")
+    graph.add_endpoint("lan", "lan0")
+    graph.add_endpoint("wan", "wan0")
+    graph.add_flow_rule("r0", "endpoint:lan", "vnf:a:in")
+    for index, (left, right) in enumerate(zip(names, names[1:])):
+        graph.add_flow_rule(f"r{index + 1}", f"vnf:{left}:out",
+                            f"vnf:{right}:in")
+    graph.add_flow_rule("r9", "vnf:d:out", "endpoint:wan")
+    return graph
+
+
+def traffic(count: int):
+    return [make_udp_frame(CLIENT, GATEWAY, f"10.0.0.{2 + flow}",
+                           "8.8.8.8", 4000 + flow, 53, b"q")
+            for flow in range(count)]
+
+
+def print_span_tree(spans: list, indent: str = "  ") -> None:
+    by_id = {span["span-id"]: span for span in spans}
+    children: dict = {}
+    roots = []
+    for span in spans:
+        parent = span.get("parent-id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    def emit(span, depth):
+        attrs = span.get("attrs") or {}
+        attr_text = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+        seq = span.get("seq")
+        seq_text = f" seq={seq}" if seq is not None else ""
+        print(f"{indent}{'  ' * depth}{span['name']}{seq_text}"
+              + (f" [{attr_text}]" if attr_text else ""))
+        for child in children.get(span["span-id"], ()):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+
+
+def main() -> None:
+    node = ComputeNode("traced-edge",
+                       capabilities=NodeCapabilities.datacenter_server())
+    node.add_physical_interface("lan0")
+    node.add_physical_interface("wan0")
+    tracer = node.tracer
+    tracer.sample_every = 1  # demo: sample every batch (default 1/64)
+    node.deploy(build_chain4())
+
+    for _ in range(3):
+        node.steering.inject_batch("lan0", traffic(8))
+    print(f"sampled {tracer.sampled_batches} batches; last batch's "
+          "span tree:")
+    spans = tracer.flight.recent_spans()
+    batch_roots = [s for s in spans if s["name"] == "batch"]
+    last_trace = batch_roots[-1]["trace-id"]
+    print_span_tree([s for s in spans if s["trace-id"] == last_trace])
+
+    # Crash an NF mid-chain: its namespace evaporates, the reconciler
+    # heals it, and the heal anomaly freezes the flight recorder.
+    victim = node.compute.get("c4-b")
+    del node.host.namespaces[victim.netns]
+    print(f"\n*** killed {victim.instance_id} ***\n")
+    result = node.orchestrator.reconcile("c4")
+    assert result.converged
+
+    dumps = [d for d in tracer.flight.dump_list() if d["reason"] == "heal"]
+    assert dumps, "the heal did not freeze a flight dump"
+    dump = dumps[-1]
+    events = {event.seq: event for event in node.orchestrator.events("c4")}
+    trigger = events[dump["seq"]]
+    print(f"flight dump frozen: reason={dump['reason']!r} "
+          f"seq={dump['seq']} -> journal: {trigger.kind} "
+          f"({trigger.detail})")
+    span_seqs = sorted({s["seq"] for s in dump["spans"]
+                        if s.get("seq") is not None})
+    correlated = [seq for seq in span_seqs if seq in events]
+    assert correlated, "no frozen span correlates with the journal"
+    print(f"{len(dump['spans'])} frozen spans; journal-correlated seqs: "
+          f"{correlated}")
+
+    histogram = tracer.histograms.get("dataplane_batch", ("LSI-0",))
+    quantiles = histogram.percentiles()
+    print("\nLSI-0 batch latency: "
+          + ", ".join(f"{name}={1e6 * value:.1f}us"
+                      for name, value in quantiles.items()))
+    print("\ntraffic still flows after the heal:")
+    node.steering.inject_batch("lan0", traffic(4))
+    print(f"  sampled batches now {tracer.sampled_batches}, "
+          f"spans recorded {tracer.flight.recorded}")
+
+
+if __name__ == "__main__":
+    main()

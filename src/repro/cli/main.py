@@ -33,12 +33,21 @@ Subcommands::
     repro top [--url U] [--watch SECONDS]
         Per-NF load view of a running node: replica counts, pps,
         bytes/s, MTTR and heal counts from the telemetry registry.
-        With ``--watch`` it redraws every SECONDS until interrupted.
+        With ``--watch`` it redraws every SECONDS until interrupted;
+        a transiently unreachable node (restart, deploy) is retried
+        with backoff behind a stale-data banner instead of exiting.
 
-The ``graph`` and ``top`` subcommands talk HTTP to a node started
-with ``repro serve`` (default ``--url http://127.0.0.1:8080``); their
-``--timeout`` flag bounds each request (default 30s — reconciling a
-loaded node legitimately takes longer than a short connect timeout).
+    repro trace [--flight] [--url U]
+        Print the node's recent sampled trace spans as a tree, or —
+        with ``--flight`` — the flight-recorder dumps frozen by
+        anomaly triggers (slow tick, invalidation storm, heal,
+        journal drop).
+
+The ``graph``, ``top`` and ``trace`` subcommands talk HTTP to a node
+started with ``repro serve`` (default ``--url http://127.0.0.1:8080``);
+their ``--timeout`` flag bounds each request (default 30s —
+reconciling a loaded node legitimately takes longer than a short
+connect timeout).
 """
 
 from __future__ import annotations
@@ -110,6 +119,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="redraw every SECONDS until interrupted")
     top.add_argument("--timeout", type=float, default=30.0,
                      help="HTTP timeout in seconds")
+
+    trace = sub.add_parser(
+        "trace", help="recent sampled trace spans / flight dumps")
+    trace.add_argument("--flight", action="store_true",
+                       help="print frozen flight-recorder dumps instead "
+                            "of the live span ring")
+    trace.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="base URL of the node's REST API")
+    trace.add_argument("--timeout", type=float, default=30.0,
+                       help="HTTP timeout in seconds")
     return parser
 
 
@@ -196,8 +215,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _http(method: str, url: str, timeout: float = 30.0):
-    """One JSON request against a serving node; exits on refusal."""
+class NodeUnreachable(Exception):
+    """Connection-level failure against a serving node (no HTTP reply).
+
+    Distinct from an HTTP error status: the watch loop treats this as
+    transient (a restarting server) and retries with backoff, while
+    one-shot commands turn it into a ``SystemExit``.
+    """
+
+
+def _fetch(method: str, url: str, timeout: float = 30.0):
+    """One JSON request; raises :class:`NodeUnreachable` on refusal."""
     import urllib.error
     import urllib.request
 
@@ -213,8 +241,16 @@ def _http(method: str, url: str, timeout: float = 30.0):
         raise SystemExit(
             f"{url}: HTTP {exc.code}" + (f" — {detail}" if detail else ""))
     except urllib.error.URLError as exc:
-        raise SystemExit(
+        raise NodeUnreachable(
             f"cannot reach {url}: {exc.reason} (is `repro serve` running?)")
+
+
+def _http(method: str, url: str, timeout: float = 30.0):
+    """One JSON request against a serving node; exits on refusal."""
+    try:
+        return _fetch(method, url, timeout=timeout)
+    except NodeUnreachable as exc:
+        raise SystemExit(str(exc))
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
@@ -248,6 +284,53 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Backoff ceiling for ``repro top --watch`` against an unreachable node.
+_WATCH_BACKOFF_CAP = 30.0
+
+
+def watch_top(base: str, interval: float, timeout: float,
+              iterations: Optional[int] = None,
+              fetch=None, sleep=None, out=print) -> int:
+    """The ``repro top --watch`` loop, with reconnect backoff.
+
+    A transiently unreachable node (restarting server, mid-deploy
+    hiccup) keeps the last good table on screen behind a stale-data
+    banner and retries with exponential backoff (capped at
+    ``_WATCH_BACKOFF_CAP``) instead of raising through the CLI; the
+    first successful fetch resets the cadence.  ``iterations``,
+    ``fetch``, ``sleep`` and ``out`` are injectable for tests.
+    """
+    from repro.telemetry.export import render_top
+    if fetch is None:
+        fetch = _fetch
+    if sleep is None:
+        import time as _time
+        sleep = _time.sleep
+    delay = interval
+    last_document = None
+    drawn = 0
+    while iterations is None or drawn < iterations:
+        drawn += 1
+        try:
+            document = fetch("GET", f"{base}/metrics.json",
+                             timeout=timeout)
+        except NodeUnreachable as exc:
+            delay = min(max(delay * 2, interval), _WATCH_BACKOFF_CAP)
+            stale = (render_top(last_document)
+                     if last_document is not None else "(no data yet)")
+            out("\033[2J\033[H" + stale
+                + f"\n\n[stale] {exc} — retrying in {delay:g}s")
+            sleep(delay)
+            continue
+        delay = interval
+        last_document = document
+        out("\033[2J\033[H" + render_top(document)
+            + f"\n\n(samples={document.get('samples', 0)}; "
+              f"refresh every {interval:g}s, Ctrl-C to stop)")
+        sleep(interval)
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.telemetry.export import render_top
     base = args.url.rstrip("/")
@@ -255,18 +338,67 @@ def _cmd_top(args: argparse.Namespace) -> int:
         print(render_top(_http("GET", f"{base}/metrics.json",
                                timeout=args.timeout)))
         return 0
-    import time as _time
     try:
-        while True:
-            document = _http("GET", f"{base}/metrics.json",
-                             timeout=args.timeout)
-            print(f"\033[2J\033[H", end="")  # clear screen, home cursor
-            print(render_top(document))
-            print(f"\n(samples={document.get('samples', 0)}; "
-                  f"refresh every {args.watch:g}s, Ctrl-C to stop)")
-            _time.sleep(args.watch)
+        return watch_top(base, args.watch, args.timeout)
     except KeyboardInterrupt:
         return 0
+
+
+def _print_span_tree(spans: list, indent: str = "") -> None:
+    by_id = {span.get("span-id"): span for span in spans}
+    children: dict = {}
+    roots = []
+    for span in spans:
+        parent = span.get("parent-id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    def emit(span: dict, depth: int) -> None:
+        start, end = span.get("wall-start"), span.get("wall-end")
+        duration = (f" {1e3 * (end - start):.3f}ms"
+                    if start is not None and end is not None else "")
+        seq = span.get("seq")
+        seq_text = f" seq={seq}" if seq is not None else ""
+        attrs = span.get("attrs") or {}
+        attr_text = " ".join(f"{key}={attrs[key]}"
+                             for key in sorted(attrs))
+        print(f"{indent}{'  ' * depth}{span.get('name', '?')}"
+              f"{duration}{seq_text}"
+              + (f" [{attr_text}]" if attr_text else ""))
+        for child in children.get(span.get("span-id"), ()):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    if args.flight:
+        document = _http("GET", f"{base}/traces/flight",
+                         timeout=args.timeout)
+        dumps = document.get("dumps", [])
+        if not dumps:
+            print("(no flight-recorder dumps frozen)")
+            return 0
+        for dump in dumps:
+            seq = dump.get("seq")
+            print(f"dump: reason={dump.get('reason', '?')!r} "
+                  f"seq={seq if seq is not None else '-'} "
+                  f"sim={dump.get('sim', 0):g} "
+                  f"spans={len(dump.get('spans', []))} "
+                  f"{dump.get('detail', '')}".rstrip())
+            _print_span_tree(dump.get("spans", []), indent="  ")
+        return 0
+    document = _http("GET", f"{base}/traces", timeout=args.timeout)
+    spans = document.get("spans", [])
+    print(f"sampling 1/{document.get('sample-every', '?')}, "
+          f"{document.get('sampled-batches', 0)} sampled batch(es), "
+          f"{len(spans)} retained span(s)")
+    _print_span_tree(spans)
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -291,6 +423,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "graph": _cmd_graph,
     "top": _cmd_top,
+    "trace": _cmd_trace,
 }
 
 

@@ -86,6 +86,18 @@ class ComputeNode:
         from repro.telemetry.metrics import MetricsRegistry
         self.telemetry = MetricsRegistry(self.steering,
                                          self.orchestrator.reconciler)
+        # Tracing + flight recorder: the sampler keeps the dataplane
+        # cost at one counter compare per unsampled batch, so it is on
+        # by default on a full node.  The journal is resolved through a
+        # callable because the control loop may swap it (sharding) or
+        # rebind its clock (sim mode) later.
+        from repro.telemetry.tracing import Tracer
+        self.tracer = Tracer(
+            journal=lambda: self.orchestrator.reconciler.journal)
+        self.orchestrator.reconciler.tracer = self.tracer
+        self.orchestrator.reconciler.journal.on_drop = \
+            self.tracer.on_journal_drop
+        self.steering.set_tracer(self.tracer)
         self._wires: dict[str, NetDevice] = {}
 
     # -- physical interfaces -----------------------------------------------------

@@ -181,9 +181,15 @@ class EventJournal:
         self._dropped: dict[str, int] = {}
         self._seq = seq if seq is not None else itertools.count(1)
         self._lock = threading.Lock()
+        #: Optional ``callback(graph_id, event)`` fired *after* an
+        #: append that evicted the ring's oldest event (the flight
+        #: recorder's journal-drop anomaly trigger).  Invoked outside
+        #: the journal lock — the callback may itself read the journal.
+        self.on_drop: Optional[Callable[[str, GraphEvent], None]] = None
 
     def append(self, graph_id: str, kind: str, nf_id: str = "",
                rule_id: str = "", detail: str = "") -> GraphEvent:
+        evicted = False
         with self._lock:
             event = GraphEvent(seq=next(self._seq), kind=kind,
                                graph_id=graph_id, nf_id=nf_id,
@@ -194,8 +200,13 @@ class EventJournal:
                 log = self._events[graph_id] = deque(maxlen=self.max_events)
             if len(log) == self.max_events:
                 self._dropped[graph_id] = self._dropped.get(graph_id, 0) + 1
+                evicted = True
             log.append(event)
-            return event
+        if evicted:
+            on_drop = self.on_drop
+            if on_drop is not None:
+                on_drop(graph_id, event)
+        return event
 
     def events(self, graph_id: str) -> list[GraphEvent]:
         with self._lock:
@@ -268,6 +279,18 @@ class ShardedEventJournal:
         self._clock = clock
         for shard in self.shards:
             shard.clock = clock
+
+    @property
+    def on_drop(self) -> Optional[Callable[[str, GraphEvent], None]]:
+        return self.shards[0].on_drop
+
+    @on_drop.setter
+    def on_drop(self,
+                callback: Optional[Callable[[str, GraphEvent], None]]) \
+            -> None:
+        # Like the clock: a drop on any shard ring is a drop.
+        for shard in self.shards:
+            shard.on_drop = callback
 
     def shard_for(self, graph_id: str) -> EventJournal:
         return self.shards[shard_of_graph(graph_id, len(self.shards))]
@@ -506,6 +529,13 @@ class Reconciler:
         #: ``escalation(graph_id, nf_id, detail)`` — set by
         #: :meth:`repro.core.multinode.MultiNodeOrchestrator.add_node`.
         self.escalation: Optional[Callable[[str, str, str], None]] = None
+        #: Optional :class:`repro.telemetry.tracing.Tracer` (wired by
+        #: :class:`~repro.core.node.ComputeNode`).  Plan/step latency
+        #: histograms, step spans carrying their journal seq, and the
+        #: heal / heal-escalated anomaly triggers all hang off it; every
+        #: hook is ``if tracer is not None``-guarded so bare reconciler
+        #: tests and the control-plane bench pay nothing.
+        self.tracer = None
 
     # -- locking -----------------------------------------------------------------
     def lock(self, graph_id: str) -> threading.RLock:
@@ -825,8 +855,14 @@ class Reconciler:
                     f"{step.nf_id}: restart did not recover "
                     f"({verdict.detail})")
             self.heals += 1
-            self.journal.append(graph_id, "healed", nf_id=step.nf_id,
-                                detail="restarted in place")
+            event = self.journal.append(graph_id, "healed",
+                                        nf_id=step.nf_id,
+                                        detail="restarted in place")
+            if self.tracer is not None:
+                self.tracer.anomaly("heal",
+                                    detail=f"{step.nf_id} restarted "
+                                           f"in place",
+                                    seq=event.seq, graph_id=graph_id)
         elif kind == "install-rule":
             rule = next(r for r in desired.flow_rules
                         if r.rule_id == step.rule_id)
@@ -838,8 +874,13 @@ class Reconciler:
                 self.compute.start(instance.instance_id)
             if step.detail.startswith("heal"):
                 self.heals += 1
-                self.journal.append(graph_id, "healed", nf_id=step.nf_id,
-                                    detail="recreated")
+                event = self.journal.append(graph_id, "healed",
+                                            nf_id=step.nf_id,
+                                            detail="recreated")
+                if self.tracer is not None:
+                    self.tracer.anomaly("heal",
+                                        detail=f"{step.nf_id} recreated",
+                                        seq=event.seq, graph_id=graph_id)
         else:  # pragma: no cover - kind union is closed
             raise ReconcileError(f"unknown plan step kind {kind!r}")
 
@@ -864,10 +905,18 @@ class Reconciler:
         if record is None and desired is not None:
             record = DeployedGraph(graph=desired)
             self.observed[graph_id] = record
-        plan = self.plan(graph_id)
+        tracer = self.tracer
+        if tracer is not None:
+            plan_started = time.perf_counter()
+            plan = self.plan(graph_id)
+            tracer.histograms.observe("reconcile_plan", (),
+                                      time.perf_counter() - plan_started)
+        else:
+            plan = self.plan(graph_id)
         self.last_plans[graph_id] = plan
         if plan.steps:
-            self.journal.append(graph_id, "plan", detail=plan.summary())
+            plan_event = self.journal.append(graph_id, "plan",
+                                             detail=plan.summary())
             # Executing steps touches *node-shared* layers — the
             # resource accountant, LSI-0's port table, the steering
             # registries, the drivers — which per-graph locks do not
@@ -877,7 +926,8 @@ class Reconciler:
             # converged, empty plan) never takes it, so a sharded fleet
             # still probes and plans in parallel.
             with self.execution_lock:
-                self._execute_steps(graph_id, record, plan)
+                self._execute_steps(graph_id, record, plan,
+                                    plan_seq=plan_event.seq)
         else:
             self._execute_steps(graph_id, record, plan)
         desired = self.desired.get(graph_id)
@@ -904,16 +954,37 @@ class Reconciler:
 
     def _execute_steps(self, graph_id: str,
                        record: "Optional[DeployedGraph]",
-                       plan: Plan) -> None:
+                       plan: Plan,
+                       plan_seq: Optional[int] = None) -> None:
+        tracer = self.tracer
+        plan_span = None
+        if tracer is not None and plan.steps:
+            plan_span = tracer.start_span("reconcile.plan", seq=plan_seq,
+                                          graph=graph_id,
+                                          steps=len(plan.steps))
         for step in plan.steps:
+            step_span = None
+            if tracer is not None:
+                step_span = tracer.start_span(f"step.{step.kind}",
+                                              parent=plan_span,
+                                              graph=graph_id,
+                                              nf=step.nf_id,
+                                              rule=step.rule_id)
             try:
                 self._execute(record, step)
             except Exception as exc:
                 step.status = "failed"
                 step.error = str(exc)
-                self.journal.append(graph_id, "step-failed",
-                                    nf_id=step.nf_id, rule_id=step.rule_id,
-                                    detail=f"{step.kind}: {exc}")
+                event = self.journal.append(graph_id, "step-failed",
+                                            nf_id=step.nf_id,
+                                            rule_id=step.rule_id,
+                                            detail=f"{step.kind}: {exc}")
+                if step_span is not None:
+                    tracer.histograms.observe(
+                        "reconcile_step", (step.kind,),
+                        time.perf_counter() - step_span.start_wall)
+                    tracer.end_span(step_span, seq=event.seq,
+                                    error=str(exc))
                 key = (graph_id, step.nf_id)
                 if step.nf_id and (
                         step.detail.startswith("heal")
@@ -927,15 +998,30 @@ class Reconciler:
                     self._heal_attempts[key] = attempts
                     if attempts == self.escalate_after \
                             and self.escalation is not None:
-                        self.journal.append(
+                        event = self.journal.append(
                             graph_id, "heal-escalated", nf_id=step.nf_id,
                             detail=f"{attempts} failed heal attempts; "
                                    f"deferring to the fleet layer")
+                        if tracer is not None:
+                            tracer.anomaly(
+                                "heal-escalated",
+                                detail=f"{step.nf_id}: {attempts} failed "
+                                       f"heal attempts",
+                                seq=event.seq, graph_id=graph_id)
                         self.escalation(graph_id, step.nf_id, str(exc))
                 break
             step.status = "done"
-            self.journal.append(graph_id, "step-ok", nf_id=step.nf_id,
-                                rule_id=step.rule_id, detail=step.describe())
+            event = self.journal.append(graph_id, "step-ok",
+                                        nf_id=step.nf_id,
+                                        rule_id=step.rule_id,
+                                        detail=step.describe())
+            if step_span is not None:
+                tracer.histograms.observe(
+                    "reconcile_step", (step.kind,),
+                    time.perf_counter() - step_span.start_wall)
+                tracer.end_span(step_span, seq=event.seq)
+        if plan_span is not None:
+            tracer.end_span(plan_span)
 
     def reconcile(self, graph_id: str,
                   max_ticks: Optional[int] = None) -> ReconcileResult:

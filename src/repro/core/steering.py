@@ -142,6 +142,21 @@ class TrafficSteeringManager:
         self._physical_ports: dict[str, SwitchPort] = {}
         self._trunk_ports: dict[str, SwitchPort] = {}
         self._cookies = itertools.count(1)
+        #: Telemetry tracer propagated onto every LSI datapath (node
+        #: ingress and per-graph) by :meth:`set_tracer`; graph LSIs
+        #: created later inherit it in :meth:`create_graph_network`.
+        self.tracer = None
+        # Per-cookie fusion attribution on the node-ingress LSI: when
+        # whole chains fuse at LSI-0, the owning graph's share of the
+        # fused/dispatch counters is recovered from the flow cookie.
+        self.base.datapath.fusion.track_cookies = True
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to LSI-0 and every existing graph LSI."""
+        self.tracer = tracer
+        self.base.datapath.tracer = tracer
+        for network in self.graphs.values():
+            network.lsi.datapath.tracer = tracer
 
     # -- wiring helpers ---------------------------------------------------------
     @staticmethod
@@ -174,6 +189,8 @@ class TrafficSteeringManager:
         if graph_id in self.graphs:
             raise SteeringError(f"graph {graph_id!r} already has an LSI")
         lsi = LogicalSwitchInstance(f"LSI-{graph_id}", graph_id=graph_id)
+        lsi.datapath.tracer = self.tracer
+        lsi.datapath.fusion.track_cookies = True
         controller = self._wire_controller(lsi, f"ctrl-{graph_id}")
         link = VirtualLink.connect(self.base.datapath, lsi.datapath,
                                    name=f"vl-{graph_id}")
@@ -253,6 +270,7 @@ class TrafficSteeringManager:
         # The base-side vlink port must go too.
         if network.base_link_port is not None:
             self.base.datapath.remove_port(network.base_link_port.port_no)
+        self.base.datapath.fusion.cookie_stats.pop(network.cookie, None)
         del self.graphs[graph_id]
 
     def graph_network(self, graph_id: str) -> GraphNetwork:

@@ -76,10 +76,12 @@ __all__ = [
     "SMALL_TABLE_FLOOR",
     "SPEEDUP_TARGET_AT_1K",
     "CHAIN_BATCH_TARGET_AT_4",
+    "TRACING_OVERHEAD_FLOOR",
     "build_steering_table",
     "check_fused_invalidation",
     "check_lb_fusion",
     "check_results",
+    "check_tracing_overhead",
     "count_chain_excess_parse_frame",
     "count_fast_path_parse_cidr",
     "run_dataplane_bench",
@@ -120,6 +122,12 @@ SMALL_TABLE_FLOOR = 1.0
 #: parity is safe to assert even on a loaded box — the real margin at
 #: the quick point is ~4.5x).
 QUICK_LOOKUP_FLOOR = 1.0
+#: Acceptance floor for tracing overhead (quick and full mode): with a
+#: tracer attached but the 1-in-N sampler never firing, dispatch-fused
+#: chain throughput must stay within 3% of the tracer-detached
+#: baseline — the unsampled hot path is one attribute read and a
+#: counter compare per batch.
+TRACING_OVERHEAD_FLOOR = 0.97
 
 _MAC_A = MacAddress("02:00:00:00:00:01")
 _MAC_B = MacAddress("02:00:00:00:00:02")
@@ -733,6 +741,115 @@ def check_lb_fusion(phase1_flows: int = 40, phase2_flows: int = 80,
     }
 
 
+def check_tracing_overhead(chain_length: int = 4, packets: int = 800,
+                           repeats: int = 5, sample_every: int = 64,
+                           seed: int = 37) -> dict:
+    """Measure the cost of an attached-but-unsampled tracer.
+
+    Runs the production chain configuration (fusion + dispatch tables)
+    twice per repeat over the same frames — once with no tracer on any
+    hop, once with a shared :class:`~repro.telemetry.tracing.Tracer`
+    attached — interleaved so thermal/scheduler drift cancels, and
+    takes best-of-N for each leg.  The traced leg is sized so the
+    1-in-``sample_every`` sampler never fires (asserted), making the
+    measured delta exactly the unsampled hot-path cost: one attribute
+    read plus a counter compare per batch.
+
+    A second, tiny run with ``sample_every=1`` on a fresh chain proves
+    the sampler *does* engage when asked, and freezes a ``perf-probe``
+    flight dump so the result dict carries histogram and flight
+    artifacts for CI upload on gate failure.
+    """
+    from repro.telemetry.tracing import Tracer
+
+    rng = random.Random(seed)
+    frames = [make_udp_frame(_MAC_A, _MAC_B, "10.0.0.1", "10.0.0.2",
+                             4000 + rng.randrange(1000), 5001, b"x")
+              for _ in range(packets)]
+    hops = _build_chain(chain_length)
+    first, last = hops[0], hops[-1]
+    sink = last.port_by_name("sink")
+    warmup = frames[:16]
+    first.process_batch_from(1, warmup)  # fuse the chain before timing
+
+    tracer = Tracer(sample_every=sample_every)
+    best_baseline = float("inf")
+    best_traced = float("inf")
+    wall = 0.0
+    pairs_run = 0
+    # Adaptive rounds of interleaved pairs: best-of-N per leg
+    # converges both legs toward their true minima, and scheduler
+    # noise can only *lower* the measured ratio — so keep measuring
+    # while the ratio sits under the floor instead of failing on one
+    # noisy round (this leg runs in tier-1 on loaded CI boxes).  The
+    # inter-round sleep decorrelates retries from whatever busy
+    # window poisoned the first samples.
+    for _round in range(6):
+        if _round:
+            time.sleep(0.002)
+        for _ in range(repeats):
+            # Alternate which leg runs first so monotonic drift
+            # (frequency scaling, cache warmth) cancels across pairs.
+            legs = [None, tracer] if pairs_run % 2 == 0 \
+                else [tracer, None]
+            for leg in legs:
+                for hop in hops:
+                    hop.tracer = leg
+                start = time.perf_counter()
+                first.process_batch_from(1, frames)
+                elapsed = time.perf_counter() - start
+                wall += elapsed
+                if leg is None:
+                    best_baseline = min(best_baseline, elapsed)
+                else:
+                    best_traced = min(best_traced, elapsed)
+            pairs_run += 1
+        if best_baseline / best_traced >= TRACING_OVERHEAD_FLOOR:
+            break
+    for hop in hops:
+        hop.tracer = None
+    assert sink.tx_packets == len(warmup) + 2 * pairs_run * packets, (
+        f"tracing probe: sink saw {sink.tx_packets} frames")
+    # The timed traced leg must have been pure-unsampled — otherwise
+    # the ratio would be measuring span construction, not the guard.
+    assert tracer.sampled_batches == 0, (
+        f"tracing probe mis-sized: {tracer.sampled_batches} batches "
+        f"were sampled during the timed leg (keep traced batches "
+        f"< sample_every={sample_every})")
+
+    # Engagement probe: a 1-in-1 sampler on a fresh chain must record
+    # spans and populate the per-LSI histogram, and the freeze gives
+    # the bench file a flight dump to ship as a CI artifact.
+    sampled_hops = _build_chain(chain_length)
+    sampled_tracer = Tracer(sample_every=1)
+    for hop in sampled_hops:
+        hop.tracer = sampled_tracer
+    sampled_hops[0].process_batch_from(1, frames[:32])
+    sampler_engaged = (sampled_tracer.sampled_batches > 0
+                       and sampled_tracer.flight.recorded > 0)
+    sampled_tracer.freeze(
+        "perf-probe",
+        detail=f"tracing-overhead probe, chain-{chain_length}")
+
+    baseline_pps = packets / best_baseline
+    traced_pps = packets / best_traced
+    return {
+        "chain_length": chain_length,
+        "packets": packets,
+        "repeats": repeats,
+        "pairs_run": pairs_run,
+        "sample_every": sample_every,
+        "baseline_pps": baseline_pps,
+        "traced_pps": traced_pps,
+        "ratio": traced_pps / baseline_pps,
+        "sampled_batches": tracer.sampled_batches,
+        "sampler_engaged": sampler_engaged,
+        "histograms": sampled_tracer.histograms.to_dict(),
+        "flight": sampled_tracer.flight_document(),
+        "wall_s": wall,
+    }
+
+
 def run_dataplane_bench(sizes=None,
                         chain_lengths=None,
                         lookup_packets: "int | None" = None,
@@ -797,9 +914,13 @@ def run_dataplane_bench(sizes=None,
     if quick:
         lb_fusion = check_lb_fusion(phase1_flows=30, phase2_flows=60,
                                     data_frames=2, seed=seed + 12)
+        tracing_overhead = check_tracing_overhead(
+            packets=800, repeats=3, seed=seed + 14)
     else:
         lb_fusion = check_lb_fusion(phase1_flows=60, phase2_flows=120,
                                     data_frames=3, seed=seed + 12)
+        tracing_overhead = check_tracing_overhead(
+            packets=1500, repeats=5, seed=seed + 14)
     return {
         "lookup": [asdict(point) for point in lookup],
         "actions": [asdict(point) for point in actions],
@@ -808,6 +929,7 @@ def run_dataplane_bench(sizes=None,
         "churn": churn,
         "fusion_invalidation": fusion_invalidation,
         "lb_fusion": lb_fusion,
+        "tracing_overhead": tracing_overhead,
         "fast_path_parse_cidr_calls": parse_cidr_calls,
         "chain_excess_parse_frame_calls": excess_parse_frame,
         "fused_chain_excess_parse_frame_calls": fused_excess_parse_frame,
@@ -1013,6 +1135,26 @@ def check_results(results: dict) -> None:
             "pre-scale-out flows were adopted to the base replica")
         assert lb_state["pinned"] > 0, (
             "the fused spread never pinned an established flow")
+    tracing = results.get("tracing_overhead")
+    if tracing is not None:
+        # Tracing-overhead gate (quick and full mode): an attached but
+        # unsampled tracer may cost at most 3% of dispatch-fused
+        # throughput, and the probe itself must be well-formed — the
+        # timed leg pure-unsampled, the 1-in-1 leg actually sampling.
+        assert tracing["sampled_batches"] == 0, (
+            f"tracing probe sampled {tracing['sampled_batches']} "
+            "batches during the timed leg (measurement invalid)")
+        assert tracing["sampler_engaged"], (
+            "the 1-in-1 tracing sampler never engaged on the "
+            "engagement probe (no batches sampled or no spans "
+            "recorded)")
+        assert tracing["ratio"] >= TRACING_OVERHEAD_FLOOR, (
+            f"unsampled tracing overhead too high: traced chain-"
+            f"{tracing['chain_length']} ran at "
+            f"{100 * tracing['ratio']:.1f}% of the tracer-detached "
+            f"baseline ({tracing['traced_pps']:.0f} vs "
+            f"{tracing['baseline_pps']:.0f} pps, floor "
+            f"{100 * TRACING_OVERHEAD_FLOOR:.0f}%)")
     assert results["fast_path_parse_cidr_calls"] == 0, (
         "fast path called parse_cidr "
         f"{results['fast_path_parse_cidr_calls']} times")
@@ -1117,6 +1259,15 @@ def format_results(results: dict) -> str:
             f"{lb_fusion['broken_connections']} broken connections, "
             f"{state['adopted']} adopted, {state['pinned']} pinned, "
             f"spread {lb_fusion['spread_frames_per_replica']}")
+    tracing = results.get("tracing_overhead")
+    if tracing:
+        lines.append("")
+        lines.append(
+            f"tracing overhead (chain {tracing['chain_length']}, "
+            f"1/{tracing['sample_every']} sampling, unsampled leg): "
+            f"{tracing['traced_pps']:.0f} vs "
+            f"{tracing['baseline_pps']:.0f} pps baseline "
+            f"({100 * tracing['ratio']:.1f}%)")
     lines.append("")
     lines.append("fast-path parse_cidr calls: "
                  f"{results['fast_path_parse_cidr_calls']}")

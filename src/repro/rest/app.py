@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -73,7 +74,7 @@ class RestApp:
 
     def __init__(self, node: ComputeNode) -> None:
         self.node = node
-        self._routes: list[tuple[str, re.Pattern, Handler]] = []
+        self._routes: list[tuple[str, re.Pattern, str, Handler]] = []
         self.requests_served = 0
         self._register_default_routes()
 
@@ -82,12 +83,12 @@ class RestApp:
         """Register a handler; ``{name}`` segments become params."""
         regex = re.compile(
             "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern) + "$")
-        self._routes.append((method.upper(), regex, handler))
+        self._routes.append((method.upper(), regex, pattern, handler))
 
     def handle(self, method: str, path: str, body: bytes = b"") -> Response:
         self.requests_served += 1
         matched_path = False
-        for route_method, regex, handler in self._routes:
+        for route_method, regex, pattern, handler in self._routes:
             hit = regex.match(path)
             if hit is None:
                 continue
@@ -96,12 +97,22 @@ class RestApp:
                 continue
             request = Request(method=method.upper(), path=path, body=body,
                               params=hit.groupdict())
+            # Dispatch latency is labelled by the route *pattern*, not
+            # the concrete path — bounded label cardinality no matter
+            # how many graphs are deployed.
+            tracer = getattr(self.node, "tracer", None)
+            started = time.perf_counter() if tracer is not None else 0.0
             try:
                 return handler(request)
             except HttpError as exc:
                 return Response(exc.status, {"error": exc.message})
             except OrchestrationError as exc:
                 return Response(409, {"error": str(exc)})
+            finally:
+                if tracer is not None:
+                    tracer.histograms.observe(
+                        "rest_dispatch", (request.method, pattern),
+                        time.perf_counter() - started)
         if matched_path:
             return Response(405, {"error": f"method {method} not allowed "
                                            f"on {path}"})
@@ -125,6 +136,8 @@ class RestApp:
         self.route("GET", "/metrics.json", self._get_metrics_json)
         self.route("GET", "/graphs/{graph_id}/metrics",
                    self._get_graph_metrics)
+        self.route("GET", "/traces", self._get_traces)
+        self.route("GET", "/traces/flight", self._get_flight)
 
     def _get_root(self, request: Request) -> Response:
         return Response(200, self.node.describe())
@@ -278,12 +291,36 @@ class RestApp:
         from repro.telemetry.export import render_prometheus
 
         self.node.telemetry.sample()
-        return Response(200, text=render_prometheus(self.node.telemetry))
+        text = render_prometheus(self.node.telemetry)
+        tracer = getattr(self.node, "tracer", None)
+        if tracer is not None:
+            from repro.telemetry.histograms import render_histograms
+            text += render_histograms(tracer.histograms)
+        return Response(200, text=text)
 
     def _get_metrics_json(self, request: Request) -> Response:
         """The same registry as a JSON document (the `repro top` feed)."""
         self.node.telemetry.sample()
-        return Response(200, self.node.telemetry.to_dict())
+        document = self.node.telemetry.to_dict()
+        tracer = getattr(self.node, "tracer", None)
+        if tracer is not None:
+            document["histograms"] = tracer.histograms.to_dict()
+            document["tracing"] = tracer.stats()
+        return Response(200, document)
+
+    def _get_traces(self, request: Request) -> Response:
+        """The live span ring: recent sampled spans + sampler stats."""
+        tracer = getattr(self.node, "tracer", None)
+        if tracer is None:
+            raise HttpError(404, "tracing is not enabled on this node")
+        return Response(200, tracer.traces_document())
+
+    def _get_flight(self, request: Request) -> Response:
+        """Frozen flight-recorder dumps (anomaly captures)."""
+        tracer = getattr(self.node, "tracer", None)
+        if tracer is None:
+            raise HttpError(404, "tracing is not enabled on this node")
+        return Response(200, tracer.flight_document())
 
     def _get_graph_metrics(self, request: Request) -> Response:
         """Per-graph rates, replica counts and availability metrics."""

@@ -80,6 +80,12 @@ class RestClient:
     def graph_metrics(self, graph_id: str) -> dict:
         return self._expect(self.get(f"/graphs/{graph_id}/metrics"), 200)
 
+    def traces(self) -> dict:
+        return self._expect(self.get("/traces"), 200)
+
+    def flight_dumps(self) -> dict:
+        return self._expect(self.get("/traces/flight"), 200)
+
     def prometheus_metrics(self) -> str:
         response = self.get("/metrics")
         if response.status != 200:

@@ -156,7 +156,7 @@ class _BatchState:
     """
 
     __slots__ = ("pending", "queues", "emit", "emit_carry", "enqueue",
-                 "fusion", "fused", "dispatch_engaged")
+                 "fusion", "fused", "dispatch_engaged", "trace")
 
 
 class Datapath:
@@ -198,6 +198,12 @@ class Datapath:
         #: that consult them — replica-affinity state survives the
         #: rule churn of a scale event by design.
         self.flow_state = FlowStateRegistry(name=self.name)
+        #: Optional :class:`repro.telemetry.tracing.Tracer`.  When
+        #: attached, ``_begin_batch`` runs its 1-in-N sampler inline —
+        #: an unsampled batch pays one counter compare and nothing
+        #: else; a sampled batch records an ingress→dispatch→hops→
+        #: egress span tree and the per-batch latency histogram.
+        self.tracer = None
 
     # -- port management --------------------------------------------------------
     def add_port(self, name: str, device: Optional[NetDevice] = None,
@@ -375,6 +381,19 @@ class Datapath:
                         and not self.taps else None)
         state.fused = {}
         state.dispatch_engaged = False
+        tracer = self.tracer
+        if tracer is None:
+            state.trace = None
+        else:
+            # Inline 1-in-N batch sampler: the unsampled path is this
+            # counter bump and compare, with no call and no clock read.
+            n = tracer.batch_counter + 1
+            if n >= tracer.sample_every:
+                tracer.batch_counter = 0
+                state.trace = tracer.begin_batch(self.name)
+            else:
+                tracer.batch_counter = n
+                state.trace = None
         return state
 
     def _run_ingress(self, in_port: int,
@@ -600,6 +619,9 @@ class Datapath:
             hits = 0
             dispatched = 0
             table = self.table
+            # Per-graph attribution (opt-in: steering-managed LSIs
+            # only): cookie -> [matched, hits, dispatched] this batch.
+            shares = {} if fusion.track_cookies else None
             for group in state.fused.values():
                 program, frames, nbytes, in_port, disp_n, disp_bytes = \
                     group
@@ -615,7 +637,8 @@ class Datapath:
                                  disp_bytes)
                 if program.valid():
                     program.run(frames, nbytes)
-                    hits += len(frames)
+                    group_hits = len(frames)
+                    hits += group_hits
                 else:
                     fusion.invalidations += 1
                     entry = program.ingress_entry
@@ -630,6 +653,16 @@ class Datapath:
                             slot[2] = None
                         del slots[:]
                     self._fused_fallback(entry, frames, in_port, state)
+                    group_hits = 0
+                if shares is not None:
+                    cookie = program.ingress_entry.cookie
+                    if cookie:
+                        row = shares.get(cookie)
+                        if row is None:
+                            row = shares[cookie] = [0, 0, 0]
+                        row[0] += disp_n
+                        row[1] += group_hits
+                        row[2] += disp_n
             matched = dispatched
             for acc in state.pending.values():
                 matched += acc[1]
@@ -638,7 +671,31 @@ class Datapath:
             if state.dispatch_engaged:
                 fusion.dispatch_hits += dispatched
                 fusion.dispatch_misses += matched - dispatched
+            if shares is not None:
+                # Lookup-path frames count toward their entry's cookie;
+                # settle each graph's share with the same matched-minus
+                # arithmetic as the aggregates above.
+                for acc in state.pending.values():
+                    cookie = acc[0].cookie
+                    if cookie:
+                        row = shares.get(cookie)
+                        if row is None:
+                            row = shares[cookie] = [0, 0, 0]
+                        row[0] += acc[1]
+                engaged = state.dispatch_engaged
+                cookie_stats = fusion.cookie_stats
+                for cookie, (c_matched, c_hits, c_disp) in shares.items():
+                    totals = cookie_stats.get(cookie)
+                    if totals is None:
+                        totals = cookie_stats[cookie] = [0, 0, 0, 0]
+                    totals[0] += c_hits
+                    totals[1] += c_matched - c_hits
+                    if engaged:
+                        totals[2] += c_disp
+                        totals[3] += c_matched - c_disp
         self._flush_batch(state.pending, state.queues)
+        if state.trace is not None:
+            self.tracer.finish_batch(state.trace, self, state)
 
     def process_batch(self,
                       batch: "Iterable[tuple[int, EthernetFrame | ParsedFrame]]") -> None:

@@ -538,7 +538,8 @@ class FusionEngine:
 
     __slots__ = ("dp", "enabled", "dispatch_enabled", "epoch",
                  "dispatch", "hits", "misses", "dispatch_hits",
-                 "dispatch_misses", "invalidations", "programs_built")
+                 "dispatch_misses", "invalidations", "programs_built",
+                 "track_cookies", "cookie_stats")
 
     def __init__(self, dp) -> None:
         self.dp = dp
@@ -574,6 +575,14 @@ class FusionEngine:
         #: reactive (flush-time validity failure → per-hop fallback).
         self.invalidations = 0
         self.programs_built = 0
+        #: Opt-in per-cookie attribution (steering-managed LSIs turn it
+        #: on): ``cookie -> [hits, misses, dispatch_hits,
+        #: dispatch_misses]``.  Chains that fuse at node-ingress LSI-0
+        #: never touch their graph LSI's engine, so this is how a
+        #: graph's share of LSI-0 traffic is recovered — every flow
+        #: entry of graph ``g`` carries ``g``'s cookie.
+        self.track_cookies = False
+        self.cookie_stats: dict = {}
 
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
@@ -582,6 +591,16 @@ class FusionEngine:
                 "invalidations": self.invalidations,
                 "programs-built": self.programs_built,
                 "enabled": self.enabled}
+
+    def stats_for_cookie(self, cookie: int) -> dict:
+        """One graph's share of this engine's fused/dispatch traffic
+        (zeroes when :attr:`track_cookies` is off or nothing arrived)."""
+        totals = self.cookie_stats.get(cookie)
+        if totals is None:
+            return {"hits": 0, "misses": 0,
+                    "dispatch-hits": 0, "dispatch-misses": 0}
+        return {"hits": totals[0], "misses": totals[1],
+                "dispatch-hits": totals[2], "dispatch-misses": totals[3]}
 
     def invalidate(self) -> int:
         """Drop every cached program/verdict traced from this LSI's
@@ -610,6 +629,13 @@ class FusionEngine:
                     dropped += 1
                 entry.fused = None
         self.invalidations += dropped
+        if dropped:
+            tracer = self.dp.tracer
+            if tracer is not None:
+                # Live programs were torn down: feed the invalidation-
+                # storm detector (deploy-time invalidates with nothing
+                # cached don't count — no live work was lost).
+                tracer.note_invalidation(self.dp.name, dropped)
         return dropped
 
     def build_slot(self, port_dispatch: dict, in_port: int,

@@ -19,21 +19,38 @@ and the signals into actions:
 * :mod:`repro.telemetry.loop` — the :class:`ControlLoop` driver that
   runs reconcile ticks, telemetry samples and autoscaler evaluations
   continuously, on the discrete-event simulator (virtual clock,
-  deterministic tests) or a real background thread.
+  deterministic tests) or a real background thread;
+* :mod:`repro.telemetry.histograms` — log2-bucketed latency
+  histograms (p50/p95/p99 derivation, Prometheus histogram blocks)
+  for both planes;
+* :mod:`repro.telemetry.tracing` — span tracing with a 1-in-N batch
+  sampler, anomaly triggers, and the bounded flight recorder that
+  freezes the recent past when something goes wrong (served on
+  ``GET /traces`` / ``GET /traces/flight``, printed by
+  ``repro trace``).
 """
 
 from repro.telemetry.autoscaler import Autoscaler, ScalingDecision, \
     ScalingPolicy
 from repro.telemetry.export import render_prometheus
+from repro.telemetry.histograms import HistogramRegistry, \
+    LatencyHistogram, render_histograms
 from repro.telemetry.loop import ControlLoop
 from repro.telemetry.metrics import MetricsRegistry, SeriesRing
+from repro.telemetry.tracing import FlightRecorder, Span, Tracer
 
 __all__ = [
     "Autoscaler",
     "ControlLoop",
+    "FlightRecorder",
+    "HistogramRegistry",
+    "LatencyHistogram",
     "MetricsRegistry",
     "ScalingDecision",
     "ScalingPolicy",
     "SeriesRing",
+    "Span",
+    "Tracer",
+    "render_histograms",
     "render_prometheus",
 ]

@@ -21,7 +21,10 @@ __all__ = ["render_prometheus", "render_top"]
 
 
 def _label(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
+    # Prometheus label-value escaping: backslash, double-quote and
+    # newline, in that order (escaping "\n" first would double up).
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:

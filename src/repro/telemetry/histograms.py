@@ -1,0 +1,188 @@
+"""Log2-bucketed latency histograms with Prometheus text exposition.
+
+The observation path is the part that runs inside instrumented code
+(the dataplane batch loop, reconciler steps, REST dispatch), so it is
+deliberately tiny: one :func:`bisect.bisect_left` over a precomputed
+bounds tuple and two list/float updates.  Everything analytical —
+quantile derivation, snapshots, the Prometheus ``_bucket``/``_sum``/
+``_count`` rendering — walks the counts on demand.
+
+Buckets double from 1 microsecond up to ~67 seconds (27 bounds), plus
+the implicit ``+Inf`` overflow bucket.  That covers everything from a
+single dispatch-fused batch (~microseconds) to a pathological control
+tick, with the exact-power-of-two boundaries making p50/p95/p99
+derivation reproducible across runs.
+"""
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Bucket upper bounds in seconds: 1 us, 2 us, 4 us, ... ~67.1 s.
+LOG2_BOUNDS: Tuple[float, ...] = tuple((1 << k) * 1e-6 for k in range(27))
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (seconds).
+
+    ``observe`` is safe under the GIL without a lock: it mutates one
+    list slot and two floats, and every reader (snapshot, quantile,
+    render) tolerates a momentarily inconsistent sum-vs-counts view —
+    telemetry scrapes, not bank transfers.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: Sequence[float] = LOG2_BOUNDS):
+        self.bounds = tuple(bounds)
+        if not self.bounds or any(b <= 0 for b in self.bounds):
+            raise ValueError("bucket bounds must be positive")
+        # One count per bound plus the +Inf overflow bucket.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Derive a quantile by linear interpolation within its bucket.
+
+        Returns ``None`` on an empty histogram.  Values landing in the
+        ``+Inf`` bucket clamp to the largest finite bound (the standard
+        ``histogram_quantile`` convention).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return None
+        target = q * self.total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= target:
+                if index >= len(self.bounds):  # +Inf bucket: clamp
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                fraction = (target - cumulative) / count
+                return lower + fraction * (upper - lower)
+            cumulative += count
+        return self.bounds[-1]
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        return {"p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
+
+    def snapshot(self) -> dict:
+        """A JSON-clean copy: non-empty buckets, totals, percentiles."""
+        buckets = {}
+        for index, count in enumerate(self.counts):
+            if count:
+                le = (self.bounds[index] if index < len(self.bounds)
+                      else "+Inf")
+                buckets[le if isinstance(le, str) else f"{le:.12g}"] = count
+        document = {"count": self.total, "sum": self.sum,
+                    "buckets": buckets}
+        document.update(self.percentiles())
+        return document
+
+
+class HistogramRegistry:
+    """Named histogram families with fixed label names per family.
+
+    A family is registered once (``register``) with its help string and
+    label names; ``observe(name, label_values, seconds)`` creates the
+    series on first use.  Label values are positional tuples so the
+    hot-path lookup is a single dict probe on a tuple key.
+    """
+
+    def __init__(self):
+        self._families: Dict[str, dict] = {}
+
+    def register(self, name: str, help_text: str,
+                 label_names: Sequence[str] = ()) -> None:
+        if name not in self._families:
+            self._families[name] = {"help": help_text,
+                                    "labels": tuple(label_names),
+                                    "series": {}}
+
+    def observe(self, name: str, label_values: Tuple[str, ...],
+                seconds: float) -> None:
+        family = self._families[name]
+        series = family["series"]
+        histogram = series.get(label_values)
+        if histogram is None:
+            histogram = series[label_values] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def get(self, name: str,
+            label_values: Tuple[str, ...] = ()) -> Optional[LatencyHistogram]:
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family["series"].get(label_values)
+
+    def families(self) -> Iterable[str]:
+        return self._families.keys()
+
+    def snapshot(self) -> dict:
+        """Every family -> every series (labels joined) -> snapshot."""
+        out = {}
+        for name, family in self._families.items():
+            label_names = family["labels"]
+            series_out = {}
+            for values, histogram in family["series"].items():
+                key = ",".join(f"{k}={v}"
+                               for k, v in zip(label_names, values)) or ""
+                series_out[key] = histogram.snapshot()
+            out[name] = series_out
+        return out
+
+    # JSON export alias (mirrors MetricsRegistry.to_dict naming).
+    to_dict = snapshot
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_bound(bound: float) -> str:
+    return f"{bound:.12g}"
+
+
+def render_histograms(registry: HistogramRegistry,
+                      prefix: str = "repro_") -> str:
+    """Prometheus histogram text blocks for every family in a registry.
+
+    Each family renders a ``# HELP``/``# TYPE ... histogram`` header
+    and, per labelled series, cumulative ``_bucket`` lines (ending with
+    ``le="+Inf"``), ``_sum`` and ``_count``.
+    """
+    lines: List[str] = []
+    for name in sorted(registry.families()):
+        family = registry._families[name]
+        metric = f"{prefix}{name}_seconds"
+        lines.append(f"# HELP {metric} {family['help']}")
+        lines.append(f"# TYPE {metric} histogram")
+        label_names = family["labels"]
+        for values in sorted(family["series"]):
+            histogram = family["series"][values]
+            pairs = [f'{k}="{_escape_label(v)}"'
+                     for k, v in zip(label_names, values)]
+            cumulative = 0
+            for index, bound in enumerate(histogram.bounds):
+                cumulative += histogram.counts[index]
+                le = ",".join(pairs + [f'le="{_format_bound(bound)}"'])
+                lines.append(f"{metric}_bucket{{{le}}} {cumulative}")
+            cumulative += histogram.counts[-1]
+            le = ",".join(pairs + ['le="+Inf"'])
+            lines.append(f"{metric}_bucket{{{le}}} {cumulative}")
+            label_text = f"{{{','.join(pairs)}}}" if pairs else ""
+            lines.append(f"{metric}_sum{label_text} {histogram.sum:.9g}")
+            lines.append(f"{metric}_count{label_text} {histogram.total}")
+    return "\n".join(lines) + "\n" if lines else ""

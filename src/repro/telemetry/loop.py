@@ -75,6 +75,9 @@ class ControlLoop:
                                               max_events=journal.max_events,
                                               clock=journal.clock)
                 sharded.adopt(journal)
+                # A tracer's journal-drop trigger hooked onto the plain
+                # journal must survive the swap.
+                sharded.on_drop = journal.on_drop
                 reconciler.journal = sharded
         # Ad-hoc samples (REST scrapes) between two loop iterations
         # must not shorten the rate windows scaling decisions read.
@@ -119,6 +122,8 @@ class ControlLoop:
         t = self.registry.now() if now is None else now
         self.iterations += 1
         reconciler = self.orchestrator.reconciler
+        tracer = reconciler.tracer
+        tick_started = time.perf_counter() if tracer is not None else 0.0
         executed = 0
         graph_ids = sorted(set(reconciler.desired) | set(reconciler.observed))
         if self.shards > 1:
@@ -143,6 +148,9 @@ class ControlLoop:
                      if self.autoscaler is not None else [])
         self.steps_executed += executed
         self.scale_events += len(decisions)
+        if tracer is not None:
+            tracer.observe_tick(time.perf_counter() - tick_started,
+                                graphs=len(graph_ids))
         return {"t": t, "graphs": len(graph_ids),
                 "steps-executed": executed,
                 "scale-decisions": len(decisions)}

@@ -293,7 +293,17 @@ class MetricsRegistry:
         # table).
         network = self.steering.graphs.get(graph_id)
         if network is not None:
-            document["fusion"] = network.lsi.datapath.fusion.stats()
+            fusion = network.lsi.datapath.fusion.stats()
+            # Whole chains usually fuse at the node-ingress LSI, so the
+            # graph LSI's own engine never sees a frame; recover the
+            # graph's share of LSI-0's counters by its flow cookie and
+            # fold it in, keeping the ingress share visible separately.
+            share = self.steering.base.datapath.fusion.stats_for_cookie(
+                network.cookie)
+            for key, value in share.items():
+                fusion[key] = fusion.get(key, 0) + value
+            fusion["at-node-ingress"] = share
+            document["fusion"] = fusion
             document["flow-state"] = \
                 network.lsi.datapath.flow_state.stats()
         return document

@@ -122,6 +122,25 @@ def test_quick_gates_catch_fusion_regressions():
         check_results(doctored)
 
 
+def test_quick_gates_catch_tracing_overhead_regressions():
+    """The tracing-overhead gates are real even in quick mode: a
+    doctored ratio below the 97% floor, a sampler that fired during
+    the timed leg, and a dead engagement probe must all fail."""
+    results = run_dataplane_bench(quick=True)
+    doctored = json.loads(json.dumps(results))
+    doctored["tracing_overhead"]["ratio"] = 0.5
+    with pytest.raises(AssertionError, match="tracing overhead too high"):
+        check_results(doctored)
+    doctored = json.loads(json.dumps(results))
+    doctored["tracing_overhead"]["sampled_batches"] = 3
+    with pytest.raises(AssertionError, match="measurement invalid"):
+        check_results(doctored)
+    doctored = json.loads(json.dumps(results))
+    doctored["tracing_overhead"]["sampler_engaged"] = False
+    with pytest.raises(AssertionError, match="never engaged"):
+        check_results(doctored)
+
+
 def test_quick_gates_catch_churn_regressions():
     """The churn gates are real even in quick mode: a remap fraction
     over the 1/min(N,N') bound, and any broken connection in the
@@ -177,9 +196,36 @@ def test_dataplane_pps_sweep(request):
     quick = request.config.getoption("--quick")
     results = run_dataplane_bench(quick=quick)
     print("\n" + format_results(results))
+    bench_path = request.config.getoption("--bench-json")
     if not quick:
-        path = request.config.getoption("--bench-json")
-        write_bench_json(results, path)
-        print(f"wrote {path}")
-        assert os.path.exists(path)
-    check_results(results)  # >=10x at 1k entries, parse_cidr-free
+        write_bench_json(results, bench_path)
+        print(f"wrote {bench_path}")
+        assert os.path.exists(bench_path)
+    try:
+        try:
+            check_results(results)  # >=10x at 1k, parse_cidr-free
+        except AssertionError:
+            if not quick:
+                raise
+            # Quick mode shares the tier-1 smoke's one-retry policy:
+            # its timing floors run on a loaded CI box, so re-measure
+            # once before declaring a regression.
+            results = run_dataplane_bench(quick=True)
+            check_results(results)
+    except AssertionError:
+        # Freeze the flight-recorder dump + histogram snapshot from
+        # the tracing probe next to the bench artifact so CI can
+        # upload them on a failed perf job.
+        flight_path = os.path.join(
+            os.path.dirname(bench_path) or ".", "FLIGHT_dataplane.json")
+        tracing = results.get("tracing_overhead", {})
+        write_bench_json({
+            "flight": tracing.get("flight"),
+            "histograms": tracing.get("histograms"),
+            "tracing_overhead": {
+                k: v for k, v in tracing.items()
+                if k not in ("flight", "histograms")},
+            "meta": results.get("meta"),
+        }, flight_path)
+        print(f"wrote {flight_path}")
+        raise

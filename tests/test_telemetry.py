@@ -5,6 +5,8 @@ drives every timestamp, so MTTR and convergence times are replays of
 the event log, not wall-clock approximations.
 """
 
+import re
+
 import pytest
 
 from repro.catalog.templates import Technology
@@ -305,7 +307,13 @@ def test_prometheus_export_and_rest_metrics():
     assert document["nfs"]["dpi"]["pps"] > 0
     assert set(document["fusion"]) == {"hits", "misses", "dispatch-hits",
                                        "dispatch-misses", "invalidations",
-                                       "programs-built", "enabled"}
+                                       "programs-built", "enabled",
+                                       "at-node-ingress"}
+    # Per-graph fusion counters are no longer silently zero when the
+    # chain fuses at node ingress: LSI-0's per-cookie share is folded
+    # into the graph document.
+    assert document["fusion"]["hits"] > 0
+    assert document["fusion"]["at-node-ingress"]["hits"] > 0
     assert "# TYPE repro_fusion_dispatch_hits_total counter" in text
     assert document["flow-state"]["groups"] == 0  # no LB at 1 replica
     node_document = client.node_metrics()
@@ -330,17 +338,20 @@ def test_render_top_table():
     assert "dpi@1" not in text
     line = next(line for line in text.splitlines() if " dpi " in line)
     assert " 2 " in line  # replica count column
-    # The whole chain — including the replicated spread — now fuses at
-    # the *node ingress* LSI, so the graph LSI's own engine never sees
-    # a frame: its FUSED and DISP columns render "-", while the spread
-    # still consulted the graph's state table per frame (PIN% shows a
-    # percentage) and the hits sit on LSI-0 in the node document.
+    # The whole chain — including the replicated spread — fuses at the
+    # *node ingress* LSI, so the graph LSI's own engine never sees a
+    # frame; the graph's share of LSI-0's counters is recovered by its
+    # flow cookie, so FUSED and DISP show real percentages instead of
+    # silently rendering "-".
     fused_col, disp_col, pin_col = line.rstrip().rsplit(None, 3)[-3:]
-    assert fused_col == "-" and disp_col == "-"
+    assert fused_col == "100%" and disp_col == "100%"
     assert pin_col.endswith("%")
     node_fusion = node.telemetry.to_dict()["fusion"]["LSI-0"]
     assert node_fusion["hits"] == 24
     assert node_fusion["dispatch-hits"] == 24
+    graph_fusion = node.telemetry.graph_metrics("tg")["fusion"]
+    assert graph_fusion["hits"] == 24
+    assert graph_fusion["at-node-ingress"]["dispatch-hits"] == 24
     bare = node.telemetry.to_dict()
     for graph in bare["graphs"].values():
         graph.pop("fusion", None)
@@ -359,3 +370,131 @@ def test_render_prometheus_escapes_and_counts_samples():
     text = render_prometheus(node.telemetry)
     assert text.endswith("\n")
     assert "repro_telemetry_samples_total 1" in text
+
+
+# -- Prometheus exposition-format conformance ---------------------------------------
+
+_HELP_LINE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* \S.*$")
+_TYPE_LINE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<type>counter|gauge|histogram|summary|untyped)$")
+_SAMPLE_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>'
+    r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*")*'
+    r')\})? '
+    r'(?P<value>-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?'
+    r'|NaN|[+-]?Inf))$')
+_LABEL_PAIR = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\["\\n])*)"')
+
+
+def assert_prometheus_conformant(text):
+    """Strict line-format check over a full exposition document.
+
+    Every line must be a HELP/TYPE comment or a well-formed sample
+    (valid metric name, escaped label values, parseable number); each
+    histogram family must render cumulative ``_bucket`` series ending
+    at ``le="+Inf"`` with matching ``_sum`` and ``_count`` lines.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    histogram_families = set()
+    samples = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP"):
+            assert _HELP_LINE.match(line), f"bad HELP line: {line!r}"
+            continue
+        if line.startswith("# TYPE"):
+            match = _TYPE_LINE.match(line)
+            assert match, f"bad TYPE line: {line!r}"
+            if match.group("type") == "histogram":
+                histogram_families.add(match.group("name"))
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _SAMPLE_LINE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        labels = dict(_LABEL_PAIR.findall(match.group("labels") or ""))
+        samples.append((match.group("name"), labels,
+                        float(match.group("value"))))
+
+    for family in histogram_families:
+        series = {}
+        sums = {}
+        counts = {}
+        for name, labels, value in samples:
+            if name == f"{family}_bucket":
+                le = labels.pop("le")
+                key = tuple(sorted(labels.items()))
+                series.setdefault(key, []).append((le, value))
+            elif name == f"{family}_sum":
+                sums[tuple(sorted(labels.items()))] = value
+            elif name == f"{family}_count":
+                counts[tuple(sorted(labels.items()))] = value
+        assert set(series) == set(sums) == set(counts), (
+            f"{family}: bucket/sum/count series sets disagree")
+        for key, buckets in series.items():
+            values = [value for _, value in buckets]
+            assert values == sorted(values), (
+                f"{family}{dict(key)}: buckets not cumulative")
+            assert buckets[-1][0] == "+Inf", (
+                f"{family}{dict(key)}: last bucket is not +Inf")
+            assert buckets[-1][1] == counts[key], (
+                f"{family}{dict(key)}: +Inf bucket != _count")
+            finite = [float(le) for le, _ in buckets[:-1]]
+            assert finite == sorted(finite), (
+                f"{family}{dict(key)}: bucket bounds not ascending")
+
+
+def test_full_metrics_document_is_prometheus_conformant():
+    """Strict conformance over the real ``GET /metrics`` output — the
+    gauge/counter families from the registry *and* the histogram
+    blocks appended by the tracer, after real traffic, reconcile
+    activity and control ticks."""
+    node, driver = make_node(restartable=False)
+    node.tracer.sample_every = 1
+    sim = Simulator()
+    loop = ControlLoop(node.orchestrator, node.telemetry, interval=1.0)
+    loop.run_sim(sim)
+    node.deploy(dpi_graph())
+
+    def chaos():
+        yield sim.timeout(2.5)
+        driver.sick.add("tg-dpi")
+
+    def traffic():
+        while True:
+            node.steering.inject_batch("lan0", flows(6, frames_per_flow=2))
+            yield sim.timeout(1.0)
+
+    sim.process(chaos(), name="chaos")
+    sim.process(traffic(), name="traffic")
+    sim.run(until=6.0)
+
+    client = RestClient(RestApp(node))
+    client.graph_status("tg")  # populate the rest_dispatch histogram
+    text = client.prometheus_metrics()
+    assert_prometheus_conformant(text)
+    # The histogram families that must carry real series by now.
+    for family in ("repro_dataplane_batch_seconds",
+                   "repro_control_tick_seconds",
+                   "repro_reconcile_step_seconds",
+                   "repro_rest_dispatch_seconds"):
+        assert f"# TYPE {family} histogram" in text
+        assert f"{family}_bucket" in text, f"{family} has no series"
+
+
+def test_prometheus_label_escaping_survives_strict_check():
+    """Label values with quotes, backslashes and newlines must escape
+    into legal exposition lines (order matters: backslash first)."""
+    from repro.telemetry.histograms import HistogramRegistry, \
+        render_histograms
+
+    registry = HistogramRegistry()
+    registry.register("odd", "Nasty labels.", ("route",))
+    registry.observe("odd", ('a"b\\c\nd',), 1e-5)
+    text = render_histograms(registry)
+    assert_prometheus_conformant(text)
+    assert 'route="a\\"b\\\\c\\nd"' in text
